@@ -1,0 +1,61 @@
+//! FCDS baseline benchmarks: worker-side update cost and the end-to-end
+//! single-worker pipeline (worker + propagator).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qc_fcds::Fcds;
+use qc_workloads::streams::{Distribution, StreamGen};
+
+fn bench_worker_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fcds_update_single_worker");
+    for &buffer in &[256usize, 1024, 4096] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buffer),
+            &buffer,
+            |bencher, &buffer| {
+                let fcds = Fcds::<f64>::new(4096, buffer, 1);
+                let mut worker = fcds.updater();
+                let mut gen = StreamGen::new(Distribution::Uniform, 1);
+                bencher.iter(|| worker.update(black_box(gen.next_f64())));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fcds_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(256 * 1024));
+    group.bench_function("1_worker_256k_drained", |bencher| {
+        bencher.iter(|| {
+            let fcds = Fcds::<f64>::new(1024, 1024, 1);
+            let mut worker = fcds.updater();
+            let mut gen = StreamGen::new(Distribution::Uniform, 2);
+            for _ in 0..256 * 1024 {
+                worker.update(gen.next_f64());
+            }
+            worker.flush();
+            fcds.drain();
+            black_box(fcds.stream_len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let fcds = Fcds::<f64>::new(1024, 1024, 1);
+    let mut worker = fcds.updater();
+    let mut gen = StreamGen::new(Distribution::Uniform, 3);
+    for _ in 0..1_000_000 {
+        worker.update(gen.next_f64());
+    }
+    worker.flush();
+    fcds.drain();
+    c.bench_function("fcds_query/summary_rebuild", |bencher| {
+        bencher.iter(|| black_box(fcds.query(black_box(0.5))));
+    });
+}
+
+criterion_group!(benches, bench_worker_update, bench_pipeline, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Micro-benchmarks of the shared kernels: the merge and sampling
+//! primitives that dominate propagation cost, and summary construction /
+//! query (the per-snapshot and per-query work).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qc_common::merge::{merge_sorted, merge_sorted_into};
+use qc_common::rng::Xoshiro256;
+use qc_common::sample::{sample_odd_or_even, sample_with_parity, Parity};
+use qc_common::summary::{Summary, WeightedSummary};
+
+fn sorted_run(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut v: Vec<u64> = (0..n).map(|_| rng.next_u64() >> 1).collect();
+    v.sort_unstable();
+    v
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_sorted");
+    for &k in &[256usize, 1024, 4096] {
+        let a = sorted_run(k, 1);
+        let b = sorted_run(k, 2);
+        group.throughput(Throughput::Elements(2 * k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, _| {
+            let mut out = Vec::with_capacity(2 * k);
+            bencher.iter(|| {
+                merge_sorted_into(black_box(&a), black_box(&b), &mut out);
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_odd_or_even");
+    for &k in &[1024usize, 4096] {
+        let src = sorted_run(2 * k, 3);
+        group.throughput(Throughput::Elements(2 * k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, _| {
+            let mut rng = Xoshiro256::seed_from_u64(7);
+            bencher.iter(|| black_box(sample_odd_or_even(black_box(&src), &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_parity(c: &mut Criterion) {
+    let src = sorted_run(8192, 4);
+    c.bench_function("sample_with_parity/8192", |bencher| {
+        bencher.iter(|| black_box(sample_with_parity(black_box(&src), Parity::Even)));
+    });
+}
+
+fn bench_summary(c: &mut Criterion) {
+    // A realistic snapshot: ~12 levels of k=1024 plus a 2k base.
+    let parts: Vec<(Vec<u64>, u64)> = (0..12)
+        .map(|i| (sorted_run(1024, i), 1u64 << i))
+        .chain(std::iter::once((sorted_run(2048, 99), 1u64)))
+        .collect();
+
+    c.bench_function("summary/build_13_levels", |bencher| {
+        bencher.iter(|| {
+            let refs: Vec<(&[u64], u64)> = parts.iter().map(|(v, w)| (&v[..], *w)).collect();
+            black_box(WeightedSummary::from_parts(refs))
+        });
+    });
+
+    let refs: Vec<(&[u64], u64)> = parts.iter().map(|(v, w)| (&v[..], *w)).collect();
+    let summary = WeightedSummary::from_parts(refs);
+    c.bench_function("summary/quantile_query", |bencher| {
+        let mut phi = 0.0f64;
+        bencher.iter(|| {
+            phi = (phi + 0.037) % 1.0;
+            black_box(summary.quantile_bits(black_box(phi)))
+        });
+    });
+    c.bench_function("summary/rank_query", |bencher| {
+        let mut x = 0u64;
+        bencher.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            black_box(summary.rank_bits(black_box(x >> 1)))
+        });
+    });
+}
+
+fn bench_sort_local_buffer(c: &mut Criterion) {
+    // Stage-1 cost: sorting the b-element local buffer.
+    let mut group = c.benchmark_group("local_buffer_sort");
+    for &b in &[16usize, 64, 2048] {
+        group.throughput(Throughput::Elements(b as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bencher, _| {
+            let mut rng = Xoshiro256::seed_from_u64(5);
+            let template: Vec<u64> = (0..b).map(|_| rng.next_u64()).collect();
+            bencher.iter(|| {
+                let mut buf = template.clone();
+                buf.sort_unstable();
+                black_box(buf)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge,
+    bench_sample,
+    bench_sample_parity,
+    bench_summary,
+    bench_sort_local_buffer
+);
+criterion_main!(benches);

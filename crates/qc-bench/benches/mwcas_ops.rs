@@ -1,0 +1,89 @@
+//! DCAS substrate benchmarks: the per-batch synchronization cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qc_mwcas::{mwcas, read_plain, Arena, CasPair, MwcasWord};
+
+fn bench_uncontended_dcas(c: &mut Criterion) {
+    let arena = Arena::new();
+    let a = MwcasWord::new(0);
+    let b = MwcasWord::new(0);
+    c.bench_function("mwcas/2_word_uncontended", |bencher| {
+        bencher.iter(|| {
+            let va = read_plain(&a);
+            let vb = read_plain(&b);
+            black_box(mwcas(
+                &arena,
+                &[
+                    CasPair { word: &a, old: va, new: va + 1 },
+                    CasPair { word: &b, old: vb, new: vb + 1 },
+                ],
+            ))
+        });
+    });
+}
+
+fn bench_failed_dcas(c: &mut Criterion) {
+    let arena = Arena::new();
+    let a = MwcasWord::new(7);
+    let b = MwcasWord::new(9);
+    c.bench_function("mwcas/2_word_expected_mismatch", |bencher| {
+        bencher.iter(|| {
+            black_box(mwcas(
+                &arena,
+                &[
+                    CasPair { word: &a, old: 1, new: 2 }, // wrong expectation
+                    CasPair { word: &b, old: 9, new: 10 },
+                ],
+            ))
+        });
+    });
+}
+
+fn bench_read(c: &mut Criterion) {
+    let w = MwcasWord::new(42);
+    c.bench_function("mwcas/read_plain", |bencher| {
+        bencher.iter(|| black_box(read_plain(black_box(&w))));
+    });
+}
+
+fn bench_contended_dcas(c: &mut Criterion) {
+    // Two threads hammering the same pair: measures helping overhead.
+    let mut group = c.benchmark_group("mwcas_contended");
+    group.sample_size(10);
+    group.bench_function("2_threads_10k_ops", |bencher| {
+        bencher.iter(|| {
+            let arena = Arena::new();
+            let a = MwcasWord::new(0);
+            let b = MwcasWord::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let arena = &arena;
+                    let a = &a;
+                    let b = &b;
+                    s.spawn(move || {
+                        for _ in 0..10_000 {
+                            loop {
+                                let va = read_plain(a);
+                                let vb = read_plain(b);
+                                if mwcas(
+                                    arena,
+                                    &[
+                                        CasPair { word: a, old: va, new: va + 1 },
+                                        CasPair { word: b, old: vb, new: vb + 1 },
+                                    ],
+                                ) {
+                                    break;
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            black_box(read_plain(&a))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_uncontended_dcas, bench_failed_dcas, bench_read, bench_contended_dcas);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Quancurrent hot-path benchmarks: single-thread update at paper
+//! parameters, snapshot construction, cached and uncached queries, and an
+//! oversubscribed multi-thread update batch.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qc_workloads::streams::{Distribution, StreamGen};
+use quancurrent::Quancurrent;
+
+fn bench_update_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qc_update_single_thread");
+    for &(k, b) in &[(1024usize, 16usize), (4096, 16), (4096, 64)] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_b{b}")),
+            &(k, b),
+            |bencher, &(k, b)| {
+                let sketch = Quancurrent::<f64>::builder().k(k).b(b).seed(1).build();
+                let mut updater = sketch.updater();
+                let mut gen = StreamGen::new(Distribution::Uniform, 2);
+                bencher.iter(|| updater.update(black_box(gen.next_f64())));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_update_multi(c: &mut Criterion) {
+    // A 4-thread batch of 64k updates per iteration (measures the full
+    // concurrent pipeline; on few-core hosts this is contention-bound).
+    let mut group = c.benchmark_group("qc_update_4_threads");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(4 * 64 * 1024));
+    group.bench_function("k1024_b16", |bencher| {
+        bencher.iter(|| {
+            let sketch = Quancurrent::<f64>::builder().k(1024).b(16).seed(3).build();
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let mut updater = sketch.updater();
+                    s.spawn(move || {
+                        let mut gen = StreamGen::new(Distribution::Uniform, t);
+                        for _ in 0..64 * 1024 {
+                            updater.update(gen.next_f64());
+                        }
+                    });
+                }
+            });
+            black_box(sketch.stream_len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_snapshot_and_query(c: &mut Criterion) {
+    let sketch = Quancurrent::<f64>::builder().k(1024).b(16).seed(4).build();
+    let mut updater = sketch.updater();
+    let mut gen = StreamGen::new(Distribution::Uniform, 5);
+    for _ in 0..1_000_000 {
+        updater.update(gen.next_f64());
+    }
+    drop(updater);
+
+    c.bench_function("qc_snapshot/build_1M_stream", |bencher| {
+        bencher.iter(|| black_box(sketch.snapshot()));
+    });
+
+    c.bench_function("qc_query/cached_hit", |bencher| {
+        let mut handle = sketch.query_handle();
+        let _ = handle.query(0.5); // warm the cache
+        let mut phi = 0.0;
+        bencher.iter(|| {
+            phi = (phi + 0.037) % 1.0;
+            black_box(handle.query(black_box(phi)))
+        });
+    });
+
+    c.bench_function("qc_query/uncached_rebuild", |bencher| {
+        // ρ = 0 sketch: every query rebuilds.
+        let cold = Quancurrent::<f64>::builder().k(1024).b(16).rho(0.0).seed(6).build();
+        let mut updater = cold.updater();
+        let mut gen = StreamGen::new(Distribution::Uniform, 7);
+        for _ in 0..100_000 {
+            updater.update(gen.next_f64());
+        }
+        drop(updater);
+        let mut handle = cold.query_handle();
+        bencher.iter(|| black_box(handle.query(black_box(0.5))));
+    });
+}
+
+fn bench_relaxation_accounting(c: &mut Criterion) {
+    let sketch = Quancurrent::<f64>::builder().k(4096).b(16).seed(8).build();
+    c.bench_function("qc_misc/stream_len", |bencher| {
+        bencher.iter(|| black_box(sketch.stream_len()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_update_single,
+    bench_update_multi,
+    bench_snapshot_and_query,
+    bench_relaxation_accounting
+);
+criterion_main!(benches);

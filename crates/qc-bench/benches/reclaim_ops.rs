@@ -1,0 +1,58 @@
+//! IBR reclamation benchmarks: the per-level-array memory-management cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qc_reclaim::{Domain, DomainConfig, Shared};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+fn bench_alloc_retire(c: &mut Criterion) {
+    let domain = Domain::with_config(DomainConfig::default());
+    let handle = domain.register();
+    c.bench_function("reclaim/alloc_retire_cycle", |bencher| {
+        bencher.iter(|| {
+            let block = handle.alloc(black_box([0u64; 16]));
+            // SAFETY: freshly allocated, never published.
+            unsafe { handle.retire(block) };
+        });
+    });
+}
+
+fn bench_alloc_vec_payload(c: &mut Criterion) {
+    let domain = Domain::new();
+    let handle = domain.register();
+    let payload: Vec<u64> = (0..2048).collect();
+    c.bench_function("reclaim/alloc_retire_2k_vec", |bencher| {
+        bencher.iter(|| {
+            let block = handle.alloc(black_box(payload.clone()));
+            unsafe { handle.retire(block) };
+        });
+    });
+}
+
+fn bench_pin(c: &mut Criterion) {
+    let domain = Domain::new();
+    let handle = domain.register();
+    c.bench_function("reclaim/pin_unpin", |bencher| {
+        bencher.iter(|| {
+            let guard = handle.pin();
+            black_box(guard.reservation_interval())
+        });
+    });
+}
+
+fn bench_protect(c: &mut Criterion) {
+    let domain = Domain::new();
+    let handle = domain.register();
+    let block = handle.alloc(7u64);
+    let word = AtomicU64::new(block.into_raw());
+    c.bench_function("reclaim/protected_read", |bencher| {
+        let guard = handle.pin();
+        bencher.iter(|| {
+            let raw = guard.protect(|| word.load(SeqCst));
+            let shared = unsafe { Shared::<u64>::from_raw(raw) };
+            black_box(unsafe { *shared.deref() })
+        });
+    });
+}
+
+criterion_group!(benches, bench_alloc_retire, bench_alloc_vec_payload, bench_pin, bench_protect);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Sequential sketch benchmarks: the single-thread baseline of Figure 6a
+//! and the propagator workload inside FCDS.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qc_common::rng::Xoshiro256;
+use qc_common::Summary;
+use qc_sequential::QuantilesSketch;
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_update");
+    for &k in &[256usize, 1024, 4096] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, &k| {
+            let mut sketch = QuantilesSketch::with_seed(k, 1);
+            let mut rng = Xoshiro256::seed_from_u64(2);
+            bencher.iter(|| sketch.update(black_box(rng.next_u64() >> 1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ingest_sorted(c: &mut Criterion) {
+    let k = 1024;
+    let batch: Vec<u64> = (0..8 * k as u64).collect();
+    let mut group = c.benchmark_group("sequential_ingest_sorted");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("8k_chunk", |bencher| {
+        bencher.iter(|| {
+            let mut sketch = QuantilesSketch::with_seed(k, 1);
+            sketch.ingest_sorted(black_box(&batch));
+            black_box(sketch.n())
+        });
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut sketch = QuantilesSketch::with_seed(1024, 3);
+    let mut rng = Xoshiro256::seed_from_u64(4);
+    for _ in 0..1_000_000 {
+        sketch.update(rng.next_u64() >> 1);
+    }
+
+    c.bench_function("sequential_query/fresh_summary_each", |bencher| {
+        bencher.iter(|| black_box(sketch.quantile_bits(black_box(0.5))));
+    });
+
+    let summary = sketch.summary();
+    c.bench_function("sequential_query/cached_summary", |bencher| {
+        let mut phi = 0.0;
+        bencher.iter(|| {
+            phi = (phi + 0.037) % 1.0;
+            black_box(summary.quantile_bits(black_box(phi)))
+        });
+    });
+}
+
+fn bench_merge_sketches(c: &mut Criterion) {
+    let k = 512;
+    let mut a = QuantilesSketch::with_seed(k, 5);
+    let mut b = QuantilesSketch::with_seed(k, 6);
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    for _ in 0..200_000 {
+        a.update(rng.next_u64() >> 1);
+        b.update(rng.next_u64() >> 1);
+    }
+    c.bench_function("sequential_merge/200k_into_200k", |bencher| {
+        bencher.iter(|| {
+            let mut target = a.clone();
+            target.merge_from(black_box(&b));
+            black_box(target.n())
+        });
+    });
+}
+
+criterion_group!(benches, bench_update, bench_ingest_sorted, bench_query, bench_merge_sketches);
+criterion_main!(benches);

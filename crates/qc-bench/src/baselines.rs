@@ -1,0 +1,88 @@
+//! The baseline the paper leaves implicit: a sequential sketch behind a
+//! global mutex.
+//!
+//! Every concurrent-data-structure evaluation should include the naive
+//! lock-based composition — it is what a practitioner would write first,
+//! and the reason concurrent sketches exist is that it does not scale
+//! (every update serializes, and the occasional 2k-sort happens *inside*
+//! the critical section, stalling all threads). `ablation_lock` quantifies
+//! it against Quancurrent and FCDS.
+
+use qc_sequential::QuantilesSketch;
+use qc_workloads::harness::{fixed_ops_throughput, Throughput};
+use qc_workloads::streams::{Distribution, StreamGen};
+use std::sync::Mutex;
+
+/// A sequential Quantiles sketch shared through one global lock.
+pub struct LockedQuantiles {
+    inner: Mutex<QuantilesSketch>,
+}
+
+impl LockedQuantiles {
+    /// Wrap a sketch with level size `k`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self { inner: Mutex::new(QuantilesSketch::with_seed(k, seed)) }
+    }
+
+    /// Serialized update.
+    pub fn update(&self, bits: u64) {
+        self.inner.lock().unwrap().update(bits);
+    }
+
+    /// Serialized query.
+    pub fn quantile_bits(&self, phi: f64) -> Option<u64> {
+        self.inner.lock().unwrap().quantile_bits(phi)
+    }
+
+    /// Stream length.
+    pub fn n(&self) -> u64 {
+        self.inner.lock().unwrap().n()
+    }
+}
+
+/// Update throughput of the lock-based baseline.
+pub fn locked_update_throughput(
+    k: usize,
+    threads: usize,
+    n_total: u64,
+    dist: Distribution,
+    seed: u64,
+) -> Throughput {
+    let sketch = LockedQuantiles::new(k, seed);
+    let per_thread = n_total / threads as u64;
+    fixed_ops_throughput(threads, per_thread, |t| {
+        let sketch = &sketch;
+        let mut gen = StreamGen::new(dist, seed.wrapping_add(t as u64 * 41));
+        move |_i| sketch.update(gen.next_bits())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locked_baseline_is_correct_under_contention() {
+        let sketch = LockedQuantiles::new(128, 1);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let sketch = &sketch;
+                s.spawn(move || {
+                    for i in 0..25_000 {
+                        sketch.update(t * 25_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(sketch.n(), 100_000);
+        let median = sketch.quantile_bits(0.5).unwrap();
+        assert!((30_000..70_000).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn locked_runner_counts_ops() {
+        let tp = locked_update_throughput(64, 2, 10_000, Distribution::Uniform, 3);
+        assert_eq!(tp.ops, 10_000);
+        assert!(tp.ops_per_sec() > 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Ablation: the three ways to share a quantiles sketch.
+//!
+//! Global lock (naive) vs FCDS (single propagator) vs Quancurrent
+//! (collaborative propagation), update-only, same stream, same k. The
+//! lock-based composition is the paper's unstated strawman: it serializes
+//! every update and runs 2k-sorts inside the critical section.
+
+use qc_bench::baselines::locked_update_throughput;
+use qc_bench::runners::{fcds_update_throughput, qc_update_throughput, QcSetup};
+use qc_bench::{banner, Options};
+use qc_workloads::harness::format_ops;
+use qc_workloads::stats::RunStats;
+use qc_workloads::streams::Distribution;
+use qc_workloads::table::Table;
+use qc_workloads::topology::Topology;
+
+fn main() {
+    let opts = Options::from_env();
+    banner("Ablation", "global lock vs FCDS vs Quancurrent (update-only, k=1024)", &opts);
+
+    let n = opts.stream_size(4_000_000);
+    let runs = opts.run_count(10);
+    let threads = opts.thread_sweep(&[1, 2, 4, 8, 16, 32]);
+    let k = 1024;
+
+    let mut table = Table::new(["sketch", "threads", "ops_per_sec", "stderr"]);
+    for &t in &threads {
+        let lock = RunStats::measure(runs, |r| {
+            locked_update_throughput(k, t, n, Distribution::Uniform, r as u64).ops_per_sec()
+        });
+        table.row([
+            "global_lock".to_string(),
+            t.to_string(),
+            format!("{:.0}", lock.mean),
+            format!("{:.0}", lock.std_err),
+        ]);
+
+        let fcds = RunStats::measure(runs, |r| {
+            fcds_update_throughput(k, 1024, t, n, Distribution::Uniform, r as u64).ops_per_sec()
+        });
+        table.row([
+            "fcds_B1024".to_string(),
+            t.to_string(),
+            format!("{:.0}", fcds.mean),
+            format!("{:.0}", fcds.std_err),
+        ]);
+
+        let setup = QcSetup { k, b: 16, rho: 1.0, topology: Topology::paper_testbed(), seed: 3 };
+        let qc = RunStats::measure(runs, |r| {
+            qc_update_throughput(&setup, t, n, Distribution::Uniform, r as u64).ops_per_sec()
+        });
+        table.row([
+            "quancurrent_b16".to_string(),
+            t.to_string(),
+            format!("{:.0}", qc.mean),
+            format!("{:.0}", qc.std_err),
+        ]);
+
+        println!(
+            "threads={t:>2}: lock {} | fcds {} | quancurrent {}",
+            format_ops(lock.mean),
+            format_ops(fcds.mean),
+            format_ops(qc.mean)
+        );
+    }
+
+    println!();
+    table.print();
+    let csv = opts.csv_path("ablation_lock");
+    table.write_csv(&csv).expect("write csv");
+    println!("\nwrote {}", csv.display());
+    println!("\nexpected shape on parallel hardware: the lock flat-lines (or worse,");
+    println!("inverts from contention) while both concurrent designs scale; on");
+    println!("few-core hosts the lock looks deceptively fine — which is exactly");
+    println!("why the paper's evaluation needed a 32-thread machine.");
+}

@@ -1,0 +1,52 @@
+//! Figure 6a: update-only throughput vs. number of threads.
+//!
+//! Paper setting: k = 4096, b = 16, stream of 10M uniform elements, 1–32
+//! update threads, horizontal line for the sequential sketch. Paper
+//! observations to compare against: single-thread Quancurrent ≈
+//! sequential; linear scaling; ≈12× at 32 threads (on a 32-hardware-thread
+//! 4-socket machine — on smaller hosts the curve flattens at the core
+//! count; EXPERIMENTS.md discusses the substitution).
+
+use qc_bench::runners::{qc_update_throughput, seq_update_throughput};
+use qc_bench::{banner, Options, QcSetup};
+use qc_workloads::harness::format_ops;
+use qc_workloads::stats::RunStats;
+use qc_workloads::streams::Distribution;
+use qc_workloads::table::Table;
+
+fn main() {
+    let opts = Options::from_env();
+    banner("Figure 6a", "update-only throughput vs #threads (k=4096, b=16)", &opts);
+
+    let n = opts.stream_size(10_000_000);
+    let runs = opts.run_count(15);
+    let threads = opts.thread_sweep(&[1, 2, 4, 8, 12, 16, 20, 24, 28, 32]);
+    let setup = QcSetup::paper_default();
+
+    let seq = RunStats::measure(runs, |r| {
+        seq_update_throughput(4096, n, Distribution::Uniform, r as u64).ops_per_sec()
+    });
+    println!("sequential baseline: {}", format_ops(seq.mean));
+    println!();
+
+    let mut table = Table::new(["threads", "qc_ops_per_sec", "qc_stderr", "seq_ops_per_sec", "speedup"]);
+    for &t in &threads {
+        let stats = RunStats::measure(runs, |r| {
+            qc_update_throughput(&setup, t, n, Distribution::Uniform, r as u64).ops_per_sec()
+        });
+        table.row([
+            t.to_string(),
+            format!("{:.0}", stats.mean),
+            format!("{:.0}", stats.std_err),
+            format!("{:.0}", seq.mean),
+            format!("{:.2}", stats.mean / seq.mean),
+        ]);
+        println!("threads={t:>2}: {} (speedup {:.2}x)", format_ops(stats.mean), stats.mean / seq.mean);
+    }
+
+    println!();
+    table.print();
+    let csv = opts.csv_path("fig6a");
+    table.write_csv(&csv).expect("write csv");
+    println!("\nwrote {}", csv.display());
+}

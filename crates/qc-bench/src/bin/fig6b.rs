@@ -1,0 +1,51 @@
+//! Figure 6b: query-only throughput vs. number of query threads.
+//!
+//! Paper setting: k = 4096, b = 16; prefill 10M elements, then 10M
+//! queries split across 1–32 query threads. Queries hit the per-handle
+//! snapshot cache (the stream is static), which is what yields the
+//! paper's ≈30× speedup over the sequential sketch at 32 threads.
+
+use qc_bench::runners::{qc_query_throughput, seq_query_throughput};
+use qc_bench::{banner, Options, QcSetup};
+use qc_workloads::harness::format_ops;
+use qc_workloads::stats::RunStats;
+use qc_workloads::streams::Distribution;
+use qc_workloads::table::Table;
+
+fn main() {
+    let opts = Options::from_env();
+    banner("Figure 6b", "query-only throughput vs #threads (prefill 10M, 10M queries)", &opts);
+
+    let n = opts.stream_size(10_000_000);
+    let queries = n;
+    let runs = opts.run_count(15);
+    let threads = opts.thread_sweep(&[1, 2, 4, 8, 12, 16, 20, 24, 28, 32]);
+    let setup = QcSetup::paper_default();
+
+    let seq = RunStats::measure(runs, |r| {
+        seq_query_throughput(4096, n, queries, r as u64).ops_per_sec()
+    });
+    println!("sequential baseline: {}", format_ops(seq.mean));
+    println!();
+
+    let mut table = Table::new(["threads", "query_ops_per_sec", "stderr", "speedup_vs_seq"]);
+    for &t in &threads {
+        let stats = RunStats::measure(runs, |r| {
+            qc_query_throughput(&setup, t, n, queries, Distribution::Uniform, r as u64)
+                .ops_per_sec()
+        });
+        table.row([
+            t.to_string(),
+            format!("{:.0}", stats.mean),
+            format!("{:.0}", stats.std_err),
+            format!("{:.2}", stats.mean / seq.mean),
+        ]);
+        println!("threads={t:>2}: {} (speedup {:.2}x)", format_ops(stats.mean), stats.mean / seq.mean);
+    }
+
+    println!();
+    table.print();
+    let csv = opts.csv_path("fig6b");
+    table.write_csv(&csv).expect("write csv");
+    println!("\nwrote {}", csv.display());
+}

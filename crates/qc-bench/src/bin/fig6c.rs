@@ -1,0 +1,85 @@
+//! Figure 6c: mixed update/query workload.
+//!
+//! Paper setting: 1 or 2 update threads against 1–32 query threads,
+//! k = 1024 (per the sub-caption; the panel title says 4096 — we follow
+//! the sub-caption and note the discrepancy in EXPERIMENTS.md), b = 16,
+//! prefill 10M, then 10M updates while queries free-run; staleness
+//! ε′ ∈ {0, 0.05} (ρ = 0 means no caching). Left panel: update
+//! throughput; right panel: query throughput.
+
+use qc_bench::runners::{qc_mixed_throughput, QcSetup};
+use qc_bench::{banner, Options};
+use qc_workloads::streams::Distribution;
+use qc_workloads::table::Table;
+use qc_workloads::topology::Topology;
+
+fn main() {
+    let opts = Options::from_env();
+    banner("Figure 6c", "mixed workload: 1–2 updaters × query threads, ε′ ∈ {0, 0.05}", &opts);
+
+    let n = opts.stream_size(10_000_000);
+    let runs = opts.run_count(15);
+    let query_threads = opts.thread_sweep(&[1, 2, 4, 8, 12, 16, 20, 24, 28, 30]);
+
+    let mut table = Table::new([
+        "update_threads",
+        "query_threads",
+        "eps_prime",
+        "update_ops_per_sec",
+        "query_ops_per_sec",
+        "miss_rate",
+    ]);
+
+    for &updaters in &[1usize, 2] {
+        for &eps in &[0.0f64, 0.05] {
+            let rho = if eps == 0.0 { 0.0 } else { 1.0 + eps };
+            let setup = QcSetup {
+                k: 1024,
+                b: 16,
+                rho,
+                topology: Topology::paper_testbed(),
+                seed: 4,
+            };
+            for &q in &query_threads {
+                let mut u_sum = 0.0;
+                let mut q_sum = 0.0;
+                let mut miss_sum = 0.0;
+                for r in 0..runs {
+                    let (u_tp, q_tp, stats) = qc_mixed_throughput(
+                        &setup,
+                        updaters,
+                        q,
+                        n,
+                        n,
+                        Distribution::Uniform,
+                        r as u64,
+                    );
+                    u_sum += u_tp.ops_per_sec();
+                    q_sum += q_tp.ops_per_sec();
+                    miss_sum += stats.miss_rate();
+                }
+                let (u_avg, q_avg, miss) =
+                    (u_sum / runs as f64, q_sum / runs as f64, miss_sum / runs as f64);
+                table.row([
+                    updaters.to_string(),
+                    q.to_string(),
+                    format!("{eps}"),
+                    format!("{u_avg:.0}"),
+                    format!("{q_avg:.0}"),
+                    format!("{miss:.4}"),
+                ]);
+                println!(
+                    "upd={updaters} qry={q:>2} ε′={eps}: update {u_avg:>12.0} op/s, query {q_avg:>12.0} op/s"
+                );
+            }
+        }
+    }
+
+    println!();
+    table.print();
+    let csv = opts.csv_path("fig6c");
+    table.write_csv(&csv).expect("write csv");
+    println!("\nwrote {}", csv.display());
+    println!("\npaper shape: ε′ = 0.05 ≫ ε′ = 0 in query throughput (caching is crucial);");
+    println!("more update threads depress query throughput and vice versa.");
+}

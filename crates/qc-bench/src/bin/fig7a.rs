@@ -1,0 +1,48 @@
+//! Figure 7a: update-only throughput vs. k.
+//!
+//! Paper setting: k ∈ {256, 512, 1024, 2048, 4096}, b = 16, 10M uniform
+//! keys, up to 32 threads. Paper shape: throughput grows with k and peaks
+//! around k = 2048 (bigger batches amortize propagation until the sort
+//! cost dominates).
+
+use qc_bench::runners::{qc_update_throughput, QcSetup};
+use qc_bench::{banner, Options};
+use qc_workloads::harness::format_ops;
+use qc_workloads::stats::RunStats;
+use qc_workloads::streams::Distribution;
+use qc_workloads::table::Table;
+use qc_workloads::topology::Topology;
+
+fn main() {
+    let opts = Options::from_env();
+    banner("Figure 7a", "update throughput vs k (b=16)", &opts);
+
+    let n = opts.stream_size(10_000_000);
+    let runs = opts.run_count(15);
+    let threads = opts.thread_sweep(&[1, 2, 4, 8, 16, 24, 32]);
+    let ks = [256usize, 512, 1024, 2048, 4096];
+
+    let mut table = Table::new(["k", "threads", "ops_per_sec", "stderr"]);
+    for &k in &ks {
+        for &t in &threads {
+            let setup =
+                QcSetup { k, b: 16, rho: 1.0, topology: Topology::paper_testbed(), seed: 5 };
+            let stats = RunStats::measure(runs, |r| {
+                qc_update_throughput(&setup, t, n, Distribution::Uniform, r as u64).ops_per_sec()
+            });
+            table.row([
+                k.to_string(),
+                t.to_string(),
+                format!("{:.0}", stats.mean),
+                format!("{:.0}", stats.std_err),
+            ]);
+            println!("k={k:>4} threads={t:>2}: {}", format_ops(stats.mean));
+        }
+    }
+
+    println!();
+    table.print();
+    let csv = opts.csv_path("fig7a");
+    table.write_csv(&csv).expect("write csv");
+    println!("\nwrote {}", csv.display());
+}

@@ -1,0 +1,48 @@
+//! Figure 7b: update-only throughput vs. local buffer size b.
+//!
+//! Paper setting: b ∈ {1, 2, 4, 8, 16, 32, 64}, k = 4096, 10M uniform
+//! keys, up to 32 threads. Paper shape: throughput increases with b
+//! (larger local buffers mean fewer, larger synchronized hand-offs —
+//! i.e. more concurrency).
+
+use qc_bench::runners::{qc_update_throughput, QcSetup};
+use qc_bench::{banner, Options};
+use qc_workloads::harness::format_ops;
+use qc_workloads::stats::RunStats;
+use qc_workloads::streams::Distribution;
+use qc_workloads::table::Table;
+use qc_workloads::topology::Topology;
+
+fn main() {
+    let opts = Options::from_env();
+    banner("Figure 7b", "update throughput vs b (k=4096)", &opts);
+
+    let n = opts.stream_size(10_000_000);
+    let runs = opts.run_count(15);
+    let threads = opts.thread_sweep(&[1, 2, 4, 8, 16, 24, 32]);
+    let bs = [1usize, 2, 4, 8, 16, 32, 64];
+
+    let mut table = Table::new(["b", "threads", "ops_per_sec", "stderr"]);
+    for &b in &bs {
+        for &t in &threads {
+            let setup =
+                QcSetup { k: 4096, b, rho: 1.0, topology: Topology::paper_testbed(), seed: 6 };
+            let stats = RunStats::measure(runs, |r| {
+                qc_update_throughput(&setup, t, n, Distribution::Uniform, r as u64).ops_per_sec()
+            });
+            table.row([
+                b.to_string(),
+                t.to_string(),
+                format!("{:.0}", stats.mean),
+                format!("{:.0}", stats.std_err),
+            ]);
+            println!("b={b:>2} threads={t:>2}: {}", format_ops(stats.mean));
+        }
+    }
+
+    println!();
+    table.print();
+    let csv = opts.csv_path("fig7b");
+    table.write_csv(&csv).expect("write csv");
+    println!("\nwrote {}", csv.display());
+}

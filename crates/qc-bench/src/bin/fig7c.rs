@@ -1,0 +1,61 @@
+//! Figure 7c: query throughput and miss rate vs. freshness ρ.
+//!
+//! Paper setting: 8 update threads, 24 query threads, k = 1024, b = 16,
+//! 10M keys; ρ swept as 1 + c·ε for c ∈ {0, 0.5, …, 5} with ε = ε(k).
+//! Paper shape: query throughput grows with ρ while the miss rate falls
+//! from 100% toward zero.
+
+use qc_bench::runners::{qc_mixed_throughput, QcSetup};
+use qc_bench::{banner, Options};
+use qc_workloads::streams::Distribution;
+use qc_workloads::table::Table;
+use qc_workloads::topology::Topology;
+
+fn main() {
+    let opts = Options::from_env();
+    banner("Figure 7c", "query throughput & miss rate vs ρ (8 upd, 24 qry, k=1024)", &opts);
+
+    let n = opts.stream_size(10_000_000);
+    let runs = opts.run_count(15);
+    let eps = qc_common::error::sequential_epsilon(1024);
+    let multipliers = [0.0f64, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0];
+
+    let mut table = Table::new([
+        "rho",
+        "eps_multiplier",
+        "query_ops_per_sec",
+        "update_ops_per_sec",
+        "miss_rate",
+    ]);
+    for &m in &multipliers {
+        let rho = 1.0 + m * eps;
+        let setup =
+            QcSetup { k: 1024, b: 16, rho, topology: Topology::paper_testbed(), seed: 7 };
+        let mut q_sum = 0.0;
+        let mut u_sum = 0.0;
+        let mut miss_sum = 0.0;
+        for r in 0..runs {
+            let (u_tp, q_tp, stats) =
+                qc_mixed_throughput(&setup, 8, 24, n, n, Distribution::Uniform, r as u64);
+            q_sum += q_tp.ops_per_sec();
+            u_sum += u_tp.ops_per_sec();
+            miss_sum += stats.miss_rate();
+        }
+        let (q_avg, u_avg, miss) =
+            (q_sum / runs as f64, u_sum / runs as f64, miss_sum / runs as f64);
+        table.row([
+            format!("{rho:.5}"),
+            format!("1+{m}ε"),
+            format!("{q_avg:.0}"),
+            format!("{u_avg:.0}"),
+            format!("{:.2}%", miss * 100.0),
+        ]);
+        println!("ρ=1+{m}ε: query {q_avg:>12.0} op/s, miss rate {:.2}%", miss * 100.0);
+    }
+
+    println!();
+    table.print();
+    let csv = opts.csv_path("fig7c");
+    table.write_csv(&csv).expect("write csv");
+    println!("\nwrote {}", csv.display());
+}

@@ -1,0 +1,114 @@
+//! Figure 8: standard error of estimation in a quiescent state.
+//!
+//! Paper setting: 1M keys, 1000 runs, k swept to 4096, b ∈ {8, 16, 32},
+//! 8 and 32 update threads, against the sequential sketch. Paper shape:
+//! Quancurrent's error matches sequential at equal k and shrinks with k —
+//! i.e. concurrency (holes + relaxation) does not degrade accuracy.
+//!
+//! "Standard error" here is the RMS normalized rank error over a φ grid,
+//! aggregated over independently seeded runs.
+
+use qc_bench::{banner, Options, QcSetup};
+use qc_sequential::QuantilesSketch;
+use qc_workloads::exact::{phi_grid, AccuracyReport, ExactOracle};
+use qc_workloads::stats::RunStats;
+use qc_workloads::streams::{Distribution, StreamGen};
+use qc_workloads::table::Table;
+use qc_workloads::topology::Topology;
+use std::sync::{Barrier, Mutex};
+
+fn qc_rms_error(setup: &QcSetup, threads: usize, n: u64, seed: u64) -> f64 {
+    let sketch = setup.build(threads);
+    let all = Mutex::new(Vec::<u64>::with_capacity(n as usize));
+    let barrier = Barrier::new(threads);
+    let per_thread = n / threads as u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let mut updater = sketch.updater();
+            let all = &all;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut gen =
+                    StreamGen::new(Distribution::Uniform, seed.wrapping_add(t as u64 * 13));
+                let mut mine = Vec::with_capacity(per_thread as usize);
+                barrier.wait();
+                for _ in 0..per_thread {
+                    let x = gen.next_f64();
+                    mine.push(qc_common::OrderedBits::to_ordered_bits(x));
+                    updater.update(x);
+                }
+                all.lock().unwrap().extend_from_slice(&mine);
+            });
+        }
+    });
+    let oracle = ExactOracle::from_bits(all.into_inner().unwrap());
+    let summary = sketch.snapshot();
+    AccuracyReport::evaluate(&summary, &oracle, &phi_grid(99)).rms_error()
+}
+
+fn seq_rms_error(k: usize, n: u64, seed: u64) -> f64 {
+    let mut sketch = QuantilesSketch::with_seed(k, seed);
+    let mut gen = StreamGen::new(Distribution::Uniform, seed);
+    let mut all = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let bits = gen.next_bits();
+        all.push(bits);
+        sketch.update(bits);
+    }
+    let oracle = ExactOracle::from_bits(all);
+    AccuracyReport::evaluate(&sketch.summary(), &oracle, &phi_grid(99)).rms_error()
+}
+
+fn main() {
+    let opts = Options::from_env();
+    banner("Figure 8", "standard error of estimation, quiescent state (1M keys)", &opts);
+
+    let n = opts.stream_size(1_000_000);
+    // The paper uses 1000 runs; the default here keeps full mode tractable
+    // while --runs can push it up.
+    let runs = opts.run_count(40);
+    let ks = [64usize, 128, 256, 512, 1024, 2048, 4096];
+    let bs = [8usize, 16, 32];
+    let thread_counts = opts.thread_sweep(&[8, 32]);
+
+    let mut table =
+        Table::new(["k", "variant", "threads", "rms_rank_error_mean", "rms_rank_error_std"]);
+
+    for &k in &ks {
+        let seq = RunStats::measure(runs, |r| seq_rms_error(k, n, 1_000 + r as u64));
+        table.row([
+            k.to_string(),
+            "sequential".into(),
+            "1".into(),
+            format!("{:.6}", seq.mean),
+            format!("{:.6}", seq.std_dev),
+        ]);
+        println!("k={k:>4} sequential: rms err {:.5}", seq.mean);
+
+        for &threads in &thread_counts {
+            for &b in &bs {
+                let setup =
+                    QcSetup { k, b, rho: 1.0, topology: Topology::paper_testbed(), seed: 8 };
+                let qc = RunStats::measure(runs, |r| {
+                    qc_rms_error(&setup, threads, n, 2_000 + r as u64)
+                });
+                table.row([
+                    k.to_string(),
+                    format!("quancurrent b={b}"),
+                    threads.to_string(),
+                    format!("{:.6}", qc.mean),
+                    format!("{:.6}", qc.std_dev),
+                ]);
+                println!("k={k:>4} qc b={b:>2} threads={threads:>2}: rms err {:.5}", qc.mean);
+            }
+        }
+    }
+
+    println!();
+    table.print();
+    let csv = opts.csv_path("fig8");
+    table.write_csv(&csv).expect("write csv");
+    println!("\nwrote {}", csv.display());
+    println!("\npaper shape: error falls with k; Quancurrent ≈ sequential at equal k,");
+    println!("with no visible dependence on b or thread count.");
+}

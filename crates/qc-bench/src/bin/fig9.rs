@@ -1,0 +1,102 @@
+//! Figure 9: estimated quantiles vs. exact CDF for uniform and normal
+//! streams at k ∈ {32, 256}.
+//!
+//! Paper setting: 32 threads, b = 16, 10M elements. Paper shape: k = 32
+//! visibly deviates from the exact CDF; k = 256 is already tight.
+
+use qc_bench::{banner, Options, QcSetup};
+use qc_workloads::exact::ExactOracle;
+use qc_workloads::streams::{Distribution, StreamGen};
+use qc_workloads::table::Table;
+use qc_workloads::topology::Topology;
+use std::sync::{Barrier, Mutex};
+
+fn run_case(
+    dist: Distribution,
+    dist_name: &str,
+    k: usize,
+    threads: usize,
+    n: u64,
+    table: &mut Table,
+) -> f64 {
+    let setup = QcSetup { k, b: 16, rho: 1.0, topology: Topology::paper_testbed(), seed: 9 };
+    let sketch = setup.build(threads);
+    let all = Mutex::new(Vec::<u64>::with_capacity(n as usize));
+    let barrier = Barrier::new(threads);
+    let per_thread = n / threads as u64;
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let mut updater = sketch.updater();
+            let all = &all;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut gen = StreamGen::new(dist, 300 + t as u64);
+                let mut mine = Vec::with_capacity(per_thread as usize);
+                barrier.wait();
+                for _ in 0..per_thread {
+                    let x = gen.next_f64();
+                    mine.push(qc_common::OrderedBits::to_ordered_bits(x));
+                    updater.update(x);
+                }
+                all.lock().unwrap().extend_from_slice(&mine);
+            });
+        }
+    });
+
+    let oracle = ExactOracle::from_bits(all.into_inner().unwrap());
+    let mut handle = sketch.query_handle();
+    let mut worst: f64 = 0.0;
+    for i in 0..=20 {
+        let phi = i as f64 / 20.0;
+        if let Some(est) = handle.query(phi) {
+            let bits = qc_common::OrderedBits::to_ordered_bits(est);
+            let rank = oracle.rank_bits(bits);
+            let err = oracle.rank_error(phi, bits);
+            worst = worst.max(err);
+            table.row([
+                dist_name.to_string(),
+                k.to_string(),
+                format!("{phi:.2}"),
+                format!("{est:.4}"),
+                rank.to_string(),
+                format!("{err:.5}"),
+            ]);
+        }
+    }
+    worst
+}
+
+fn main() {
+    let opts = Options::from_env();
+    banner("Figure 9", "quantiles vs exact CDF, uniform & normal, k ∈ {32, 256}", &opts);
+
+    let n = opts.stream_size(10_000_000);
+    let threads = opts.thread_sweep(&[32])[0];
+
+    let mut table = Table::new(["distribution", "k", "phi", "estimate", "exact_rank", "rank_err"]);
+    let mut worst = Vec::new();
+    for (dist, name) in [
+        (Distribution::Uniform, "uniform"),
+        (Distribution::Normal { mean: 0.0, std_dev: 1.0 }, "normal"),
+    ] {
+        for k in [32usize, 256] {
+            let w = run_case(dist, name, k, threads, n, &mut table);
+            println!("{name:>8} k={k:>3}: max rank error {w:.5}");
+            worst.push((name, k, w));
+        }
+    }
+
+    println!();
+    table.print();
+    let csv = opts.csv_path("fig9");
+    table.write_csv(&csv).expect("write csv");
+    println!("\nwrote {}", csv.display());
+
+    // Paper shape: k = 256 must be visibly tighter than k = 32.
+    for name in ["uniform", "normal"] {
+        let w32 = worst.iter().find(|(n2, k, _)| *n2 == name && *k == 32).unwrap().2;
+        let w256 = worst.iter().find(|(n2, k, _)| *n2 == name && *k == 256).unwrap().2;
+        println!("{name}: k=32 max err {w32:.5} vs k=256 max err {w256:.5} (expect 256 ≪ 32)");
+    }
+}

@@ -1,0 +1,70 @@
+//! One-shot reproduction driver: run every figure binary in sequence with
+//! shared options and collect a summary manifest.
+//!
+//! ```sh
+//! cargo run --release -p qc-bench --bin repro -- --quick
+//! cargo run --release -p qc-bench --bin repro            # paper scale
+//! ```
+//!
+//! Each figure still writes its own CSV under `--out` (default
+//! `results/`); this driver adds `results/manifest.txt` recording what ran
+//! with which options, so a results directory is self-describing.
+
+use qc_bench::Options;
+use std::io::Write;
+use std::process::Command;
+
+const FIGURES: &[&str] = &[
+    "fig2", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10",
+    "holes", "ablation_numa", "ablation_snapshot", "ablation_dcas", "ablation_lock",
+];
+
+fn main() {
+    let opts = Options::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("bin dir").to_path_buf();
+
+    std::fs::create_dir_all(&opts.out_dir).expect("create out dir");
+    let manifest_path = opts.out_dir.join("manifest.txt");
+    let mut manifest = std::fs::File::create(&manifest_path).expect("create manifest");
+    writeln!(manifest, "quancurrent reproduction run").unwrap();
+    writeln!(manifest, "options: {args:?}").unwrap();
+    writeln!(manifest, "host threads: {:?}", std::thread::available_parallelism()).unwrap();
+    writeln!(manifest).unwrap();
+
+    let mut failures = Vec::new();
+    for fig in FIGURES {
+        let bin = bin_dir.join(fig);
+        if !bin.exists() {
+            eprintln!("skipping {fig}: binary not built (run `cargo build --release -p qc-bench --bins`)");
+            writeln!(manifest, "{fig}: SKIPPED (not built)").unwrap();
+            continue;
+        }
+        println!("\n================ {fig} ================");
+        let start = std::time::Instant::now();
+        let status = Command::new(&bin).args(&args).status();
+        match status {
+            Ok(s) if s.success() => {
+                writeln!(manifest, "{fig}: ok in {:?}", start.elapsed()).unwrap();
+            }
+            Ok(s) => {
+                writeln!(manifest, "{fig}: FAILED ({s})").unwrap();
+                failures.push(*fig);
+            }
+            Err(e) => {
+                writeln!(manifest, "{fig}: ERROR ({e})").unwrap();
+                failures.push(*fig);
+            }
+        }
+    }
+
+    println!("\nmanifest written to {}", manifest_path.display());
+    if failures.is_empty() {
+        println!("all figures regenerated.");
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared infrastructure for the figure-regeneration binaries.
+//!
+//! Every figure of the paper's evaluation (§5) has a binary in
+//! `src/bin/` that prints the same series the paper plots and writes a
+//! CSV next to it:
+//!
+//! | binary  | paper result |
+//! |---------|--------------|
+//! | `fig2`  | estimated quantiles vs exact CDF (normal, k=1024) |
+//! | `fig6a` | update-only throughput vs threads, vs sequential |
+//! | `fig6b` | query-only throughput vs threads |
+//! | `fig6c` | mixed update/query throughput, ρ ∈ {0, 1.05} |
+//! | `fig7a` | update throughput vs k |
+//! | `fig7b` | update throughput vs b |
+//! | `fig7c` | query throughput & miss rate vs ρ |
+//! | `fig8`  | standard error of estimation vs k (quiescent) |
+//! | `fig9`  | quantiles vs exact CDF, uniform & normal, k ∈ {32, 256} |
+//! | `fig10` | Quancurrent vs FCDS at equal relaxation (`--headline` for §5.5) |
+//! | `holes` | §4.1 empirical holes-per-batch bound |
+//!
+//! Run e.g. `cargo run --release -p qc-bench --bin fig6a -- --quick`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod cli;
+pub mod runners;
+
+pub use cli::Options;
+pub use runners::QcSetup;
+
+/// Standard banner each binary prints, tying output to the paper.
+pub fn banner(figure: &str, what: &str, opts: &Options) {
+    println!("=== Quancurrent reproduction: {figure} — {what} ===");
+    if opts.quick {
+        println!("(quick mode: reduced stream sizes and run counts)");
+    }
+    println!();
+}

@@ -1,0 +1,176 @@
+//! Sorted-merge kernels.
+//!
+//! Level propagation in every Quantiles sketch variant merges two sorted
+//! arrays (§2.2: "the sketch samples the union of both arrays by performing
+//! a merge sort"). These kernels are the single hottest non-atomic code in
+//! the workspace, so they avoid reallocation, operate on raw `u64` keys, and
+//! are written to let the optimizer keep the loop branch-predictable.
+
+/// Merge two ascending slices into a fresh ascending `Vec`.
+///
+/// Stable with respect to ties (elements of `a` precede equal elements of
+/// `b`), although the sketches never rely on tie order.
+///
+/// # Example
+/// ```
+/// let out = qc_common::merge::merge_sorted(&[1, 4, 9], &[2, 4, 8]);
+/// assert_eq!(out, [1, 2, 4, 4, 8, 9]);
+/// ```
+pub fn merge_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    merge_sorted_into(a, b, &mut out);
+    out
+}
+
+/// Merge two ascending slices into `out`, reusing its capacity.
+///
+/// `out` is cleared first. Use this in propagation loops to avoid an
+/// allocation per merged level.
+pub fn merge_sorted_into(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        // `<=` keeps the merge stable (a-side first on ties).
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// k-way merge of ascending slices into one ascending `Vec`.
+///
+/// Used when draining multiple buffers at once (quiescent drain, FCDS bulk
+/// propagation). Implemented as repeated two-way merges over a size-sorted
+/// worklist, which is optimal enough for the handful of inputs we feed it
+/// and keeps the code free of heap-of-iterators machinery.
+pub fn merge_sorted_many(inputs: &[&[u64]]) -> Vec<u64> {
+    match inputs.len() {
+        0 => Vec::new(),
+        1 => inputs[0].to_vec(),
+        _ => {
+            let mut work: Vec<Vec<u64>> = inputs.iter().map(|s| s.to_vec()).collect();
+            // Always merge the two shortest runs first (Huffman order) so the
+            // total work is O(n log k) rather than O(n·k).
+            work.sort_by_key(|v| std::cmp::Reverse(v.len()));
+            while work.len() > 1 {
+                let a = work.pop().unwrap();
+                let b = work.pop().unwrap();
+                let merged = merge_sorted(&a, &b);
+                // Insert keeping the "shortest last" discipline.
+                let pos = work
+                    .iter()
+                    .position(|v| v.len() <= merged.len())
+                    .unwrap_or(work.len());
+                work.insert(pos, merged);
+            }
+            work.pop().unwrap()
+        }
+    }
+}
+
+/// Verify that a slice is ascending (used by debug assertions and tests).
+#[inline]
+pub fn is_sorted(xs: &[u64]) -> bool {
+    xs.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn merge_empty_sides() {
+        assert_eq!(merge_sorted(&[], &[]), Vec::<u64>::new());
+        assert_eq!(merge_sorted(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(merge_sorted(&[], &[3, 4]), vec![3, 4]);
+    }
+
+    #[test]
+    fn merge_interleaved() {
+        assert_eq!(merge_sorted(&[1, 3, 5], &[2, 4, 6]), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn merge_disjoint_ranges() {
+        assert_eq!(merge_sorted(&[1, 2, 3], &[10, 11]), vec![1, 2, 3, 10, 11]);
+        assert_eq!(merge_sorted(&[10, 11], &[1, 2, 3]), vec![1, 2, 3, 10, 11]);
+    }
+
+    #[test]
+    fn merge_with_duplicates_is_stable_and_complete() {
+        let out = merge_sorted(&[5, 5, 5], &[5, 5]);
+        assert_eq!(out, vec![5, 5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn merge_into_reuses_buffer() {
+        let mut buf = Vec::with_capacity(64);
+        merge_sorted_into(&[2, 9], &[1, 4], &mut buf);
+        assert_eq!(buf, vec![1, 2, 4, 9]);
+        let cap = buf.capacity();
+        merge_sorted_into(&[7], &[3], &mut buf);
+        assert_eq!(buf, vec![3, 7]);
+        assert_eq!(buf.capacity(), cap, "buffer was reallocated");
+    }
+
+    #[test]
+    fn merge_random_matches_sort() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..50 {
+            let n = rng.next_below(200) as usize;
+            let m = rng.next_below(200) as usize;
+            let mut a: Vec<u64> = (0..n).map(|_| rng.next_below(1000)).collect();
+            let mut b: Vec<u64> = (0..m).map(|_| rng.next_below(1000)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            let merged = merge_sorted(&a, &b);
+            let mut expect = [a.clone(), b.clone()].concat();
+            expect.sort_unstable();
+            assert_eq!(merged, expect);
+        }
+    }
+
+    #[test]
+    fn many_way_merge_matches_sort() {
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        let mut parts: Vec<Vec<u64>> = Vec::new();
+        let mut all = Vec::new();
+        for _ in 0..7 {
+            let n = rng.next_below(64) as usize;
+            let mut p: Vec<u64> = (0..n).map(|_| rng.next_below(500)).collect();
+            p.sort_unstable();
+            all.extend_from_slice(&p);
+            parts.push(p);
+        }
+        let refs: Vec<&[u64]> = parts.iter().map(|p| p.as_slice()).collect();
+        let merged = merge_sorted_many(&refs);
+        all.sort_unstable();
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn many_way_merge_edge_cases() {
+        assert_eq!(merge_sorted_many(&[]), Vec::<u64>::new());
+        assert_eq!(merge_sorted_many(&[&[1, 2, 3]]), vec![1, 2, 3]);
+        assert_eq!(
+            merge_sorted_many(&[&[] as &[u64], &[], &[9]]),
+            vec![9]
+        );
+    }
+
+    #[test]
+    fn is_sorted_detects_order() {
+        assert!(is_sorted(&[]));
+        assert!(is_sorted(&[1]));
+        assert!(is_sorted(&[1, 1, 2]));
+        assert!(!is_sorted(&[2, 1]));
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the shared kernels: the contracts everything
+//! upstream relies on.
+
+use proptest::prelude::*;
+use qc_common::bits::OrderedBits;
+use qc_common::merge::{is_sorted, merge_sorted, merge_sorted_many};
+use qc_common::rng::Xoshiro256;
+use qc_common::sample::{sample_with_parity, Parity};
+use qc_common::summary::{Summary, WeightedItem, WeightedSummary};
+
+proptest! {
+    // ---- OrderedBits: the embedding must be a monotone bijection ----
+
+    #[test]
+    fn u64_embedding_is_identity(x in any::<u64>()) {
+        prop_assert_eq!(x.to_ordered_bits(), x);
+        prop_assert_eq!(u64::from_ordered_bits(x), x);
+    }
+
+    #[test]
+    fn i64_embedding_monotone_bijective(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(i64::from_ordered_bits(a.to_ordered_bits()), a);
+        prop_assert_eq!(a < b, a.to_ordered_bits() < b.to_ordered_bits());
+    }
+
+    #[test]
+    fn i32_embedding_monotone_bijective(a in any::<i32>(), b in any::<i32>()) {
+        prop_assert_eq!(i32::from_ordered_bits(a.to_ordered_bits()), a);
+        prop_assert_eq!(a < b, a.to_ordered_bits() < b.to_ordered_bits());
+    }
+
+    #[test]
+    fn f64_embedding_monotone_on_non_nan(a in any::<f64>(), b in any::<f64>()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let back = f64::from_ordered_bits(a.to_ordered_bits());
+        prop_assert_eq!(back.to_bits(), a.to_bits(), "bit-exact roundtrip");
+        if a < b {
+            prop_assert!(a.to_ordered_bits() < b.to_ordered_bits());
+        }
+    }
+
+    #[test]
+    fn f32_embedding_monotone_on_non_nan(a in any::<f32>(), b in any::<f32>()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let back = f32::from_ordered_bits(a.to_ordered_bits());
+        prop_assert_eq!(back.to_bits(), a.to_bits());
+        if a < b {
+            prop_assert!(a.to_ordered_bits() < b.to_ordered_bits());
+        }
+    }
+
+    // ---- merge: permutation-preserving, order-preserving ----
+
+    #[test]
+    fn merge_is_sorted_union(
+        mut a in prop::collection::vec(any::<u64>(), 0..200),
+        mut b in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let merged = merge_sorted(&a, &b);
+        prop_assert!(is_sorted(&merged));
+        let mut expected = [a, b].concat();
+        expected.sort_unstable();
+        prop_assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn multiway_merge_matches_flat_sort(
+        parts in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..60), 0..6),
+    ) {
+        let sorted_parts: Vec<Vec<u64>> = parts
+            .iter()
+            .map(|p| {
+                let mut p = p.clone();
+                p.sort_unstable();
+                p
+            })
+            .collect();
+        let refs: Vec<&[u64]> = sorted_parts.iter().map(|p| p.as_slice()).collect();
+        let merged = merge_sorted_many(&refs);
+        let mut expected: Vec<u64> = parts.into_iter().flatten().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(merged, expected);
+    }
+
+    // ---- sampling: halving, order, complementarity ----
+
+    #[test]
+    fn parities_partition_the_input(mut src in prop::collection::vec(any::<u64>(), 0..300)) {
+        src.sort_unstable();
+        let even = sample_with_parity(&src, Parity::Even);
+        let odd = sample_with_parity(&src, Parity::Odd);
+        prop_assert_eq!(even.len() + odd.len(), src.len());
+        prop_assert!(is_sorted(&even));
+        prop_assert!(is_sorted(&odd));
+        // Interleaving them back reproduces the input.
+        let mut rebuilt = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            rebuilt.push(if i % 2 == 0 { even[i / 2] } else { odd[i / 2] });
+        }
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    // ---- summaries: weight conservation and estimator laws ----
+
+    #[test]
+    fn summary_total_weight_is_sum(items in prop::collection::vec((any::<u64>(), 1u64..100), 0..200)) {
+        let expected: u64 = items.iter().map(|&(_, w)| w).sum();
+        let summary = WeightedSummary::from_items(
+            items.into_iter().map(|(v, w)| WeightedItem { value_bits: v, weight: w }).collect(),
+        );
+        prop_assert_eq!(summary.stream_len(), expected);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_within_range(
+        items in prop::collection::vec((any::<u64>(), 1u64..50), 1..150),
+        phis in prop::collection::vec(0.0f64..=1.0, 2..10),
+    ) {
+        let summary = WeightedSummary::from_items(
+            items.iter().map(|&(v, w)| WeightedItem { value_bits: v, weight: w }).collect(),
+        );
+        let mut phis = phis;
+        phis.sort_by(f64::total_cmp);
+        let qs: Vec<u64> = phis.iter().map(|&p| summary.quantile_bits(p).unwrap()).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let min = items.iter().map(|&(v, _)| v).min().unwrap();
+        let max = items.iter().map(|&(v, _)| v).max().unwrap();
+        for &q in &qs {
+            prop_assert!((min..=max).contains(&q));
+        }
+    }
+
+    #[test]
+    fn rank_quantile_duality(
+        values in prop::collection::vec(any::<u64>(), 1..300),
+        phi in 0.0f64..1.0,
+    ) {
+        let summary = WeightedSummary::from_items(
+            values.iter().map(|&v| WeightedItem { value_bits: v, weight: 1 }).collect(),
+        );
+        let n = summary.stream_len();
+        let q = summary.quantile_bits(phi).unwrap();
+        // The paper's selection rule: W(x_j) ≤ ⌊φn⌋, i.e. rank(q) ≤ target,
+        // and the next item's cumulative weight exceeds the target.
+        let target = ((phi * n as f64).floor() as u64).min(n - 1);
+        prop_assert!(summary.rank_bits(q) <= target);
+    }
+
+    // ---- RNG: determinism and clone-independence ----
+
+    #[test]
+    fn rng_streams_are_deterministic(seed in any::<u64>()) {
+        let mut a = Xoshiro256::seed_from_u64(seed);
+        let mut b = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_below_is_always_below(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests of FCDS's relaxation accounting: however updates and
+//! propagation interleave, the visible lag never exceeds 2·N·B and the
+//! stream size is conserved end-to-end.
+
+use proptest::prelude::*;
+use qc_fcds::Fcds;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Single worker, arbitrary update counts and buffer sizes: lag ≤ 2B
+    /// (the worker's two buffers) before flush, 0 after flush + drain.
+    #[test]
+    fn single_worker_lag_bound(
+        buffer in 1usize..64,
+        n in 0u64..5000,
+    ) {
+        let fcds = Fcds::<u64>::new(16, buffer, 1);
+        let mut worker = fcds.updater();
+        for i in 0..n {
+            worker.update(i);
+        }
+        // Unflushed: up to 2B may be invisible (current + published).
+        fcds.drain();
+        let visible = fcds.stream_len();
+        prop_assert!(n - visible <= 2 * buffer as u64,
+            "lag {} > 2B = {}", n - visible, 2 * buffer as u64);
+
+        worker.flush();
+        fcds.drain();
+        prop_assert_eq!(fcds.stream_len(), n, "flush + drain must expose everything");
+    }
+
+    /// Estimates from arbitrary FCDS runs are stream members.
+    #[test]
+    fn estimates_are_members(
+        buffer in 1usize..32,
+        n in 1u64..3000,
+    ) {
+        let fcds = Fcds::<u64>::new(8, buffer, 1);
+        let mut worker = fcds.updater();
+        for i in 0..n {
+            worker.update(i * 7 + 1);
+        }
+        worker.flush();
+        fcds.drain();
+        for phi in [0.0, 0.5, 1.0] {
+            let est = fcds.query(phi).unwrap();
+            prop_assert!(est >= 1 && est <= (n - 1) * 7 + 1 && (est - 1) % 7 == 0,
+                "estimate {} not in stream", est);
+        }
+    }
+}
+
+/// The propagator must make progress even when workers stop abruptly
+/// (drop without flush): published buffers still drain.
+#[test]
+fn published_buffers_drain_after_worker_drop() {
+    let fcds = Fcds::<u64>::new(8, 16, 2);
+    {
+        let mut w = fcds.updater();
+        for i in 0..16 {
+            w.update(i); // exactly one full buffer published
+        }
+        // Dropped here: flush publishes the (empty) current buffer too.
+    }
+    fcds.drain();
+    assert_eq!(fcds.stream_len(), 16);
+}

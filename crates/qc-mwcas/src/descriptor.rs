@@ -1,0 +1,174 @@
+//! Operation descriptors.
+//!
+//! One [`MwcasDescriptor`] describes a whole multi-word CAS: up to
+//! [`MAX_WORDS`] `(word, expected, new)` entries plus a three-state status.
+//! The RDCSS sub-operations Harris's construction uses to install the
+//! descriptor conditionally (only while the status is still `UNDECIDED`)
+//! are **embedded**: every entry's RDCSS descriptor is fully determined by
+//! the parent descriptor and the entry index, so the in-word RDCSS encoding
+//! is just `parent address | index << 56 | TAG_RDCSS`. This removes all
+//! per-attempt allocation and makes RDCSS installation idempotent across
+//! helpers (everyone installs the *same* bit pattern).
+//!
+//! Descriptors are allocated from [`crate::arena::Arena`] and are never
+//! recycled until the arena drops, which is what makes helping safe without
+//! coordination — see the arena docs.
+
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+use crate::word::{MwcasWord, TAG_MASK, TAG_MWCAS, TAG_RDCSS};
+
+/// Maximum number of words one MWCAS may target. Quancurrent needs 2
+/// (a level pointer and the tritmap); 8 leaves room for experimentation.
+pub const MAX_WORDS: usize = 8;
+
+/// Status: operation outcome not yet decided.
+pub(crate) const UNDECIDED: u64 = 0;
+/// Status: all entries installed; the new values win.
+pub(crate) const SUCCEEDED: u64 = 1;
+/// Status: some entry's expected value did not match; old values remain.
+pub(crate) const FAILED: u64 = 2;
+
+/// Bit position where the RDCSS entry index lives in a tagged word.
+const INDEX_SHIFT: u32 = 56;
+/// Descriptor addresses must fit below the index bits.
+const ADDR_MASK: u64 = (1 << INDEX_SHIFT) - 1;
+
+/// One `(word, expected, new)` triple, in raw (encoded) representation.
+///
+/// Entries are written once, before the descriptor is published through a
+/// SeqCst CAS, and only read by threads that observed that publication —
+/// plain fields are sufficient.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Entry {
+    /// Address of the target [`MwcasWord`].
+    pub(crate) word: *const MwcasWord,
+    /// Raw expected value (must be a plain-tagged encoding).
+    pub(crate) old_raw: u64,
+    /// Raw replacement value (must be a plain-tagged encoding).
+    pub(crate) new_raw: u64,
+}
+
+impl Entry {
+    pub(crate) fn target(&self) -> &MwcasWord {
+        // SAFETY: callers construct entries from live `&MwcasWord` borrows
+        // whose referents outlive the arena (enforced by `mwcas`'s caller
+        // contract: the words belong to the data structure that owns the
+        // arena).
+        unsafe { &*self.word }
+    }
+}
+
+/// A multi-word CAS operation record.
+#[repr(align(64))]
+pub(crate) struct MwcasDescriptor {
+    pub(crate) status: AtomicU64,
+    pub(crate) len: usize,
+    pub(crate) entries: [Entry; MAX_WORDS],
+}
+
+// SAFETY: descriptors are shared between helping threads; all mutable state
+// is atomic, the rest is written before publication.
+unsafe impl Send for MwcasDescriptor {}
+unsafe impl Sync for MwcasDescriptor {}
+
+impl MwcasDescriptor {
+    pub(crate) fn status(&self) -> u64 {
+        self.status.load(SeqCst)
+    }
+
+    pub(crate) fn decide(&self, outcome: u64) -> u64 {
+        match self.status.compare_exchange(UNDECIDED, outcome, SeqCst, SeqCst) {
+            Ok(_) => outcome,
+            Err(already) => already,
+        }
+    }
+
+    pub(crate) fn entries(&self) -> &[Entry] {
+        &self.entries[..self.len]
+    }
+}
+
+/// Encode an MWCAS descriptor pointer for in-word storage.
+#[inline]
+pub(crate) fn mwcas_raw(d: *const MwcasDescriptor) -> u64 {
+    let addr = d as u64;
+    debug_assert_eq!(addr & TAG_MASK, 0, "descriptor must be ≥4-byte aligned");
+    debug_assert_eq!(addr & !ADDR_MASK, 0, "descriptor address exceeds 56 bits");
+    addr | TAG_MWCAS
+}
+
+/// Decode an MWCAS-tagged word back into the descriptor pointer.
+#[inline]
+pub(crate) fn mwcas_ptr(raw: u64) -> *const MwcasDescriptor {
+    debug_assert_eq!(raw & TAG_MASK, TAG_MWCAS);
+    (raw & !TAG_MASK & ADDR_MASK) as *const MwcasDescriptor
+}
+
+/// Encode the embedded RDCSS descriptor for entry `index` of `d`.
+#[inline]
+pub(crate) fn rdcss_raw(d: *const MwcasDescriptor, index: usize) -> u64 {
+    let addr = d as u64;
+    debug_assert_eq!(addr & TAG_MASK, 0);
+    debug_assert_eq!(addr & !ADDR_MASK, 0, "descriptor address exceeds 56 bits");
+    debug_assert!(index < MAX_WORDS);
+    addr | ((index as u64) << INDEX_SHIFT) | TAG_RDCSS
+}
+
+/// Decode an RDCSS-tagged word into `(descriptor, entry index)`.
+#[inline]
+pub(crate) fn rdcss_parts(raw: u64) -> (*const MwcasDescriptor, usize) {
+    debug_assert_eq!(raw & TAG_MASK, TAG_RDCSS);
+    let ptr = (raw & ADDR_MASK & !TAG_MASK) as *const MwcasDescriptor;
+    let index = (raw >> INDEX_SHIFT) as usize;
+    (ptr, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::tag;
+
+    fn dummy() -> Box<MwcasDescriptor> {
+        Box::new(MwcasDescriptor {
+            status: AtomicU64::new(UNDECIDED),
+            len: 0,
+            entries: [Entry { word: std::ptr::null(), old_raw: 0, new_raw: 0 }; MAX_WORDS],
+        })
+    }
+
+    #[test]
+    fn mwcas_encoding_roundtrips() {
+        let d = dummy();
+        let p: *const MwcasDescriptor = &*d;
+        let raw = mwcas_raw(p);
+        assert_eq!(tag(raw), TAG_MWCAS);
+        assert_eq!(mwcas_ptr(raw), p);
+    }
+
+    #[test]
+    fn rdcss_encoding_roundtrips_all_indices() {
+        let d = dummy();
+        let p: *const MwcasDescriptor = &*d;
+        for index in 0..MAX_WORDS {
+            let raw = rdcss_raw(p, index);
+            assert_eq!(tag(raw), TAG_RDCSS);
+            let (q, i) = rdcss_parts(raw);
+            assert_eq!(q, p);
+            assert_eq!(i, index);
+        }
+    }
+
+    #[test]
+    fn decide_is_first_writer_wins() {
+        let d = dummy();
+        assert_eq!(d.decide(SUCCEEDED), SUCCEEDED);
+        assert_eq!(d.decide(FAILED), SUCCEEDED, "second decision must not override");
+        assert_eq!(d.status(), SUCCEEDED);
+    }
+
+    #[test]
+    fn descriptor_is_cacheline_aligned() {
+        assert_eq!(std::mem::align_of::<MwcasDescriptor>(), 64);
+    }
+}

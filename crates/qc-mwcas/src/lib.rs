@@ -1,0 +1,53 @@
+//! Software multi-word compare-and-swap — the DCAS substrate of the
+//! Quancurrent reproduction.
+//!
+//! The Quancurrent paper (§3) coordinates its shared levels and tritmap
+//! with a *double-compare-double-swap* (DCAS), citing the classic result
+//! that DCAS "can be efficiently implemented using single-word CAS"
+//! (Harris, Fraser & Pratt, DISC'02; Guerraoui et al., DISC'20). This crate
+//! is that implementation, generalized to up to [`MAX_WORDS`] words and
+//! restricted to two in the sketch:
+//!
+//! * [`MwcasWord`] — a 62-bit shared cell (2 tag bits distinguish plain
+//!   values from in-flight descriptors).
+//! * [`mwcas`] — atomically replace the values of N words, all-or-nothing.
+//! * [`read`] / [`read_plain`] — read one word, helping any in-flight
+//!   operation first (the paper's `DCAS_READ`).
+//! * [`Arena`] — descriptor storage; see its docs for the reclamation
+//!   story (descriptors are arena-stable, which is what makes helping safe
+//!   without GC).
+//!
+//! # Example
+//!
+//! ```
+//! use qc_mwcas::{mwcas, read_plain, Arena, CasPair, MwcasWord};
+//!
+//! let arena = Arena::new();
+//! let level = MwcasWord::new(0);   // e.g. a level pointer, ⊥ = 0
+//! let tritmap = MwcasWord::new(7); // e.g. a packed tritmap
+//!
+//! // The paper's Algorithm 3: DCAS(levels[0]: ⊥ → batch, tritmap: t → t+2).
+//! let ok = mwcas(
+//!     &arena,
+//!     &[
+//!         CasPair { word: &level, old: 0, new: 0xdead00 },
+//!         CasPair { word: &tritmap, old: 7, new: 9 },
+//!     ],
+//! );
+//! assert!(ok);
+//! assert_eq!(read_plain(&level), 0xdead00);
+//! assert_eq!(read_plain(&tritmap), 9);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod arena;
+mod descriptor;
+mod ops;
+mod word;
+
+pub use arena::Arena;
+pub use descriptor::MAX_WORDS;
+pub use ops::{mwcas, read, read_plain, CasPair};
+pub use word::{MwcasWord, MAX_LOGICAL};

@@ -1,0 +1,168 @@
+//! Tagged 64-bit words: the memory cells MWCAS operates on.
+//!
+//! A [`MwcasWord`] holds either a **plain logical value** (up to 62 bits) or
+//! a tagged descriptor pointer while an operation is in flight:
+//!
+//! | low 2 bits | meaning                                         |
+//! |-----------|--------------------------------------------------|
+//! | `00`      | plain value, logical value is `raw >> 2`         |
+//! | `01`      | MWCAS descriptor pointer (operation installed)   |
+//! | `10`      | RDCSS sub-descriptor (entry install in progress) |
+//!
+//! RDCSS sub-descriptors are *embedded* in their parent MWCAS descriptor,
+//! so the RDCSS encoding also carries the entry index in bits 56..62 (see
+//! [`crate::descriptor`]). Plain values up to `2^62 - 1` therefore cover
+//! both tritmaps (≤ 3³¹ < 2⁵⁰) and heap addresses (< 2⁴⁸ on every platform
+//! this crate targets).
+
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+/// Largest storable logical value.
+pub const MAX_LOGICAL: u64 = (1 << 62) - 1;
+
+pub(crate) const TAG_MASK: u64 = 0b11;
+pub(crate) const TAG_VALUE: u64 = 0b00;
+pub(crate) const TAG_MWCAS: u64 = 0b01;
+pub(crate) const TAG_RDCSS: u64 = 0b10;
+
+/// Encode a logical value into its raw word representation.
+#[inline]
+pub(crate) fn encode(logical: u64) -> u64 {
+    debug_assert!(logical <= MAX_LOGICAL, "logical value exceeds 62 bits");
+    logical << 2
+}
+
+/// Decode a raw word known to carry a plain value.
+#[inline]
+pub(crate) fn decode(raw: u64) -> u64 {
+    debug_assert_eq!(raw & TAG_MASK, TAG_VALUE, "decoding a descriptor-tagged word");
+    raw >> 2
+}
+
+/// Tag of a raw word.
+#[inline]
+pub(crate) fn tag(raw: u64) -> u64 {
+    raw & TAG_MASK
+}
+
+/// A 62-bit shared cell supporting multi-word CAS.
+///
+/// All accesses are sequentially consistent, matching the paper's C++ model
+/// (§3: "atomic operations to guarantee sequential consistency").
+///
+/// Direct mutation is limited to [`MwcasWord::store_plain`], whose contract
+/// requires structural exclusivity; everything else goes through
+/// [`crate::mwcas`] / [`crate::read`].
+pub struct MwcasWord {
+    raw: AtomicU64,
+}
+
+impl MwcasWord {
+    /// A word holding `logical`.
+    pub fn new(logical: u64) -> Self {
+        assert!(logical <= MAX_LOGICAL, "logical value exceeds 62 bits");
+        Self { raw: AtomicU64::new(encode(logical)) }
+    }
+
+    /// Load the raw (tagged) representation.
+    ///
+    /// The result may be a descriptor encoding and **must not** be
+    /// interpreted as a logical value; it exists so callers can wrap the
+    /// load in a reclamation-protected read and feed it to [`crate::read`]:
+    /// `read(&word, |w| guard.protect(|| w.load_raw()))`.
+    #[inline]
+    pub fn load_raw(&self) -> u64 {
+        self.raw.load(SeqCst)
+    }
+
+    /// CAS on the raw representation; returns the witnessed value on failure.
+    #[inline]
+    pub(crate) fn cas_raw(&self, old: u64, new: u64) -> Result<u64, u64> {
+        self.raw.compare_exchange(old, new, SeqCst, SeqCst)
+    }
+
+    /// Load the logical value **without** resolving in-flight descriptors.
+    ///
+    /// Returns `None` if a descriptor is currently installed. Use
+    /// [`crate::read`] when the caller must always obtain a value.
+    pub fn try_load_plain(&self) -> Option<u64> {
+        let raw = self.load_raw();
+        (tag(raw) == TAG_VALUE).then(|| decode(raw))
+    }
+
+    /// Overwrite the word with a plain value.
+    ///
+    /// # Contract (checked only by reasoning, not at runtime)
+    ///
+    /// The caller must hold *structural exclusivity* over this word: no
+    /// concurrent MWCAS may currently have a descriptor installed here, and
+    /// none may become installable until this store is visible. Quancurrent
+    /// uses this for Algorithm 4's `levels[l] ← ⊥` clears, where the tritmap
+    /// protocol guarantees every concurrent DCAS expecting this word sees a
+    /// non-matching old value until the clear lands.
+    pub fn store_plain(&self, logical: u64) {
+        debug_assert!(logical <= MAX_LOGICAL);
+        debug_assert!(
+            tag(self.raw.load(SeqCst)) == TAG_VALUE,
+            "store_plain over an installed descriptor — exclusivity contract violated"
+        );
+        self.raw.store(encode(logical), SeqCst);
+    }
+}
+
+impl std::fmt::Debug for MwcasWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let raw = self.load_raw();
+        match tag(raw) {
+            TAG_VALUE => write!(f, "MwcasWord({})", decode(raw)),
+            TAG_MWCAS => write!(f, "MwcasWord(<mwcas descriptor {:#x}>)", raw & !TAG_MASK),
+            _ => write!(f, "MwcasWord(<rdcss descriptor {:#x}>)", raw & !TAG_MASK),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for v in [0u64, 1, 42, MAX_LOGICAL] {
+            assert_eq!(decode(encode(v)), v);
+            assert_eq!(tag(encode(v)), TAG_VALUE);
+        }
+    }
+
+    #[test]
+    fn new_word_holds_value() {
+        let w = MwcasWord::new(77);
+        assert_eq!(w.try_load_plain(), Some(77));
+    }
+
+    #[test]
+    #[should_panic(expected = "62 bits")]
+    fn oversized_value_rejected() {
+        let _ = MwcasWord::new(MAX_LOGICAL + 1);
+    }
+
+    #[test]
+    fn store_plain_overwrites() {
+        let w = MwcasWord::new(1);
+        w.store_plain(2);
+        assert_eq!(w.try_load_plain(), Some(2));
+    }
+
+    #[test]
+    fn cas_raw_success_and_failure() {
+        let w = MwcasWord::new(5);
+        assert!(w.cas_raw(encode(5), encode(6)).is_ok());
+        assert_eq!(w.cas_raw(encode(5), encode(7)), Err(encode(6)));
+        assert_eq!(w.try_load_plain(), Some(6));
+    }
+
+    #[test]
+    fn debug_formats_plain_value() {
+        let w = MwcasWord::new(9);
+        assert_eq!(format!("{w:?}"), "MwcasWord(9)");
+    }
+}

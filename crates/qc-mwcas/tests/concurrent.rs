@@ -1,0 +1,209 @@
+//! Concurrency tests: the invariants that make MWCAS usable as a DCAS.
+
+use qc_mwcas::{mwcas, read_plain, Arena, CasPair, MwcasWord};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Barrier;
+
+/// N threads atomically move (a, b) from (v, 2v) to (v+1, 2v+2). Any torn
+/// update (one word applied without the other) breaks the b == 2a coupling
+/// immediately and permanently.
+#[test]
+fn coupled_counters_never_tear() {
+    const THREADS: usize = 8;
+    const OPS_PER_THREAD: u64 = 5_000;
+
+    let arena = Arena::new();
+    let a = MwcasWord::new(0);
+    let b = MwcasWord::new(0);
+    let successes = AtomicU64::new(0);
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                barrier.wait();
+                for _ in 0..OPS_PER_THREAD {
+                    loop {
+                        let va = read_plain(&a);
+                        let vb = read_plain(&b);
+                        if vb != 2 * va {
+                            // A concurrent op moved between the two reads;
+                            // retry from a coherent pair.
+                            continue;
+                        }
+                        if mwcas(
+                            &arena,
+                            &[
+                                CasPair { word: &a, old: va, new: va + 1 },
+                                CasPair { word: &b, old: vb, new: vb + 2 },
+                            ],
+                        ) {
+                            successes.fetch_add(1, SeqCst);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let total = THREADS as u64 * OPS_PER_THREAD;
+    assert_eq!(successes.load(SeqCst), total);
+    assert_eq!(read_plain(&a), total);
+    assert_eq!(read_plain(&b), 2 * total);
+}
+
+/// Mimics the sketch's structure: a monotone "tritmap" word plus a level
+/// word swung between 0 (⊥) and distinct batch ids. Exactly one thread may
+/// win the ⊥ → id transition per round.
+#[test]
+fn level_slot_admits_one_batch_per_round() {
+    const THREADS: usize = 8;
+    const ROUNDS: u64 = 2_000;
+
+    let arena = Arena::new();
+    let level = MwcasWord::new(0);
+    let tritmap = MwcasWord::new(0);
+    let wins = AtomicU64::new(0);
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let arena = &arena;
+            let level = &level;
+            let tritmap = &tritmap;
+            let wins = &wins;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                loop {
+                    let tm = read_plain(tritmap);
+                    if tm >= ROUNDS {
+                        return;
+                    }
+                    // Unique per-thread, per-round batch id (never 0).
+                    let id = (tm << 8) | (t + 1);
+                    if mwcas(
+                        arena,
+                        &[
+                            CasPair { word: level, old: 0, new: id },
+                            CasPair { word: tritmap, old: tm, new: tm + 1 },
+                        ],
+                    ) {
+                        wins.fetch_add(1, SeqCst);
+                        // "Propagate": only the winner may clear the level.
+                        assert_eq!(read_plain(level), id, "winner's batch was clobbered");
+                        level.store_plain(0);
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(wins.load(SeqCst), ROUNDS, "exactly one winner per tritmap round");
+    assert_eq!(read_plain(&tritmap), ROUNDS);
+    assert_eq!(read_plain(&level), 0);
+}
+
+/// Readers running concurrently with two-word updates must never observe a
+/// half-applied pair.
+#[test]
+fn concurrent_readers_see_consistent_pairs() {
+    const WRITER_OPS: u64 = 20_000;
+    const READERS: usize = 4;
+
+    let arena = Arena::new();
+    let a = MwcasWord::new(0);
+    let b = MwcasWord::new(1_000_000);
+    let stop = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..READERS {
+            s.spawn(|| {
+                while stop.load(SeqCst) == 0 {
+                    // Invariant: a + b == 1_000_000 at every linearization.
+                    let va = read_plain(&a);
+                    let vb = read_plain(&b);
+                    let sum = va + vb;
+                    // Between the two reads an op may land, shifting one
+                    // unit from b to a; allow for any number of full ops
+                    // but never a torn one: (a + b) can only be observed as
+                    // 1_000_000 or 1_000_000 ± d where d complete ops moved
+                    // d units — each op conserves the sum, so inconsistency
+                    // can only come from tearing.
+                    assert!(
+                        (1_000_000 - WRITER_OPS..=1_000_000 + WRITER_OPS).contains(&sum),
+                        "wildly torn read: a={va} b={vb}"
+                    );
+                }
+            });
+        }
+
+        s.spawn(|| {
+            for _ in 0..WRITER_OPS {
+                loop {
+                    let va = read_plain(&a);
+                    let vb = read_plain(&b);
+                    if va + vb != 1_000_000 {
+                        continue;
+                    }
+                    if mwcas(
+                        &arena,
+                        &[
+                            CasPair { word: &a, old: va, new: va + 1 },
+                            CasPair { word: &b, old: vb, new: vb - 1 },
+                        ],
+                    ) {
+                        break;
+                    }
+                }
+            }
+            stop.store(1, SeqCst);
+        });
+    });
+
+    assert_eq!(read_plain(&a) + read_plain(&b), 1_000_000, "sum must be conserved");
+    assert_eq!(read_plain(&a), WRITER_OPS);
+}
+
+/// Three-word transactions spanning a shared word force cross-operation
+/// helping; totals must still be exact.
+#[test]
+fn overlapping_word_sets_help_each_other() {
+    const THREADS: usize = 6;
+    const OPS: u64 = 2_000;
+
+    let arena = Arena::new();
+    let shared = MwcasWord::new(0);
+    let privates: Vec<MwcasWord> = (0..THREADS as u64).map(|_| MwcasWord::new(0)).collect();
+
+    std::thread::scope(|s| {
+        for (t, private) in privates.iter().enumerate() {
+            let arena = &arena;
+            let shared = &shared;
+            s.spawn(move || {
+                let _ = t;
+                for _ in 0..OPS {
+                    loop {
+                        let sv = read_plain(shared);
+                        let pv = read_plain(private);
+                        if mwcas(
+                            arena,
+                            &[
+                                CasPair { word: shared, old: sv, new: sv + 1 },
+                                CasPair { word: private, old: pv, new: pv + 1 },
+                            ],
+                        ) {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(read_plain(&shared), THREADS as u64 * OPS);
+    for p in &privates {
+        assert_eq!(read_plain(p), OPS);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based check of MWCAS against a sequential model.
+//!
+//! Sequentially (no concurrency), `mwcas` must behave exactly like the
+//! obvious specification: succeed and apply all writes iff every expected
+//! value matches, else change nothing.
+
+use proptest::prelude::*;
+use qc_mwcas::{mwcas, read_plain, Arena, CasPair, MwcasWord};
+
+#[derive(Clone, Debug)]
+struct Op {
+    /// (word index, expected delta from true value, new value)
+    targets: Vec<(usize, u64, u64)>,
+}
+
+fn op_strategy(num_words: usize) -> impl Strategy<Value = Op> {
+    // Choose 1..=3 distinct word indices with an expected value that is
+    // either correct (delta 0) or off by a little, plus a fresh new value.
+    prop::collection::btree_set(0..num_words, 1..=3.min(num_words))
+        .prop_flat_map(move |idxs| {
+            let idxs: Vec<usize> = idxs.into_iter().collect();
+            let n = idxs.len();
+            (Just(idxs), prop::collection::vec((0u64..3, 1u64..1_000_000), n))
+        })
+        .prop_map(|(idxs, rest)| Op {
+            targets: idxs
+                .into_iter()
+                .zip(rest)
+                .map(|(i, (delta, new))| (i, delta, new))
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sequential_mwcas_matches_model(
+        ops in prop::collection::vec(op_strategy(5), 1..40)
+    ) {
+        let arena = Arena::new();
+        let words: Vec<MwcasWord> = (0..5).map(|i| MwcasWord::new(i as u64 + 1)).collect();
+        let mut model: Vec<u64> = (0..5).map(|i| i as u64 + 1).collect();
+
+        for op in &ops {
+            let pairs: Vec<CasPair> = op
+                .targets
+                .iter()
+                .map(|&(i, delta, new)| CasPair {
+                    word: &words[i],
+                    old: model[i] + delta, // delta 0 = correct expectation
+                    new,
+                })
+                .collect();
+
+            // Skip ops the API rejects (old == new after randomization).
+            if pairs.iter().any(|p| p.old == p.new) {
+                continue;
+            }
+
+            let should_succeed = op.targets.iter().all(|&(_, delta, _)| delta == 0);
+            let did = mwcas(&arena, &pairs);
+            prop_assert_eq!(did, should_succeed, "op: {:?}", op);
+
+            if did {
+                for &(i, _, new) in &op.targets {
+                    model[i] = new;
+                }
+            }
+            for (i, w) in words.iter().enumerate() {
+                prop_assert_eq!(read_plain(w), model[i], "word {} diverged", i);
+            }
+        }
+    }
+
+    #[test]
+    fn logical_values_roundtrip_through_words(v in 0u64..(1 << 62)) {
+        let w = MwcasWord::new(v);
+        prop_assert_eq!(read_plain(&w), v);
+        prop_assert_eq!(w.try_load_plain(), Some(v));
+    }
+}

@@ -1,0 +1,336 @@
+//! The reclamation domain: global era, reservation table, recycling pool.
+
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+use crate::block::Header;
+use crate::handle::LocalHandle;
+use crate::pool::BlockPool;
+
+/// Tuning knobs for a [`Domain`].
+#[derive(Clone, Debug)]
+pub struct DomainConfig {
+    /// Advance the global era once per this many allocations (per handle).
+    /// Smaller values reclaim memory sooner at the cost of more shared-
+    /// counter traffic. IBR calls this `epoch_freq`.
+    pub era_frequency: usize,
+    /// Attempt reclamation once per this many retires (per handle). IBR
+    /// calls this `empty_freq`.
+    pub empty_frequency: usize,
+    /// Maximum number of concurrently registered handles.
+    pub max_threads: usize,
+}
+
+impl Default for DomainConfig {
+    fn default() -> Self {
+        Self { era_frequency: 64, empty_frequency: 32, max_threads: 128 }
+    }
+}
+
+/// `lower` value of an empty reservation: no era is protected.
+pub(crate) const RESERVATION_NONE_LOWER: u64 = u64::MAX;
+/// `upper` value of an empty reservation.
+pub(crate) const RESERVATION_NONE_UPPER: u64 = 0;
+
+/// One thread's published reservation interval `[lower, upper]`.
+///
+/// Aligned to two cache lines so scans by reclaiming threads do not false-
+/// share with the hot `upper` updates of readers on adjacent slots.
+#[repr(align(128))]
+pub(crate) struct Reservation {
+    /// 1 while a [`LocalHandle`] owns this slot.
+    pub(crate) claimed: AtomicU64,
+    /// Smallest era this thread may be reading (set at pin).
+    pub(crate) lower: AtomicU64,
+    /// Largest era this thread may be reading (raised by protected reads).
+    pub(crate) upper: AtomicU64,
+}
+
+impl Reservation {
+    fn empty() -> Self {
+        Self {
+            claimed: AtomicU64::new(0),
+            lower: AtomicU64::new(RESERVATION_NONE_LOWER),
+            upper: AtomicU64::new(RESERVATION_NONE_UPPER),
+        }
+    }
+
+    /// Does `[birth, retire]` intersect this reservation?
+    ///
+    /// An empty reservation (`lower = MAX`, `upper = 0`) intersects nothing.
+    #[inline]
+    pub(crate) fn intersects(&self, birth: u64, retire: u64) -> bool {
+        let lo = self.lower.load(SeqCst);
+        let up = self.upper.load(SeqCst);
+        birth <= up && retire >= lo
+    }
+}
+
+/// A retired block awaiting reclamation: its header plus lifespan.
+pub(crate) struct Retired {
+    pub(crate) header: *mut Header,
+    pub(crate) birth: u64,
+    pub(crate) retire: u64,
+}
+
+// SAFETY: `Retired` is a plain record of an unlinked block; moving it
+// between threads transfers the (unique) reclamation obligation.
+unsafe impl Send for Retired {}
+
+/// Counters exposed by [`Domain::stats`]. All values are cumulative since
+/// domain creation and are approximate under concurrency (relaxed sums of
+/// per-event increments).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DomainStats {
+    /// Blocks handed out by [`LocalHandle::alloc`].
+    pub allocated: u64,
+    /// Allocations served from the recycling pool rather than the OS.
+    pub recycled: u64,
+    /// Blocks retired and not yet reclaimed at the time of the snapshot.
+    pub retired_pending: u64,
+    /// Blocks whose payload has been dropped and memory recycled.
+    pub reclaimed: u64,
+    /// Blocks currently sitting in the recycling pool.
+    pub pooled: u64,
+    /// Current global era.
+    pub era: u64,
+}
+
+pub(crate) struct DomainInner {
+    pub(crate) era: AtomicU64,
+    pub(crate) reservations: Box<[Reservation]>,
+    pub(crate) pool: BlockPool,
+    pub(crate) config: DomainConfig,
+    /// Retired blocks inherited from dropped handles.
+    pub(crate) orphans: Mutex<Vec<Retired>>,
+    pub(crate) allocated: AtomicU64,
+    pub(crate) recycled: AtomicU64,
+    pub(crate) retired_pending: AtomicU64,
+    pub(crate) reclaimed: AtomicU64,
+}
+
+// SAFETY: the raw pointers inside `orphans` are unlinked blocks owned by the
+// domain; all shared mutation goes through atomics or the mutex.
+unsafe impl Send for DomainInner {}
+unsafe impl Sync for DomainInner {}
+
+impl DomainInner {
+    /// Is `[birth, retire]` disjoint from every active reservation?
+    pub(crate) fn reclaimable(&self, birth: u64, retire: u64) -> bool {
+        self.reservations.iter().all(|r| !r.intersects(birth, retire))
+    }
+
+    /// Drop the payload of a reclaimable block and recycle its memory.
+    ///
+    /// # Safety
+    /// `r.header` must be an unlinked, retired block that no reservation
+    /// protects and that no other thread will reclaim.
+    pub(crate) unsafe fn reclaim_one(&self, r: Retired) {
+        // SAFETY: per the function contract, we are the unique reclaimer.
+        unsafe {
+            ((*r.header).drop_fn)(r.header);
+            self.pool.put(r.header);
+        }
+        self.retired_pending.fetch_sub(1, SeqCst);
+        self.reclaimed.fetch_add(1, SeqCst);
+    }
+
+    /// Scan `list`, reclaiming every block no reservation protects.
+    pub(crate) fn sweep(&self, list: &mut Vec<Retired>) {
+        let mut i = 0;
+        while i < list.len() {
+            if self.reclaimable(list[i].birth, list[i].retire) {
+                let r = list.swap_remove(i);
+                // SAFETY: the scan above proved no reservation intersects,
+                // and the block came off a (uniquely owned) retired list.
+                unsafe { self.reclaim_one(r) };
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl Drop for DomainInner {
+    fn drop(&mut self) {
+        // No handles can exist (they hold an Arc to us), hence no guards and
+        // no readers: every orphaned block is reclaimable, and type-stability
+        // ends now.
+        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        for r in orphans {
+            // SAFETY: teardown — unique access to everything.
+            unsafe {
+                ((*r.header).drop_fn)(r.header);
+                let layout = (*r.header).layout;
+                std::alloc::dealloc(r.header as *mut u8, layout);
+            }
+        }
+        self.pool.dealloc_all();
+    }
+}
+
+/// An IBR reclamation domain.
+///
+/// A `Domain` is a cheaply clonable handle to shared state (an `Arc`
+/// internally). Threads participate by calling [`Domain::register`] to get a
+/// [`LocalHandle`], through which they allocate, retire, and pin.
+///
+/// Dropping the last `Domain`/[`LocalHandle`] referencing the shared state
+/// reclaims everything still outstanding.
+#[derive(Clone)]
+pub struct Domain {
+    pub(crate) inner: Arc<DomainInner>,
+}
+
+impl Domain {
+    /// Create a domain with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(DomainConfig::default())
+    }
+
+    /// Create a domain with explicit tuning knobs.
+    pub fn with_config(config: DomainConfig) -> Self {
+        assert!(config.max_threads >= 1, "max_threads must be at least 1");
+        assert!(config.era_frequency >= 1, "era_frequency must be at least 1");
+        assert!(config.empty_frequency >= 1, "empty_frequency must be at least 1");
+        let reservations = (0..config.max_threads).map(|_| Reservation::empty()).collect();
+        Self {
+            inner: Arc::new(DomainInner {
+                era: AtomicU64::new(1),
+                reservations,
+                pool: BlockPool::new(),
+                config,
+                orphans: Mutex::new(Vec::new()),
+                allocated: AtomicU64::new(0),
+                recycled: AtomicU64::new(0),
+                retired_pending: AtomicU64::new(0),
+                reclaimed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Register the calling thread, claiming a reservation slot.
+    ///
+    /// # Panics
+    /// If all `max_threads` slots are taken.
+    pub fn register(&self) -> LocalHandle {
+        for (slot, r) in self.inner.reservations.iter().enumerate() {
+            if r.claimed.compare_exchange(0, 1, SeqCst, SeqCst).is_ok() {
+                return LocalHandle::new(self.clone(), slot);
+            }
+        }
+        panic!(
+            "qc-reclaim: all {} reservation slots are claimed — raise DomainConfig::max_threads",
+            self.inner.config.max_threads
+        );
+    }
+
+    /// The current global era.
+    pub fn era(&self) -> u64 {
+        self.inner.era.load(SeqCst)
+    }
+
+    /// Snapshot of the domain counters.
+    pub fn stats(&self) -> DomainStats {
+        DomainStats {
+            allocated: self.inner.allocated.load(SeqCst),
+            recycled: self.inner.recycled.load(SeqCst),
+            retired_pending: self.inner.retired_pending.load(SeqCst),
+            reclaimed: self.inner.reclaimed.load(SeqCst),
+            pooled: self.inner.pool.len() as u64,
+            era: self.inner.era.load(SeqCst),
+        }
+    }
+
+    /// Reclaim whatever orphaned garbage is currently unprotected.
+    ///
+    /// Handles sweep their own retired lists automatically; this only
+    /// touches blocks inherited from already-dropped handles. Useful in
+    /// tests and long-lived processes that churn threads.
+    pub fn reclaim_orphans(&self) {
+        let mut orphans = self.inner.orphans.lock().unwrap();
+        self.inner.sweep(&mut orphans);
+    }
+}
+
+impl Default for Domain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Domain").field("stats", &self.stats()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_domain_starts_at_era_one() {
+        let d = Domain::new();
+        assert_eq!(d.era(), 1);
+        let s = d.stats();
+        assert_eq!(s.allocated, 0);
+        assert_eq!(s.retired_pending, 0);
+    }
+
+    #[test]
+    fn register_claims_distinct_slots() {
+        let d = Domain::with_config(DomainConfig { max_threads: 3, ..Default::default() });
+        let h1 = d.register();
+        let h2 = d.register();
+        let h3 = d.register();
+        assert_ne!(h1.slot(), h2.slot());
+        assert_ne!(h2.slot(), h3.slot());
+    }
+
+    #[test]
+    #[should_panic(expected = "reservation slots")]
+    fn register_panics_when_slots_exhausted() {
+        let d = Domain::with_config(DomainConfig { max_threads: 1, ..Default::default() });
+        let _h1 = d.register();
+        let _h2 = d.register();
+    }
+
+    #[test]
+    fn dropping_handle_releases_slot_for_reuse() {
+        let d = Domain::with_config(DomainConfig { max_threads: 1, ..Default::default() });
+        let h1 = d.register();
+        drop(h1);
+        let _h2 = d.register(); // must not panic
+    }
+
+    #[test]
+    fn empty_reservation_intersects_nothing() {
+        let r = Reservation::empty();
+        assert!(!r.intersects(0, u64::MAX - 1));
+        assert!(!r.intersects(5, 5));
+    }
+
+    #[test]
+    fn active_reservation_interval_logic() {
+        let r = Reservation::empty();
+        r.lower.store(10, SeqCst);
+        r.upper.store(20, SeqCst);
+        assert!(r.intersects(10, 10));
+        assert!(r.intersects(20, 25));
+        assert!(r.intersects(5, 10));
+        assert!(r.intersects(0, 100));
+        assert!(!r.intersects(0, 9));
+        assert!(!r.intersects(21, 30));
+    }
+
+    #[test]
+    fn domain_is_cloneable_and_shares_state() {
+        let d1 = Domain::new();
+        let d2 = d1.clone();
+        let h = d1.register();
+        let x = h.alloc(7u64);
+        assert!(d2.stats().allocated >= 1);
+        unsafe { h.retire(x) };
+    }
+}

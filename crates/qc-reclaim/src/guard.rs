@@ -1,0 +1,168 @@
+//! Reservation guards: era-validated protected reads.
+
+use std::sync::atomic::Ordering::SeqCst;
+
+use crate::handle::LocalHandle;
+
+/// An active reservation.
+///
+/// While a `Guard` lives, the owning thread's reservation interval
+/// `[lower, upper]` is published: any block whose lifespan intersects it
+/// will not be reclaimed. [`Guard::protect`] performs the 2GE-IBR read
+/// protocol, raising `upper` as the global era advances so that every value
+/// it returns was loaded at an era the reservation covers.
+pub struct Guard<'a> {
+    handle: &'a LocalHandle,
+}
+
+impl<'a> Guard<'a> {
+    pub(crate) fn new(handle: &'a LocalHandle) -> Self {
+        Self { handle }
+    }
+
+    /// The handle this guard pins.
+    pub fn handle(&self) -> &'a LocalHandle {
+        self.handle
+    }
+
+    /// Era-validated read of a shared word (IBR's `read`).
+    ///
+    /// `load` is re-invoked until one execution is bracketed by two equal
+    /// reads of the global era `e`, with `upper ≥ e` published beforehand.
+    /// The returned raw value was therefore loaded while the reservation
+    /// covered the then-current era, which yields the key IBR guarantee:
+    ///
+    /// > If the returned value is the address of a block that was reachable
+    /// > at load time, that block's lifespan `[birth, retire]` contains the
+    /// > load era, which lies inside this thread's reservation — so the
+    /// > block cannot be reclaimed until the guard drops.
+    ///
+    /// `load` must be a plain atomic load of one shared word (it may be
+    /// re-executed many times and must not have side effects).
+    #[inline]
+    pub fn protect(&self, mut load: impl FnMut() -> u64) -> u64 {
+        let domain = self.handle.domain();
+        let reservation = self.handle.reservation();
+        let mut prev = reservation.upper.load(SeqCst);
+        loop {
+            let raw = load();
+            let era = domain.inner.era.load(SeqCst);
+            if era == prev {
+                return raw;
+            }
+            // Raise the published upper bound to the current era, then try
+            // again. `upper` is monotone within a pin, so raising it never
+            // un-protects anything already read.
+            reservation.upper.store(era, SeqCst);
+            prev = era;
+        }
+    }
+
+    /// The reservation interval currently published by this guard,
+    /// `(lower, upper)`. Exposed for tests and debugging.
+    pub fn reservation_interval(&self) -> (u64, u64) {
+        let r = self.handle.reservation();
+        (r.lower.load(SeqCst), r.upper.load(SeqCst))
+    }
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        self.handle.unpin();
+    }
+}
+
+impl std::fmt::Debug for Guard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (lo, up) = self.reservation_interval();
+        f.debug_struct("Guard").field("lower", &lo).field("upper", &up).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{Domain, DomainConfig};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pin_publishes_current_era() {
+        let d = Domain::new();
+        let h = d.register();
+        let era = d.era();
+        let g = h.pin();
+        assert_eq!(g.reservation_interval(), (era, era));
+    }
+
+    #[test]
+    fn protect_returns_loaded_value_when_era_stable() {
+        let d = Domain::new();
+        let h = d.register();
+        let word = AtomicU64::new(42);
+        let g = h.pin();
+        assert_eq!(g.protect(|| word.load(SeqCst)), 42);
+    }
+
+    #[test]
+    fn protect_raises_upper_when_era_advances() {
+        let d = Domain::with_config(DomainConfig { era_frequency: 1, ..Default::default() });
+        let h = d.register();
+        let g = h.pin();
+        let (lo, up0) = g.reservation_interval();
+
+        // Advance the era by allocating (era_frequency = 1).
+        let other = d.register();
+        let block = other.alloc(0u64);
+        assert!(d.era() > up0);
+
+        let word = AtomicU64::new(7);
+        let v = g.protect(|| word.load(SeqCst));
+        assert_eq!(v, 7);
+        let (lo2, up2) = g.reservation_interval();
+        assert_eq!(lo, lo2, "lower bound is fixed at pin time");
+        assert_eq!(up2, d.era(), "upper raised to current era");
+
+        unsafe { other.retire(block) };
+    }
+
+    #[test]
+    fn guard_drop_withdraws_reservation() {
+        let d = Domain::new();
+        let h = d.register();
+        let g = h.pin();
+        drop(g);
+        let r = h.reservation();
+        assert_eq!(r.lower.load(SeqCst), u64::MAX);
+        assert_eq!(r.upper.load(SeqCst), 0);
+    }
+
+    /// End-to-end: a protected load of a shared word keeps the addressed
+    /// block alive even when the writer retires it concurrently.
+    #[test]
+    fn protected_pointer_survives_retirement() {
+        let d = Domain::with_config(DomainConfig {
+            era_frequency: 1,
+            empty_frequency: 1,
+            ..Default::default()
+        });
+        let writer = d.register();
+        let reader = d.register();
+
+        let block = writer.alloc(vec![1u64, 2, 3]);
+        let word = AtomicU64::new(block.into_raw());
+
+        let g = reader.pin();
+        let raw = g.protect(|| word.load(SeqCst));
+        let seen = unsafe { crate::Shared::<Vec<u64>>::from_raw(raw) };
+
+        // Writer unlinks and retires; sweep runs (empty_frequency = 1) but
+        // must not reclaim: the reader's reservation covers the load era.
+        let old = unsafe { crate::Shared::<Vec<u64>>::from_raw(word.swap(0, SeqCst)) };
+        unsafe { writer.retire(old) };
+        assert_eq!(unsafe { seen.deref() }.as_slice(), &[1, 2, 3]);
+
+        drop(g);
+        writer.try_reclaim();
+        assert_eq!(writer.retired_pending(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Interval-Based memory Reclamation (IBR) with a type-stable block pool.
+//!
+//! The Quancurrent paper (§5.1) bases its memory management on IBR
+//! (Wen, Izraelevitz, Cai, Beadle & Scott, *Interval-Based Memory
+//! Reclamation*, PPoPP'18). This crate is a from-scratch Rust
+//! implementation of the **2GE** ("two global eras") IBR variant:
+//!
+//! * A [`Domain`] owns a global **era** counter that advances as blocks are
+//!   allocated.
+//! * Every tracked block carries a header with its **birth era** (stamped at
+//!   allocation) and **retire era** (stamped when the block is unlinked and
+//!   retired). The interval `[birth, retire]` is the block's *lifespan*.
+//! * Every thread registers a [`LocalHandle`] and, for the duration of each
+//!   operation, holds a [`Guard`] that publishes a **reservation interval**
+//!   `[lower, upper]` of eras it may be reading.
+//! * A retired block is reclaimed only when its lifespan intersects **no**
+//!   thread's reservation.
+//!
+//! ## The read protocol
+//!
+//! [`Guard::protect`] implements the 2GE read: load the word, re-read the
+//! global era, and retry (raising the published `upper`) until the era was
+//! stable across one load. A block reachable at load time was then born at
+//! or before, and can only be retired at or after, an era the reservation
+//! covers — so its lifespan intersects the reservation and it survives
+//! every sweep until the guard drops.
+//!
+//! Reclaimed blocks are recycled through a per-[`Domain`] **pool keyed by
+//! layout** and their memory is only handed back to the global allocator
+//! when the `Domain` itself drops. Headers stay atomically readable for the
+//! domain's lifetime (type-stable memory), matching the original IBR
+//! implementation; payloads are dropped in place exactly once, at
+//! reclamation.
+//!
+//! ## Usage sketch
+//!
+//! ```
+//! use qc_reclaim::{Domain, Shared};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let domain = Domain::new();
+//! let handle = domain.register();
+//!
+//! // Publish a block through an atomic word (as a raw address).
+//! let shared: Shared<Vec<u64>> = handle.alloc(vec![1, 2, 3]);
+//! let word = AtomicU64::new(shared.into_raw());
+//!
+//! // A reader protects the word before dereferencing.
+//! let guard = handle.pin();
+//! let raw = guard.protect(|| word.load(Ordering::SeqCst));
+//! let re: Shared<Vec<u64>> = unsafe { Shared::from_raw(raw) };
+//! assert_eq!(unsafe { re.deref() }, &vec![1, 2, 3]);
+//! drop(guard);
+//!
+//! // The writer unlinks and retires; the domain reclaims when safe.
+//! let old = unsafe { Shared::<Vec<u64>>::from_raw(word.swap(0, Ordering::SeqCst)) };
+//! unsafe { handle.retire(old) };
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod block;
+mod domain;
+mod guard;
+mod handle;
+mod pool;
+
+pub use block::Shared;
+pub use domain::{Domain, DomainConfig, DomainStats};
+pub use guard::Guard;
+pub use handle::LocalHandle;

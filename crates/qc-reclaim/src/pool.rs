@@ -1,0 +1,141 @@
+//! Type-stable block pool.
+//!
+//! Reclaimed blocks are *recycled*, not deallocated: their memory stays
+//! valid (header readable) until the [`crate::Domain`] drops. This is what
+//! makes IBR's optimistic header reads sound — see the crate docs.
+
+use std::alloc::Layout;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::block::Header;
+
+/// Key: (size, align) of the whole block.
+type ClassKey = (usize, usize);
+
+/// A free-list pool of payload-dropped blocks, keyed by layout class.
+///
+/// Addresses are stored as `usize` to keep the container `Send`/`Sync`
+/// without pointer-wrapper boilerplate.
+#[derive(Default)]
+pub(crate) struct BlockPool {
+    classes: Mutex<HashMap<ClassKey, Vec<usize>>>,
+}
+
+impl BlockPool {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a recycled block of the given layout, if one is available.
+    pub(crate) fn take(&self, layout: Layout) -> Option<*mut Header> {
+        let mut classes = self.classes.lock().unwrap();
+        classes
+            .get_mut(&(layout.size(), layout.align()))
+            .and_then(|v| v.pop())
+            .map(|addr| addr as *mut Header)
+    }
+
+    /// Return a payload-dropped block to the pool.
+    ///
+    /// # Safety
+    /// `ptr` must be a block allocated through this crate whose payload has
+    /// already been dropped, and must not be referenced anywhere.
+    pub(crate) unsafe fn put(&self, ptr: *mut Header) {
+        // SAFETY: header of an unlinked block is private to us now.
+        let layout = unsafe { (*ptr).layout };
+        let mut classes = self.classes.lock().unwrap();
+        classes
+            .entry((layout.size(), layout.align()))
+            .or_default()
+            .push(ptr as usize);
+    }
+
+    /// Number of pooled blocks (all classes).
+    pub(crate) fn len(&self) -> usize {
+        self.classes.lock().unwrap().values().map(Vec::len).sum()
+    }
+
+    /// Deallocate every pooled block. Called from `Domain::drop`.
+    pub(crate) fn dealloc_all(&self) {
+        let mut classes = self.classes.lock().unwrap();
+        for ((size, align), ptrs) in classes.drain() {
+            let layout = Layout::from_size_align(size, align).expect("valid pooled layout");
+            for addr in ptrs {
+                // SAFETY: pooled blocks are unreachable and payload-dropped;
+                // the domain is tearing down, so type-stability ends here.
+                unsafe { std::alloc::dealloc(addr as *mut u8, layout) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{drop_block_payload, Block, NOT_RETIRED};
+    use std::sync::atomic::AtomicU64;
+
+    fn fresh_block(v: u64) -> *mut Header {
+        let layout = Block::<u64>::layout();
+        let ptr = unsafe { std::alloc::alloc(layout) } as *mut Block<u64>;
+        assert!(!ptr.is_null());
+        unsafe {
+            std::ptr::write(
+                ptr,
+                Block {
+                    header: Header {
+                        birth_era: AtomicU64::new(0),
+                        retire_era: AtomicU64::new(NOT_RETIRED),
+                        drop_fn: drop_block_payload::<u64>,
+                        layout,
+                    },
+                    value: v,
+                },
+            );
+        }
+        ptr as *mut Header
+    }
+
+    #[test]
+    fn take_from_empty_pool_is_none() {
+        let pool = BlockPool::new();
+        assert!(pool.take(Block::<u64>::layout()).is_none());
+        assert_eq!(pool.len(), 0);
+    }
+
+    #[test]
+    fn put_then_take_recycles_same_block() {
+        let pool = BlockPool::new();
+        let b = fresh_block(42);
+        unsafe { pool.put(b) };
+        assert_eq!(pool.len(), 1);
+        let got = pool.take(Block::<u64>::layout()).unwrap();
+        assert_eq!(got as usize, b as usize);
+        assert_eq!(pool.len(), 0);
+        // Clean up the raw block we made outside a domain.
+        unsafe { std::alloc::dealloc(got as *mut u8, Block::<u64>::layout()) };
+    }
+
+    #[test]
+    fn classes_are_isolated_by_layout() {
+        let pool = BlockPool::new();
+        let b = fresh_block(7);
+        unsafe { pool.put(b) };
+        // A differently-sized class must not satisfy the request.
+        assert!(pool.take(Block::<[u64; 9]>::layout()).is_none());
+        assert!(pool.take(Block::<u64>::layout()).is_some());
+        unsafe { std::alloc::dealloc(b as *mut u8, Block::<u64>::layout()) };
+    }
+
+    #[test]
+    fn dealloc_all_empties_pool() {
+        let pool = BlockPool::new();
+        for i in 0..4 {
+            unsafe { pool.put(fresh_block(i)) };
+        }
+        assert_eq!(pool.len(), 4);
+        pool.dealloc_all();
+        assert_eq!(pool.len(), 0);
+    }
+}

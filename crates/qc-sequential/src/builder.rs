@@ -1,0 +1,115 @@
+//! Builder: pick `k` directly or derive it from a target rank error.
+
+use qc_common::bits::OrderedBits;
+
+use crate::sketch::QuantilesSketch;
+use crate::typed::Sketch;
+
+/// Fluent construction of sequential sketches.
+///
+/// ```
+/// use qc_sequential::SketchBuilder;
+///
+/// // "I can tolerate 1% rank error": the builder picks the smallest
+/// // power-of-two k that achieves it.
+/// let sketch = SketchBuilder::new().epsilon(0.01).seed(7).build::<f64>();
+/// assert!(sketch.epsilon() <= 0.01);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SketchBuilder {
+    k: Option<usize>,
+    epsilon: Option<f64>,
+    seed: u64,
+}
+
+impl SketchBuilder {
+    /// Start with defaults (`k = 128` unless overridden).
+    pub fn new() -> Self {
+        Self { k: None, epsilon: None, seed: 0x5EED_0F_5EED }
+    }
+
+    /// Set the level size directly (overrides [`SketchBuilder::epsilon`]).
+    pub fn k(mut self, k: usize) -> Self {
+        assert!(k >= 2, "k must be at least 2");
+        self.k = Some(k);
+        self
+    }
+
+    /// Derive `k` from a target normalized rank error.
+    pub fn epsilon(mut self, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "epsilon must be in (0, 1)");
+        self.epsilon = Some(eps);
+        self
+    }
+
+    /// Seed the sampling RNG (reproducible runs).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The `k` this configuration resolves to.
+    pub fn resolved_k(&self) -> usize {
+        if let Some(k) = self.k {
+            k
+        } else if let Some(eps) = self.epsilon {
+            qc_common::error::k_for_epsilon(eps)
+        } else {
+            128
+        }
+    }
+
+    /// Build a typed sketch.
+    pub fn build<T: OrderedBits>(&self) -> Sketch<T> {
+        Sketch::with_seed(self.resolved_k(), self.seed)
+    }
+
+    /// Build an untyped (bit-space) sketch.
+    pub fn build_bits(&self) -> QuantilesSketch {
+        QuantilesSketch::with_seed(self.resolved_k(), self.seed)
+    }
+}
+
+impl Default for SketchBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_k_is_128() {
+        assert_eq!(SketchBuilder::new().resolved_k(), 128);
+    }
+
+    #[test]
+    fn explicit_k_wins_over_epsilon() {
+        let b = SketchBuilder::new().epsilon(0.001).k(64);
+        assert_eq!(b.resolved_k(), 64);
+    }
+
+    #[test]
+    fn epsilon_derives_sufficient_k() {
+        for eps in [0.05, 0.01, 0.003] {
+            let k = SketchBuilder::new().epsilon(eps).resolved_k();
+            assert!(qc_common::error::sequential_epsilon(k) <= eps);
+        }
+    }
+
+    #[test]
+    fn built_sketches_use_config() {
+        let s = SketchBuilder::new().k(32).seed(5).build::<u64>();
+        assert_eq!(s.k(), 32);
+        let bits = SketchBuilder::new().k(32).seed(5).build_bits();
+        assert_eq!(bits.k(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1)")]
+    fn bad_epsilon_rejected() {
+        let _ = SketchBuilder::new().epsilon(1.5);
+    }
+}

@@ -1,0 +1,508 @@
+//! The core (bit-space) sequential Quantiles sketch.
+//!
+//! Structure (paper §2.2, Figure 3): a **base buffer** of up to `2k`
+//! weight-1 elements (the paper's level 0) and a hierarchy of **levels**
+//! that each hold either `0` or `k` sorted elements; an element in paper
+//! level `i ≥ 1` carries weight `2^i`.
+//!
+//! When the base buffer fills it is sorted and *compacted*: the odd- or
+//! even-indexed half is retained (fair coin) and carried into level 1. A
+//! carry arriving at a full level merges with it (merge sort of two sorted
+//! `k`-arrays) and is compacted again, one level higher — exactly the
+//! propagation of Figure 3.
+
+use qc_common::merge::merge_sorted;
+use qc_common::rng::Xoshiro256;
+use qc_common::sample::sample_odd_or_even;
+use qc_common::summary::{Summary, WeightedSummary};
+
+/// Sequential Agarwal et al. Quantiles sketch over 64-bit ordered keys.
+///
+/// This is the algorithm Apache DataSketches' classic Quantiles sketch
+/// implements and the one Quancurrent parallelizes. Typed access (f64, i64,
+/// …) is provided by [`crate::Sketch`].
+#[derive(Clone, Debug)]
+pub struct QuantilesSketch {
+    k: usize,
+    n: u64,
+    /// Paper level 0: up to `2k` weight-1 elements, kept unsorted until
+    /// compaction (sorting once per `2k` ingests is the classic trade).
+    base: Vec<u64>,
+    /// `levels[i]` is paper level `i + 1`: empty or exactly `k` sorted
+    /// elements of weight `2^(i+1)`.
+    levels: Vec<Option<Vec<u64>>>,
+    rng: Xoshiro256,
+}
+
+impl QuantilesSketch {
+    /// Create a sketch with level size `k` and a fixed default seed.
+    ///
+    /// `k` trades accuracy for space: the rank error is ≈ `1.76 / k^0.93`
+    /// ([`qc_common::error::sequential_epsilon`]).
+    pub fn new(k: usize) -> Self {
+        Self::with_seed(k, 0x5EED_0F_5EED)
+    }
+
+    /// Create a sketch with an explicit RNG seed (for reproducible runs).
+    pub fn with_seed(k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "k must be at least 2");
+        Self {
+            k,
+            n: 0,
+            base: Vec::with_capacity(2 * k),
+            levels: Vec::new(),
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// Level size parameter.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stream elements processed.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Has the sketch seen no elements?
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of elements currently retained (memory ∝ this).
+    pub fn num_retained(&self) -> usize {
+        self.base.len() + self.levels.iter().flatten().map(Vec::len).sum::<usize>()
+    }
+
+    /// Sizes of the occupied structures: `(base length, per-level lengths)`.
+    /// Level `i` of the return value is paper level `i + 1`.
+    pub fn level_sizes(&self) -> (usize, Vec<usize>) {
+        (self.base.len(), self.levels.iter().map(|l| l.as_ref().map_or(0, Vec::len)).collect())
+    }
+
+    /// The normalized rank error bound ε(k) of this sketch.
+    pub fn epsilon(&self) -> f64 {
+        qc_common::error::sequential_epsilon(self.k)
+    }
+
+    /// Process one stream element (paper `update(x)`), given in ordered-bit
+    /// space.
+    #[inline]
+    pub fn update(&mut self, bits: u64) {
+        self.base.push(bits);
+        self.n += 1;
+        if self.base.len() == 2 * self.k {
+            self.compact_base();
+        }
+    }
+
+    /// Bulk-ingest an ascending slice.
+    ///
+    /// Equivalent to `for &x in sorted { self.update(x) }` (bit-identical,
+    /// including RNG consumption) but skips the per-buffer sort whenever a
+    /// full `2k` chunk lands on an empty base buffer. This is the "heavy
+    /// merge-sort" path the FCDS propagator runs.
+    pub fn ingest_sorted(&mut self, sorted: &[u64]) {
+        debug_assert!(qc_common::merge::is_sorted(sorted), "ingest_sorted needs ascending input");
+        let mut rest = sorted;
+        while !rest.is_empty() {
+            if self.base.is_empty() && rest.len() >= 2 * self.k {
+                let (chunk, tail) = rest.split_at(2 * self.k);
+                self.n += 2 * self.k as u64;
+                let carry = sample_odd_or_even(chunk, &mut self.rng);
+                self.carry_into(carry, 0);
+                rest = tail;
+            } else {
+                let take = (2 * self.k - self.base.len()).min(rest.len());
+                let (chunk, tail) = rest.split_at(take);
+                self.base.extend_from_slice(chunk);
+                self.n += take as u64;
+                if self.base.len() == 2 * self.k {
+                    self.compact_base();
+                }
+                rest = tail;
+            }
+        }
+    }
+
+    /// Absorb a sorted array whose elements each stand for `2^level`
+    /// stream elements (level 0 = raw weight-1 input).
+    ///
+    /// This is the mergeable-summaries primitive generalized to weighted
+    /// input: it lets a *concurrent* sketch's snapshot (levels of weight
+    /// `2^i`) be folded into a sequential sketch, making Quancurrent
+    /// snapshots mergeable (see the workspace's `convert` module).
+    ///
+    /// # Panics
+    /// For `level > 0`, `sorted.len()` must be a multiple of `k` (level
+    /// arrays always are: they hold `k` or `2k` elements).
+    pub fn absorb_level(&mut self, sorted: &[u64], level: u32) {
+        debug_assert!(qc_common::merge::is_sorted(sorted), "absorb_level needs ascending input");
+        if level == 0 {
+            self.ingest_sorted(sorted);
+            return;
+        }
+        assert!(
+            sorted.len() % self.k == 0,
+            "weighted input length {} is not a multiple of k = {}",
+            sorted.len(),
+            self.k
+        );
+        for chunk in sorted.chunks(self.k) {
+            self.carry_into(chunk.to_vec(), level as usize - 1);
+        }
+        self.n += sorted.len() as u64 * (1u64 << level);
+    }
+
+    /// Merge another sketch into this one (Agarwal et al.'s *mergeable
+    /// summaries* property — the result distributes like a sketch built
+    /// from the concatenated stream).
+    ///
+    /// # Panics
+    /// If the sketches have different `k`.
+    pub fn merge_from(&mut self, other: &QuantilesSketch) {
+        assert_eq!(self.k, other.k, "can only merge sketches with equal k");
+        // Weighted levels first: carry each of other's occupied levels into
+        // the same level of self.
+        for (i, level) in other.levels.iter().enumerate() {
+            if let Some(arr) = level {
+                self.carry_into(arr.clone(), i);
+            }
+        }
+        // Other's base elements are weight-1 singletons.
+        for &x in &other.base {
+            self.base.push(x);
+            if self.base.len() == 2 * self.k {
+                self.compact_base();
+            }
+        }
+        self.n += other.n;
+    }
+
+    /// Build the weighted `samples` view used to answer queries (§2.2).
+    pub fn summary(&self) -> WeightedSummary {
+        let mut base_sorted = self.base.clone();
+        base_sorted.sort_unstable();
+        let mut parts: Vec<(&[u64], u64)> = Vec::with_capacity(1 + self.levels.len());
+        if !base_sorted.is_empty() {
+            parts.push((&base_sorted[..], 1));
+        }
+        for (i, level) in self.levels.iter().enumerate() {
+            if let Some(arr) = level {
+                parts.push((&arr[..], 1u64 << (i + 1)));
+            }
+        }
+        WeightedSummary::from_parts(parts)
+    }
+
+    /// Estimate the φ-quantile (in bit space). `None` iff empty.
+    ///
+    /// Cost: builds a summary (O(m log m) in the retained count m). Batch
+    /// callers should build one [`QuantilesSketch::summary`] and query it.
+    pub fn quantile_bits(&self, phi: f64) -> Option<u64> {
+        self.summary().quantile_bits(phi)
+    }
+
+    /// Estimate the rank of `x` (in bit space).
+    pub fn rank_bits(&self, x: u64) -> u64 {
+        self.summary().rank_bits(x)
+    }
+
+    /// Sort + compact the full base buffer and carry the survivors up.
+    fn compact_base(&mut self) {
+        debug_assert_eq!(self.base.len(), 2 * self.k);
+        self.base.sort_unstable();
+        let carry = sample_odd_or_even(&self.base, &mut self.rng);
+        self.base.clear();
+        self.carry_into(carry, 0);
+    }
+
+    /// Insert a sorted `k`-array carrying weight `2^(slot+1)` at `levels
+    /// [slot]`, merging-and-compacting upwards until a free level absorbs
+    /// it (Figure 3's propagation).
+    fn carry_into(&mut self, mut carry: Vec<u64>, mut slot: usize) {
+        debug_assert_eq!(carry.len(), self.k);
+        loop {
+            if self.levels.len() <= slot {
+                self.levels.resize_with(slot + 1, || None);
+            }
+            match self.levels[slot].take() {
+                None => {
+                    self.levels[slot] = Some(carry);
+                    return;
+                }
+                Some(existing) => {
+                    let merged = merge_sorted(&carry, &existing);
+                    carry = sample_odd_or_even(&merged, &mut self.rng);
+                    slot += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Summary for QuantilesSketch {
+    fn stream_len(&self) -> u64 {
+        self.n
+    }
+    fn quantile_bits(&self, phi: f64) -> Option<u64> {
+        QuantilesSketch::quantile_bits(self, phi)
+    }
+    fn rank_bits(&self, x_bits: u64) -> u64 {
+        QuantilesSketch::rank_bits(self, x_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(k: usize, n: u64) -> QuantilesSketch {
+        let mut s = QuantilesSketch::with_seed(k, 1);
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        for _ in 0..n {
+            s.update(rng.next_below(1_000_000));
+        }
+        s
+    }
+
+    #[test]
+    fn empty_sketch() {
+        let s = QuantilesSketch::new(16);
+        assert!(s.is_empty());
+        assert_eq!(s.n(), 0);
+        assert_eq!(s.num_retained(), 0);
+        assert_eq!(s.quantile_bits(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn k_of_one_rejected() {
+        let _ = QuantilesSketch::new(1);
+    }
+
+    #[test]
+    fn small_stream_is_exact() {
+        // With n < 2k nothing is ever sampled: quantiles are exact order
+        // statistics.
+        let mut s = QuantilesSketch::new(64);
+        for x in [50u64, 10, 40, 20, 30] {
+            s.update(x);
+        }
+        assert_eq!(s.n(), 5);
+        assert_eq!(s.quantile_bits(0.0), Some(10));
+        assert_eq!(s.quantile_bits(0.5), Some(30)); // ⌊0.5·5⌋ = 2: W(30) = 2 ≤ 2 < W(40) = 3
+        assert_eq!(s.quantile_bits(1.0), Some(50));
+    }
+
+    #[test]
+    fn n_is_conserved_through_compactions() {
+        let s = filled(8, 10_000);
+        assert_eq!(s.n(), 10_000);
+        assert_eq!(s.summary().stream_len(), 10_000, "summary weights must add to n");
+    }
+
+    #[test]
+    fn retained_is_logarithmic() {
+        let k = 128;
+        let s = filled(k, 1_000_000);
+        // base ≤ 2k plus ~log2(n / 2k) levels of k.
+        let bound = 2 * k + k * 32;
+        assert!(s.num_retained() <= bound, "retained {} > {}", s.num_retained(), bound);
+        assert!(s.num_retained() < 10_000, "sublinear space: {}", s.num_retained());
+    }
+
+    #[test]
+    fn level_invariants_hold() {
+        let s = filled(16, 54_321);
+        let (base_len, levels) = s.level_sizes();
+        assert!(base_len < 2 * 16);
+        for (i, len) in levels.iter().enumerate() {
+            assert!(*len == 0 || *len == 16, "level {} has {} elements", i + 1, len);
+        }
+    }
+
+    #[test]
+    fn exact_compaction_boundary() {
+        // Exactly 2k updates: base compacts to one k-level, base empties.
+        let mut s = QuantilesSketch::with_seed(8, 3);
+        for x in 0..16u64 {
+            s.update(x);
+        }
+        let (base_len, levels) = s.level_sizes();
+        assert_eq!(base_len, 0);
+        assert_eq!(levels, vec![8]);
+        assert_eq!(s.n(), 16);
+    }
+
+    #[test]
+    fn rank_error_is_bounded_on_uniform_stream() {
+        let k = 128;
+        let n = 200_000u64;
+        let mut s = QuantilesSketch::with_seed(k, 11);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut all: Vec<u64> = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let x = rng.next_u64() >> 1;
+            all.push(x);
+            s.update(x);
+        }
+        all.sort_unstable();
+        let eps = s.epsilon();
+        let summary = s.summary();
+        for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let est = summary.quantile_bits(phi).unwrap();
+            let true_rank = all.partition_point(|&v| v < est) as f64;
+            let err = (true_rank - phi * n as f64).abs() / n as f64;
+            // ε is a high-probability bound; 4ε makes the test robust to
+            // the fixed seed while still catching real estimator bugs.
+            assert!(err < 4.0 * eps, "phi={phi}: rank error {err} vs eps {eps}");
+        }
+    }
+
+    #[test]
+    fn ingest_sorted_matches_update_loop_exactly() {
+        let k = 32;
+        let data: Vec<u64> = (0..10 * k as u64 + 7).collect();
+        let mut a = QuantilesSketch::with_seed(k, 42);
+        let mut b = QuantilesSketch::with_seed(k, 42);
+        for &x in &data {
+            a.update(x);
+        }
+        b.ingest_sorted(&data);
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.level_sizes(), b.level_sizes());
+        assert_eq!(a.summary().items(), b.summary().items());
+    }
+
+    #[test]
+    fn ingest_sorted_with_partial_base_present() {
+        let k = 16;
+        let mut s = QuantilesSketch::with_seed(k, 9);
+        for x in 0..5u64 {
+            s.update(x);
+        }
+        let chunk: Vec<u64> = (100..100 + 4 * k as u64).collect();
+        s.ingest_sorted(&chunk);
+        assert_eq!(s.n(), 5 + 4 * k as u64);
+        assert_eq!(s.summary().stream_len(), s.n());
+    }
+
+    #[test]
+    fn absorb_level_zero_is_ingest() {
+        let data: Vec<u64> = (0..100).collect();
+        let mut a = QuantilesSketch::with_seed(8, 1);
+        let mut b = QuantilesSketch::with_seed(8, 1);
+        a.absorb_level(&data, 0);
+        b.ingest_sorted(&data);
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.summary().items(), b.summary().items());
+    }
+
+    #[test]
+    fn absorb_weighted_level_accounts_n() {
+        let k = 8;
+        let mut s = QuantilesSketch::with_seed(k, 2);
+        let level3: Vec<u64> = (0..k as u64).map(|i| i * 10).collect();
+        s.absorb_level(&level3, 3);
+        assert_eq!(s.n(), k as u64 * 8);
+        assert_eq!(s.summary().stream_len(), s.n());
+        // The absorbed elements sit at paper level 3 (weight 8).
+        let (_, levels) = s.level_sizes();
+        assert_eq!(levels[2], k, "k elements at paper level 3 (slot 2)");
+    }
+
+    #[test]
+    fn absorb_2k_level_cascades_once() {
+        let k = 4;
+        let mut s = QuantilesSketch::with_seed(k, 3);
+        let two_k: Vec<u64> = (0..2 * k as u64).collect();
+        s.absorb_level(&two_k, 2);
+        // Two k-chunks at level 2: the first settles, the second merges
+        // and carries to level 3.
+        assert_eq!(s.n(), 2 * k as u64 * 4);
+        assert_eq!(s.summary().stream_len(), s.n());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of k")]
+    fn absorb_rejects_ragged_weighted_input() {
+        let mut s = QuantilesSketch::with_seed(8, 4);
+        s.absorb_level(&[1, 2, 3], 1);
+    }
+
+    #[test]
+    fn merge_conserves_n_and_bounds_error() {
+        let k = 64;
+        let mut a = QuantilesSketch::with_seed(k, 1);
+        let mut b = QuantilesSketch::with_seed(k, 2);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut all = Vec::new();
+        for _ in 0..50_000 {
+            let x = rng.next_below(1 << 40);
+            all.push(x);
+            a.update(x);
+        }
+        for _ in 0..30_000 {
+            let x = rng.next_below(1 << 40);
+            all.push(x);
+            b.update(x);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.n(), 80_000);
+        assert_eq!(a.summary().stream_len(), 80_000);
+
+        all.sort_unstable();
+        let est = a.quantile_bits(0.5).unwrap();
+        let true_rank = all.partition_point(|&v| v < est) as f64 / all.len() as f64;
+        assert!((true_rank - 0.5).abs() < 4.0 * a.epsilon());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal k")]
+    fn merge_with_different_k_rejected() {
+        let mut a = QuantilesSketch::new(16);
+        let b = QuantilesSketch::new(32);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn merge_empty_is_identity() {
+        let mut a = filled(16, 1000);
+        let before = a.summary().items().to_vec();
+        let empty = QuantilesSketch::new(16);
+        a.merge_from(&empty);
+        assert_eq!(a.n(), 1000);
+        assert_eq!(a.summary().items(), &before[..]);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let a = filled(32, 12_345);
+        let b = filled(32, 12_345);
+        assert_eq!(a.summary().items(), b.summary().items());
+    }
+
+    #[test]
+    fn constant_stream_estimates_constant() {
+        let mut s = QuantilesSketch::with_seed(16, 8);
+        for _ in 0..100_000 {
+            s.update(777);
+        }
+        for phi in [0.0, 0.5, 1.0] {
+            assert_eq!(s.quantile_bits(phi), Some(777));
+        }
+        assert_eq!(s.rank_bits(777), 0);
+        assert_eq!(s.rank_bits(778), 100_000);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = filled(16, 1000);
+        let b = a.clone();
+        a.update(1);
+        assert_eq!(b.n(), 1000);
+        assert_eq!(a.n(), 1001);
+    }
+}

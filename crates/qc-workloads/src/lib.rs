@@ -1,0 +1,31 @@
+//! Workloads and measurement harness for the Quancurrent reproduction.
+//!
+//! Everything the benchmark suite (`qc-bench`) needs that is not a sketch:
+//!
+//! * [`streams`] — seeded synthetic stream generators (uniform, normal,
+//!   Zipf-like, sorted, sawtooth, constant);
+//! * [`exact`] — the brute-force quantiles oracle and accuracy metrics
+//!   ("Exact CDF" in the paper's figures);
+//! * [`topology`] — the simulated 4×8 NUMA testbed and fill-first thread
+//!   placement of §5.1;
+//! * [`harness`] — barrier-released multi-threaded throughput runners
+//!   (update-only, query-only, mixed);
+//! * [`stats`] — mean/σ/stderr over repeated runs (the paper averages 15);
+//! * [`table`] — aligned console tables + CSV emission for every figure.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exact;
+pub mod harness;
+pub mod stats;
+pub mod streams;
+pub mod table;
+pub mod topology;
+
+pub use exact::{phi_grid, AccuracyReport, ExactOracle};
+pub use harness::{fixed_ops_throughput, format_ops, mixed_throughput, Throughput};
+pub use stats::RunStats;
+pub use streams::{Distribution, StreamGen};
+pub use table::Table;
+pub use topology::Topology;

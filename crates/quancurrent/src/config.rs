@@ -1,0 +1,211 @@
+//! Sketch configuration (the paper's parameters and constants).
+
+/// Number of trits the tritmap can hold in 62 bits (3³⁸ < 2⁶² < 3³⁹), and
+/// therefore the maximum number of levels. The paper uses a 31-digit
+/// base-3 integer; we keep the same bound — level 30 already summarizes
+/// `2k·2³⁰` elements, unreachable in any realistic run.
+pub const MAX_LEVEL: usize = 31;
+
+/// Configuration of a [`crate::Quancurrent`] sketch.
+///
+/// Defaults follow the paper's main experiments (`k = 4096`, `b = 16`,
+/// `S = 1` Gather&Sort unit, `ρ = 1` i.e. answer from a cached snapshot
+/// only while it is perfectly fresh).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Level size: every level holds `0`, `k`, or `2k` elements. The paper
+    /// sweeps 256–4096 (Figure 7a).
+    pub k: usize,
+    /// Thread-local buffer size `b` (Figure 7b sweeps 1–64).
+    pub b: usize,
+    /// Number of simulated NUMA nodes `S` = number of Gather&Sort units.
+    pub numa_nodes: usize,
+    /// Threads per node for fill-first updater placement (§5.1 pins 8
+    /// threads per node before overflowing to the next).
+    pub threads_per_node: usize,
+    /// Query freshness bound ρ: a cached snapshot of stream size `n_old`
+    /// may answer while `n_now / n_old ≤ ρ`. `0.0` disables caching
+    /// (every query rebuilds); values `≥ 1.0` allow staleness `ε′ = ρ−1`.
+    pub rho: f64,
+    /// Seed for all sampling coin flips (per-handle streams are split off
+    /// deterministically).
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { k: 4096, b: 16, numa_nodes: 1, threads_per_node: 8, rho: 1.0, seed: 0xC0FFEE }
+    }
+}
+
+impl Config {
+    /// Validate and normalize. Called by the builder.
+    pub(crate) fn validated(self) -> Self {
+        assert!(self.k >= 2, "k must be at least 2");
+        assert!(self.b >= 1, "b must be at least 1");
+        assert!(
+            (2 * self.k) % self.b == 0,
+            "b must divide 2k (buffers are filled in whole b-sized regions); got k={}, b={}",
+            self.k,
+            self.b
+        );
+        assert!(self.numa_nodes >= 1, "at least one Gather&Sort unit is required");
+        assert!(self.threads_per_node >= 1, "threads_per_node must be at least 1");
+        assert!(
+            self.rho == 0.0 || self.rho >= 1.0,
+            "rho must be 0 (no caching) or ≥ 1 (staleness ratio bound)"
+        );
+        self
+    }
+
+    /// The relaxation bound r = 4kS + (N−S)·b for `n_threads` updaters
+    /// (§3.1): at most `4k` elements per Gather&Sort unit plus a local
+    /// buffer per thread that is not a (buffer-emptying) batch owner.
+    pub fn relaxation(&self, n_threads: usize) -> u64 {
+        qc_common::error::quancurrent_relaxation(self.k, self.b, n_threads, self.numa_nodes)
+    }
+
+    /// Fill-first node placement: which Gather&Sort unit the `idx`-th
+    /// registered updater uses (§5.1: "nodes were first filled before
+    /// overflowing to other NUMA nodes").
+    pub fn node_of(&self, idx: usize) -> usize {
+        (idx / self.threads_per_node) % self.numa_nodes
+    }
+}
+
+/// Fluent builder for [`crate::Quancurrent`].
+///
+/// ```
+/// use quancurrent::Quancurrent;
+///
+/// let sketch = Quancurrent::<f64>::builder()
+///     .k(1024)
+///     .b(16)
+///     .numa_nodes(4)
+///     .rho(1.05)
+///     .seed(42)
+///     .build();
+/// assert_eq!(sketch.config().k, 1024);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Builder<T: qc_common::OrderedBits> {
+    cfg: Config,
+    _marker: std::marker::PhantomData<fn(T) -> T>,
+}
+
+impl<T: qc_common::OrderedBits> Default for Builder<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: qc_common::OrderedBits> Builder<T> {
+    /// Start from defaults.
+    pub fn new() -> Self {
+        Self { cfg: Config::default(), _marker: std::marker::PhantomData }
+    }
+
+    /// Level size `k`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.cfg.k = k;
+        self
+    }
+
+    /// Thread-local buffer size `b`.
+    pub fn b(mut self, b: usize) -> Self {
+        self.cfg.b = b;
+        self
+    }
+
+    /// Number of Gather&Sort units (simulated NUMA nodes).
+    pub fn numa_nodes(mut self, s: usize) -> Self {
+        self.cfg.numa_nodes = s;
+        self
+    }
+
+    /// Threads per node for fill-first placement.
+    pub fn threads_per_node(mut self, t: usize) -> Self {
+        self.cfg.threads_per_node = t;
+        self
+    }
+
+    /// Query freshness bound ρ (0 disables snapshot caching).
+    pub fn rho(mut self, rho: f64) -> Self {
+        self.cfg.rho = rho;
+        self
+    }
+
+    /// Equivalent staleness form: ρ = 1 + ε′ (how Figures 6c/7c label it).
+    pub fn staleness_epsilon(mut self, eps_prime: f64) -> Self {
+        assert!(eps_prime >= 0.0);
+        self.cfg.rho = 1.0 + eps_prime;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// The resulting configuration (validated).
+    pub fn config(&self) -> Config {
+        self.cfg.clone().validated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_headline_parameters() {
+        let c = Config::default().validated();
+        assert_eq!(c.k, 4096);
+        assert_eq!(c.b, 16);
+        assert_eq!(c.threads_per_node, 8);
+    }
+
+    #[test]
+    fn relaxation_formula() {
+        let c = Config { k: 4096, b: 2048, numa_nodes: 1, ..Default::default() };
+        assert_eq!(c.relaxation(8), 4 * 4096 + 7 * 2048); // §5.5: ≈ 30K
+        let c4 = Config { k: 4096, b: 2048, numa_nodes: 4, ..Default::default() };
+        assert_eq!(c4.relaxation(32), 4 * 4096 * 4 + 28 * 2048); // §5.5: ≈ 122K
+    }
+
+    #[test]
+    fn fill_first_placement() {
+        let c = Config { numa_nodes: 4, threads_per_node: 8, ..Default::default() };
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(7), 0);
+        assert_eq!(c.node_of(8), 1);
+        assert_eq!(c.node_of(31), 3);
+        assert_eq!(c.node_of(32), 0); // wraps beyond 4 nodes × 8 threads
+    }
+
+    #[test]
+    #[should_panic(expected = "divide 2k")]
+    fn b_must_divide_2k() {
+        let _ = Config { k: 8, b: 3, ..Default::default() }.validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn fractional_rho_below_one_rejected() {
+        let _ = Config { rho: 0.5, ..Default::default() }.validated();
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let c = Builder::<u64>::new().k(64).b(8).numa_nodes(2).threads_per_node(4).rho(0.0).config();
+        assert_eq!((c.k, c.b, c.numa_nodes, c.threads_per_node), (64, 8, 2, 4));
+        assert_eq!(c.rho, 0.0);
+    }
+
+    #[test]
+    fn staleness_epsilon_sets_rho() {
+        let c = Builder::<u64>::new().staleness_epsilon(0.05).config();
+        assert!((c.rho - 1.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,304 @@
+//! Stage 1: the per-node Gather&Sort unit (paper §3.1–3.2, Algorithm 2).
+//!
+//! Each unit owns two shared buffers of `2k` slots and two fetch-and-add
+//! fill indices. A thread with a full, sorted local buffer reserves `b`
+//! slots with F&A and copies its elements in **without further
+//! synchronization** — the copy races with the batch owner's read of the
+//! whole buffer by design. The thread whose reservation fills the last `b`
+//! slots is the *owner* of the batch: it snapshots the 2k slots (sorted)
+//! and carries them into the sketch's levels.
+//!
+//! ## Holes (§4.1)
+//!
+//! Because slot writes are unsynchronized, the owner may read a slot whose
+//! writer has not finished (an old value from a previous window gets
+//! *duplicated*, the new value is *dropped*). The paper bounds the expected
+//! number of such holes per batch by 2.8. To validate that empirically, every
+//! slot carries a *round stamp*: writers stamp the round they reserved in,
+//! and the owner counts slots whose stamp is not the current round. The
+//! stamp write is one extra `Relaxed` store per element; misattribution is
+//! possible only in the instant a buffer is recycled, and errs toward
+//! over-counting (conservative for checking an upper bound).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Outcome of placing a local buffer into a Gather&Sort buffer.
+pub(crate) enum Placement {
+    /// Elements copied; someone else will own the batch.
+    Placed,
+    /// This thread's copy filled the buffer: it owns the batch and must
+    /// run stages 2–3 with the sorted copy, then [`GatherSort::reset`].
+    Owner {
+        /// Sorted snapshot of all `2k` slots.
+        batch: Vec<u64>,
+        /// Stale slots observed while copying (holes).
+        holes: u64,
+    },
+    /// The buffer is full (its owner has not reset it yet) — try the
+    /// other buffer.
+    Full,
+}
+
+struct Buffer {
+    slots: Box<[AtomicU64]>,
+    stamps: Box<[AtomicU64]>,
+    /// Next free slot ×1 (bumped by `b` per reservation). May transiently
+    /// exceed `2k` when threads overshoot a full buffer.
+    index: AtomicU64,
+    /// Recycling round, bumped on reset. Stamps from other rounds mark
+    /// holes.
+    round: AtomicU64,
+}
+
+impl Buffer {
+    fn new(two_k: usize) -> Self {
+        Self {
+            slots: (0..two_k).map(|_| AtomicU64::new(0)).collect(),
+            // u64::MAX never equals a round, so never-written slots count
+            // as holes in round 0 too.
+            stamps: (0..two_k).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            index: AtomicU64::new(0),
+            round: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One NUMA node's Gather&Sort unit: two `2k` buffers plus fill indices
+/// (paper Figure 4a).
+pub(crate) struct GatherSort {
+    two_k: usize,
+    b: usize,
+    buffers: [Buffer; 2],
+    /// Holes observed per region j ∈ [0, 2k/b) — the empirical H_j of
+    /// §4.1's analysis (region j = slots [j·b, (j+1)·b), written by the
+    /// thread whose F&A landed there).
+    region_holes: Box<[AtomicU64]>,
+}
+
+impl GatherSort {
+    pub(crate) fn new(k: usize, b: usize) -> Self {
+        let two_k = 2 * k;
+        assert!(two_k % b == 0, "b must divide 2k");
+        Self {
+            two_k,
+            b,
+            buffers: [Buffer::new(two_k), Buffer::new(two_k)],
+            region_holes: (0..two_k / b).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Algorithm 2, lines 21–28, for one buffer: reserve `b` slots, copy
+    /// the local buffer in, detect ownership.
+    ///
+    /// `local` must contain exactly `b` elements (sorted by the caller —
+    /// the unit itself is insensitive to order, but stage 2 expects the
+    /// invariant documented in the paper).
+    pub(crate) fn try_place(&self, which: usize, local: &[u64]) -> Placement {
+        debug_assert_eq!(local.len(), self.b);
+        let buf = &self.buffers[which];
+        // Stamp with the round observed *before* reserving: if the buffer
+        // recycles mid-flight we mis-stamp toward "stale", over-counting
+        // holes (see module docs).
+        let round = buf.round.load(Ordering::Acquire);
+        let idx = buf.index.fetch_add(self.b as u64, Ordering::SeqCst) as usize;
+        if idx >= self.two_k {
+            return Placement::Full;
+        }
+        // b | 2k, so a successful reservation never straddles the end.
+        debug_assert!(idx + self.b <= self.two_k);
+        for (j, &v) in local.iter().enumerate() {
+            buf.slots[idx + j].store(v, Ordering::Relaxed);
+            buf.stamps[idx + j].store(round, Ordering::Relaxed);
+        }
+        if idx + self.b == self.two_k {
+            // Owner: snapshot all slots (racing with laggard writers — the
+            // benign races that produce holes).
+            let mut batch = Vec::with_capacity(self.two_k);
+            let mut holes = 0u64;
+            for j in 0..self.two_k {
+                batch.push(buf.slots[j].load(Ordering::Relaxed));
+                if buf.stamps[j].load(Ordering::Relaxed) != round {
+                    holes += 1;
+                    self.region_holes[j / self.b].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            batch.sort_unstable();
+            Placement::Owner { batch, holes }
+        } else {
+            Placement::Placed
+        }
+    }
+
+    /// Algorithm 3, line 34: after the owner's batch lands in level 0,
+    /// reopen the buffer for new reservations.
+    pub(crate) fn reset(&self, which: usize) {
+        let buf = &self.buffers[which];
+        buf.round.fetch_add(1, Ordering::SeqCst);
+        buf.index.store(0, Ordering::SeqCst);
+    }
+
+    /// Elements currently buffered (for quiescent accounting): with no
+    /// in-flight updates, each buffer holds exactly `min(index, 2k)`
+    /// valid elements.
+    pub(crate) fn pending(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for buf in &self.buffers {
+            let idx = (buf.index.load(Ordering::SeqCst) as usize).min(self.two_k);
+            for j in 0..idx {
+                out.push(buf.slots[j].load(Ordering::SeqCst));
+            }
+        }
+        out
+    }
+
+    /// Number of buffered elements (cheap form of [`GatherSort::pending`]).
+    pub(crate) fn pending_len(&self) -> usize {
+        self.buffers
+            .iter()
+            .map(|b| (b.index.load(Ordering::SeqCst) as usize).min(self.two_k))
+            .sum()
+    }
+
+    /// Cumulative holes per region (length `2k/b`) — §4.1's H_j measured.
+    pub(crate) fn region_holes(&self) -> Vec<u64> {
+        self.region_holes.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filling_one_buffer_yields_one_owner() {
+        let gs = GatherSort::new(8, 4); // 2k = 16, 4 regions of 4
+        let mut owners = 0;
+        for r in 0..4u64 {
+            let local: Vec<u64> = (0..4).map(|j| r * 10 + j).collect();
+            match gs.try_place(0, &local) {
+                Placement::Owner { batch, holes } => {
+                    owners += 1;
+                    assert_eq!(batch.len(), 16);
+                    assert_eq!(holes, 0, "single-threaded fill has no holes");
+                    assert!(qc_common::merge::is_sorted(&batch));
+                }
+                Placement::Placed => {}
+                Placement::Full => panic!("buffer can hold 4 regions"),
+            }
+        }
+        assert_eq!(owners, 1, "exactly the last placer owns");
+    }
+
+    #[test]
+    fn overshoot_reports_full_until_reset() {
+        let gs = GatherSort::new(2, 2); // 2k = 4, 2 regions
+        let local = [1u64, 2];
+        assert!(matches!(gs.try_place(0, &local), Placement::Placed));
+        assert!(matches!(gs.try_place(0, &local), Placement::Owner { .. }));
+        assert!(matches!(gs.try_place(0, &local), Placement::Full));
+        assert!(matches!(gs.try_place(0, &local), Placement::Full));
+        gs.reset(0);
+        assert!(matches!(gs.try_place(0, &local), Placement::Placed));
+    }
+
+    #[test]
+    fn owner_batch_contains_all_placed_values() {
+        let gs = GatherSort::new(4, 2); // 2k = 8
+        let mut expect = Vec::new();
+        let mut batch_opt = None;
+        for r in 0..4u64 {
+            let local = [r * 2, r * 2 + 1];
+            expect.extend_from_slice(&local);
+            if let Placement::Owner { batch, .. } = gs.try_place(0, &local) {
+                batch_opt = Some(batch);
+            }
+        }
+        let mut batch = batch_opt.expect("owner must emerge");
+        expect.sort_unstable();
+        batch.sort_unstable();
+        assert_eq!(batch, expect);
+    }
+
+    #[test]
+    fn second_buffer_is_independent() {
+        let gs = GatherSort::new(2, 2);
+        let local = [7u64, 8];
+        assert!(matches!(gs.try_place(0, &local), Placement::Placed));
+        assert!(matches!(gs.try_place(1, &local), Placement::Placed));
+        assert!(matches!(gs.try_place(1, &local), Placement::Owner { .. }));
+        assert!(matches!(gs.try_place(0, &local), Placement::Owner { .. }));
+    }
+
+    #[test]
+    fn pending_reflects_partial_fill() {
+        let gs = GatherSort::new(4, 2);
+        assert_eq!(gs.pending_len(), 0);
+        gs.try_place(0, &[5, 6]);
+        gs.try_place(1, &[7, 8]);
+        assert_eq!(gs.pending_len(), 4);
+        let mut p = gs.pending();
+        p.sort_unstable();
+        assert_eq!(p, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn reset_clears_pending_count() {
+        let gs = GatherSort::new(2, 2);
+        gs.try_place(0, &[1, 2]);
+        let Placement::Owner { .. } = gs.try_place(0, &[3, 4]) else {
+            panic!("second region fills the buffer")
+        };
+        gs.reset(0);
+        assert_eq!(gs.pending_len(), 0);
+    }
+
+    /// Multi-threaded conservation: every round produces exactly one owner
+    /// with exactly 2k elements; counts never tear even under contention.
+    #[test]
+    fn concurrent_placement_conserves_counts() {
+        use std::sync::atomic::AtomicU64 as A;
+        const THREADS: usize = 8;
+        const FLUSHES_PER_THREAD: usize = 300;
+
+        let gs = GatherSort::new(8, 4); // 2k = 16
+        let owners = A::new(0);
+        let placed = A::new(0);
+
+        std::thread::scope(|s| {
+            for t in 0..THREADS as u64 {
+                let gs = &gs;
+                let owners = &owners;
+                let placed = &placed;
+                s.spawn(move || {
+                    for f in 0..FLUSHES_PER_THREAD as u64 {
+                        let local: Vec<u64> = (0..4).map(|j| t << 32 | f << 8 | j).collect();
+                        let mut which = 0;
+                        loop {
+                            match gs.try_place(which, &local) {
+                                Placement::Placed => break,
+                                Placement::Owner { batch, .. } => {
+                                    assert_eq!(batch.len(), 16);
+                                    owners.fetch_add(1, Ordering::SeqCst);
+                                    gs.reset(which);
+                                    break;
+                                }
+                                Placement::Full => which ^= 1,
+                            }
+                        }
+                        placed.fetch_add(4, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+
+        let total = (THREADS * FLUSHES_PER_THREAD * 4) as u64;
+        assert_eq!(placed.load(Ordering::SeqCst), total);
+        let owned = owners.load(Ordering::SeqCst) * 16;
+        let pending = gs.pending_len() as u64;
+        assert_eq!(
+            owned + pending,
+            total,
+            "batched + buffered must equal placed (count conservation despite holes)"
+        );
+    }
+}

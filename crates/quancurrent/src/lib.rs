@@ -1,0 +1,70 @@
+//! **Quancurrent** — a highly scalable concurrent Quantiles sketch.
+//!
+//! From-scratch Rust implementation of Elias-Zada, Rinberg & Keidar,
+//! *Quancurrent: A Concurrent Quantiles Sketch* (SPAA 2023,
+//! arXiv:2208.09265). The sketch estimates the quantile distribution of a
+//! high-rate stream ingested by `N` concurrent update threads while an
+//! unbounded number of query threads read it, with:
+//!
+//! * **three-level sorting** — a `b`-element thread-local buffer, a
+//!   `2k`-element per-NUMA-node *Gather&Sort* buffer, and the shared
+//!   multi-level sketch, so no single merge-sort serializes ingestion;
+//! * **concurrent propagation** — levels are coordinated by a base-3
+//!   [`Tritmap`] updated with double-compare-double-swap
+//!   ([`qc_mwcas`]), so different batches climb different levels in
+//!   parallel (paper Figure 5);
+//! * **holes** — the Gather&Sort hand-off is deliberately unsynchronized;
+//!   the expected number of duplicated/dropped samples per 2k batch is
+//!   below 2.8 (§4.1) and is tracked live in [`SketchStats::holes`];
+//! * **atomic snapshot queries** — a double-collect over the monotone
+//!   tritmap (Algorithm 5) yields linearizable relaxed queries, cached per
+//!   handle under the freshness bound ρ;
+//! * **r-relaxation** — queries may miss at most r = 4kS + (N−S)·b recent
+//!   updates ([`Quancurrent::relaxation_bound`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use quancurrent::Quancurrent;
+//! use std::sync::Barrier;
+//!
+//! let sketch = Quancurrent::<f64>::builder().k(256).b(8).build();
+//! let barrier = Barrier::new(4);
+//!
+//! std::thread::scope(|s| {
+//!     for t in 0..4 {
+//!         let mut updater = sketch.updater();
+//!         let barrier = &barrier;
+//!         s.spawn(move || {
+//!             barrier.wait();
+//!             for i in 0..25_000 {
+//!                 updater.update((t * 25_000 + i) as f64);
+//!             }
+//!         });
+//!     }
+//! });
+//!
+//! let mut queries = sketch.query_handle();
+//! let median = queries.query(0.5).unwrap();
+//! assert!((20_000.0..80_000.0).contains(&median));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod backoff;
+mod config;
+mod gather_sort;
+mod query;
+mod sketch;
+mod snapshot;
+mod stats;
+mod tritmap;
+mod updater;
+
+pub use config::{Builder, Config, MAX_LEVEL};
+pub use query::QueryHandle;
+pub use sketch::Quancurrent;
+pub use stats::SketchStats;
+pub use tritmap::Tritmap;
+pub use updater::Updater;

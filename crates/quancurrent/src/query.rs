@@ -1,0 +1,268 @@
+//! Query handles: cached atomic snapshots with freshness bound ρ
+//! (Algorithm 5, lines 48–51).
+
+use std::sync::Arc;
+
+use qc_common::bits::OrderedBits;
+use qc_common::summary::{Summary, WeightedSummary};
+use qc_reclaim::LocalHandle;
+
+use crate::sketch::SketchShared;
+use crate::snapshot::build_snapshot;
+use crate::stats::Counters;
+use crate::tritmap::Tritmap;
+
+/// A query thread's handle (one per thread; `Send`, not `Sync`).
+///
+/// Caches the last snapshot (`snapshot` / `myTrit` of Algorithm 1) and
+/// answers from it while the stream has not grown beyond the freshness
+/// bound: `n_now / n_cached ≤ ρ`. With ρ = 0 every query rebuilds; with
+/// ρ = 1 + ε′ the extra rank error is at most ε′ (§4.2).
+pub struct QueryHandle<T: OrderedBits> {
+    shared: Arc<SketchShared>,
+    reclaim: LocalHandle,
+    cached: Option<Cached>,
+    hits: u64,
+    misses: u64,
+    _marker: std::marker::PhantomData<fn(T) -> T>,
+}
+
+struct Cached {
+    n: u64,
+    my_tritmap: Tritmap,
+    summary: WeightedSummary,
+}
+
+impl<T: OrderedBits> QueryHandle<T> {
+    pub(crate) fn new(shared: Arc<SketchShared>) -> Self {
+        let reclaim = shared.domain.register();
+        Self {
+            reclaim,
+            shared,
+            cached: None,
+            hits: 0,
+            misses: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Estimate the φ-quantile (paper `query(φ)`). `None` iff the sketch's
+    /// levels represent an empty stream.
+    pub fn query(&mut self, phi: f64) -> Option<T> {
+        self.fresh_summary().quantile_bits(phi).map(T::from_ordered_bits)
+    }
+
+    /// Estimate the rank of `x` in the snapshot's stream.
+    pub fn rank(&mut self, x: T) -> u64 {
+        self.fresh_summary().rank_bits(x.to_ordered_bits())
+    }
+
+    /// Estimated CDF at the given split points.
+    pub fn cdf(&mut self, split_points: &[T]) -> Vec<f64> {
+        let bits: Vec<u64> = split_points.iter().map(|x| x.to_ordered_bits()).collect();
+        self.fresh_summary().cdf_bits(&bits)
+    }
+
+    /// Batch quantile queries against one consistent snapshot.
+    pub fn quantiles(&mut self, phis: &[f64]) -> Vec<Option<T>> {
+        let summary = self.fresh_summary();
+        phis.iter()
+            .map(|&phi| summary.quantile_bits(phi).map(T::from_ordered_bits))
+            .collect()
+    }
+
+    /// Estimated histogram over ascending `splits`: element counts per
+    /// bucket `[splits[i], splits[i+1])` including under/overflow buckets
+    /// (`splits.len() + 1` counts).
+    pub fn histogram(&mut self, splits: &[T]) -> Vec<u64> {
+        let bits: Vec<u64> = splits.iter().map(|x| x.to_ordered_bits()).collect();
+        self.fresh_summary().histogram_bits(&bits)
+    }
+
+    /// Force-rebuild the cached snapshot regardless of ρ.
+    pub fn refresh(&mut self) {
+        self.rebuild();
+    }
+
+    /// Stream size of the cached snapshot (0 before the first query).
+    pub fn cached_stream_len(&self) -> u64 {
+        self.cached.as_ref().map_or(0, |c| c.n)
+    }
+
+    /// The cached snapshot's `myTrit` (diagnostics; Algorithm 1, line 14).
+    pub fn cached_tritmap(&self) -> Tritmap {
+        self.cached.as_ref().map_or(Tritmap::EMPTY, |c| c.my_tritmap)
+    }
+
+    /// `(cache hits, cache misses)` of this handle. The miss rate is the
+    /// fraction of queries that rebuilt the snapshot (Figure 7c).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Lines 49–51: return the cached summary if fresh enough, else
+    /// rebuild.
+    fn fresh_summary(&mut self) -> &WeightedSummary {
+        let rho = self.shared.cfg.rho;
+        let fresh = match (&self.cached, rho) {
+            (None, _) => false,
+            // ρ = 0: caching disabled, always rebuild.
+            (Some(_), rho) if rho == 0.0 => false,
+            (Some(c), rho) => {
+                let n_now = self.shared.tritmap_now().stream_size(self.shared.cfg.k);
+                if c.n == 0 {
+                    n_now == 0
+                } else {
+                    (n_now as f64) / (c.n as f64) <= rho
+                }
+            }
+        };
+        if fresh {
+            self.hits += 1;
+            Counters::bump(&self.shared.counters.cache_hits);
+        } else {
+            self.rebuild();
+        }
+        &self.cached.as_ref().expect("rebuilt above").summary
+    }
+
+    fn rebuild(&mut self) {
+        let snap = build_snapshot(&self.shared, &self.reclaim);
+        self.misses += 1;
+        Counters::bump(&self.shared.counters.cache_misses);
+        self.cached = Some(Cached {
+            n: snap.n,
+            my_tritmap: snap.my_tritmap,
+            summary: snap.into_summary(),
+        });
+    }
+}
+
+impl<T: OrderedBits> std::fmt::Debug for QueryHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("cached_n", &self.cached_stream_len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Quancurrent;
+
+    fn filled(k: usize, n: u64, rho: f64) -> Quancurrent<u64> {
+        let q = Quancurrent::<u64>::builder().k(k).b(4).rho(rho).seed(5).build();
+        let mut u = q.updater();
+        for x in 0..n {
+            u.update(x);
+        }
+        q
+    }
+
+    #[test]
+    fn empty_sketch_queries_none() {
+        let q = Quancurrent::<u64>::builder().k(4).b(2).build();
+        let mut h = q.query_handle();
+        assert_eq!(h.query(0.5), None);
+        assert_eq!(h.rank(42), 0);
+    }
+
+    #[test]
+    fn median_of_uniform_range() {
+        let q = filled(64, 100_000, 1.0);
+        let mut h = q.query_handle();
+        let m = h.query(0.5).unwrap();
+        assert!((30_000..70_000).contains(&m), "median {m}");
+        assert_eq!(h.query(0.0), Some(h.query(0.0).unwrap()));
+    }
+
+    #[test]
+    fn cache_hits_while_stream_is_static() {
+        let q = filled(16, 10_000, 1.0);
+        let mut h = q.query_handle();
+        let _ = h.query(0.5); // miss (first)
+        let _ = h.query(0.9); // hit (nothing changed)
+        let _ = h.query(0.1); // hit
+        assert_eq!(h.cache_stats(), (2, 1));
+    }
+
+    #[test]
+    fn rho_zero_disables_caching() {
+        let q = filled(16, 10_000, 0.0);
+        let mut h = q.query_handle();
+        let _ = h.query(0.5);
+        let _ = h.query(0.5);
+        let _ = h.query(0.5);
+        assert_eq!(h.cache_stats(), (0, 3));
+    }
+
+    #[test]
+    fn growing_stream_invalidates_under_strict_rho() {
+        let q = Quancurrent::<u64>::builder().k(4).b(2).rho(1.0).seed(1).build();
+        let mut u = q.updater();
+        for x in 0..16u64 {
+            u.update(x);
+        }
+        let mut h = q.query_handle();
+        let _ = h.query(0.5); // miss
+        for x in 16..32u64 {
+            u.update(x); // grows the stream
+        }
+        let _ = h.query(0.5); // must rebuild (ratio 2 > 1)
+        assert_eq!(h.cache_stats(), (0, 2));
+    }
+
+    #[test]
+    fn generous_rho_tolerates_growth() {
+        let q = Quancurrent::<u64>::builder().k(4).b(2).rho(4.0).seed(1).build();
+        let mut u = q.updater();
+        for x in 0..16u64 {
+            u.update(x);
+        }
+        let mut h = q.query_handle();
+        let _ = h.query(0.5); // miss, caches n = 16
+        for x in 16..48u64 {
+            u.update(x); // n grows to 48: ratio 3 ≤ 4
+        }
+        let _ = h.query(0.5); // hit despite growth
+        assert_eq!(h.cache_stats(), (1, 1));
+        assert_eq!(h.cached_stream_len(), 16);
+        h.refresh();
+        assert_eq!(h.cached_stream_len(), 48);
+    }
+
+    #[test]
+    fn batch_quantiles_are_monotone() {
+        let q = filled(32, 50_000, 1.0);
+        let mut h = q.query_handle();
+        let qs = h.quantiles(&[0.1, 0.3, 0.5, 0.7, 0.9]);
+        let vals: Vec<u64> = qs.into_iter().map(Option::unwrap).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1], "quantiles not monotone: {vals:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_covers_the_stream() {
+        let q = filled(32, 60_000, 1.0);
+        let mut h = q.query_handle();
+        let counts = h.histogram(&[15_000, 30_000, 45_000]);
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts.iter().sum::<u64>(), q.stream_len());
+        // Uniform data: each quarter holds ~25% (within sketch error).
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / q.stream_len() as f64;
+            assert!((frac - 0.25).abs() < 0.1, "bucket {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn cached_tritmap_matches_stream() {
+        let q = filled(4, 64, 1.0);
+        let mut h = q.query_handle();
+        let _ = h.query(0.5);
+        assert_eq!(h.cached_tritmap().stream_size(4), h.cached_stream_len());
+    }
+}

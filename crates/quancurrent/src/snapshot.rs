@@ -1,0 +1,406 @@
+//! Stage "query": atomic snapshot collection (Algorithm 5, lines 52–65).
+//!
+//! The collect is a double-collect on the tritmap: read `tm1`, read all
+//! level pointers, read `tm2`; retry until `tm1` and `tm2` represent equal
+//! stream sizes. Because the tritmap is monotone (Lemma 8), equal sizes
+//! imply the *same* stream (Lemma 1), and the levels read in between can
+//! reconstruct exactly that stream (Lemma 2).
+//!
+//! Reconstruction walks the collected levels **top-down**, adding a level
+//! only while its contribution fits in the remaining stream-size budget and
+//! stopping the moment the budget is exhausted. This is what excludes
+//! stale or duplicated arrays read mid-propagation (Lemmas 3–4): an array
+//! whose elements were already merged into a higher level no longer fits
+//! once that higher level is accounted.
+
+use qc_common::summary::WeightedSummary;
+use qc_reclaim::{LocalHandle, Shared};
+
+use crate::config::MAX_LEVEL;
+use crate::sketch::SketchShared;
+use crate::stats::Counters;
+use crate::tritmap::Tritmap;
+
+/// A consistent copy of the sketch's levels.
+pub(crate) struct SnapshotData {
+    /// Stream size represented (equals `my_tritmap.stream_size(k)`).
+    pub(crate) n: u64,
+    /// The tritmap describing which levels the snapshot retained
+    /// (Algorithm 5's `myTrit`).
+    pub(crate) my_tritmap: Tritmap,
+    /// Owned copies of the retained level arrays with their weights,
+    /// highest level first.
+    pub(crate) parts: Vec<(Vec<u64>, u64)>,
+}
+
+impl SnapshotData {
+    /// Build the queryable weighted summary.
+    pub(crate) fn into_summary(self) -> WeightedSummary {
+        WeightedSummary::from_parts(self.parts.iter().map(|(v, w)| (&v[..], *w)))
+    }
+}
+
+/// Collect an atomic snapshot of the levels (Algorithm 5, lines 52–65).
+pub(crate) fn build_snapshot(shared: &SketchShared, reclaim: &LocalHandle) -> SnapshotData {
+    let k = shared.cfg.k;
+    let guard = reclaim.pin();
+    loop {
+        // Line 53: first tritmap read.
+        let tm1 =
+            Tritmap(qc_mwcas::read(&shared.tritmap, |w| guard.protect(|| w.load_raw())));
+        let n1 = tm1.stream_size(k);
+
+        // Line 54: read levels 0..MAX_LEVEL (each pointer read resolves
+        // in-flight DCAS descriptors and is era-protected, so the arrays
+        // stay alive until the guard drops).
+        let mut raws = [0u64; MAX_LEVEL];
+        for (i, raw) in raws.iter_mut().enumerate() {
+            *raw = qc_mwcas::read(&shared.levels[i], |w| guard.protect(|| w.load_raw()));
+        }
+
+        // Line 55–56: second tritmap read; equal stream sizes mean equal
+        // streams (monotonicity), so the levels in between are usable.
+        let tm2 =
+            Tritmap(qc_mwcas::read(&shared.tritmap, |w| guard.protect(|| w.load_raw())));
+        if n1 != tm2.stream_size(k) {
+            Counters::bump(&shared.counters.snapshot_retries);
+            continue;
+        }
+
+        // Lines 57–64: top-down reconstruction under the size budget.
+        // SAFETY: every raw came from an era-protected read under `guard`,
+        // which is still pinned — the blocks cannot have been reclaimed.
+        let sizes: [usize; MAX_LEVEL] = std::array::from_fn(|i| {
+            if raws[i] == 0 {
+                0
+            } else {
+                unsafe { Shared::<Vec<u64>>::from_raw(raws[i]).deref() }.len()
+            }
+        });
+
+        let Some(plan) = plan_reconstruction(n1, &sizes, k) else {
+            // Lemma 5 proves this cannot happen for a validated collect;
+            // keep the retry as a defensive measure (it would indicate a
+            // bug, which the debug assertion surfaces in tests).
+            debug_assert!(false, "snapshot reconstruction missed budget: {tm1:?}");
+            Counters::bump(&shared.counters.snapshot_retries);
+            continue;
+        };
+
+        let mut parts: Vec<(Vec<u64>, u64)> = Vec::new();
+        for i in (0..MAX_LEVEL).rev() {
+            if plan.include[i] {
+                // SAFETY: as above — still under the same pinned guard.
+                let arr: &Vec<u64> =
+                    unsafe { Shared::<Vec<u64>>::from_raw(raws[i]).deref() };
+                parts.push((arr.clone(), 1u64 << i));
+            }
+        }
+
+        Counters::bump(&shared.counters.snapshots_built);
+        return SnapshotData { n: n1, my_tritmap: Tritmap::from_trits(&plan.trits), parts };
+    }
+}
+
+/// The outcome of Algorithm 5's top-down selection.
+pub(crate) struct ReconstructionPlan {
+    /// Which collected levels enter the snapshot.
+    pub(crate) include: [bool; MAX_LEVEL],
+    /// The `myTrit` digits describing the retained levels.
+    pub(crate) trits: [u8; MAX_LEVEL],
+}
+
+/// Pure form of Algorithm 5, lines 57–64: given the stream-size budget `n`
+/// (from the validated tritmap) and the observed per-level array sizes,
+/// pick levels top-down while they fit; succeed iff the budget is met
+/// exactly.
+///
+/// Factored out of [`build_snapshot`] so the selection logic can be
+/// property-tested against a model of all reachable mid-propagation
+/// states (see the tests below and `tests/` of this crate).
+pub(crate) fn plan_reconstruction(
+    n: u64,
+    sizes: &[usize; MAX_LEVEL],
+    k: usize,
+) -> Option<ReconstructionPlan> {
+    let mut include = [false; MAX_LEVEL];
+    let mut trits = [0u8; MAX_LEVEL];
+    let mut acc = 0u64;
+    for i in (0..MAX_LEVEL).rev() {
+        let size = sizes[i] as u64;
+        if size == 0 {
+            continue;
+        }
+        let contribution = size * (1u64 << i);
+        if acc + contribution <= n {
+            include[i] = true;
+            trits[i] = (sizes[i] / k) as u8;
+            acc += contribution;
+        }
+        if acc == n {
+            break;
+        }
+    }
+    (acc == n).then_some(ReconstructionPlan { include, trits })
+}
+
+#[cfg(test)]
+mod model_tests {
+    //! Model-check of Algorithm 5's selection against the full reachable
+    //! state space of the propagation protocol, including the stale-array
+    //! windows between a propagation DCAS and its `levels[l] ← ⊥` clear,
+    //! and the *monotone read cuts* a real collector can observe (levels
+    //! are read upward in time while propagations and clears land).
+
+    use super::plan_reconstruction;
+    use crate::config::MAX_LEVEL;
+    use crate::tritmap::Tritmap;
+    use proptest::prelude::*;
+
+    const K: usize = 2;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Model {
+        /// Physical array length at each level (stale arrays included).
+        sizes: [usize; MAX_LEVEL],
+        /// Logical tritmap digits.
+        trits: [u8; MAX_LEVEL],
+        /// Level holds a stale array (trit already 0, clear pending).
+        stale: [bool; MAX_LEVEL],
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    enum Step {
+        /// Algorithm 3's DCAS (changes the stream size).
+        Insert,
+        /// Algorithm 4 into an empty level (atomic DCAS).
+        PropagateEmpty(usize),
+        /// Algorithm 4 into a full level (atomic DCAS).
+        PropagateFull(usize),
+        /// Algorithm 4's deferred `levels[l] ← ⊥`.
+        Clear(usize),
+    }
+
+    impl Model {
+        fn new() -> Self {
+            Self {
+                sizes: [0; MAX_LEVEL],
+                trits: [0; MAX_LEVEL],
+                stale: [false; MAX_LEVEL],
+            }
+        }
+
+        fn n(&self) -> u64 {
+            Tritmap::from_trits(&self.trits).stream_size(K)
+        }
+
+        fn legal_steps(&self) -> Vec<Step> {
+            let mut steps = Vec::new();
+            if self.trits[0] == 0 && self.sizes[0] == 0 {
+                steps.push(Step::Insert);
+            }
+            for l in 0..MAX_LEVEL - 1 {
+                if self.trits[l] == 2 {
+                    match self.trits[l + 1] {
+                        0 if self.sizes[l + 1] == 0 => steps.push(Step::PropagateEmpty(l)),
+                        1 => steps.push(Step::PropagateFull(l)),
+                        _ => {}
+                    }
+                }
+            }
+            for l in 0..MAX_LEVEL {
+                if self.stale[l] {
+                    steps.push(Step::Clear(l));
+                }
+            }
+            steps
+        }
+
+        fn apply(&mut self, step: Step) {
+            match step {
+                Step::Insert => {
+                    assert_eq!(self.trits[0], 0);
+                    assert_eq!(self.sizes[0], 0);
+                    self.sizes[0] = 2 * K;
+                    self.trits[0] = 2;
+                }
+                Step::PropagateEmpty(l) => {
+                    self.sizes[l + 1] = K;
+                    self.trits[l + 1] = 1;
+                    self.trits[l] = 0;
+                    self.stale[l] = true;
+                }
+                Step::PropagateFull(l) => {
+                    self.sizes[l + 1] = 2 * K;
+                    self.trits[l + 1] = 2;
+                    self.trits[l] = 0;
+                    self.stale[l] = true;
+                }
+                Step::Clear(l) => {
+                    self.sizes[l] = 0;
+                    self.stale[l] = false;
+                }
+            }
+        }
+    }
+
+    /// Drive the model with `choices`, returning every reached state.
+    fn trajectory(choices: &[u8]) -> Vec<Model> {
+        let mut state = Model::new();
+        let mut states = vec![state.clone()];
+        for &c in choices {
+            let steps = state.legal_steps();
+            if steps.is_empty() {
+                break;
+            }
+            state.apply(steps[c as usize % steps.len()]);
+            states.push(state.clone());
+        }
+        states
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Every reachable instantaneous state reconstructs its stream
+        /// size exactly (Lemma 5 for point snapshots).
+        #[test]
+        fn every_reachable_state_reconstructs(choices in prop::collection::vec(any::<u8>(), 0..300)) {
+            for state in trajectory(&choices) {
+                let n = state.n();
+                let plan = plan_reconstruction(n, &state.sizes, K);
+                prop_assert!(plan.is_some(), "state {:?} (n={}) failed", state, n);
+                let plan = plan.unwrap();
+                let covered: u64 = (0..MAX_LEVEL)
+                    .filter(|&i| plan.include[i])
+                    .map(|i| state.sizes[i] as u64 * (1 << i))
+                    .sum();
+                prop_assert_eq!(covered, n);
+                prop_assert_eq!(Tritmap::from_trits(&plan.trits).stream_size(K), n);
+            }
+        }
+
+        /// Monotone read cuts: the collector reads level i before level
+        /// i+1, while same-stream-size steps (propagations, clears) land
+        /// in between. Any such cut must still reconstruct exactly —
+        /// this is the heart of Lemmas 2–4.
+        #[test]
+        fn monotone_cuts_reconstruct(
+            choices in prop::collection::vec(any::<u8>(), 1..300),
+            cut_seed in any::<u64>(),
+        ) {
+            let states = trajectory(&choices);
+            // Split into windows of equal stream size (no Insert inside).
+            let mut windows: Vec<(u64, Vec<&Model>)> = Vec::new();
+            for state in &states {
+                match windows.last_mut() {
+                    Some((n, group)) if *n == state.n() => group.push(state),
+                    _ => windows.push((state.n(), vec![state])),
+                }
+            }
+            let mut rng = qc_common::rng::Xoshiro256::seed_from_u64(cut_seed);
+            for (n, group) in &windows {
+                // A cut: non-decreasing observation indices per level.
+                let mut observed = [0usize; MAX_LEVEL];
+                let mut t = 0usize;
+                for (i, slot) in observed.iter_mut().enumerate() {
+                    t += rng.next_below((group.len() - t) as u64) as usize;
+                    *slot = group[t].sizes[i];
+                }
+                let plan = plan_reconstruction(*n, &observed, K);
+                prop_assert!(
+                    plan.is_some(),
+                    "cut over window n={} failed: observed {:?}",
+                    n,
+                    observed
+                );
+                let plan = plan.unwrap();
+                let covered: u64 = (0..MAX_LEVEL)
+                    .filter(|&i| plan.include[i])
+                    .map(|i| observed[i] as u64 * (1 << i))
+                    .sum();
+                prop_assert_eq!(covered, *n);
+            }
+        }
+    }
+
+    /// The paper's §3.3 worked example: a query reads tm1 = 00202, then
+    /// levels sized (bottom-up) 2k, k, 2k, then tm2 = 00210 — both
+    /// tritmaps represent a 10k stream. Reconstruction takes level 2
+    /// (4·2k = 8k) and level 1 (2·k = 2k), reaching exactly 10k, and must
+    /// therefore *exclude* the 2k array still visible at level 0 (its
+    /// elements are the ones already merged into level 1).
+    #[test]
+    fn paper_section_3_3_example() {
+        let mut sizes = [0usize; MAX_LEVEL];
+        sizes[0] = 2 * K;
+        sizes[1] = K;
+        sizes[2] = 2 * K;
+        let n = 10 * K as u64;
+        let plan = plan_reconstruction(n, &sizes, K).expect("paper example reconstructs");
+        assert!(plan.include[2] && plan.include[1]);
+        assert!(!plan.include[0], "level 0's batch is already represented by level 1");
+        assert_eq!(plan.trits[..3], [0, 1, 2]);
+        assert_eq!(Tritmap::from_trits(&plan.trits).stream_size(K), n);
+    }
+
+    /// A stale level-0 array left behind by a finished propagation must be
+    /// excluded (its data lives on in level 1).
+    #[test]
+    fn stale_level_zero_is_excluded() {
+        let mut sizes = [0usize; MAX_LEVEL];
+        sizes[0] = 2 * K; // stale: trit 0 is 0
+        sizes[1] = K; // the sample of it
+        let n = 2 * K as u64; // tritmap counts only level 1 (k · 2¹)
+        let plan = plan_reconstruction(n, &sizes, K).unwrap();
+        assert!(!plan.include[0], "stale array must not be re-counted");
+        assert!(plan.include[1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Quancurrent;
+
+    /// Build hand-crafted level states through the real update path and
+    /// check reconstruction invariants.
+    #[test]
+    fn snapshot_of_empty_sketch() {
+        let q = Quancurrent::<u64>::builder().k(4).b(2).seed(1).build();
+        let handle = q.shared().domain.register();
+        let snap = build_snapshot(q.shared(), &handle);
+        assert_eq!(snap.n, 0);
+        assert!(snap.parts.is_empty());
+        assert_eq!(snap.my_tritmap, Tritmap::EMPTY);
+    }
+
+    #[test]
+    fn snapshot_matches_tritmap_stream_size() {
+        let q = Quancurrent::<u64>::builder().k(4).b(2).seed(1).build();
+        let mut u = q.updater();
+        for x in 0..64u64 {
+            u.update(x);
+        }
+        let handle = q.shared().domain.register();
+        let snap = build_snapshot(q.shared(), &handle);
+        assert_eq!(snap.n, q.stream_len());
+        assert_eq!(snap.my_tritmap.stream_size(4), snap.n);
+        let total: u64 = snap.parts.iter().map(|(v, w)| v.len() as u64 * w).sum();
+        assert_eq!(total, snap.n, "every element accounted exactly once");
+    }
+
+    #[test]
+    fn snapshot_parts_are_sorted_arrays() {
+        let q = Quancurrent::<u64>::builder().k(8).b(4).seed(3).build();
+        let mut u = q.updater();
+        for x in (0..1000u64).rev() {
+            u.update(x);
+        }
+        let handle = q.shared().domain.register();
+        let snap = build_snapshot(q.shared(), &handle);
+        for (arr, w) in &snap.parts {
+            assert!(qc_common::merge::is_sorted(arr), "weight-{w} part unsorted");
+        }
+    }
+}

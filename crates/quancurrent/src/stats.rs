@@ -1,0 +1,171 @@
+//! Operation counters: cheap, always-on observability.
+//!
+//! The benchmark harness uses these to report batch/propagation/snapshot
+//! behaviour (and the §4.1 holes experiment); tests use them to assert
+//! structural invariants like exact stream-size accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Internal atomic counters (one instance in the shared sketch state).
+#[derive(Default)]
+pub(crate) struct Counters {
+    /// Successful batch inserts into level 0 (each adds exactly 2k).
+    pub batches: AtomicU64,
+    /// Successful level propagations (either Algorithm 4 form).
+    pub propagations: AtomicU64,
+    /// Propagations that merged with a full next level (`[2,1] → [0,2]`).
+    pub merges: AtomicU64,
+    /// DCAS attempts that failed and were retried.
+    pub dcas_retries: AtomicU64,
+    /// Spins waiting for a busy (trit = 2) next level.
+    pub level_waits: AtomicU64,
+    /// Fresh snapshots constructed by queries.
+    pub snapshots_built: AtomicU64,
+    /// Double-collect rounds that had to retry (tritmap moved mid-read).
+    pub snapshot_retries: AtomicU64,
+    /// Queries answered from a cached snapshot.
+    pub cache_hits: AtomicU64,
+    /// Queries that had to rebuild (the paper's "miss rate" in Fig. 7c).
+    pub cache_misses: AtomicU64,
+    /// Holes observed by batch owners (stale slots copied; §4.1).
+    pub holes: AtomicU64,
+    /// Buffer hand-offs that found both Gather&Sort buffers full.
+    pub gs_full_spins: AtomicU64,
+}
+
+impl Counters {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> SketchStats {
+        SketchStats {
+            batches: self.batches.load(Relaxed),
+            propagations: self.propagations.load(Relaxed),
+            merges: self.merges.load(Relaxed),
+            dcas_retries: self.dcas_retries.load(Relaxed),
+            level_waits: self.level_waits.load(Relaxed),
+            snapshots_built: self.snapshots_built.load(Relaxed),
+            snapshot_retries: self.snapshot_retries.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
+            holes: self.holes.load(Relaxed),
+            gs_full_spins: self.gs_full_spins.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the sketch's operation counters.
+///
+/// All counts are cumulative since sketch creation; under concurrency they
+/// are relaxed sums (exact once the sketch is quiescent).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SketchStats {
+    /// Successful 2k-element batch inserts into level 0.
+    pub batches: u64,
+    /// Successful level propagations.
+    pub propagations: u64,
+    /// Propagations that merged with a full next level.
+    pub merges: u64,
+    /// Failed-and-retried DCAS attempts.
+    pub dcas_retries: u64,
+    /// Spins on a next level busy with another propagation.
+    pub level_waits: u64,
+    /// Fresh query snapshots constructed.
+    pub snapshots_built: u64,
+    /// Snapshot double-collect retries.
+    pub snapshot_retries: u64,
+    /// Queries served from a cached snapshot.
+    pub cache_hits: u64,
+    /// Queries that rebuilt the snapshot.
+    pub cache_misses: u64,
+    /// Holes observed by batch owners (§4.1).
+    pub holes: u64,
+    /// Hand-offs that found both Gather&Sort buffers momentarily full.
+    pub gs_full_spins: u64,
+}
+
+impl SketchStats {
+    /// Mean holes per completed batch — the quantity §4.1 bounds by 2.8.
+    pub fn holes_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.holes as f64 / self.batches as f64
+        }
+    }
+
+    /// Query cache miss rate (Figure 7c's right axis).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SketchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batches={} propagations={} (merges={}) dcas_retries={} level_waits={} \
+             snapshots={} (retries={}) cache hit/miss={}/{} holes={} ({:.3}/batch)",
+            self.batches,
+            self.propagations,
+            self.merges,
+            self.dcas_retries,
+            self.level_waits,
+            self.snapshots_built,
+            self.snapshot_retries,
+            self.cache_hits,
+            self.cache_misses,
+            self.holes,
+            self.holes_per_batch(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let c = Counters::default();
+        Counters::bump(&c.batches);
+        Counters::add(&c.holes, 5);
+        let s = c.snapshot();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.holes, 5);
+        assert_eq!(s.holes_per_batch(), 5.0);
+    }
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = SketchStats::default();
+        assert_eq!(s.holes_per_batch(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_is_fraction_of_queries() {
+        let s = SketchStats { cache_hits: 75, cache_misses: 25, ..Default::default() };
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = SketchStats { batches: 2, holes: 3, ..Default::default() };
+        let out = format!("{s}");
+        assert!(out.contains("batches=2"));
+        assert!(out.contains("holes=3"));
+    }
+}

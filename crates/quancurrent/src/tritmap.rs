@@ -1,0 +1,281 @@
+//! The tritmap: a base-3 integer describing the state of every level.
+//!
+//! Trit `i` (paper §3.1):
+//!
+//! * `0` — level `i` is empty (or holds ignored, already-propagated data);
+//! * `1` — level `i` holds `k` elements;
+//! * `2` — level `i` holds `2k` elements and is in propagation.
+//!
+//! Packed as Σ tritᵢ·3ⁱ into one integer, the tritmap has a crucial
+//! property (paper Lemma 8): **every legal transition is an addition**, so
+//! the value is monotonically increasing:
+//!
+//! * batch insert: trit 0 goes 0 → 2, i.e. `+2·3⁰`;
+//! * propagation of level `l` into an empty level: `[2, 0] → [0, 1]` at
+//!   trits `(l, l+1)`, i.e. `−2·3ˡ + 3ˡ⁺¹ = +3ˡ`;
+//! * propagation of level `l` into a full level: `[2, 1] → [0, 2]`, i.e.
+//!   `−2·3ˡ + 3ˡ⁺¹ = +3ˡ` as well.
+//!
+//! Monotonicity is what lets the query's double-collect (Algorithm 5)
+//! conclude that two equal *stream sizes* imply the same stream (Lemma 1).
+
+use crate::config::MAX_LEVEL;
+
+/// 3⁰ … 3³¹, so transitions can be expressed as additions.
+pub(crate) const POW3: [u64; MAX_LEVEL + 1] = {
+    let mut t = [0u64; MAX_LEVEL + 1];
+    let mut i = 0;
+    let mut p = 1u64;
+    while i <= MAX_LEVEL {
+        t[i] = p;
+        if i < MAX_LEVEL {
+            p *= 3;
+        }
+        i += 1;
+    }
+    t
+};
+
+/// A decoded tritmap value.
+///
+/// Plain value semantics — copy it out of the shared `MwcasWord`, inspect,
+/// and compute successor values for the DCAS.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Tritmap(pub u64);
+
+impl Tritmap {
+    /// The empty sketch.
+    pub const EMPTY: Tritmap = Tritmap(0);
+
+    /// Trit `i` (0, 1 or 2).
+    #[inline]
+    pub fn trit(self, i: usize) -> u8 {
+        debug_assert!(i < MAX_LEVEL);
+        ((self.0 / POW3[i]) % 3) as u8
+    }
+
+    /// The stream size this tritmap represents (Algorithm 6): trit 1
+    /// contributes `k·2ⁱ`, trit 2 contributes `2k·2ⁱ`.
+    pub fn stream_size(self, k: usize) -> u64 {
+        let mut value = self.0;
+        let mut size = 0u64;
+        let mut i = 0usize;
+        while value != 0 {
+            let trit = value % 3;
+            size += trit * (k as u64) << i;
+            value /= 3;
+            i += 1;
+        }
+        size
+    }
+
+    /// Successor after a batch insert (Algorithm 3): trit 0 must be 0, the
+    /// new value sets it to 2.
+    #[inline]
+    pub fn after_batch_insert(self) -> Tritmap {
+        debug_assert_eq!(self.trit(0), 0, "batch insert requires empty level 0");
+        Tritmap(self.0 + 2)
+    }
+
+    /// Successor after propagating level `l` (both Algorithm 4 forms are
+    /// `+3ˡ`): requires trit `l` = 2 and trit `l+1` ∈ {0, 1}.
+    #[inline]
+    pub fn after_propagate(self, l: usize) -> Tritmap {
+        debug_assert_eq!(self.trit(l), 2, "propagation requires level {l} in state 2");
+        debug_assert_ne!(self.trit(l + 1), 2, "propagation into a busy level");
+        Tritmap(self.0 + POW3[l])
+    }
+
+    /// Build a tritmap from explicit trits (index = level). Test helper and
+    /// snapshot reconstruction.
+    pub fn from_trits(trits: &[u8]) -> Tritmap {
+        assert!(trits.len() <= MAX_LEVEL);
+        let mut v = 0u64;
+        for (i, &t) in trits.iter().enumerate() {
+            assert!(t <= 2, "trit out of range");
+            v += t as u64 * POW3[i];
+        }
+        Tritmap(v)
+    }
+
+    /// All trits up to `len` (diagnostics).
+    pub fn trits(self, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.trit(i)).collect()
+    }
+
+    /// Highest level with a nonzero trit, plus one (0 for the empty map).
+    pub fn occupied_levels(self) -> usize {
+        let mut v = self.0;
+        let mut n = 0;
+        while v != 0 {
+            v /= 3;
+            n += 1;
+        }
+        n
+    }
+}
+
+impl std::fmt::Debug for Tritmap {
+    /// Prints like the paper's figures: most-significant trit first, e.g.
+    /// `00210` for trits [0,1,2,0,0].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.occupied_levels().max(1);
+        let s: String =
+            (0..n).rev().map(|i| char::from(b'0' + self.trit(i))).collect();
+        write!(f, "Tritmap({s})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow3_table() {
+        assert_eq!(POW3[0], 1);
+        assert_eq!(POW3[1], 3);
+        assert_eq!(POW3[5], 243);
+        assert_eq!(POW3[MAX_LEVEL], 3u64.pow(MAX_LEVEL as u32));
+        // Must fit the 62-bit logical word domain.
+        assert!(3 * POW3[MAX_LEVEL] - 1 <= qc_mwcas::MAX_LOGICAL);
+    }
+
+    #[test]
+    fn empty_map() {
+        let t = Tritmap::EMPTY;
+        assert_eq!(t.stream_size(1024), 0);
+        assert_eq!(t.occupied_levels(), 0);
+        for i in 0..MAX_LEVEL {
+            assert_eq!(t.trit(i), 0);
+        }
+    }
+
+    #[test]
+    fn from_trits_roundtrip() {
+        let t = Tritmap::from_trits(&[2, 1, 0, 2]);
+        assert_eq!(t.trit(0), 2);
+        assert_eq!(t.trit(1), 1);
+        assert_eq!(t.trit(2), 0);
+        assert_eq!(t.trit(3), 2);
+        assert_eq!(t.trits(5), vec![2, 1, 0, 2, 0]);
+    }
+
+    /// The paper's own example (§3.3): tritmap 00202 (trits [2,0,2,0,0])
+    /// and 00210 (trits [0,1,2,0,0]) both represent a 10k stream.
+    #[test]
+    fn paper_example_stream_sizes_match() {
+        let k = 1024;
+        let tm1 = Tritmap::from_trits(&[2, 0, 2]); // displayed 00202
+        let tm2 = Tritmap::from_trits(&[0, 1, 2]); // displayed 00210
+        assert_eq!(tm1.stream_size(k), 10 * k as u64);
+        assert_eq!(tm2.stream_size(k), 10 * k as u64);
+        assert_eq!(format!("{tm1:?}"), "Tritmap(202)");
+        assert_eq!(format!("{tm2:?}"), "Tritmap(210)");
+    }
+
+    #[test]
+    fn stream_size_weights_levels() {
+        let k = 16;
+        // trit 1 at level 3: k·2³ = 128. trit 2 at level 0: 2k = 32.
+        let t = Tritmap::from_trits(&[2, 0, 0, 1]);
+        assert_eq!(t.stream_size(k), 32 + 128);
+    }
+
+    #[test]
+    fn batch_insert_adds_two() {
+        let t = Tritmap::from_trits(&[0, 1, 1]);
+        let after = t.after_batch_insert();
+        assert_eq!(after.trit(0), 2);
+        assert_eq!(after.trit(1), 1);
+        assert_eq!(after.0, t.0 + 2);
+    }
+
+    #[test]
+    fn propagate_into_empty_is_plus_pow3() {
+        // [2,0] at levels (1,2) → [0,1]: trits [x,2,0] → [x,0,1].
+        let t = Tritmap::from_trits(&[1, 2, 0]);
+        let after = t.after_propagate(1);
+        assert_eq!(after.trit(1), 0);
+        assert_eq!(after.trit(2), 1);
+        assert_eq!(after.0, t.0 + POW3[1]);
+    }
+
+    #[test]
+    fn propagate_into_full_is_also_plus_pow3() {
+        // [2,1] at levels (0,1) → [0,2].
+        let t = Tritmap::from_trits(&[2, 1]);
+        let after = t.after_propagate(0);
+        assert_eq!(after.trit(0), 0);
+        assert_eq!(after.trit(1), 2);
+        assert_eq!(after.0, t.0 + 1);
+    }
+
+    /// Both propagation forms preserve the represented stream size; a batch
+    /// insert adds exactly 2k.
+    #[test]
+    fn transitions_preserve_or_grow_stream_size() {
+        let k = 8;
+        let t = Tritmap::from_trits(&[0, 1, 1]);
+        assert_eq!(t.after_batch_insert().stream_size(k), t.stream_size(k) + 2 * k as u64);
+
+        let p = Tritmap::from_trits(&[2, 1]);
+        assert_eq!(p.after_propagate(0).stream_size(k), p.stream_size(k));
+        let q = Tritmap::from_trits(&[2, 0]);
+        assert_eq!(q.after_propagate(0).stream_size(k), q.stream_size(k));
+    }
+
+    /// Monotonicity (Lemma 8): any sequence of legal transitions only
+    /// increases the packed value.
+    #[test]
+    fn transitions_are_monotone() {
+        let k = 4;
+        let mut t = Tritmap::EMPTY;
+        let mut prev = t.0;
+        // Simulate: insert, propagate 0 (empty), insert, propagate 0 (full),
+        // propagate 1 (empty).
+        t = t.after_batch_insert();
+        assert!(t.0 > prev);
+        prev = t.0;
+        t = t.after_propagate(0);
+        assert!(t.0 > prev);
+        prev = t.0;
+        t = t.after_batch_insert();
+        assert!(t.0 > prev);
+        prev = t.0;
+        t = t.after_propagate(0);
+        assert!(t.0 > prev);
+        prev = t.0;
+        t = t.after_propagate(1);
+        assert!(t.0 > prev);
+        assert_eq!(t.stream_size(k), 4 * k as u64);
+        assert_eq!(t.trits(3), vec![0, 0, 1]);
+    }
+
+    /// Walk the paper's Figure 5 sequence and check every intermediate
+    /// tritmap (displayed most-significant-first in the figure).
+    #[test]
+    fn figure_5_walkthrough() {
+        // (a) owner(i) inserts batch i onto [0,1,1,0,0] → 00112.
+        let t = Tritmap::from_trits(&[0, 1, 1]).after_batch_insert();
+        assert_eq!(format!("{t:?}"), "Tritmap(112)");
+        // (b) merge level 0 with full level 1 → 00120.
+        let t = t.after_propagate(0);
+        assert_eq!(format!("{t:?}"), "Tritmap(120)");
+        // (d) owner(i+1) inserts its batch → 00122.
+        let t = t.after_batch_insert();
+        assert_eq!(format!("{t:?}"), "Tritmap(122)");
+        // (e) owner(i) merges level 1 with full level 2 → 00202.
+        let t = t.after_propagate(1);
+        assert_eq!(format!("{t:?}"), "Tritmap(202)");
+        // (g) owner(i+1) merges level 0 into now-empty level 1 → 00210.
+        let t = t.after_propagate(0);
+        assert_eq!(format!("{t:?}"), "Tritmap(210)");
+    }
+
+    #[test]
+    fn occupied_levels_counts_significant_trits() {
+        assert_eq!(Tritmap::from_trits(&[2]).occupied_levels(), 1);
+        assert_eq!(Tritmap::from_trits(&[0, 0, 1]).occupied_levels(), 3);
+        assert_eq!(Tritmap::from_trits(&[1, 0, 0]).occupied_levels(), 1);
+    }
+}

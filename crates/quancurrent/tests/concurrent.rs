@@ -1,0 +1,268 @@
+//! Concurrency tests of the full sketch: the structural invariants that
+//! must hold regardless of scheduling.
+
+use quancurrent::Quancurrent;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Barrier;
+
+/// Holes duplicate and drop *values*, never counts: after quiescence,
+/// levels + Gather&Sort buffers + thread-local residue account for every
+/// update exactly.
+#[test]
+fn stream_size_accounting_is_exact_under_contention() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 40_000;
+
+    let sketch = Quancurrent::<u64>::builder()
+        .k(64)
+        .b(8)
+        .numa_nodes(2)
+        .threads_per_node(4)
+        .seed(7)
+        .build();
+    let barrier = Barrier::new(THREADS);
+
+    let residue: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS as u64)
+            .map(|t| {
+                let mut updater = sketch.updater();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..PER_THREAD {
+                        updater.update(t * PER_THREAD + i);
+                    }
+                    updater.pending().len() as u64
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    let total = THREADS as u64 * PER_THREAD;
+    let in_levels = sketch.stream_len();
+    let in_gs = sketch.buffered_len() as u64;
+    assert_eq!(
+        in_levels + in_gs + residue,
+        total,
+        "levels({in_levels}) + gather&sort({in_gs}) + locals({residue}) must equal {total}"
+    );
+
+    // The quiescent summary covers everything but thread-local residue.
+    let summary = sketch.quiescent_summary();
+    use qc_common::Summary;
+    assert_eq!(summary.stream_len(), in_levels + in_gs);
+}
+
+/// The lag between updates issued and updates visible to queries is bounded
+/// by r = 4kS + (N−S)b at every quiescent point.
+#[test]
+fn relaxation_bound_is_honored() {
+    const THREADS: usize = 4;
+    const PER_THREAD: u64 = 10_000;
+
+    let sketch = Quancurrent::<u64>::builder().k(32).b(4).numa_nodes(1).seed(3).build();
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let mut updater = sketch.updater();
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..PER_THREAD {
+                    updater.update(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+
+    let total = THREADS as u64 * PER_THREAD;
+    let visible = sketch.stream_len();
+    let r = sketch.relaxation_bound(THREADS);
+    assert!(
+        total - visible <= r,
+        "unpropagated {} exceeds relaxation bound {r}",
+        total - visible
+    );
+}
+
+/// Queries running against concurrent updates must always observe a
+/// consistent snapshot: monotone stream sizes and exact weight accounting.
+#[test]
+fn queries_observe_monotone_consistent_snapshots() {
+    const UPDATERS: usize = 4;
+    const QUERIES: usize = 3;
+    const PER_THREAD: u64 = 30_000;
+
+    let sketch = Quancurrent::<u64>::builder().k(16).b(4).rho(0.0).seed(11).build();
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(UPDATERS + QUERIES);
+
+    std::thread::scope(|s| {
+        for _ in 0..QUERIES {
+            let mut handle = sketch.query_handle();
+            let barrier = &barrier;
+            let stop = &stop;
+            s.spawn(move || {
+                barrier.wait();
+                let mut last_n = 0u64;
+                let mut observed = 0u64;
+                while !stop.load(SeqCst) {
+                    let _ = handle.query(0.5);
+                    let n = handle.cached_stream_len();
+                    assert!(n >= last_n, "snapshot stream size went backwards: {n} < {last_n}");
+                    assert_eq!(
+                        handle.cached_tritmap().stream_size(16),
+                        n,
+                        "myTrit must describe the snapshot exactly"
+                    );
+                    last_n = n;
+                    observed += 1;
+                }
+                assert!(observed > 0);
+            });
+        }
+
+        for t in 0..UPDATERS as u64 {
+            let mut updater = sketch.updater();
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..PER_THREAD {
+                    updater.update(t * PER_THREAD + i);
+                }
+            });
+        }
+
+        // Let the updaters finish, then stop the queriers.
+        // (Scoped threads join automatically; signal stop from a watcher.)
+        s.spawn(|| {
+            // Spin until all updates are visible or buffered.
+            loop {
+                let seen = sketch.stream_len() + sketch.buffered_len() as u64;
+                if seen + (UPDATERS as u64 * 4) >= UPDATERS as u64 * PER_THREAD {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            stop.store(true, SeqCst);
+        });
+    });
+}
+
+/// All memory churned by propagation is reclaimed: after a long run and
+/// teardown-free quiescence, the IBR domain holds no more than a handful of
+/// protected stragglers.
+#[test]
+fn propagation_memory_is_reclaimed() {
+    let sketch = Quancurrent::<u64>::builder().k(16).b(4).seed(13).build();
+    {
+        let mut updater = sketch.updater();
+        for i in 0..200_000u64 {
+            updater.update(i);
+        }
+        drop(updater);
+    }
+    let (domain, descriptor_bytes) = sketch.memory_stats();
+    sketch.stats();
+    // Every batch allocates one 2k block; every merge another. All but the
+    // currently-linked level arrays must be retired and reclaimed.
+    let live_levels = 32u64; // generous bound on linked arrays
+    assert!(
+        domain.retired_pending <= live_levels,
+        "unreclaimed blocks piling up: {domain:?}"
+    );
+    // Descriptor arena: one per batch + one per propagation, never freed
+    // until drop (documented); sanity-check the bound.
+    let stats = sketch.stats();
+    let max_descriptors = stats.batches + stats.propagations + stats.dcas_retries + 16;
+    assert!(
+        (descriptor_bytes as u64) <= max_descriptors * 1024,
+        "descriptor arena larger than expected: {descriptor_bytes} bytes"
+    );
+}
+
+/// Concurrent updates from multiple NUMA nodes exercise concurrent
+/// propagation of different batches (Figure 5); the final distribution must
+/// still be sane.
+#[test]
+fn concurrent_propagation_preserves_distribution() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+
+    let sketch = Quancurrent::<u64>::builder()
+        .k(128)
+        .b(16)
+        .numa_nodes(4)
+        .threads_per_node(2)
+        .seed(17)
+        .build();
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let mut updater = sketch.updater();
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                // Interleaved congruence classes: every thread covers the
+                // full value range uniformly.
+                for i in 0..PER_THREAD {
+                    updater.update(i * THREADS as u64 + t);
+                }
+            });
+        }
+    });
+
+    let n = THREADS as u64 * PER_THREAD;
+    let mut handle = sketch.query_handle();
+    for (phi, slack) in [(0.1, 0.05), (0.5, 0.05), (0.9, 0.05)] {
+        let est = handle.query(phi).unwrap() as f64;
+        let expected = phi * n as f64;
+        let err = (est - expected).abs() / n as f64;
+        assert!(err < slack, "phi={phi}: estimate {est} vs {expected} (err {err})");
+    }
+
+    let stats = sketch.stats();
+    assert!(stats.batches > 0);
+    assert!(stats.merges > 0, "long run must exercise the merge path");
+    // §4.1: expected holes per batch ≤ 2.8 — allow generous slack for the
+    // CI scheduler while still catching systematically broken hand-off.
+    assert!(
+        stats.holes_per_batch() < 16.0,
+        "holes per batch {} absurdly high",
+        stats.holes_per_batch()
+    );
+}
+
+/// Handles can be created and dropped freely while others work.
+#[test]
+fn handle_churn_is_safe() {
+    let sketch = Quancurrent::<f64>::builder().k(8).b(2).seed(23).build();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut updater = sketch.updater();
+            for i in 0..100_000 {
+                updater.update(i as f64);
+            }
+            stop.store(true, SeqCst);
+        });
+
+        s.spawn(|| {
+            while !stop.load(SeqCst) {
+                let mut h = sketch.query_handle();
+                let _ = h.query(0.25);
+                drop(h);
+                let mut u = sketch.updater_on(0);
+                u.update(1.0);
+                drop(u); // residue in the local buffer is dropped with it
+            }
+        });
+    });
+
+    // No panic and a sane final state is the assertion.
+    assert!(sketch.stream_len() > 0);
+}

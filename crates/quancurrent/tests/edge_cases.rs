@@ -1,0 +1,195 @@
+//! Boundary configurations and awkward call patterns.
+
+use quancurrent::Quancurrent;
+
+/// b = 2k: every local flush fills a whole Gather&Sort buffer, so the
+/// flusher is always the batch owner — the degenerate single-region case
+/// of the holes analysis (j = 1 only).
+#[test]
+fn local_buffer_equal_to_shared_buffer() {
+    let k = 8;
+    let sketch = Quancurrent::<u64>::builder().k(k).b(2 * k).seed(1).build();
+    let mut updater = sketch.updater();
+    for i in 0..(8 * k as u64) {
+        updater.update(i);
+    }
+    assert_eq!(sketch.stream_len(), 8 * k as u64);
+    let stats = sketch.stats();
+    assert_eq!(stats.batches, 4);
+    assert_eq!(stats.holes, 0, "single-writer rounds cannot produce holes");
+}
+
+/// The minimal legal sketch: k = 2, b = 1.
+#[test]
+fn minimal_k_and_b() {
+    let sketch = Quancurrent::<u64>::builder().k(2).b(1).seed(2).build();
+    let mut updater = sketch.updater();
+    for i in 0..10_000u64 {
+        updater.update(i);
+    }
+    let mut handle = sketch.query_handle();
+    let m = handle.query(0.5).unwrap();
+    // k=2 is wildly inaccurate by design, but the answer must be a stream
+    // value and the ordering laws must hold.
+    assert!(m < 10_000);
+    let lo = handle.query(0.0).unwrap();
+    let hi = handle.query(1.0).unwrap();
+    assert!(lo <= m && m <= hi);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn updater_on_invalid_node_panics() {
+    let sketch = Quancurrent::<u64>::builder().k(4).b(2).numa_nodes(2).build();
+    let _ = sketch.updater_on(2);
+}
+
+/// Queries against a sketch whose data is entirely buffered (no batch
+/// yet) see an empty stream — the documented relaxation.
+#[test]
+fn fully_buffered_stream_is_invisible() {
+    let k = 64;
+    let sketch = Quancurrent::<u64>::builder().k(k).b(4).seed(3).build();
+    let mut updater = sketch.updater();
+    for i in 0..(2 * k as u64 - 4) {
+        updater.update(i); // one element short of a full G&S buffer
+    }
+    assert_eq!(sketch.stream_len(), 0);
+    let mut handle = sketch.query_handle();
+    assert_eq!(handle.query(0.5), None);
+    // The quiescent extension sees them.
+    use qc_common::Summary;
+    assert_eq!(sketch.quiescent_summary().stream_len(), 2 * k as u64 - 4);
+}
+
+/// Many short-lived sketches: no leaks, no slot exhaustion across
+/// repeated construction/teardown.
+#[test]
+fn repeated_construction_teardown() {
+    for round in 0..50 {
+        let sketch = Quancurrent::<f64>::builder().k(16).b(4).seed(round).build();
+        let mut updater = sketch.updater();
+        for i in 0..5_000 {
+            updater.update(i as f64);
+        }
+        let mut handle = sketch.query_handle();
+        let _ = handle.query(0.5);
+        // implicit drop of everything
+    }
+}
+
+/// Interleaved updater creation and destruction while another updater
+/// keeps the same Gather&Sort unit busy.
+#[test]
+fn updater_churn_on_shared_node() {
+    let sketch = Quancurrent::<u64>::builder().k(16).b(2).seed(7).build();
+    let mut persistent = sketch.updater_on(0);
+    for round in 0..200u64 {
+        let mut transient = sketch.updater_on(0);
+        for i in 0..31 {
+            persistent.update(round * 100 + i);
+            transient.update(round * 100 + 50 + i);
+        }
+        // transient drops with residue in its local buffer — allowed; the
+        // residue is simply lost (documented: handles own their buffers).
+    }
+    // Conservation among *completed* hand-offs still holds: whatever made
+    // it into G&S or the levels is a multiple of b.
+    let visible = sketch.stream_len() + sketch.buffered_len() as u64;
+    assert_eq!(visible % 2, 0, "partial b-blocks can never enter the shared state");
+}
+
+/// Zero-query handles, query-before-update, duplicate handles — nothing
+/// panics, everything stays coherent.
+#[test]
+fn handle_lifecycle_odds_and_ends() {
+    let sketch = Quancurrent::<i64>::builder().k(8).b(2).seed(11).build();
+    let _unused_updater = sketch.updater();
+    let mut h1 = sketch.query_handle();
+    let mut h2 = sketch.query_handle();
+    assert_eq!(h1.query(0.5), None);
+    assert_eq!(h2.rank(0), 0);
+    assert_eq!(h1.cdf(&[-1, 0, 1]), vec![0.0, 0.0, 0.0]);
+    let mut updater = sketch.updater();
+    for i in -500..500i64 {
+        updater.update(i);
+    }
+    if sketch.stream_len() > 0 {
+        let r_neg = h1.rank(-400);
+        let r_pos = h1.rank(400);
+        assert!(r_neg < r_pos);
+    }
+}
+
+/// Negative and extreme f64 values flow through the whole pipeline.
+#[test]
+fn extreme_float_values() {
+    let sketch = Quancurrent::<f64>::builder().k(16).b(2).seed(13).build();
+    let mut updater = sketch.updater();
+    let extremes = [
+        f64::MIN,
+        -1e300,
+        -1.0,
+        -f64::MIN_POSITIVE,
+        -0.0,
+        0.0,
+        f64::MIN_POSITIVE,
+        1.0,
+        1e300,
+        f64::MAX,
+    ];
+    for _ in 0..200 {
+        for &x in &extremes {
+            updater.update(x);
+        }
+    }
+    let mut handle = sketch.query_handle();
+    let lo = handle.query(0.0).unwrap();
+    let hi = handle.query(1.0).unwrap();
+    assert_eq!(lo, f64::MIN);
+    assert_eq!(hi, f64::MAX);
+    let mid = handle.query(0.5).unwrap();
+    assert!((-1.0..=1.0).contains(&mid), "median of symmetric extremes: {mid}");
+}
+
+/// The per-region hole histogram is consistent with the aggregate
+/// counter and has the right shape.
+#[test]
+fn hole_region_histogram_matches_total() {
+    let k = 16;
+    let b = 4;
+    let sketch = Quancurrent::<u64>::builder().k(k).b(b).seed(19).build();
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let mut updater = sketch.updater();
+            s.spawn(move || {
+                for i in 0..50_000 {
+                    updater.update(t * 50_000 + i);
+                }
+            });
+        }
+    });
+    let histogram = sketch.hole_region_histogram();
+    assert_eq!(histogram.len(), 2 * k / b);
+    assert_eq!(
+        histogram.iter().sum::<u64>(),
+        sketch.stats().holes,
+        "region histogram must partition the hole count"
+    );
+}
+
+/// Stats counters stay coherent across the whole lifecycle.
+#[test]
+fn stats_arithmetic_is_consistent() {
+    let k = 32;
+    let sketch = Quancurrent::<u64>::builder().k(k).b(8).seed(17).build();
+    let mut updater = sketch.updater();
+    for i in 0..100_000u64 {
+        updater.update(i);
+    }
+    let stats = sketch.stats();
+    assert_eq!(stats.batches * 2 * k as u64, sketch.stream_len());
+    assert!(stats.propagations >= stats.batches, "each batch propagates at least once");
+    assert!(stats.merges <= stats.propagations);
+    assert_eq!(stats.cache_hits + stats.cache_misses, 0, "no queries ran");
+}

@@ -1,0 +1,135 @@
+//! Property-based tests: single-threaded Quancurrent must uphold the same
+//! estimator laws as the sequential sketch (the concurrency machinery
+//! degenerates to it when one thread drives everything).
+
+use proptest::prelude::*;
+use qc_common::Summary;
+use quancurrent::Quancurrent;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Visible stream + buffers + local residue == pushed, for arbitrary
+    /// (k, b, n).
+    #[test]
+    fn conservation_for_arbitrary_parameters(
+        k in prop::sample::select(vec![2usize, 4, 8, 16]),
+        b_pow in 0u32..4, // b ∈ {1,2,4,8}, always divides 2k
+        n in 0u64..3000,
+        seed in any::<u64>(),
+    ) {
+        let b = (1usize << b_pow).min(2 * k);
+        let sketch = Quancurrent::<u64>::builder().k(k).b(b).seed(seed).build();
+        let mut updater = sketch.updater();
+        for i in 0..n {
+            updater.update(i);
+        }
+        let residue = updater.pending().len() as u64;
+        prop_assert_eq!(
+            sketch.stream_len() + sketch.buffered_len() as u64 + residue,
+            n
+        );
+        // Quiescent summary weight equals levels + G&S.
+        prop_assert_eq!(
+            sketch.quiescent_summary().stream_len(),
+            sketch.stream_len() + sketch.buffered_len() as u64
+        );
+    }
+
+    /// Estimates returned by the snapshot are always values that were
+    /// actually ingested.
+    #[test]
+    fn estimates_come_from_the_stream(
+        n in 64u64..2048,
+        seed in any::<u64>(),
+    ) {
+        let k = 8;
+        let sketch = Quancurrent::<u64>::builder().k(k).b(4).seed(seed).build();
+        let mut updater = sketch.updater();
+        for i in 0..n {
+            updater.update(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 12);
+        }
+        if sketch.stream_len() == 0 {
+            return Ok(()); // everything still buffered: nothing to check
+        }
+        let mut handle = sketch.query_handle();
+        for phi in [0.0, 0.5, 1.0] {
+            let est = handle.query(phi).unwrap();
+            // Reconstruct membership: est must be one of the pushed keys.
+            let member = (0..n).any(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 12 == est);
+            prop_assert!(member, "estimate {est} never ingested");
+        }
+    }
+
+    /// Quantiles are monotone in φ for any snapshot.
+    #[test]
+    fn quantile_monotone_in_phi(
+        n in 128u64..4096,
+        seed in any::<u64>(),
+    ) {
+        let sketch = Quancurrent::<u64>::builder().k(16).b(8).seed(seed).build();
+        let mut updater = sketch.updater();
+        for i in 0..n {
+            updater.update(i % 257);
+        }
+        if sketch.stream_len() == 0 {
+            return Ok(());
+        }
+        let mut handle = sketch.query_handle();
+        let phis = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+        let estimates = handle.quantiles(&phis);
+        for pair in estimates.windows(2) {
+            prop_assert!(pair[0].unwrap() <= pair[1].unwrap());
+        }
+    }
+
+    /// The relaxation bound formula dominates the observed lag for every
+    /// parameter combination (single-threaded: N = 1).
+    #[test]
+    fn observed_lag_within_formula(
+        k in prop::sample::select(vec![2usize, 4, 8, 32]),
+        b_pow in 0u32..4,
+        n in 0u64..5000,
+    ) {
+        let b = (1usize << b_pow).min(2 * k);
+        let sketch = Quancurrent::<u64>::builder().k(k).b(b).seed(1).build();
+        let mut updater = sketch.updater();
+        for i in 0..n {
+            updater.update(i);
+        }
+        let lag = n - sketch.stream_len();
+        prop_assert!(lag <= sketch.relaxation_bound(1),
+            "lag {} > bound {}", lag, sketch.relaxation_bound(1));
+    }
+}
+
+/// Deterministic accuracy check against a brute-force oracle at several k.
+#[test]
+fn rank_error_shrinks_with_k() {
+    let n = 60_000u64;
+    let mut errors = Vec::new();
+    for &k in &[16usize, 64, 256] {
+        let sketch = Quancurrent::<u64>::builder().k(k).b(8).seed(99).build();
+        let mut updater = sketch.updater();
+        let mut all: Vec<u64> = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let x = i.wrapping_mul(6364136223846793005).rotate_left(17);
+            all.push(x);
+            updater.update(x);
+        }
+        all.sort_unstable();
+        let mut handle = sketch.query_handle();
+        let mut worst: f64 = 0.0;
+        for phi in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let est = handle.query(phi).unwrap();
+            let true_rank = all.partition_point(|&v| v < est) as f64;
+            worst = worst.max((true_rank - phi * n as f64).abs() / n as f64);
+        }
+        errors.push(worst);
+    }
+    assert!(
+        errors[2] <= errors[0],
+        "error should not grow with k: {errors:?}"
+    );
+    assert!(errors[2] < 0.02, "k=256 error too large: {errors:?}");
+}

@@ -1,0 +1,83 @@
+//! Exploratory data analysis: compare the distributions of two data sets
+//! via sketch CDFs, and cross-check the three estimators in this workspace
+//! (exact oracle, sequential sketch, concurrent sketch) against each other
+//! — the SeeDB-style use case the paper's introduction cites [22].
+//!
+//! ```sh
+//! cargo run --release --example exploratory_analysis
+//! ```
+
+use qc_sequential::Sketch;
+use qc_workloads::exact::ExactOracle;
+use qc_workloads::streams::{Distribution, StreamGen};
+use quancurrent::Quancurrent;
+
+const N: usize = 2_000_000;
+
+fn main() {
+    // Two "datasets": last week's metric (normal) and this week's (normal
+    // with a shifted tail).
+    let mut last_week = StreamGen::new(Distribution::Normal { mean: 100.0, std_dev: 15.0 }, 1);
+    let mut this_week = StreamGen::new(Distribution::Normal { mean: 104.0, std_dev: 22.0 }, 2);
+
+    // Ingest both concurrently into separate sketches (4 threads each).
+    let sketch_a = Quancurrent::<f64>::builder().k(512).b(16).seed(10).build();
+    let sketch_b = Quancurrent::<f64>::builder().k(512).b(16).seed(11).build();
+    let data_a = last_week.take_f64(N);
+    let data_b = this_week.take_f64(N);
+
+    std::thread::scope(|s| {
+        for chunk in data_a.chunks(N / 4) {
+            let mut updater = sketch_a.updater();
+            s.spawn(move || {
+                for &x in chunk {
+                    updater.update(x);
+                }
+            });
+        }
+        for chunk in data_b.chunks(N / 4) {
+            let mut updater = sketch_b.updater();
+            s.spawn(move || {
+                for &x in chunk {
+                    updater.update(x);
+                }
+            });
+        }
+    });
+
+    let mut qa = sketch_a.query_handle();
+    let mut qb = sketch_b.query_handle();
+
+    println!("quantile    last_week   this_week    shift");
+    println!("-------------------------------------------");
+    for phi in [0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99] {
+        let a = qa.query(phi).unwrap();
+        let b = qb.query(phi).unwrap();
+        println!("{phi:>7.2}  {a:>10.2}  {b:>10.2}  {:>+7.2}", b - a);
+    }
+
+    // Cross-validation: concurrent vs sequential vs exact on dataset B.
+    let mut seq = Sketch::<f64>::with_seed(512, 3);
+    for &x in &data_b {
+        seq.update(x);
+    }
+    let oracle = ExactOracle::from_values(&data_b);
+
+    println!();
+    println!("cross-check on this_week (n = {N}):");
+    println!("quantile      exact   sequential  quancurrent");
+    println!("---------------------------------------------");
+    let mut max_gap: f64 = 0.0;
+    for phi in [0.1, 0.5, 0.9, 0.99] {
+        let exact: f64 = oracle.quantile(phi).unwrap();
+        let s = seq.quantile(phi).unwrap();
+        let q = qb.query(phi).unwrap();
+        max_gap = max_gap
+            .max(oracle.rank_error(phi, qc_common::OrderedBits::to_ordered_bits(q)));
+        println!("{phi:>8.2}  {exact:>9.2}  {s:>11.2}  {q:>11.2}");
+    }
+    println!();
+    println!("largest quancurrent rank error: {max_gap:.5} (ε(512) ≈ {:.5})",
+        qc_common::error::sequential_epsilon(512));
+    assert!(max_gap < 4.0 * qc_common::error::sequential_epsilon(512));
+}

@@ -1,0 +1,127 @@
+//! The freshness/throughput dial: run the same mixed workload with three
+//! freshness settings and watch query throughput, miss rate, and answer
+//! staleness trade off — §5.3 of the paper as a runnable demo.
+//!
+//! ```sh
+//! cargo run --release --example freshness_dashboard
+//! ```
+
+use quancurrent::Quancurrent;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::Barrier;
+
+const UPDATES: u64 = 4_000_000;
+const UPDATE_THREADS: usize = 2;
+const QUERY_THREADS: usize = 2;
+
+struct Outcome {
+    queries: u64,
+    misses: u64,
+    max_staleness_ratio: f64,
+    elapsed: std::time::Duration,
+}
+
+fn run(rho: f64) -> Outcome {
+    let sketch = Quancurrent::<f64>::builder().k(1024).b(16).rho(rho).seed(3).build();
+
+    // Prefill so the ratio test has a base.
+    {
+        let mut updater = sketch.updater_on(0);
+        for i in 0..200_000 {
+            updater.update(i as f64);
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let queries = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let max_staleness = AtomicU64::new(f64::to_bits(1.0));
+    let barrier = Barrier::new(UPDATE_THREADS + QUERY_THREADS + 1);
+
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..UPDATE_THREADS {
+            let mut updater = sketch.updater();
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..UPDATES / UPDATE_THREADS as u64 {
+                    updater.update((i ^ (t as u64) << 40) as f64);
+                }
+            });
+        }
+        for _ in 0..QUERY_THREADS {
+            let mut handle = sketch.query_handle();
+            let barrier = &barrier;
+            let stop = &stop;
+            let queries = &queries;
+            let misses = &misses;
+            let max_staleness = &max_staleness;
+            let sketch = &sketch;
+            s.spawn(move || {
+                barrier.wait();
+                let mut local_q = 0u64;
+                let mut phi = 0.1;
+                while !stop.load(SeqCst) {
+                    let _ = handle.query(phi);
+                    phi = (phi + 0.037) % 1.0;
+                    local_q += 1;
+                    // Observe how stale the served snapshot is right now.
+                    let cached = handle.cached_stream_len();
+                    if cached > 0 {
+                        let now = sketch.stream_len();
+                        let ratio = now as f64 / cached as f64;
+                        let mut cur = f64::from_bits(max_staleness.load(SeqCst));
+                        while ratio > cur {
+                            match max_staleness.compare_exchange(
+                                f64::to_bits(cur),
+                                f64::to_bits(ratio),
+                                SeqCst,
+                                SeqCst,
+                            ) {
+                                Ok(_) => break,
+                                Err(seen) => cur = f64::from_bits(seen),
+                            }
+                        }
+                    }
+                }
+                queries.fetch_add(local_q, SeqCst);
+                let (_h, m) = handle.cache_stats();
+                misses.fetch_add(m, SeqCst);
+            });
+        }
+        barrier.wait();
+        // Wait for updaters (they exit on their own); then stop queriers.
+        while sketch.stream_len() + sketch.relaxation_bound(UPDATE_THREADS) < 200_000 + UPDATES
+        {
+            std::thread::yield_now();
+        }
+        stop.store(true, SeqCst);
+    });
+
+    Outcome {
+        queries: queries.load(SeqCst),
+        misses: misses.load(SeqCst),
+        max_staleness_ratio: f64::from_bits(max_staleness.load(SeqCst)),
+        elapsed: start.elapsed(),
+    }
+}
+
+fn main() {
+    println!("mixed workload: {UPDATE_THREADS} updaters ({UPDATES} updates) + {QUERY_THREADS} queriers\n");
+    println!("{:>10} {:>12} {:>12} {:>10} {:>14}", "rho", "queries/s", "miss_rate", "max_stale", "elapsed");
+    for rho in [0.0, 1.001, 1.05, 1.5] {
+        let o = run(rho);
+        let qps = o.queries as f64 / o.elapsed.as_secs_f64();
+        let miss = if o.queries == 0 { 0.0 } else { o.misses as f64 / o.queries as f64 };
+        let label = if rho == 0.0 { "no cache".to_string() } else { format!("{rho}") };
+        println!(
+            "{label:>10} {qps:>12.0} {:>11.2}% {:>10.4} {:>14?}",
+            miss * 100.0,
+            o.max_staleness_ratio,
+            o.elapsed
+        );
+    }
+    println!("\nexpected shape (paper §5.3): higher ρ ⇒ more queries/s, lower miss");
+    println!("rate, but answers served from older snapshots (max_stale grows).");
+}

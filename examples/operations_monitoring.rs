@@ -1,0 +1,120 @@
+//! Operations monitoring: live tail-latency percentiles over a running
+//! service — the paper's introduction motivates Quancurrent with exactly
+//! this workload (real-time analytics à la Scuba [4]).
+//!
+//! Eight "request handler" threads record request latencies while a
+//! monitor thread concurrently polls p50/p99 once per poll interval from a
+//! freshness-bounded cached snapshot, raising an alert when the service
+//! degrades (we inject a latency regression halfway through).
+//!
+//! ```sh
+//! cargo run --release --example operations_monitoring
+//! ```
+
+use quancurrent::Quancurrent;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Barrier;
+
+const HANDLERS: usize = 8;
+const REQUESTS_PER_HANDLER: usize = 1_500_000;
+
+fn main() {
+    // ρ = 1.01: the monitor may answer from a snapshot at most 1% stale —
+    // an order of magnitude fresher than FCDS could sustain (see §5.5).
+    let sketch = Quancurrent::<f64>::builder()
+        .k(1024)
+        .b(16)
+        .numa_nodes(2)
+        .threads_per_node(4)
+        .rho(1.01)
+        .seed(7)
+        .build();
+
+    let stop = AtomicBool::new(false);
+    let degraded = AtomicBool::new(false);
+    let barrier = Barrier::new(HANDLERS + 2);
+
+    std::thread::scope(|s| {
+        // Request handlers: mostly-fast latencies, with a regression
+        // injected halfway through the run.
+        for h in 0..HANDLERS {
+            let mut updater = sketch.updater();
+            let barrier = &barrier;
+            let degraded = &degraded;
+            s.spawn(move || {
+                barrier.wait();
+                let mut state = 0xABCD_EF01u64.wrapping_mul(h as u64 + 3);
+                for i in 0..REQUESTS_PER_HANDLER {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                    let mut latency_ms = 2.0 + 8.0 * u * u;
+                    if i == REQUESTS_PER_HANDLER / 2 && h == 0 {
+                        degraded.store(true, SeqCst);
+                    }
+                    if degraded.load(std::sync::atomic::Ordering::Relaxed) {
+                        // The regression: a slow dependency adds a fat tail.
+                        latency_ms += 40.0 * u.powi(8);
+                    }
+                    updater.update(latency_ms);
+                }
+            });
+        }
+
+        // The monitor: polls percentiles concurrently with ingestion.
+        {
+            let mut queries = sketch.query_handle();
+            let barrier = &barrier;
+            let stop = &stop;
+            let sketch = &sketch;
+            s.spawn(move || {
+                barrier.wait();
+                let mut alerts = 0;
+                let mut polls = 0;
+                while !stop.load(SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    let n = sketch.stream_len();
+                    if n == 0 {
+                        continue;
+                    }
+                    let p50 = queries.query(0.50).unwrap_or(0.0);
+                    let p99 = queries.query(0.99).unwrap_or(0.0);
+                    polls += 1;
+                    let alert = p99 > 25.0;
+                    if alert {
+                        alerts += 1;
+                    }
+                    println!(
+                        "[monitor] n={n:>9}  p50={p50:>7.2}ms  p99={p99:>7.2}ms {}",
+                        if alert { "  << ALERT: tail latency degraded" } else { "" }
+                    );
+                }
+                let (hits, misses) = queries.cache_stats();
+                println!(
+                    "[monitor] done: {polls} polls, {alerts} alerts, snapshot cache {hits} hits / {misses} rebuilds"
+                );
+                assert!(alerts > 0, "the injected regression must be detected");
+            });
+        }
+
+        // Coordinator: wait for handlers (they're the first HANDLERS+2
+        // barrier parties), then stop the monitor.
+        barrier.wait();
+        // Handlers finish on their own; watch visible stream size approach
+        // the total.
+        let total = (HANDLERS * REQUESTS_PER_HANDLER) as u64;
+        loop {
+            let visible = sketch.stream_len();
+            if visible + sketch.relaxation_bound(HANDLERS) >= total {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        stop.store(true, SeqCst);
+    });
+
+    println!();
+    println!("final state: {:?}", sketch);
+    println!("stats: {}", sketch.stats());
+}

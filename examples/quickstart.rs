@@ -1,0 +1,55 @@
+//! Quickstart: ingest a stream from several threads, query quantiles.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use quancurrent::Quancurrent;
+use std::sync::Barrier;
+
+fn main() {
+    // A sketch with the paper's default accuracy (k = 4096 ⇒ rank error
+    // well under 0.1%) and small thread-local buffers (b = 16).
+    let sketch = Quancurrent::<f64>::builder().k(4096).b(16).seed(42).build();
+
+    // Four update threads feed 1M elements each from skewed synthetic
+    // "request latency" data (exponential-ish mixture).
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 1_000_000;
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let mut updater = sketch.updater();
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                let mut state = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1);
+                for _ in 0..PER_THREAD {
+                    // xorshift for a cheap deterministic stream
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                    // Latency-like: 1ms base, heavy tail.
+                    let latency_ms = 1.0 + 9.0 * u.powi(4) / (1.0 - u).max(1e-9).powf(0.5);
+                    updater.update(latency_ms);
+                }
+            });
+        }
+    });
+
+    // Queries can run at any time — including concurrently with updates.
+    let mut queries = sketch.query_handle();
+    println!("stream visible to queries: {} elements", sketch.stream_len());
+    println!("relaxation bound (4 threads): {} elements", sketch.relaxation_bound(THREADS));
+    println!();
+    for (label, phi) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p99.9", 0.999)] {
+        let value = queries.query(phi).expect("non-empty sketch");
+        println!("{label:>6}: {value:>10.3} ms");
+    }
+
+    let stats = sketch.stats();
+    println!();
+    println!("internals: {stats}");
+}

@@ -1,0 +1,160 @@
+//! Conversions between the workspace's sketch representations.
+//!
+//! The paper leaves merging of concurrent sketches to future work; this
+//! module provides the natural construction: a Quancurrent snapshot is a
+//! set of weight-`2^i` sorted levels, which is exactly the shape the
+//! sequential sketch's mergeable-summaries machinery absorbs. Converting
+//! snapshots to sequential sketches therefore makes concurrent sketches
+//! mergeable (at quiescence or at snapshot granularity):
+//!
+//! ```
+//! use quancurrent::Quancurrent;
+//! use quancurrent_suite::convert::summary_to_sequential;
+//!
+//! let k = 64;
+//! let shard_a = Quancurrent::<u64>::builder().k(k).b(4).seed(1).build();
+//! let shard_b = Quancurrent::<u64>::builder().k(k).b(4).seed(2).build();
+//! let mut ua = shard_a.updater();
+//! let mut ub = shard_b.updater();
+//! for i in 0..50_000u64 {
+//!     ua.update(i);
+//!     ub.update(i + 50_000);
+//! }
+//!
+//! // Convert both snapshots and merge.
+//! let mut merged = summary_to_sequential(&shard_a.snapshot(), k, 7);
+//! merged.merge_from(&summary_to_sequential(&shard_b.snapshot(), k, 8));
+//!
+//! let n = merged.n();
+//! let median = merged.quantile_bits(0.5).unwrap();
+//! assert!((40_000..60_000).contains(&median));
+//! assert_eq!(n, shard_a.stream_len() + shard_b.stream_len());
+//! ```
+
+use qc_common::summary::WeightedSummary;
+use qc_sequential::QuantilesSketch;
+
+/// Rebuild a sequential sketch from a weighted summary whose weights are
+/// powers of two with `k`-multiple level sizes — i.e. any summary produced
+/// by this workspace's sketches.
+///
+/// # Panics
+/// If a weight is not a power of two, or a weighted level's size is not a
+/// multiple of `k` (cannot happen for summaries produced by the sketches
+/// in this workspace).
+pub fn summary_to_sequential(summary: &WeightedSummary, k: usize, seed: u64) -> QuantilesSketch {
+    let mut sketch = QuantilesSketch::with_seed(k, seed);
+    // Group items by weight; items() is sorted by value, so each group is
+    // sorted too.
+    let mut by_level: std::collections::BTreeMap<u32, Vec<u64>> = std::collections::BTreeMap::new();
+    for item in summary.items() {
+        assert!(item.weight.is_power_of_two(), "non-power-of-two weight {}", item.weight);
+        by_level.entry(item.weight.trailing_zeros()).or_default().push(item.value_bits);
+    }
+    // Absorb top-down so low-level carries merge into already-placed
+    // high levels (fewer cascades).
+    for (&level, values) in by_level.iter().rev() {
+        sketch.absorb_level(values, level);
+    }
+    sketch
+}
+
+/// Merge any number of summaries (from concurrent or sequential sketches)
+/// into one sequential sketch with parameter `k`.
+pub fn merge_summaries<'a>(
+    summaries: impl IntoIterator<Item = &'a WeightedSummary>,
+    k: usize,
+    seed: u64,
+) -> QuantilesSketch {
+    let mut iter = summaries.into_iter();
+    let mut merged = match iter.next() {
+        Some(first) => summary_to_sequential(first, k, seed),
+        None => return QuantilesSketch::with_seed(k, seed),
+    };
+    for (i, summary) in iter.enumerate() {
+        let sketch = summary_to_sequential(summary, k, seed.wrapping_add(i as u64 + 1));
+        merged.merge_from(&sketch);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_common::Summary;
+    use quancurrent::Quancurrent;
+
+    fn concurrent_sketch(k: usize, range: std::ops::Range<u64>, seed: u64) -> Quancurrent<u64> {
+        let sketch = Quancurrent::<u64>::builder().k(k).b(4).seed(seed).build();
+        let mut updater = sketch.updater();
+        for i in range {
+            updater.update(i);
+        }
+        sketch
+    }
+
+    #[test]
+    fn conversion_preserves_stream_size() {
+        let k = 32;
+        let qc = concurrent_sketch(k, 0..100_000, 1);
+        let seq = summary_to_sequential(&qc.snapshot(), k, 2);
+        assert_eq!(seq.n(), qc.stream_len());
+        assert_eq!(seq.summary().stream_len(), qc.stream_len());
+    }
+
+    #[test]
+    fn conversion_preserves_estimates() {
+        let k = 128;
+        let qc = concurrent_sketch(k, 0..200_000, 3);
+        let seq = summary_to_sequential(&qc.snapshot(), k, 4);
+        let eps = seq.epsilon();
+        let n = seq.n() as f64;
+        for phi in [0.1, 0.5, 0.9] {
+            let q = seq.quantile_bits(phi).unwrap() as f64;
+            assert!(
+                (q - phi * 200_000.0).abs() / 200_000.0 < 4.0 * eps + 4.0 * k as f64 / n,
+                "phi={phi}: {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn merging_three_shards_covers_union() {
+        let k = 64;
+        let shards = [
+            concurrent_sketch(k, 0..60_000, 5),
+            concurrent_sketch(k, 60_000..120_000, 6),
+            concurrent_sketch(k, 120_000..180_000, 7),
+        ];
+        let snaps: Vec<_> = shards.iter().map(|s| s.snapshot()).collect();
+        let merged = merge_summaries(snaps.iter(), k, 9);
+        let total: u64 = shards.iter().map(|s| s.stream_len()).sum();
+        assert_eq!(merged.n(), total);
+        let median = merged.quantile_bits(0.5).unwrap();
+        assert!((70_000..110_000).contains(&median), "median {median}");
+        // Cross-shard quantiles: the first third ends near 60k.
+        let third = merged.quantile_bits(1.0 / 3.0).unwrap();
+        assert!((45_000..75_000).contains(&third), "p33 {third}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let merged = merge_summaries([], 16, 1);
+        assert_eq!(merged.n(), 0);
+        let empty = WeightedSummary::empty();
+        let seq = summary_to_sequential(&empty, 16, 2);
+        assert_eq!(seq.n(), 0);
+    }
+
+    #[test]
+    fn sequential_summaries_also_convert() {
+        let mut a = qc_sequential::QuantilesSketch::with_seed(32, 1);
+        for i in 0..50_000u64 {
+            a.update(i);
+        }
+        let back = summary_to_sequential(&a.summary(), 32, 2);
+        assert_eq!(back.n(), 50_000);
+        let m = back.quantile_bits(0.5).unwrap();
+        assert!((15_000..35_000).contains(&m), "median {m}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the Quancurrent reproduction.
+//!
+//! Re-exports the public surface of every workspace crate so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`quancurrent`] — the concurrent Quantiles sketch (the paper's
+//!   contribution).
+//! * [`sequential`] — the Agarwal et al. sequential sketch it builds on.
+//! * [`fcds`] — the FCDS concurrent baseline it is compared against.
+//! * [`common`] — shared kernels (key embeddings, summaries, error math).
+//! * [`mwcas`] — the software DCAS / multi-word CAS substrate.
+//! * [`reclaim`] — interval-based memory reclamation (IBR).
+//! * [`workloads`] — stream generators, the exact oracle, and the
+//!   throughput harness used by the benchmark suite.
+//!
+//! See `README.md` for a guided tour and `examples/` for runnable programs.
+
+pub mod convert;
+
+pub use qc_common as common;
+pub use qc_fcds as fcds;
+pub use qc_mwcas as mwcas;
+pub use qc_reclaim as reclaim;
+pub use qc_sequential as sequential;
+pub use qc_workloads as workloads;
+pub use quancurrent;
+
+pub use qc_common::{OrderedBits, Summary};

@@ -1,0 +1,193 @@
+//! Cross-sketch integration: the three estimators in this workspace must
+//! agree on the same stream within their error budgets.
+
+use qc_fcds::Fcds;
+use qc_sequential::Sketch;
+use qc_workloads::exact::{phi_grid, AccuracyReport, ExactOracle};
+use qc_workloads::streams::{Distribution, StreamGen};
+use quancurrent::Quancurrent;
+
+const N: usize = 400_000;
+
+fn dataset(dist: Distribution, seed: u64) -> Vec<f64> {
+    StreamGen::new(dist, seed).take_f64(N)
+}
+
+fn check_accuracy(name: &str, report: &AccuracyReport, eps: f64) {
+    let max = report.max_error();
+    assert!(
+        max < 5.0 * eps,
+        "{name}: max rank error {max:.5} vs ε {eps:.5} (5× budget exceeded)"
+    );
+}
+
+#[test]
+fn all_three_sketches_match_oracle_on_uniform() {
+    let k = 256;
+    let eps = qc_common::error::sequential_epsilon(k);
+    let data = dataset(Distribution::Uniform, 1);
+    let oracle = ExactOracle::from_values(&data);
+    let grid = phi_grid(19);
+
+    // Sequential.
+    let mut seq = Sketch::<f64>::with_seed(k, 2);
+    for &x in &data {
+        seq.update(x);
+    }
+    check_accuracy("sequential", &AccuracyReport::evaluate(&seq.summary(), &oracle, &grid), eps);
+
+    // Quancurrent, 4 threads.
+    let qc = Quancurrent::<f64>::builder().k(k).b(8).seed(3).build();
+    std::thread::scope(|s| {
+        for chunk in data.chunks(N / 4) {
+            let mut updater = qc.updater();
+            s.spawn(move || {
+                for &x in chunk {
+                    updater.update(x);
+                }
+            });
+        }
+    });
+    check_accuracy("quancurrent", &AccuracyReport::evaluate(&qc.snapshot(), &oracle, &grid), eps);
+
+    // FCDS, 4 workers.
+    let fcds = Fcds::<f64>::new(k, 512, 4);
+    std::thread::scope(|s| {
+        for chunk in data.chunks(N / 4) {
+            let mut worker = fcds.updater();
+            s.spawn(move || {
+                for &x in chunk {
+                    worker.update(x);
+                }
+                worker.flush();
+            });
+        }
+    });
+    fcds.drain();
+    check_accuracy("fcds", &AccuracyReport::evaluate(&fcds.summary(), &oracle, &grid), eps);
+}
+
+#[test]
+fn sketches_agree_on_skewed_and_ordered_streams() {
+    let k = 256;
+    let eps = qc_common::error::sequential_epsilon(k);
+    for (name, dist) in [
+        ("normal", Distribution::Normal { mean: 0.0, std_dev: 3.0 }),
+        ("zipf", Distribution::Zipf { s: 1.3, max: 100_000 }),
+        ("ascending", Distribution::Ascending),
+        ("descending", Distribution::Descending { n: N as u64 }),
+        ("sawtooth", Distribution::Sawtooth { period: 1000 }),
+    ] {
+        let data = dataset(dist, 7);
+        let oracle = ExactOracle::from_values(&data);
+        let grid = phi_grid(9);
+
+        let qc = Quancurrent::<f64>::builder().k(k).b(8).seed(5).build();
+        std::thread::scope(|s| {
+            for chunk in data.chunks(N / 4) {
+                let mut updater = qc.updater();
+                s.spawn(move || {
+                    for &x in chunk {
+                        updater.update(x);
+                    }
+                });
+            }
+        });
+        let report = AccuracyReport::evaluate(&qc.snapshot(), &oracle, &grid);
+        check_accuracy(name, &report, eps);
+    }
+}
+
+/// Sharded sequential sketches merged together must agree with a
+/// Quancurrent sketch over the union (the mergeable-summaries path vs the
+/// concurrent path).
+#[test]
+fn merged_shards_match_concurrent_ingestion() {
+    let k = 256;
+    let eps = qc_common::error::sequential_epsilon(k);
+    let data = dataset(Distribution::Normal { mean: 50.0, std_dev: 10.0 }, 11);
+    let oracle = ExactOracle::from_values(&data);
+
+    // Four sequential shards, then merge.
+    let mut shards: Vec<Sketch<f64>> =
+        (0..4).map(|i| Sketch::with_seed(k, 20 + i as u64)).collect();
+    for (i, chunk) in data.chunks(N / 4).enumerate() {
+        for &x in chunk {
+            shards[i].update(x);
+        }
+    }
+    let mut merged = shards.remove(0);
+    for shard in &shards {
+        merged.merge_from(shard);
+    }
+    assert_eq!(merged.n(), N as u64);
+
+    let qc = Quancurrent::<f64>::builder().k(k).b(8).seed(6).build();
+    std::thread::scope(|s| {
+        for chunk in data.chunks(N / 4) {
+            let mut updater = qc.updater();
+            s.spawn(move || {
+                for &x in chunk {
+                    updater.update(x);
+                }
+            });
+        }
+    });
+
+    let grid = phi_grid(9);
+    let merged_report = AccuracyReport::evaluate(&merged.summary(), &oracle, &grid);
+    let qc_report = AccuracyReport::evaluate(&qc.snapshot(), &oracle, &grid);
+    check_accuracy("merged shards", &merged_report, eps);
+    check_accuracy("concurrent", &qc_report, eps);
+
+    // And they agree with each other (both within ε of the oracle).
+    for (&(phi, e1), &(_, e2)) in merged_report.errors.iter().zip(&qc_report.errors) {
+        assert!(
+            (e1 - e2).abs() < 8.0 * eps,
+            "phi={phi}: shard-merge err {e1} vs concurrent err {e2}"
+        );
+    }
+}
+
+/// At equal relaxation (the fig10 fairness premise), both concurrent
+/// sketches see the same bounded lag.
+#[test]
+fn matched_relaxation_bounds_hold_for_both() {
+    let k = 256;
+    let threads = 4;
+
+    // Quancurrent with b = 128 → r = 4k + 3·128.
+    let qc = Quancurrent::<f64>::builder().k(k).b(128).seed(8).build();
+    let r_qc = qc.relaxation_bound(threads);
+
+    // FCDS with B chosen to match: r = 2·N·B ⇒ B = r / (2N).
+    let b_fcds = (r_qc / (2 * threads as u64)) as usize;
+    let fcds = Fcds::<f64>::new(k, b_fcds.max(1), threads);
+    let r_fcds = fcds.relaxation_bound(threads);
+    assert!(
+        (r_qc as i64 - r_fcds as i64).unsigned_abs() <= 2 * threads as u64,
+        "relaxations not matched: {r_qc} vs {r_fcds}"
+    );
+
+    let per_thread = 100_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let mut updater = qc.updater();
+            let mut worker = fcds.updater();
+            s.spawn(move || {
+                let mut gen = StreamGen::new(Distribution::Uniform, 30 + t as u64);
+                for _ in 0..per_thread {
+                    let x = gen.next_f64();
+                    updater.update(x);
+                    worker.update(x);
+                }
+                std::mem::forget(worker); // keep FCDS residue buffered
+            });
+        }
+    });
+
+    let total = threads as u64 * per_thread;
+    assert!(total - qc.stream_len() <= r_qc, "quancurrent exceeded its bound");
+    fcds.drain();
+    assert!(total - fcds.stream_len() <= r_fcds, "fcds exceeded its bound");
+}

@@ -1,0 +1,170 @@
+//! End-to-end stress: the full public API under concurrent load, exactly
+//! as a downstream application would drive it.
+
+use qc_common::{OrderedBits, Summary};
+use quancurrent::Quancurrent;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Barrier;
+
+/// Updates, queries, quiescent drain, accounting, memory — one big session.
+#[test]
+fn full_session_on_simulated_testbed() {
+    const UPDATERS: usize = 8;
+    const QUERIERS: usize = 4;
+    const PER_THREAD: u64 = 60_000;
+
+    let sketch = Quancurrent::<f64>::builder()
+        .k(512)
+        .b(16)
+        .numa_nodes(4)
+        .threads_per_node(2)
+        .rho(1.02)
+        .seed(99)
+        .build();
+
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(UPDATERS + QUERIERS);
+    let residues: Vec<u64> = std::thread::scope(|s| {
+        let mut update_joins = Vec::new();
+        for t in 0..UPDATERS as u64 {
+            let mut updater = sketch.updater();
+            let barrier = &barrier;
+            update_joins.push(s.spawn(move || {
+                barrier.wait();
+                // A mix of distributions per thread: stresses merge paths.
+                for i in 0..PER_THREAD {
+                    let x = match t % 3 {
+                        0 => (i % 1000) as f64,
+                        1 => (i as f64).sin() * 500.0 + 500.0,
+                        _ => i as f64 / 61.0,
+                    };
+                    updater.update(x);
+                }
+                updater.pending().len() as u64
+            }));
+        }
+        for _ in 0..QUERIERS {
+            let mut handle = sketch.query_handle();
+            let barrier = &barrier;
+            let stop = &stop;
+            s.spawn(move || {
+                barrier.wait();
+                let mut previous_n = 0;
+                while !stop.load(SeqCst) {
+                    let qs = handle.quantiles(&[0.1, 0.5, 0.9]);
+                    if let [Some(a), Some(b), Some(c)] = qs[..] {
+                        assert!(a <= b && b <= c, "quantiles out of order");
+                    }
+                    let n = handle.cached_stream_len();
+                    assert!(n >= previous_n);
+                    previous_n = n;
+                }
+            });
+        }
+        let residues: Vec<u64> =
+            update_joins.into_iter().map(|j| j.join().unwrap()).collect();
+        stop.store(true, SeqCst);
+        residues
+    });
+
+    let total = UPDATERS as u64 * PER_THREAD;
+    let residue: u64 = residues.iter().sum();
+
+    // Exact accounting after quiescence.
+    assert_eq!(sketch.stream_len() + sketch.buffered_len() as u64 + residue, total);
+    let quiescent = sketch.quiescent_summary();
+    assert_eq!(quiescent.stream_len() + residue, total);
+
+    // The quiescent summary answers sensible quantiles over the mixture.
+    let p50 = quiescent.quantile_bits(0.5).map(<f64 as OrderedBits>::from_ordered_bits).unwrap();
+    assert!((0.0..=1000.0).contains(&p50), "median {p50} outside data range");
+
+    // Memory: retired blocks are bounded by live levels + protected strays.
+    let (domain_stats, descriptor_bytes) = sketch.memory_stats();
+    assert!(domain_stats.retired_pending < 64, "leak suspicion: {domain_stats:?}");
+    assert!(descriptor_bytes < 32 << 20, "descriptor arena blew up");
+
+    // Holes are rare but the machinery is exact: counts conserved above.
+    let stats = sketch.stats();
+    assert_eq!(stats.batches, sketch.stream_len() / (2 * 512));
+}
+
+/// Typed APIs: every supported element type round-trips through the full
+/// concurrent pipeline.
+#[test]
+fn all_element_types_roundtrip() {
+    fn drive<T: OrderedBits + std::fmt::Debug>(
+        values: impl Iterator<Item = T> + Clone,
+    ) {
+        let sketch = Quancurrent::<T>::builder().k(16).b(4).seed(1).build();
+        let mut updater = sketch.updater();
+        for v in values.clone() {
+            updater.update(v);
+        }
+        let mut handle = sketch.query_handle();
+        if sketch.stream_len() > 0 {
+            let lo = handle.query(0.0).unwrap();
+            let hi = handle.query(1.0).unwrap();
+            assert!(lo <= hi, "min {lo:?} > max {hi:?}");
+        }
+    }
+
+    drive((0..10_000u64).map(|i| i * 3));
+    drive((0..10_000u32).map(|i| i ^ 0xAAAA));
+    drive((-5_000..5_000i64).map(|i| i * 7));
+    drive((-5_000..5_000i32).map(|i| i));
+    drive((0..10_000).map(|i| (i as f64) * 0.25 - 100.0));
+    drive((0..10_000).map(|i| (i as f32) * 0.5 - 50.0));
+}
+
+/// The sketch is safely shareable: `&Quancurrent` across threads, handles
+/// moved into threads, drop order arbitrary.
+#[test]
+fn ownership_and_send_patterns() {
+    let sketch = std::sync::Arc::new(
+        Quancurrent::<u64>::builder().k(32).b(4).seed(2).build(),
+    );
+
+    let mut joins = Vec::new();
+    for t in 0..4u64 {
+        let sketch = std::sync::Arc::clone(&sketch);
+        joins.push(std::thread::spawn(move || {
+            let mut updater = sketch.updater();
+            for i in 0..50_000 {
+                updater.update(t * 50_000 + i);
+            }
+            // Handle dropped inside the thread.
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    // Query from yet another thread after all updaters are gone.
+    let sketch2 = std::sync::Arc::clone(&sketch);
+    let median = std::thread::spawn(move || {
+        let mut handle = sketch2.query_handle();
+        handle.query(0.5)
+    })
+    .join()
+    .unwrap();
+    assert!(median.is_some());
+}
+
+/// Snapshot linearization: a query issued after all updates completes must
+/// see everything propagated at that point — and repeated queries agree
+/// exactly while the sketch is quiet.
+#[test]
+fn quiet_sketch_gives_stable_answers() {
+    let sketch = Quancurrent::<u64>::builder().k(64).b(8).seed(3).build();
+    let mut updater = sketch.updater();
+    for i in 0..300_000u64 {
+        updater.update(i);
+    }
+    let mut h1 = sketch.query_handle();
+    let mut h2 = sketch.query_handle();
+    for phi in [0.01, 0.25, 0.5, 0.75, 0.99] {
+        assert_eq!(h1.query(phi), h2.query(phi), "handles disagree on quiet sketch");
+        assert_eq!(h1.query(phi), h1.query(phi), "same handle disagrees with itself");
+    }
+}

@@ -1,0 +1,175 @@
+//! PAC-bound tests: §4.2's error composition checked empirically.
+//!
+//! The theory: a query against an r-relaxed sketch with parameter k
+//! returns, for quantile φ, an element whose rank in the processed stream
+//! lies in `[(φ − ε_r)n, (φ + ε_r)n]` with ε_r = ε_c + (r/n)(1 − ε_c);
+//! serving from a ρ-stale cached snapshot adds ε′ = ρ − 1.
+//!
+//! These are high-probability bounds, so the assertions use a slack factor
+//! over fixed seeds — tight enough to catch estimator bugs, loose enough
+//! to never flake.
+
+use qc_common::error::{relaxed_epsilon, sequential_epsilon};
+use qc_common::OrderedBits;
+use qc_workloads::exact::ExactOracle;
+use qc_workloads::streams::{Distribution, StreamGen};
+use quancurrent::Quancurrent;
+
+const SLACK: f64 = 5.0;
+
+/// Single-threaded, quiescent: the full §4.2 bound with N = 1.
+#[test]
+fn quiescent_rank_error_within_relaxed_epsilon() {
+    for &k in &[64usize, 256, 1024] {
+        let b = 8;
+        let n: u64 = 300_000;
+        let sketch = Quancurrent::<f64>::builder().k(k).b(b).seed(17).build();
+        let mut updater = sketch.updater();
+        let mut gen = StreamGen::new(Distribution::Uniform, 23);
+        let mut all = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let x = gen.next_f64();
+            all.push(x.to_ordered_bits());
+            updater.update(x);
+        }
+        let oracle = ExactOracle::from_bits(all);
+
+        let eps_c = sequential_epsilon(k);
+        let r = sketch.relaxation_bound(1);
+        let eps_r = relaxed_epsilon(eps_c, r, n);
+
+        let mut handle = sketch.query_handle();
+        for phi in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let est = handle.query(phi).unwrap();
+            let err = oracle.rank_error(phi, est.to_ordered_bits());
+            assert!(
+                err <= SLACK * eps_r,
+                "k={k} phi={phi}: err {err:.5} > {SLACK}·ε_r = {:.5}",
+                SLACK * eps_r
+            );
+        }
+    }
+}
+
+/// Multi-threaded ingestion must not exceed the bound either (holes and
+/// concurrent propagation included).
+#[test]
+fn concurrent_rank_error_within_relaxed_epsilon() {
+    let k = 256;
+    let b = 8;
+    let threads = 8;
+    let n: u64 = 400_000;
+
+    let sketch = Quancurrent::<f64>::builder()
+        .k(k)
+        .b(b)
+        .numa_nodes(2)
+        .threads_per_node(4)
+        .seed(31)
+        .build();
+    let all = std::sync::Mutex::new(Vec::with_capacity(n as usize));
+    let per_thread = n / threads as u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let mut updater = sketch.updater();
+            let all = &all;
+            s.spawn(move || {
+                let mut gen = StreamGen::new(Distribution::Uniform, 41 + t as u64);
+                let mut mine = Vec::with_capacity(per_thread as usize);
+                for _ in 0..per_thread {
+                    let x = gen.next_f64();
+                    mine.push(x.to_ordered_bits());
+                    updater.update(x);
+                }
+                all.lock().unwrap().extend_from_slice(&mine);
+            });
+        }
+    });
+    let oracle = ExactOracle::from_bits(all.into_inner().unwrap());
+
+    let eps_r = relaxed_epsilon(sequential_epsilon(k), sketch.relaxation_bound(threads), n);
+    let mut handle = sketch.query_handle();
+    for phi in [0.1, 0.5, 0.9] {
+        let est = handle.query(phi).unwrap();
+        let err = oracle.rank_error(phi, est.to_ordered_bits());
+        assert!(err <= SLACK * eps_r, "phi={phi}: err {err:.5} vs ε_r {eps_r:.5}");
+    }
+}
+
+/// Staleness composition: a cached snapshot at ratio ρ answers within
+/// ε_r + (ρ − 1) of the *current* stream.
+#[test]
+fn cached_answers_respect_staleness_epsilon() {
+    let k = 256;
+    let rho = 1.25f64;
+    let sketch = Quancurrent::<u64>::builder().k(k).b(4).rho(rho).seed(43).build();
+    let mut updater = sketch.updater();
+
+    // Phase 1: 200k elements; take a snapshot (cache it).
+    for i in 0..200_000u64 {
+        updater.update(i);
+    }
+    let mut handle = sketch.query_handle();
+    let _ = handle.query(0.5); // cache at n ≈ 200k
+
+    // Phase 2: grow the stream by less than ρ, same distribution shape
+    // (appending a disjoint but same-shape range would break stationarity,
+    // so keep extending the same uniform range interleaved).
+    for i in 0..40_000u64 {
+        updater.update(i * 5); // stays within [0, 200k) value range
+    }
+
+    // The cached snapshot must still be served (ratio ≤ ρ)...
+    let before = handle.cache_stats();
+    let est = handle.query(0.5).unwrap();
+    let after = handle.cache_stats();
+    assert_eq!(after.0, before.0 + 1, "expected a cache hit under ρ = {rho}");
+
+    // ...and its answer must be within ε_r + (ρ − 1) of the current stream.
+    let n_now = sketch.stream_len();
+    let eps_total =
+        relaxed_epsilon(sequential_epsilon(k), sketch.relaxation_bound(1), n_now) + (rho - 1.0);
+    // Build the current stream's oracle.
+    let mut all: Vec<u64> = (0..200_000u64).collect();
+    all.extend((0..40_000u64).map(|i| i * 5));
+    // Clip to what's actually visible (relaxation hides a tail; the bound
+    // already accounts for it).
+    let oracle = ExactOracle::from_bits(all.iter().map(|&x| x.to_ordered_bits()).collect());
+    let err = oracle.rank_error(0.5, est.to_ordered_bits());
+    assert!(err <= eps_total, "stale answer err {err:.5} > ε {eps_total:.5}");
+}
+
+/// ε shrinks like the theory says when k grows (sanity of the whole
+/// accuracy story, end to end).
+#[test]
+fn error_scales_with_k_as_theory_predicts() {
+    let n: u64 = 200_000;
+    let mut measured = Vec::new();
+    for &k in &[32usize, 128, 512] {
+        let sketch = Quancurrent::<f64>::builder().k(k).b(8).seed(53).build();
+        let mut updater = sketch.updater();
+        let mut gen = StreamGen::new(Distribution::Normal { mean: 0.0, std_dev: 1.0 }, 59);
+        let mut all = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let x = gen.next_f64();
+            all.push(x.to_ordered_bits());
+            updater.update(x);
+        }
+        let oracle = ExactOracle::from_bits(all);
+        let mut handle = sketch.query_handle();
+        let mut worst: f64 = 0.0;
+        for phi in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let est = handle.query(phi).unwrap();
+            worst = worst.max(oracle.rank_error(phi, est.to_ordered_bits()));
+        }
+        measured.push((k, worst));
+    }
+    // Theory: ε(32)/ε(512) ≈ 13×. Demand at least a 2× improvement to stay
+    // robust to seed luck.
+    let e32 = measured[0].1.max(1e-6);
+    let e512 = measured[2].1.max(1e-6);
+    assert!(
+        e512 < e32 / 2.0 || e512 < sequential_epsilon(512),
+        "error did not improve with k: {measured:?}"
+    );
+}
