@@ -9,16 +9,12 @@ fn bench_worker_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("fcds_update_single_worker");
     for &buffer in &[256usize, 1024, 4096] {
         group.throughput(Throughput::Elements(1));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(buffer),
-            &buffer,
-            |bencher, &buffer| {
-                let fcds = Fcds::<f64>::new(4096, buffer, 1);
-                let mut worker = fcds.updater();
-                let mut gen = StreamGen::new(Distribution::Uniform, 1);
-                bencher.iter(|| worker.update(black_box(gen.next_f64())));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(buffer), &buffer, |bencher, &buffer| {
+            let fcds = Fcds::<f64>::new(4096, buffer, 1);
+            let mut worker = fcds.updater();
+            let mut gen = StreamGen::new(Distribution::Uniform, 1);
+            bencher.iter(|| worker.update(black_box(gen.next_f64())));
+        });
     }
     group.finish();
 }

@@ -3,7 +3,7 @@
 //! query (the per-snapshot and per-query work).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qc_common::merge::{merge_sorted, merge_sorted_into};
+use qc_common::merge::merge_sorted_into;
 use qc_common::rng::Xoshiro256;
 use qc_common::sample::{sample_odd_or_even, sample_with_parity, Parity};
 use qc_common::summary::{Summary, WeightedSummary};

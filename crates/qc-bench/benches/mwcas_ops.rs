@@ -85,5 +85,11 @@ fn bench_contended_dcas(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_uncontended_dcas, bench_failed_dcas, bench_read, bench_contended_dcas);
+criterion_group!(
+    benches,
+    bench_uncontended_dcas,
+    bench_failed_dcas,
+    bench_read,
+    bench_contended_dcas
+);
 criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Keyed-store benchmarks: update throughput vs stripe count (the store's
+//! scaling knob), plus the snapshot/ingest wire path and merged queries.
+//!
+//! The headline series is `store_update_8_threads/<stripes>`: 8 writer
+//! threads spraying updates across 64 keys. With one stripe every writer
+//! contends on one mutex; with 16+ stripes writers mostly own their stripe
+//! and throughput should approach the per-sketch ingestion rate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qc_store::{SketchStore, StoreConfig};
+use qc_workloads::streams::{Distribution, StreamGen};
+
+const KEYS: usize = 64;
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 16 * 1024;
+
+fn key_names() -> Vec<String> {
+    (0..KEYS).map(|i| format!("stream-{i:03}")).collect()
+}
+
+fn bench_update_vs_stripes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_update_8_threads");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((THREADS * OPS_PER_THREAD) as u64));
+    for &stripes in &[1usize, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stripes),
+            &stripes,
+            |bencher, &stripes| {
+                let keys = key_names();
+                bencher.iter(|| {
+                    let store = SketchStore::new(StoreConfig { stripes, k: 256, b: 4, seed: 7 });
+                    std::thread::scope(|s| {
+                        for t in 0..THREADS {
+                            let store = &store;
+                            let keys = &keys;
+                            s.spawn(move || {
+                                let mut gen = StreamGen::new(Distribution::Uniform, t as u64);
+                                for i in 0..OPS_PER_THREAD {
+                                    // Round-robin with a thread-dependent
+                                    // offset: all threads touch all keys.
+                                    let key = &keys[(i * THREADS + t) % KEYS];
+                                    store.update(key, gen.next_f64());
+                                }
+                            });
+                        }
+                    });
+                    black_box(store.stats().updates)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_thread_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_update_single_thread");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hot_key", |bencher| {
+        let store = SketchStore::new(StoreConfig { stripes: 16, k: 256, b: 4, seed: 3 });
+        let mut gen = StreamGen::new(Distribution::Uniform, 5);
+        bencher.iter(|| store.update("hot", black_box(gen.next_f64())));
+    });
+    group.bench_function("key_spray", |bencher| {
+        let store = SketchStore::new(StoreConfig { stripes: 16, k: 256, b: 4, seed: 4 });
+        let keys = key_names();
+        let mut gen = StreamGen::new(Distribution::Uniform, 6);
+        let mut i = 0usize;
+        bencher.iter(|| {
+            i += 1;
+            store.update(&keys[i % KEYS], black_box(gen.next_f64()))
+        });
+    });
+    group.finish();
+}
+
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    let store = SketchStore::new(StoreConfig { stripes: 4, k: 256, b: 4, seed: 9 });
+    let mut gen = StreamGen::new(Distribution::Normal { mean: 0.0, std_dev: 1.0 }, 11);
+    for _ in 0..200_000 {
+        store.update("src", gen.next_f64());
+    }
+    let frame = store.snapshot_bytes("src").unwrap();
+
+    let mut group = c.benchmark_group("store_wire");
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("snapshot_bytes", |bencher| {
+        bencher.iter(|| black_box(store.snapshot_bytes("src").unwrap()));
+    });
+    group.bench_function("ingest_bytes", |bencher| {
+        let sink = SketchStore::new(StoreConfig { stripes: 4, k: 256, b: 4, seed: 10 });
+        bencher.iter(|| sink.ingest_bytes("dst", black_box(&frame)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_merged_query(c: &mut Criterion) {
+    let store = SketchStore::new(StoreConfig { stripes: 16, k: 256, b: 4, seed: 13 });
+    let keys = key_names();
+    let mut gen = StreamGen::new(Distribution::Uniform, 17);
+    for i in 0..400_000usize {
+        store.update(&keys[i % KEYS], gen.next_f64());
+    }
+    let mut group = c.benchmark_group("store_merged_query");
+    for &fanin in &[1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(fanin), &fanin, |bencher, &fanin| {
+            let subset = &keys[..fanin];
+            bencher.iter(|| black_box(store.merged_query(subset, 0.99)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_update_vs_stripes,
+    bench_single_thread_update,
+    bench_wire_roundtrip,
+    bench_merged_query
+);
+criterion_main!(benches);

@@ -25,8 +25,7 @@ fn main() {
     let threads = opts.thread_sweep(&[8, 16, 32]);
     let units = [1usize, 2, 4, 8];
 
-    let mut table =
-        Table::new(["threads", "gs_units", "relaxation", "ops_per_sec", "stderr"]);
+    let mut table = Table::new(["threads", "gs_units", "relaxation", "ops_per_sec", "stderr"]);
     for &t in &threads {
         for &s in &units {
             if s > t {
@@ -40,8 +39,7 @@ fn main() {
                 seed: 21,
             };
             let stats = RunStats::measure(runs, |r| {
-                qc_update_throughput(&setup, t, n, Distribution::Uniform, r as u64)
-                    .ops_per_sec()
+                qc_update_throughput(&setup, t, n, Distribution::Uniform, r as u64).ops_per_sec()
             });
             let relax = setup.relaxation(t);
             table.row([
@@ -51,10 +49,7 @@ fn main() {
                 format!("{:.0}", stats.mean),
                 format!("{:.0}", stats.std_err),
             ]);
-            println!(
-                "threads={t:>2} S={s}: {} (r = {relax})",
-                format_ops(stats.mean)
-            );
+            println!("threads={t:>2} S={s}: {} (r = {relax})", format_ops(stats.mean));
         }
     }
 

@@ -39,14 +39,13 @@ fn main() {
 
     for &t in &threads {
         for &b in &qc_bs {
-            if (2 * k) % b != 0 {
+            if !(2 * k).is_multiple_of(b) {
                 continue;
             }
             let setup = QcSetup { k, b, rho: 1.0, topology, seed: 10 };
             let r = setup.relaxation(t);
             let stats = RunStats::measure(runs, |run| {
-                qc_update_throughput(&setup, t, n, Distribution::Uniform, run as u64)
-                    .ops_per_sec()
+                qc_update_throughput(&setup, t, n, Distribution::Uniform, run as u64).ops_per_sec()
             });
             table.row([
                 "quancurrent".to_string(),
@@ -61,8 +60,7 @@ fn main() {
         for &bb in &fcds_bs {
             let r = qc_common::error::fcds_relaxation(bb, t);
             let stats = RunStats::measure(runs, |run| {
-                fcds_update_throughput(k, bb, t, n, Distribution::Uniform, run as u64)
-                    .ops_per_sec()
+                fcds_update_throughput(k, bb, t, n, Distribution::Uniform, run as u64).ops_per_sec()
             });
             table.row([
                 "fcds".to_string(),

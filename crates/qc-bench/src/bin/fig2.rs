@@ -46,7 +46,8 @@ fn main() {
     let oracle = qc_workloads::exact::ExactOracle::from_bits(all.into_inner().unwrap());
     let mut handle = sketch.query_handle();
 
-    let mut table = Table::new(["phi", "estimate", "exact_rank_of_estimate", "target_rank", "rank_err"]);
+    let mut table =
+        Table::new(["phi", "estimate", "exact_rank_of_estimate", "target_rank", "rank_err"]);
     let points = 41;
     for i in 0..points {
         let phi = i as f64 / (points - 1) as f64;

@@ -29,7 +29,8 @@ fn main() {
     println!("sequential baseline: {}", format_ops(seq.mean));
     println!();
 
-    let mut table = Table::new(["threads", "qc_ops_per_sec", "qc_stderr", "seq_ops_per_sec", "speedup"]);
+    let mut table =
+        Table::new(["threads", "qc_ops_per_sec", "qc_stderr", "seq_ops_per_sec", "speedup"]);
     for &t in &threads {
         let stats = RunStats::measure(runs, |r| {
             qc_update_throughput(&setup, t, n, Distribution::Uniform, r as u64).ops_per_sec()
@@ -41,7 +42,11 @@ fn main() {
             format!("{:.0}", seq.mean),
             format!("{:.2}", stats.mean / seq.mean),
         ]);
-        println!("threads={t:>2}: {} (speedup {:.2}x)", format_ops(stats.mean), stats.mean / seq.mean);
+        println!(
+            "threads={t:>2}: {} (speedup {:.2}x)",
+            format_ops(stats.mean),
+            stats.mean / seq.mean
+        );
     }
 
     println!();

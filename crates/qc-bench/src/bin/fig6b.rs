@@ -22,9 +22,8 @@ fn main() {
     let threads = opts.thread_sweep(&[1, 2, 4, 8, 12, 16, 20, 24, 28, 32]);
     let setup = QcSetup::paper_default();
 
-    let seq = RunStats::measure(runs, |r| {
-        seq_query_throughput(4096, n, queries, r as u64).ops_per_sec()
-    });
+    let seq =
+        RunStats::measure(runs, |r| seq_query_throughput(4096, n, queries, r as u64).ops_per_sec());
     println!("sequential baseline: {}", format_ops(seq.mean));
     println!();
 
@@ -40,7 +39,11 @@ fn main() {
             format!("{:.0}", stats.std_err),
             format!("{:.2}", stats.mean / seq.mean),
         ]);
-        println!("threads={t:>2}: {} (speedup {:.2}x)", format_ops(stats.mean), stats.mean / seq.mean);
+        println!(
+            "threads={t:>2}: {} (speedup {:.2}x)",
+            format_ops(stats.mean),
+            stats.mean / seq.mean
+        );
     }
 
     println!();

@@ -33,13 +33,8 @@ fn main() {
     for &updaters in &[1usize, 2] {
         for &eps in &[0.0f64, 0.05] {
             let rho = if eps == 0.0 { 0.0 } else { 1.0 + eps };
-            let setup = QcSetup {
-                k: 1024,
-                b: 16,
-                rho,
-                topology: Topology::paper_testbed(),
-                seed: 4,
-            };
+            let setup =
+                QcSetup { k: 1024, b: 16, rho, topology: Topology::paper_testbed(), seed: 4 };
             for &q in &query_threads {
                 let mut u_sum = 0.0;
                 let mut q_sum = 0.0;

@@ -29,8 +29,7 @@ fn main() {
     ]);
     for &m in &multipliers {
         let rho = 1.0 + m * eps;
-        let setup =
-            QcSetup { k: 1024, b: 16, rho, topology: Topology::paper_testbed(), seed: 7 };
+        let setup = QcSetup { k: 1024, b: 16, rho, topology: Topology::paper_testbed(), seed: 7 };
         let mut q_sum = 0.0;
         let mut u_sum = 0.0;
         let mut miss_sum = 0.0;

@@ -89,9 +89,8 @@ fn main() {
             for &b in &bs {
                 let setup =
                     QcSetup { k, b, rho: 1.0, topology: Topology::paper_testbed(), seed: 8 };
-                let qc = RunStats::measure(runs, |r| {
-                    qc_rms_error(&setup, threads, n, 2_000 + r as u64)
-                });
+                let qc =
+                    RunStats::measure(runs, |r| qc_rms_error(&setup, threads, n, 2_000 + r as u64));
                 table.row([
                     k.to_string(),
                     format!("quancurrent b={b}"),

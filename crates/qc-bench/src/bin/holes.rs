@@ -28,8 +28,7 @@ fn analytic_region_bound(j: u64, b: u64) -> f64 {
 }
 
 fn measured_holes_per_batch(b: usize, threads: usize, n: u64, seed: u64) -> (f64, Vec<f64>) {
-    let setup =
-        QcSetup { k: 256, b, rho: 1.0, topology: Topology::single_node(threads), seed };
+    let setup = QcSetup { k: 256, b, rho: 1.0, topology: Topology::single_node(threads), seed };
     let sketch = setup.build(threads);
     let barrier = Barrier::new(threads);
     let per_thread = n / threads as u64;
@@ -47,11 +46,8 @@ fn measured_holes_per_batch(b: usize, threads: usize, n: u64, seed: u64) -> (f64
         }
     });
     let batches = sketch.stats().batches.max(1) as f64;
-    let per_region: Vec<f64> = sketch
-        .hole_region_histogram()
-        .into_iter()
-        .map(|h| h as f64 / batches)
-        .collect();
+    let per_region: Vec<f64> =
+        sketch.hole_region_histogram().into_iter().map(|h| h as f64 / batches).collect();
     (sketch.stats().holes_per_batch(), per_region)
 }
 

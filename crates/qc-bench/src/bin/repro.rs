@@ -15,8 +15,21 @@ use std::io::Write;
 use std::process::Command;
 
 const FIGURES: &[&str] = &[
-    "fig2", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10",
-    "holes", "ablation_numa", "ablation_snapshot", "ablation_dcas", "ablation_lock",
+    "fig2",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig8",
+    "fig9",
+    "fig10",
+    "holes",
+    "ablation_numa",
+    "ablation_snapshot",
+    "ablation_dcas",
+    "ablation_lock",
 ];
 
 fn main() {
@@ -38,7 +51,9 @@ fn main() {
     for fig in FIGURES {
         let bin = bin_dir.join(fig);
         if !bin.exists() {
-            eprintln!("skipping {fig}: binary not built (run `cargo build --release -p qc-bench --bins`)");
+            eprintln!(
+                "skipping {fig}: binary not built (run `cargo build --release -p qc-bench --bins`)"
+            );
             writeln!(manifest, "{fig}: SKIPPED (not built)").unwrap();
             continue;
         }

@@ -103,10 +103,7 @@ pub fn parse_human_u64(s: &str) -> Result<u64, String> {
         Some('g') | Some('G') => (&s[..s.len() - 1], 1_000_000_000),
         _ => (s, 1),
     };
-    digits
-        .parse::<u64>()
-        .map(|v| v * mult)
-        .map_err(|_| format!("bad numeric value {s:?}"))
+    digits.parse::<u64>().map(|v| v * mult).map_err(|_| format!("bad numeric value {s:?}"))
 }
 
 #[cfg(test)]

@@ -149,10 +149,7 @@ mod tests {
     }
 
     fn monotone<T: OrderedBits + std::fmt::Debug>(lo: T, hi: T) {
-        assert!(
-            lo.to_ordered_bits() < hi.to_ordered_bits(),
-            "{lo:?} !< {hi:?} in bit space"
-        );
+        assert!(lo.to_ordered_bits() < hi.to_ordered_bits(), "{lo:?} !< {hi:?} in bit space");
     }
 
     #[test]

@@ -125,7 +125,7 @@ mod tests {
         // §5.5: 8 update threads, S = 1, b = 2048 → r ≈ 30K with k = 4096.
         let r = quancurrent_relaxation(4096, 2048, 8, 1);
         assert_eq!(r, 4 * 4096 + 7 * 2048); // 16384 + 14336 = 30720 ≈ 30K
-        // §5.5: 32 threads, S = 4, b = 2048, k = 4096 → r ≈ 122K.
+                                            // §5.5: 32 threads, S = 4, b = 2048, k = 4096 → r ≈ 122K.
         let r32 = quancurrent_relaxation(4096, 2048, 32, 4);
         assert_eq!(r32, 4 * 4096 * 4 + 28 * 2048); // 65536 + 57344 = 122880 ≈ 122K
     }
@@ -140,7 +140,7 @@ mod tests {
     fn quancurrent_relaxation_clamps_nodes_to_threads() {
         // 2 threads on a "4-node" machine occupy at most 2 nodes.
         let r = quancurrent_relaxation(64, 8, 2, 4);
-        assert_eq!(r, 4 * 64 * 2 + 0 * 8);
+        assert_eq!(r, (4 * 64 * 2));
     }
 
     #[test]

@@ -64,10 +64,7 @@ pub fn merge_sorted_many(inputs: &[&[u64]]) -> Vec<u64> {
                 let b = work.pop().unwrap();
                 let merged = merge_sorted(&a, &b);
                 // Insert keeping the "shortest last" discipline.
-                let pos = work
-                    .iter()
-                    .position(|v| v.len() <= merged.len())
-                    .unwrap_or(work.len());
+                let pos = work.iter().position(|v| v.len() <= merged.len()).unwrap_or(work.len());
                 work.insert(pos, merged);
             }
             work.pop().unwrap()
@@ -160,10 +157,7 @@ mod tests {
     fn many_way_merge_edge_cases() {
         assert_eq!(merge_sorted_many(&[]), Vec::<u64>::new());
         assert_eq!(merge_sorted_many(&[&[1, 2, 3]]), vec![1, 2, 3]);
-        assert_eq!(
-            merge_sorted_many(&[&[] as &[u64], &[], &[9]]),
-            vec![9]
-        );
+        assert_eq!(merge_sorted_many(&[&[] as &[u64], &[], &[9]]), vec![9]);
     }
 
     #[test]

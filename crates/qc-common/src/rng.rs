@@ -134,14 +134,8 @@ mod tests {
     #[test]
     fn xoshiro_matches_reference() {
         let mut g = Xoshiro256::from_state([1, 2, 3, 4]);
-        let expected = [
-            11520u64,
-            0,
-            1509978240,
-            1215971899390074240,
-            1216172134540287360,
-            607988272756665600,
-        ];
+        let expected =
+            [11520u64, 0, 1509978240, 1215971899390074240, 1216172134540287360, 607988272756665600];
         for e in expected {
             assert_eq!(g.next_u64(), e);
         }

@@ -60,10 +60,7 @@ pub trait Summary {
         if n == 0 {
             return vec![0.0; split_points.len()];
         }
-        split_points
-            .iter()
-            .map(|&p| self.rank_bits(p) as f64 / n as f64)
-            .collect()
+        split_points.iter().map(|&p| self.rank_bits(p) as f64 / n as f64).collect()
     }
 
     /// Batch quantile estimation.
@@ -89,7 +86,7 @@ pub trait Summary {
 }
 
 /// The sorted `samples` list with exclusive prefix weights.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct WeightedSummary {
     /// Sorted by `value_bits` ascending.
     items: Vec<WeightedItem>,
@@ -153,6 +150,26 @@ impl WeightedSummary {
     /// Largest retained element, in bit space.
     pub fn max_bits(&self) -> Option<u64> {
         self.items.last().map(|it| it.value_bits)
+    }
+
+    /// **Normalized** rank of `value`: the estimated fraction of the stream
+    /// strictly below it, in `[0, 1]`. Returns `0.0` on an empty summary.
+    ///
+    /// This inherent method shadows [`Summary::rank`] (which returns the
+    /// absolute weight below `value`) — merged queries across sketches of
+    /// different stream sizes compare fractions, not weights. Call
+    /// `Summary::rank(&s, value)` explicitly for the absolute form.
+    pub fn rank<T: OrderedBits>(&self, value: T) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.rank_bits(value.to_ordered_bits()) as f64 / self.total as f64
+    }
+
+    /// Estimated CDF at each typed split point: `rank(p)` for every `p`,
+    /// i.e. the normalized counterpart of [`Summary::cdf_bits`].
+    pub fn cdf<T: OrderedBits>(&self, split_points: &[T]) -> Vec<f64> {
+        split_points.iter().map(|&p| self.rank(p)).collect()
     }
 }
 
@@ -323,7 +340,23 @@ mod tests {
         assert_eq!(s.quantile::<f64>(0.0), Some(-5.0));
         assert_eq!(s.quantile::<f64>(0.5), Some(0.0));
         assert_eq!(s.quantile::<f64>(1.0), Some(10.0));
-        assert_eq!(s.rank(0.0f64), 2);
+        // Trait form: absolute weight below the probe.
+        assert_eq!(Summary::rank(&s, 0.0f64), 2);
+        // Inherent form: normalized fraction.
+        assert!((s.rank(0.0f64) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_rank_and_cdf() {
+        let s = unit_summary(&[10, 20, 30, 40]);
+        // u64 probes use the identity embedding.
+        assert_eq!(s.rank(5u64), 0.0);
+        assert_eq!(s.rank(25u64), 0.5);
+        assert_eq!(s.rank(100u64), 1.0);
+        assert_eq!(s.cdf(&[5u64, 25, 100]), vec![0.0, 0.5, 1.0]);
+        // Empty summaries rank everything at 0.
+        assert_eq!(WeightedSummary::empty().rank(7u64), 0.0);
+        assert_eq!(WeightedSummary::empty().cdf(&[1u64, 2]), vec![0.0, 0.0]);
     }
 
     #[test]

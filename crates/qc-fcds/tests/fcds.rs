@@ -90,7 +90,7 @@ fn unpropagated_lag_is_within_relaxation() {
                 }
                 // No flush: leave residue in local buffers.
                 let lag_bound = 2 * B as u64; // this worker's two buffers
-                assert!(w.pushed() - 0 >= PER_WORKER - lag_bound);
+                assert!(w.pushed() >= PER_WORKER - lag_bound);
                 std::mem::forget(w); // keep residue unflushed for the check
             });
         }

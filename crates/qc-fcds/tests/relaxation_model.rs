@@ -46,7 +46,7 @@ proptest! {
         fcds.drain();
         for phi in [0.0, 0.5, 1.0] {
             let est = fcds.query(phi).unwrap();
-            prop_assert!(est >= 1 && est <= (n - 1) * 7 + 1 && (est - 1) % 7 == 0,
+            prop_assert!(est >= 1 && est <= (n - 1) * 7 + 1 && (est - 1).is_multiple_of(7),
                 "estimate {} not in stream", est);
         }
     }

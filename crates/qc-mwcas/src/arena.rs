@@ -71,8 +71,7 @@ impl Arena {
                 .map(|_| MwcasDescriptor {
                     status: AtomicU64::new(UNDECIDED),
                     len: 0,
-                    entries: [Entry { word: std::ptr::null(), old_raw: 0, new_raw: 0 };
-                        MAX_WORDS],
+                    entries: [Entry { word: std::ptr::null(), old_raw: 0, new_raw: 0 }; MAX_WORDS],
                 })
                 .collect();
             st.chunks.push(chunk.into_boxed_slice());

@@ -23,11 +23,7 @@ fn op_strategy(num_words: usize) -> impl Strategy<Value = Op> {
             (Just(idxs), prop::collection::vec((0u64..3, 1u64..1_000_000), n))
         })
         .prop_map(|(idxs, rest)| Op {
-            targets: idxs
-                .into_iter()
-                .zip(rest)
-                .map(|(i, (delta, new))| (i, delta, new))
-                .collect(),
+            targets: idxs.into_iter().zip(rest).map(|(i, (delta, new))| (i, delta, new)).collect(),
         })
 }
 

@@ -59,7 +59,7 @@ impl LocalHandle {
         let inner = &self.domain.inner;
         let ticks = self.alloc_ticks.get() + 1;
         self.alloc_ticks.set(ticks);
-        if ticks % inner.config.era_frequency == 0 {
+        if ticks.is_multiple_of(inner.config.era_frequency) {
             inner.era.fetch_add(1, SeqCst);
         }
         inner.allocated.fetch_add(1, SeqCst);
@@ -134,7 +134,7 @@ impl LocalHandle {
 
         let ticks = self.retire_ticks.get() + 1;
         self.retire_ticks.set(ticks);
-        if ticks % inner.config.empty_frequency == 0 {
+        if ticks.is_multiple_of(inner.config.empty_frequency) {
             self.try_reclaim();
         }
     }

@@ -45,10 +45,7 @@ impl BlockPool {
         // SAFETY: header of an unlinked block is private to us now.
         let layout = unsafe { (*ptr).layout };
         let mut classes = self.classes.lock().unwrap();
-        classes
-            .entry((layout.size(), layout.align()))
-            .or_default()
-            .push(ptr as usize);
+        classes.entry((layout.size(), layout.align())).or_default().push(ptr as usize);
     }
 
     /// Number of pooled blocks (all classes).

@@ -25,7 +25,7 @@ pub struct SketchBuilder {
 impl SketchBuilder {
     /// Start with defaults (`k = 128` unless overridden).
     pub fn new() -> Self {
-        Self { k: None, epsilon: None, seed: 0x5EED_0F_5EED }
+        Self { k: None, epsilon: None, seed: 0x5E_ED0F_5EED }
     }
 
     /// Set the level size directly (overrides [`SketchBuilder::epsilon`]).

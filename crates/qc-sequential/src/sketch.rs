@@ -40,7 +40,7 @@ impl QuantilesSketch {
     /// `k` trades accuracy for space: the rank error is ≈ `1.76 / k^0.93`
     /// ([`qc_common::error::sequential_epsilon`]).
     pub fn new(k: usize) -> Self {
-        Self::with_seed(k, 0x5EED_0F_5EED)
+        Self::with_seed(k, 0x5E_ED0F_5EED)
     }
 
     /// Create a sketch with an explicit RNG seed (for reproducible runs).
@@ -144,7 +144,7 @@ impl QuantilesSketch {
             return;
         }
         assert!(
-            sorted.len() % self.k == 0,
+            sorted.len().is_multiple_of(self.k),
             "weighted input length {} is not a multiple of k = {}",
             sorted.len(),
             self.k

@@ -1,0 +1,53 @@
+//! **qc-store** — a sharded, keyed sketch store with a versioned wire
+//! format and summary merging.
+//!
+//! The paper contributes a single blazing-fast in-process sketch; a serving
+//! system needs many named streams, aggregation across processes, and
+//! durable interchange of sketch state. This crate is that layer, in three
+//! pieces:
+//!
+//! * [`wire`] — a compact, versioned, endian-stable binary encoding of
+//!   [`qc_common::WeightedSummary`] (magic + version header, varint
+//!   weights, delta-coded sorted value bits, CRC-32 trailer, typed
+//!   [`wire::WireError`] decode failures — never a panic);
+//! * [`merge`] — [`merge::merge_summaries`]: weight-aware merging of any
+//!   number of summaries with randomized odd-or-even compaction back to a
+//!   `k`-bounded summary, conserving total weight exactly;
+//! * [`store`] — [`store::SketchStore`]: a fixed-stripe, lock-per-stripe
+//!   registry mapping string keys to live [`quancurrent::Quancurrent`]
+//!   sketches, with keyed update/query, snapshot/ingest through the wire
+//!   format, and cross-key merged queries.
+//!
+//! ```
+//! use qc_store::{SketchStore, StoreConfig};
+//!
+//! let store = SketchStore::new(StoreConfig { stripes: 8, k: 128, b: 4, seed: 7 });
+//! for i in 0..10_000 {
+//!     store.update("checkout", i as f64);
+//!     store.update("search", (i * 2) as f64);
+//! }
+//!
+//! // Per-key and cross-key quantiles.
+//! let p99 = store.query("checkout", 0.99).unwrap();
+//! assert!(p99 > 9_000.0);
+//! let union_median = store.merged_query(&["checkout", "search"], 0.5).unwrap();
+//! assert!(union_median > 4_000.0);
+//!
+//! // Snapshot one key, ship the bytes anywhere, fold them into another
+//! // store (or key) later.
+//! let frame = store.snapshot_bytes("search").unwrap();
+//! let other = SketchStore::default();
+//! other.ingest_bytes("search-replica", &frame).unwrap();
+//! assert_eq!(other.stats().stream_len, 10_000);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod merge;
+pub mod store;
+pub mod wire;
+
+pub use merge::merge_summaries;
+pub use store::{SketchStore, StoreConfig, StoreStats};
+pub use wire::{decode_summary, encode_summary, WireError};

@@ -1,0 +1,477 @@
+//! A sharded, keyed registry of live sketches.
+//!
+//! High-cardinality keyed aggregation is the dominant quantile-serving
+//! workload (Gan et al., *Moment-Based Quantile Sketches for Efficient
+//! High-Cardinality Aggregation Queries*): millions of named streams
+//! ("latency by endpoint", "payload size by tenant") each need their own
+//! sketch, plus cross-key and cross-process aggregation. [`SketchStore`]
+//! is that layer:
+//!
+//! * keys are hashed onto a fixed array of stripes (power-of-two count),
+//!   each stripe a mutex around its own key map — writers on different
+//!   stripes never contend, and no lock is ever held across stripes;
+//! * each key owns a live [`Quancurrent<f64>`] sketch (updates go through
+//!   the paper's three-level ingestion path) **plus** an *absorbed*
+//!   [`WeightedSummary`] holding everything merged in from remote
+//!   snapshots via [`SketchStore::ingest_bytes`];
+//! * reads compose the live sketch's quiescent state, its not-yet-flushed
+//!   updater buffer, and the absorbed summary with
+//!   [`crate::merge::merge_summaries`], so `query`/`merged_query` see every
+//!   element ever handed to the store — local or ingested — with exact
+//!   stream-length accounting.
+//!
+//! Holding the stripe lock during reads makes the per-key composition safe:
+//! the sketch's quiescent summary demands no concurrent updates, and all
+//! updates for a key funnel through its stripe lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+use qc_common::bits::OrderedBits;
+use qc_common::summary::{Summary, WeightedSummary};
+use quancurrent::{Quancurrent, Updater};
+
+use crate::merge::merge_summaries;
+use crate::wire::{decode_summary, encode_summary, WireError};
+
+/// Store construction parameters.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Number of lock stripes; rounded up to a power of two, minimum 1.
+    pub stripes: usize,
+    /// Per-sketch level size `k` (accuracy knob; see `qc_common::error`).
+    pub k: usize,
+    /// Per-sketch thread-local buffer size `b`. Small values keep per-key
+    /// relaxation low — a keyed store amortizes over many keys, not many
+    /// threads per key.
+    pub b: usize,
+    /// Base seed; each key derives its own deterministic seed from it.
+    pub seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { stripes: 16, k: 256, b: 4, seed: 0x5eed_5704e }
+    }
+}
+
+/// Store-wide counters (monotone; sampled without locks except
+/// `keys`/`stream_len`, which sweep the stripes).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of resident keys.
+    pub keys: usize,
+    /// Number of stripes (fixed at construction).
+    pub stripes: usize,
+    /// Total elements ingested via `update`/`update_many`.
+    pub updates: u64,
+    /// Total successfully ingested remote snapshots.
+    pub ingests: u64,
+    /// Ingest attempts rejected with a [`WireError`].
+    pub ingest_errors: u64,
+    /// Total stream length across all keys (local + absorbed).
+    pub stream_len: u64,
+    /// Bytes produced by `snapshot_bytes`.
+    pub bytes_out: u64,
+    /// Bytes accepted by `ingest_bytes`.
+    pub bytes_in: u64,
+}
+
+struct KeyEntry {
+    sketch: Quancurrent<f64>,
+    /// Per-key updater; all updates for the key run under the stripe lock,
+    /// so one handle is exactly the single-writer discipline the sketch's
+    /// local buffer expects.
+    updater: Updater<f64>,
+    /// Everything merged in from remote snapshots, pre-compacted to `2k`
+    /// per level.
+    absorbed: WeightedSummary,
+    /// Seed for this key's merge coins (deterministic per key).
+    merge_seed: u64,
+}
+
+impl KeyEntry {
+    /// The key's full resident summary: shared levels + Gather&Sort
+    /// buffers + unflushed updater buffer + absorbed remote weight.
+    /// Caller must hold the stripe lock (it owns all update paths).
+    fn resident_summary(&self, k: usize) -> WeightedSummary {
+        let quiescent = self.sketch.quiescent_summary();
+        let pending = self.updater.pending();
+        let mut bits: Vec<u64> = pending.iter().map(|v| v.to_ordered_bits()).collect();
+        bits.sort_unstable();
+        let pending_summary = if bits.is_empty() {
+            WeightedSummary::empty()
+        } else {
+            WeightedSummary::from_parts([(&bits[..], 1u64)])
+        };
+        merge_summaries(&[quiescent, pending_summary, self.absorbed.clone()], k, self.merge_seed)
+    }
+}
+
+/// Sharded keyed sketch store; see the [module docs](self).
+pub struct SketchStore {
+    stripes: Box<[Mutex<HashMap<String, KeyEntry>>]>,
+    mask: usize,
+    cfg: StoreConfig,
+    updates: AtomicU64,
+    ingests: AtomicU64,
+    ingest_errors: AtomicU64,
+    bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+}
+
+impl Default for SketchStore {
+    fn default() -> Self {
+        Self::new(StoreConfig::default())
+    }
+}
+
+impl SketchStore {
+    /// Build a store with the given configuration.
+    pub fn new(cfg: StoreConfig) -> Self {
+        let stripes = cfg.stripes.max(1).next_power_of_two();
+        let table = (0..stripes).map(|_| Mutex::new(HashMap::new())).collect();
+        SketchStore {
+            stripes: table,
+            mask: stripes - 1,
+            cfg,
+            updates: AtomicU64::new(0),
+            ingests: AtomicU64::new(0),
+            ingest_errors: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+        }
+    }
+
+    /// The store's configuration (stripe count already normalized).
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Number of stripes (power of two).
+    pub fn num_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe_of(&self, key: &str) -> &Mutex<HashMap<String, KeyEntry>> {
+        // FNV-1a over the key bytes; stripe count is a power of two.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in key.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Fold the high bits in so the low-bit mask sees the whole hash.
+        &self.stripes[((h ^ (h >> 32)) as usize) & self.mask]
+    }
+
+    fn make_entry(&self, key: &str) -> KeyEntry {
+        // Distinct deterministic seeds per key, derived FNV-style.
+        let mut h = self.cfg.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in key.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let sketch = Quancurrent::<f64>::builder().k(self.cfg.k).b(self.cfg.b).seed(h).build();
+        let updater = sketch.updater();
+        KeyEntry {
+            sketch,
+            updater,
+            absorbed: WeightedSummary::empty(),
+            merge_seed: h.rotate_left(17) | 1,
+        }
+    }
+
+    /// Feed one value into `key`'s sketch, creating the key on first use.
+    pub fn update(&self, key: &str, value: f64) {
+        self.update_many(key, &[value]);
+    }
+
+    /// Feed a batch of values into `key` under a single lock acquisition.
+    pub fn update_many(&self, key: &str, values: &[f64]) {
+        if values.is_empty() {
+            return;
+        }
+        let mut map = self.stripe_of(key).lock().unwrap();
+        // Probe before inserting: the steady state must not allocate a
+        // `String` per call just to use the entry API.
+        if !map.contains_key(key) {
+            map.insert(key.to_string(), self.make_entry(key));
+        }
+        let entry = map.get_mut(key).expect("entry just ensured");
+        for &v in values {
+            entry.updater.update(v);
+        }
+        drop(map);
+        self.updates.fetch_add(values.len() as u64, Relaxed);
+    }
+
+    /// φ-quantile estimate over everything `key` has seen (local updates
+    /// and ingested snapshots). `None` if the key is absent or empty.
+    pub fn query(&self, key: &str, phi: f64) -> Option<f64> {
+        self.summary_of(key)?.quantile::<f64>(phi)
+    }
+
+    /// Normalized rank of `value` within `key`'s stream (0.0 ≤ rank ≤ 1.0).
+    /// `None` if the key is absent or empty.
+    pub fn rank(&self, key: &str, value: f64) -> Option<f64> {
+        let summary = self.summary_of(key)?;
+        if summary.stream_len() == 0 {
+            return None;
+        }
+        Some(summary.rank(value))
+    }
+
+    /// The key's full resident summary, or `None` if the key is absent.
+    pub fn summary_of(&self, key: &str) -> Option<WeightedSummary> {
+        let map = self.stripe_of(key).lock().unwrap();
+        map.get(key).map(|e| e.resident_summary(self.cfg.k))
+    }
+
+    /// Serialize `key`'s resident summary with [`crate::wire`]. `None` if
+    /// the key is absent. The frame is self-contained: another process (or
+    /// another key) can [`SketchStore::ingest_bytes`] it.
+    pub fn snapshot_bytes(&self, key: &str) -> Option<Vec<u8>> {
+        let summary = self.summary_of(key)?;
+        let bytes = encode_summary(&summary);
+        self.bytes_out.fetch_add(bytes.len() as u64, Relaxed);
+        Some(bytes)
+    }
+
+    /// Decode a serialized summary and merge it into `key`'s absorbed
+    /// aggregate, creating the key if needed. Returns the ingested stream
+    /// length. Malformed frames return a typed [`WireError`] and leave the
+    /// store untouched.
+    pub fn ingest_bytes(&self, key: &str, buf: &[u8]) -> Result<u64, WireError> {
+        let remote = match decode_summary(buf) {
+            Ok(summary) => summary,
+            Err(e) => {
+                self.ingest_errors.fetch_add(1, Relaxed);
+                return Err(e);
+            }
+        };
+        let ingested = remote.stream_len();
+        let mut map = self.stripe_of(key).lock().unwrap();
+        let entry = map.entry(key.to_string()).or_insert_with(|| self.make_entry(key));
+        let absorbed = std::mem::take(&mut entry.absorbed);
+        entry.absorbed = merge_summaries(&[absorbed, remote], self.cfg.k, entry.merge_seed);
+        drop(map);
+        self.ingests.fetch_add(1, Relaxed);
+        self.bytes_in.fetch_add(buf.len() as u64, Relaxed);
+        Ok(ingested)
+    }
+
+    /// One summary over the union of the given keys' streams (absent keys
+    /// contribute nothing). Locks one stripe at a time.
+    pub fn merged_summary<K: AsRef<str>>(&self, keys: &[K]) -> WeightedSummary {
+        let parts: Vec<WeightedSummary> =
+            keys.iter().filter_map(|k| self.summary_of(k.as_ref())).collect();
+        merge_summaries(&parts, self.cfg.k, self.cfg.seed)
+    }
+
+    /// φ-quantile over the union of the given keys' streams. `None` if no
+    /// key contributed any element.
+    pub fn merged_query<K: AsRef<str>>(&self, keys: &[K], phi: f64) -> Option<f64> {
+        self.merged_summary(keys).quantile::<f64>(phi)
+    }
+
+    /// Remove a key and return whether it was present.
+    pub fn remove(&self, key: &str) -> bool {
+        self.stripe_of(key).lock().unwrap().remove(key).is_some()
+    }
+
+    /// All resident keys (unordered).
+    pub fn keys(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for stripe in self.stripes.iter() {
+            out.extend(stripe.lock().unwrap().keys().cloned());
+        }
+        out
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.lock().unwrap().is_empty())
+    }
+
+    /// Store-wide statistics. Sweeps the stripes for `keys`/`stream_len`;
+    /// counter fields are exact, lock-free reads.
+    pub fn stats(&self) -> StoreStats {
+        let mut keys = 0usize;
+        let mut stream_len = 0u64;
+        for stripe in self.stripes.iter() {
+            let map = stripe.lock().unwrap();
+            keys += map.len();
+            for entry in map.values() {
+                stream_len += entry.sketch.stream_len()
+                    + entry.sketch.buffered_len() as u64
+                    + entry.updater.pending().len() as u64
+                    + entry.absorbed.stream_len();
+            }
+        }
+        StoreStats {
+            keys,
+            stripes: self.stripes.len(),
+            updates: self.updates.load(Relaxed),
+            ingests: self.ingests.load(Relaxed),
+            ingest_errors: self.ingest_errors.load(Relaxed),
+            stream_len,
+            bytes_out: self.bytes_out.load(Relaxed),
+            bytes_in: self.bytes_in.load(Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for SketchStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SketchStore")
+            .field("stripes", &stats.stripes)
+            .field("keys", &stats.keys)
+            .field("stream_len", &stats.stream_len)
+            .field("k", &self.cfg.k)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_store(stripes: usize) -> SketchStore {
+        SketchStore::new(StoreConfig { stripes, k: 64, b: 4, seed: 1 })
+    }
+
+    #[test]
+    fn empty_store_answers_nothing() {
+        let store = small_store(4);
+        assert!(store.is_empty());
+        assert_eq!(store.query("nope", 0.5), None);
+        assert_eq!(store.snapshot_bytes("nope"), None);
+        assert_eq!(store.merged_query(&["a", "b"], 0.5), None);
+        assert_eq!(store.stats().keys, 0);
+    }
+
+    #[test]
+    fn update_then_query_sees_every_element() {
+        let store = small_store(4);
+        for i in 0..1000 {
+            store.update("lat", i as f64);
+        }
+        // Exact accounting: levels + GS buffers + updater pending.
+        let summary = store.summary_of("lat").unwrap();
+        assert_eq!(summary.stream_len(), 1000);
+        let med = store.query("lat", 0.5).unwrap();
+        assert!((300.0..700.0).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn stripe_count_normalizes_to_power_of_two() {
+        assert_eq!(small_store(1).num_stripes(), 1);
+        assert_eq!(small_store(5).num_stripes(), 8);
+        assert_eq!(small_store(0).num_stripes(), 1);
+    }
+
+    #[test]
+    fn keys_are_isolated() {
+        let store = small_store(8);
+        store.update_many("low", &(0..500).map(f64::from).collect::<Vec<_>>());
+        store.update_many("high", &(1000..1500).map(f64::from).collect::<Vec<_>>());
+        let low = store.query("low", 0.5).unwrap();
+        let high = store.query("high", 0.5).unwrap();
+        assert!(low < 600.0, "low median {low}");
+        assert!(high >= 1000.0, "high median {high}");
+    }
+
+    #[test]
+    fn snapshot_ingest_roundtrip_between_keys() {
+        let store = small_store(4);
+        store.update_many("a", &(0..2000).map(f64::from).collect::<Vec<_>>());
+        let frame = store.snapshot_bytes("a").unwrap();
+        let ingested = store.ingest_bytes("b", &frame).unwrap();
+        assert_eq!(ingested, 2000);
+        assert_eq!(store.summary_of("b").unwrap().stream_len(), 2000);
+        let stats = store.stats();
+        assert_eq!(stats.ingests, 1);
+        assert_eq!(stats.bytes_in, frame.len() as u64);
+    }
+
+    #[test]
+    fn bad_frame_is_rejected_and_counted() {
+        let store = small_store(4);
+        let err = store.ingest_bytes("x", b"garbage").unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. } | WireError::BadMagic { .. }));
+        assert!(store.is_empty(), "failed ingest must not create the key");
+        assert_eq!(store.stats().ingest_errors, 1);
+    }
+
+    #[test]
+    fn merged_query_spans_keys() {
+        let store = small_store(4);
+        store.update_many("lo", &(0..5000).map(f64::from).collect::<Vec<_>>());
+        store.update_many("hi", &(5000..10000).map(f64::from).collect::<Vec<_>>());
+        let med = store.merged_query(&["lo", "hi"], 0.5).unwrap();
+        assert!(
+            (3500.0..6500.0).contains(&med),
+            "union median {med} should sit near the key boundary"
+        );
+        assert_eq!(store.merged_summary(&["lo", "hi"]).stream_len(), 10_000);
+    }
+
+    #[test]
+    fn rank_is_normalized() {
+        let store = small_store(2);
+        store.update_many("k", &(0..1000).map(f64::from).collect::<Vec<_>>());
+        let r = store.rank("k", 500.0).unwrap();
+        assert!((r - 0.5).abs() < 0.1, "rank {r}");
+        assert_eq!(store.rank("absent", 1.0), None);
+    }
+
+    #[test]
+    fn remove_and_len_track_keys() {
+        let store = small_store(4);
+        store.update("a", 1.0);
+        store.update("b", 2.0);
+        assert_eq!(store.len(), 2);
+        assert!(store.remove("a"));
+        assert!(!store.remove("a"));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.keys(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_updates_across_keys_and_stripes() {
+        let store = std::sync::Arc::new(small_store(8));
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let store = store.clone();
+                s.spawn(move || {
+                    let key = format!("key{}", t % 4);
+                    for i in 0..2000 {
+                        store.update(&key, (t * 2000 + i) as f64);
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.updates, 16_000);
+        assert_eq!(stats.stream_len, 16_000);
+        assert_eq!(stats.keys, 4);
+        let all: Vec<String> = store.keys();
+        let med = store.merged_query(&all, 0.5).unwrap();
+        assert!((2000.0..14_000.0).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn stats_bytes_out_accumulates() {
+        let store = small_store(2);
+        store.update("a", 1.0);
+        let n = store.snapshot_bytes("a").unwrap().len() as u64;
+        store.snapshot_bytes("a").unwrap();
+        assert_eq!(store.stats().bytes_out, 2 * n);
+    }
+}

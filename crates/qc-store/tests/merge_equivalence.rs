@@ -1,0 +1,104 @@
+//! Merge-equivalence: merging **serialized snapshots** of two sketches fed
+//! disjoint streams answers quantiles within the combined error bound of a
+//! single sketch over the concatenated stream (the mergeability property of
+//! Agarwal et al. that makes distributed deployment sound).
+//!
+//! Error budget per φ, following §4.2 of the paper and `qc_common::error`:
+//! each input sketch contributes ε_c(k) rank error over its own substream,
+//! merging compacts once more (another ε_c(k)-class term), and unflushed
+//! buffers contribute at most r/n. We assert against
+//! `3·ε_c(k) + r/n + slack` where slack covers the discreteness of small
+//! streams — comfortably tighter than the trivial bound and far tighter
+//! than what a broken merge (dropped weight, biased compaction) could pass.
+
+use qc_common::error::sequential_epsilon;
+use qc_common::Summary;
+use qc_store::merge_summaries;
+use qc_store::wire::{decode_summary, encode_summary};
+use qc_workloads::exact::ExactOracle;
+use quancurrent::Quancurrent;
+
+fn fill(sketch: &Quancurrent<f64>, values: &[f64]) {
+    let mut updater = sketch.updater();
+    for &v in values {
+        updater.update(v);
+    }
+}
+
+/// Interleaved odd/even split so both substreams span the full value range
+/// (harder on the merge than contiguous halves: every rank mixes weight
+/// from both inputs).
+fn disjoint_streams(n: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let all: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let a: Vec<f64> = all.iter().copied().filter(|v| (*v as u64).is_multiple_of(2)).collect();
+    let b: Vec<f64> = all.iter().copied().filter(|v| (*v as u64) % 2 == 1).collect();
+    (a, b, all)
+}
+
+#[test]
+fn merged_serialized_snapshots_match_concatenated_stream() {
+    let k = 256;
+    let n = 200_000u64;
+    let (stream_a, stream_b, combined) = disjoint_streams(n);
+
+    let sketch_a = Quancurrent::<f64>::builder().k(k).b(16).seed(11).build();
+    let sketch_b = Quancurrent::<f64>::builder().k(k).b(16).seed(22).build();
+    fill(&sketch_a, &stream_a);
+    fill(&sketch_b, &stream_b);
+
+    // Through the wire: snapshot -> bytes -> summary, then merge.
+    let frame_a = encode_summary(&sketch_a.quiescent_summary());
+    let frame_b = encode_summary(&sketch_b.quiescent_summary());
+    let remote_a = decode_summary(&frame_a).expect("frame A decodes");
+    let remote_b = decode_summary(&frame_b).expect("frame B decodes");
+    let merged = merge_summaries(&[remote_a, remote_b], k, 33);
+
+    let oracle = ExactOracle::from_values(&combined);
+    let eps = sequential_epsilon(k);
+    // Thread-local updater buffers (b=16 per sketch) never flushed.
+    let unflushed = 2.0 * 16.0 / n as f64;
+    let budget = 3.0 * eps + unflushed + 0.005;
+
+    let visible = merged.stream_len();
+    assert!(
+        n - visible <= 2 * 16,
+        "merged summary lost more than the unflushed buffers: {visible}/{n}"
+    );
+
+    for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        let estimate = merged.quantile_bits(phi).expect("non-empty");
+        let err = oracle.rank_error(phi, estimate);
+        assert!(
+            err <= budget,
+            "phi={phi}: normalized rank error {err:.5} exceeds budget {budget:.5}"
+        );
+    }
+}
+
+#[test]
+fn merge_equivalence_holds_across_k() {
+    // The bound must scale with k, not just pass at one operating point.
+    for (k, seed) in [(64usize, 1u64), (512, 2)] {
+        let n = 60_000u64;
+        let (stream_a, stream_b, combined) = disjoint_streams(n);
+        let sketch_a = Quancurrent::<f64>::builder().k(k).b(8).seed(seed).build();
+        let sketch_b = Quancurrent::<f64>::builder().k(k).b(8).seed(seed + 100).build();
+        fill(&sketch_a, &stream_a);
+        fill(&sketch_b, &stream_b);
+
+        let merged = merge_summaries(
+            &[
+                decode_summary(&encode_summary(&sketch_a.quiescent_summary())).unwrap(),
+                decode_summary(&encode_summary(&sketch_b.quiescent_summary())).unwrap(),
+            ],
+            k,
+            seed + 7,
+        );
+        let oracle = ExactOracle::from_values(&combined);
+        let budget = 3.0 * sequential_epsilon(k) + 2.0 * 8.0 / n as f64 + 0.005;
+        for phi in [0.1, 0.5, 0.9] {
+            let err = oracle.rank_error(phi, merged.quantile_bits(phi).unwrap());
+            assert!(err <= budget, "k={k} phi={phi}: err {err:.5} > budget {budget:.5}");
+        }
+    }
+}

@@ -88,9 +88,7 @@ impl AccuracyReport {
         let errors = grid
             .iter()
             .map(|&phi| {
-                let err = summary
-                    .quantile_bits(phi)
-                    .map_or(1.0, |est| oracle.rank_error(phi, est));
+                let err = summary.quantile_bits(phi).map_or(1.0, |est| oracle.rank_error(phi, est));
                 (phi, err)
             })
             .collect();

@@ -151,8 +151,7 @@ where
         done.wait();
         let elapsed = start.elapsed();
         stop.store(true, SeqCst);
-        update_tp =
-            Throughput { ops: update_threads as u64 * updates_per_thread, elapsed };
+        update_tp = Throughput { ops: update_threads as u64 * updates_per_thread, elapsed };
         // Query threads stop just after the updates complete; their count
         // is attributed to the same window (overshoot < 1 query/thread).
         query_tp = Throughput { ops: 0, elapsed };

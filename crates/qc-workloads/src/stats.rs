@@ -51,8 +51,11 @@ impl RunStats {
 
 impl std::fmt::Display for RunStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.4} ± {:.4} (n={}, min {:.4}, max {:.4})",
-            self.mean, self.std_err, self.runs, self.min, self.max)
+        write!(
+            f,
+            "{:.4} ± {:.4} (n={}, min {:.4}, max {:.4})",
+            self.mean, self.std_err, self.runs, self.min, self.max
+        )
     }
 }
 

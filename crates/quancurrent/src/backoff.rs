@@ -32,7 +32,6 @@ impl Backoff {
             std::thread::yield_now();
         }
     }
-
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ impl Config {
         assert!(self.k >= 2, "k must be at least 2");
         assert!(self.b >= 1, "b must be at least 1");
         assert!(
-            (2 * self.k) % self.b == 0,
+            (2 * self.k).is_multiple_of(self.b),
             "b must divide 2k (buffers are filled in whole b-sized regions); got k={}, b={}",
             self.k,
             self.b
@@ -198,7 +198,8 @@ mod tests {
 
     #[test]
     fn builder_round_trip() {
-        let c = Builder::<u64>::new().k(64).b(8).numa_nodes(2).threads_per_node(4).rho(0.0).config();
+        let c =
+            Builder::<u64>::new().k(64).b(8).numa_nodes(2).threads_per_node(4).rho(0.0).config();
         assert_eq!((c.k, c.b, c.numa_nodes, c.threads_per_node), (64, 8, 2, 4));
         assert_eq!(c.rho, 0.0);
     }

@@ -78,7 +78,7 @@ pub(crate) struct GatherSort {
 impl GatherSort {
     pub(crate) fn new(k: usize, b: usize) -> Self {
         let two_k = 2 * k;
-        assert!(two_k % b == 0, "b must divide 2k");
+        assert!(two_k.is_multiple_of(b), "b must divide 2k");
         Self {
             two_k,
             b,
@@ -153,10 +153,7 @@ impl GatherSort {
 
     /// Number of buffered elements (cheap form of [`GatherSort::pending`]).
     pub(crate) fn pending_len(&self) -> usize {
-        self.buffers
-            .iter()
-            .map(|b| (b.index.load(Ordering::SeqCst) as usize).min(self.two_k))
-            .sum()
+        self.buffers.iter().map(|b| (b.index.load(Ordering::SeqCst) as usize).min(self.two_k)).sum()
     }
 
     /// Cumulative holes per region (length `2k/b`) — §4.1's H_j measured.

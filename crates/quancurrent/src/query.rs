@@ -66,9 +66,7 @@ impl<T: OrderedBits> QueryHandle<T> {
     /// Batch quantile queries against one consistent snapshot.
     pub fn quantiles(&mut self, phis: &[f64]) -> Vec<Option<T>> {
         let summary = self.fresh_summary();
-        phis.iter()
-            .map(|&phi| summary.quantile_bits(phi).map(T::from_ordered_bits))
-            .collect()
+        phis.iter().map(|&phi| summary.quantile_bits(phi).map(T::from_ordered_bits)).collect()
     }
 
     /// Estimated histogram over ascending `splits`: element counts per
@@ -107,7 +105,7 @@ impl<T: OrderedBits> QueryHandle<T> {
         let fresh = match (&self.cached, rho) {
             (None, _) => false,
             // ρ = 0: caching disabled, always rebuild.
-            (Some(_), rho) if rho == 0.0 => false,
+            (Some(_), 0.0) => false,
             (Some(c), rho) => {
                 let n_now = self.shared.tritmap_now().stream_size(self.shared.cfg.k);
                 if c.n == 0 {
@@ -130,11 +128,8 @@ impl<T: OrderedBits> QueryHandle<T> {
         let snap = build_snapshot(&self.shared, &self.reclaim);
         self.misses += 1;
         Counters::bump(&self.shared.counters.cache_misses);
-        self.cached = Some(Cached {
-            n: snap.n,
-            my_tritmap: snap.my_tritmap,
-            summary: snap.into_summary(),
-        });
+        self.cached =
+            Some(Cached { n: snap.n, my_tritmap: snap.my_tritmap, summary: snap.into_summary() });
     }
 }
 

@@ -200,8 +200,7 @@ impl<T: OrderedBits> Quancurrent<T> {
             pending.extend(gs.pending());
         }
         pending.sort_unstable();
-        let mut parts: Vec<(&[u64], u64)> =
-            snap.parts.iter().map(|(v, w)| (&v[..], *w)).collect();
+        let mut parts: Vec<(&[u64], u64)> = snap.parts.iter().map(|(v, w)| (&v[..], *w)).collect();
         if !pending.is_empty() {
             parts.push((&pending[..], 1));
         }

@@ -46,8 +46,7 @@ pub(crate) fn build_snapshot(shared: &SketchShared, reclaim: &LocalHandle) -> Sn
     let guard = reclaim.pin();
     loop {
         // Line 53: first tritmap read.
-        let tm1 =
-            Tritmap(qc_mwcas::read(&shared.tritmap, |w| guard.protect(|| w.load_raw())));
+        let tm1 = Tritmap(qc_mwcas::read(&shared.tritmap, |w| guard.protect(|| w.load_raw())));
         let n1 = tm1.stream_size(k);
 
         // Line 54: read levels 0..MAX_LEVEL (each pointer read resolves
@@ -60,8 +59,7 @@ pub(crate) fn build_snapshot(shared: &SketchShared, reclaim: &LocalHandle) -> Sn
 
         // Line 55–56: second tritmap read; equal stream sizes mean equal
         // streams (monotonicity), so the levels in between are usable.
-        let tm2 =
-            Tritmap(qc_mwcas::read(&shared.tritmap, |w| guard.protect(|| w.load_raw())));
+        let tm2 = Tritmap(qc_mwcas::read(&shared.tritmap, |w| guard.protect(|| w.load_raw())));
         if n1 != tm2.stream_size(k) {
             Counters::bump(&shared.counters.snapshot_retries);
             continue;
@@ -91,8 +89,7 @@ pub(crate) fn build_snapshot(shared: &SketchShared, reclaim: &LocalHandle) -> Sn
         for i in (0..MAX_LEVEL).rev() {
             if plan.include[i] {
                 // SAFETY: as above — still under the same pinned guard.
-                let arr: &Vec<u64> =
-                    unsafe { Shared::<Vec<u64>>::from_raw(raws[i]).deref() };
+                let arr: &Vec<u64> = unsafe { Shared::<Vec<u64>>::from_raw(raws[i]).deref() };
                 parts.push((arr.clone(), 1u64 << i));
             }
         }
@@ -183,11 +180,7 @@ mod model_tests {
 
     impl Model {
         fn new() -> Self {
-            Self {
-                sizes: [0; MAX_LEVEL],
-                trits: [0; MAX_LEVEL],
-                stale: [false; MAX_LEVEL],
-            }
+            Self { sizes: [0; MAX_LEVEL], trits: [0; MAX_LEVEL], stale: [false; MAX_LEVEL] }
         }
 
         fn n(&self) -> u64 {

@@ -62,7 +62,7 @@ impl Tritmap {
         let mut i = 0usize;
         while value != 0 {
             let trit = value % 3;
-            size += trit * (k as u64) << i;
+            size += (trit * (k as u64)) << i;
             value /= 3;
             i += 1;
         }
@@ -120,8 +120,7 @@ impl std::fmt::Debug for Tritmap {
     /// `00210` for trits [0,1,2,0,0].
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let n = self.occupied_levels().max(1);
-        let s: String =
-            (0..n).rev().map(|i| char::from(b'0' + self.trit(i))).collect();
+        let s: String = (0..n).rev().map(|i| char::from(b'0' + self.trit(i))).collect();
         write!(f, "Tritmap({s})")
     }
 }

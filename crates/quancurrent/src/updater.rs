@@ -180,9 +180,8 @@ impl<T: OrderedBits> Updater<T> {
                 // Lines 40–44: next level holds k elements — merge, swing
                 // the pointer and the two trits atomically, clear, recurse.
                 let guard = self.reclaim.pin();
-                let next_raw = qc_mwcas::read(&shared.levels[l + 1], |w| {
-                    guard.protect(|| w.load_raw())
-                });
+                let next_raw =
+                    qc_mwcas::read(&shared.levels[l + 1], |w| guard.protect(|| w.load_raw()));
                 debug_assert_ne!(next_raw, 0, "trit 1 level must hold an array");
                 let next: Shared<Vec<u64>> = unsafe { Shared::from_raw(next_raw) };
                 // SAFETY: protected by `guard`; also structurally stable
@@ -348,12 +347,7 @@ mod tests {
 
     #[test]
     fn updaters_round_robin_fill_first() {
-        let q = Quancurrent::<u64>::builder()
-            .k(4)
-            .b(2)
-            .numa_nodes(2)
-            .threads_per_node(2)
-            .build();
+        let q = Quancurrent::<u64>::builder().k(4).b(2).numa_nodes(2).threads_per_node(2).build();
         assert_eq!(q.updater().node(), 0);
         assert_eq!(q.updater().node(), 0);
         assert_eq!(q.updater().node(), 1);

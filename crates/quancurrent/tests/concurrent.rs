@@ -13,13 +13,8 @@ fn stream_size_accounting_is_exact_under_contention() {
     const THREADS: usize = 8;
     const PER_THREAD: u64 = 40_000;
 
-    let sketch = Quancurrent::<u64>::builder()
-        .k(64)
-        .b(8)
-        .numa_nodes(2)
-        .threads_per_node(4)
-        .seed(7)
-        .build();
+    let sketch =
+        Quancurrent::<u64>::builder().k(64).b(8).numa_nodes(2).threads_per_node(4).seed(7).build();
     let barrier = Barrier::new(THREADS);
 
     let residue: u64 = std::thread::scope(|s| {
@@ -80,11 +75,7 @@ fn relaxation_bound_is_honored() {
     let total = THREADS as u64 * PER_THREAD;
     let visible = sketch.stream_len();
     let r = sketch.relaxation_bound(THREADS);
-    assert!(
-        total - visible <= r,
-        "unpropagated {} exceeds relaxation bound {r}",
-        total - visible
-    );
+    assert!(total - visible <= r, "unpropagated {} exceeds relaxation bound {r}", total - visible);
 }
 
 /// Queries running against concurrent updates must always observe a
@@ -169,10 +160,7 @@ fn propagation_memory_is_reclaimed() {
     // Every batch allocates one 2k block; every merge another. All but the
     // currently-linked level arrays must be retired and reclaimed.
     let live_levels = 32u64; // generous bound on linked arrays
-    assert!(
-        domain.retired_pending <= live_levels,
-        "unreclaimed blocks piling up: {domain:?}"
-    );
+    assert!(domain.retired_pending <= live_levels, "unreclaimed blocks piling up: {domain:?}");
     // Descriptor arena: one per batch + one per propagation, never freed
     // until drop (documented); sanity-check the bound.
     let stats = sketch.stats();

@@ -127,9 +127,6 @@ fn rank_error_shrinks_with_k() {
         }
         errors.push(worst);
     }
-    assert!(
-        errors[2] <= errors[0],
-        "error should not grow with k: {errors:?}"
-    );
+    assert!(errors[2] <= errors[0], "error should not grow with k: {errors:?}");
     assert!(errors[2] < 0.02, "k=256 error too large: {errors:?}");
 }

@@ -72,12 +72,13 @@ fn main() {
         let exact: f64 = oracle.quantile(phi).unwrap();
         let s = seq.quantile(phi).unwrap();
         let q = qb.query(phi).unwrap();
-        max_gap = max_gap
-            .max(oracle.rank_error(phi, qc_common::OrderedBits::to_ordered_bits(q)));
+        max_gap = max_gap.max(oracle.rank_error(phi, qc_common::OrderedBits::to_ordered_bits(q)));
         println!("{phi:>8.2}  {exact:>9.2}  {s:>11.2}  {q:>11.2}");
     }
     println!();
-    println!("largest quancurrent rank error: {max_gap:.5} (ε(512) ≈ {:.5})",
-        qc_common::error::sequential_epsilon(512));
+    println!(
+        "largest quancurrent rank error: {max_gap:.5} (ε(512) ≈ {:.5})",
+        qc_common::error::sequential_epsilon(512)
+    );
     assert!(max_gap < 4.0 * qc_common::error::sequential_epsilon(512));
 }

@@ -89,10 +89,7 @@ fn main() {
     for phi in [0.01, 0.25, 0.5, 0.75, 0.99] {
         let a = qc_handle.query(phi).unwrap();
         let b = fcds.query(phi).unwrap();
-        assert!(
-            (a - b).abs() < 0.02,
-            "estimators diverge at phi={phi}: {a} vs {b}"
-        );
+        assert!((a - b).abs() < 0.02, "estimators diverge at phi={phi}: {a} vs {b}");
         println!("{phi:>8.2}  {a:>11.5}  {b:>9.5}");
     }
     println!("\nboth within ε of each other ✓");

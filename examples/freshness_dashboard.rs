@@ -92,8 +92,7 @@ fn run(rho: f64) -> Outcome {
         }
         barrier.wait();
         // Wait for updaters (they exit on their own); then stop queriers.
-        while sketch.stream_len() + sketch.relaxation_bound(UPDATE_THREADS) < 200_000 + UPDATES
-        {
+        while sketch.stream_len() + sketch.relaxation_bound(UPDATE_THREADS) < 200_000 + UPDATES {
             std::thread::yield_now();
         }
         stop.store(true, SeqCst);
@@ -109,7 +108,10 @@ fn run(rho: f64) -> Outcome {
 
 fn main() {
     println!("mixed workload: {UPDATE_THREADS} updaters ({UPDATES} updates) + {QUERY_THREADS} queriers\n");
-    println!("{:>10} {:>12} {:>12} {:>10} {:>14}", "rho", "queries/s", "miss_rate", "max_stale", "elapsed");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>14}",
+        "rho", "queries/s", "miss_rate", "max_stale", "elapsed"
+    );
     for rho in [0.0, 1.001, 1.05, 1.5] {
         let o = run(rho);
         let qps = o.queries as f64 / o.elapsed.as_secs_f64();

@@ -1,0 +1,101 @@
+//! Keyed ingestion through the sharded sketch store: stream `key value`
+//! pairs in on stdin, get per-key and union quantiles out — the
+//! "high-cardinality aggregation as a unix filter" use case.
+//!
+//! ```sh
+//! # three keys, a million points
+//! awk 'BEGIN { for (i = 0; i < 1000000; i++)
+//!       printf "host%d %f\n", i % 3, i / 7.0 }' \
+//!   | cargo run --release --example keyed_ingest
+//!
+//! # choose the reported quantiles
+//! cargo run --release --example keyed_ingest -- 0.5 0.99 < keyed.txt
+//! ```
+//!
+//! Each line is `<key> <value>`; malformed lines are counted and skipped.
+//! After EOF the example also round-trips every key through the versioned
+//! wire format into a second store (`snapshot_bytes` → `ingest_bytes`) and
+//! cross-checks the union median, demonstrating the full snapshot /
+//! interchange / merge path a multi-process deployment uses.
+
+use quancurrent_suite::{SketchStore, StoreConfig};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut phis: Vec<f64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse::<f64>().unwrap_or_else(|_| panic!("bad quantile {a:?}")))
+        .collect();
+    if phis.is_empty() {
+        phis = vec![0.5, 0.9, 0.99];
+    }
+    phis.sort_by(f64::total_cmp);
+
+    let store = SketchStore::new(StoreConfig { stripes: 16, k: 256, b: 4, seed: 1 });
+
+    let stdin = std::io::stdin();
+    let mut lines = 0u64;
+    let mut skipped = 0u64;
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        lines += 1;
+        let mut fields = line.split_whitespace();
+        match (fields.next(), fields.next().map(str::parse::<f64>)) {
+            (Some(key), Some(Ok(v))) if !v.is_nan() => store.update(key, v),
+            _ => skipped += 1,
+        }
+    }
+
+    let stats = store.stats();
+    let mut out = std::io::stdout().lock();
+    writeln!(
+        out,
+        "# lines: {lines}, ingested: {}, skipped: {skipped}, keys: {}, stripes: {}",
+        stats.updates, stats.keys, stats.stripes
+    )
+    .unwrap();
+
+    let mut keys = store.keys();
+    keys.sort();
+    for key in &keys {
+        let qs: Vec<String> = phis
+            .iter()
+            .map(|&phi| match store.query(key, phi) {
+                Some(v) => format!("q{phi}={v:.3}"),
+                None => format!("q{phi}=(empty)"),
+            })
+            .collect();
+        writeln!(out, "{key:<24} {}", qs.join("  ")).unwrap();
+    }
+
+    if !keys.is_empty() {
+        let union: Vec<String> = phis
+            .iter()
+            .map(|&phi| match store.merged_query(&keys, phi) {
+                Some(v) => format!("q{phi}={v:.3}"),
+                None => format!("q{phi}=(empty)"),
+            })
+            .collect();
+        writeln!(out, "{:<24} {}", "(union)", union.join("  ")).unwrap();
+
+        // Round-trip every key through the wire format into a fresh store,
+        // as a replica process would, and cross-check the union median.
+        let replica = SketchStore::new(StoreConfig { stripes: 4, k: 256, b: 4, seed: 2 });
+        let mut bytes = 0usize;
+        for key in &keys {
+            let frame = store.snapshot_bytes(key).expect("key exists");
+            bytes += frame.len();
+            replica.ingest_bytes(key, &frame).expect("own frames decode");
+        }
+        let local = store.merged_query(&keys, 0.5);
+        let remote = replica.merged_query(&keys, 0.5);
+        writeln!(
+            out,
+            "# wire round-trip: {} keys, {bytes} bytes; union median {:?} -> replica {:?}",
+            keys.len(),
+            local,
+            remote
+        )
+        .unwrap();
+    }
+}

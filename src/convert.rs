@@ -59,6 +59,45 @@ pub fn summary_to_sequential(summary: &WeightedSummary, k: usize, seed: u64) -> 
     sketch
 }
 
+/// Serialize any sketch summary into a `qc-store` wire frame — the bridge
+/// between the in-process sketches and the keyed store / interchange layer.
+pub fn summary_to_bytes(summary: &WeightedSummary) -> Vec<u8> {
+    qc_store::encode_summary(summary)
+}
+
+/// Decode a wire frame back into a summary, compacted to at most `2k`
+/// retained items per weight level.
+///
+/// Accepts frames with **arbitrary** weights (the wire format does not
+/// restrict them to powers of two): [`qc_store::merge_summaries`]
+/// decomposes weights binarily, so this never panics on a well-formed
+/// frame, whatever produced it.
+pub fn bytes_to_summary(
+    buf: &[u8],
+    k: usize,
+    seed: u64,
+) -> Result<WeightedSummary, qc_store::WireError> {
+    let decoded = qc_store::decode_summary(buf)?;
+    Ok(qc_store::merge_summaries(std::slice::from_ref(&decoded), k, seed))
+}
+
+/// Rebuild a **sequential** sketch from a wire frame produced by this
+/// workspace's sketches.
+///
+/// # Panics
+/// Like [`summary_to_sequential`]: the frame's weights must be powers of
+/// two with `k`-multiple level sizes (true of every summary the workspace
+/// sketches emit when `k` matches). For foreign frames use
+/// [`bytes_to_summary`], which is total.
+pub fn bytes_to_sequential(
+    buf: &[u8],
+    k: usize,
+    seed: u64,
+) -> Result<QuantilesSketch, qc_store::WireError> {
+    let decoded = qc_store::decode_summary(buf)?;
+    Ok(summary_to_sequential(&decoded, k, seed))
+}
+
 /// Merge any number of summaries (from concurrent or sequential sketches)
 /// into one sequential sketch with parameter `k`.
 pub fn merge_summaries<'a>(
@@ -144,6 +183,33 @@ mod tests {
         let empty = WeightedSummary::empty();
         let seq = summary_to_sequential(&empty, 16, 2);
         assert_eq!(seq.n(), 0);
+    }
+
+    #[test]
+    fn wire_bridge_roundtrips_concurrent_snapshots() {
+        let k = 64;
+        let qc = concurrent_sketch(k, 0..80_000, 21);
+        let frame = summary_to_bytes(&qc.snapshot());
+        let seq = bytes_to_sequential(&frame, k, 22).expect("frame decodes");
+        assert_eq!(seq.n(), qc.stream_len());
+        let median = seq.quantile_bits(0.5).unwrap();
+        assert!((25_000..55_000).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn wire_bridge_normalizes_arbitrary_weights() {
+        use qc_common::summary::WeightedItem;
+        // Weight 5 would make summary_to_sequential panic; bytes_to_summary
+        // decomposes it instead (levels 0 and 2) with exact total weight.
+        let odd = WeightedSummary::from_items(vec![WeightedItem { value_bits: 9, weight: 5 }]);
+        let back = bytes_to_summary(&summary_to_bytes(&odd), 16, 1).unwrap();
+        assert_eq!(back.stream_len(), 5);
+        assert!(back.items().iter().all(|it| it.weight.is_power_of_two()));
+    }
+
+    #[test]
+    fn wire_bridge_surfaces_decode_errors() {
+        assert!(bytes_to_sequential(b"not a frame", 16, 1).is_err());
     }
 
     #[test]

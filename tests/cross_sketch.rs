@@ -15,10 +15,7 @@ fn dataset(dist: Distribution, seed: u64) -> Vec<f64> {
 
 fn check_accuracy(name: &str, report: &AccuracyReport, eps: f64) {
     let max = report.max_error();
-    assert!(
-        max < 5.0 * eps,
-        "{name}: max rank error {max:.5} vs ε {eps:.5} (5× budget exceeded)"
-    );
+    assert!(max < 5.0 * eps, "{name}: max rank error {max:.5} vs ε {eps:.5} (5× budget exceeded)");
 }
 
 #[test]

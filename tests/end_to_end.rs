@@ -61,8 +61,7 @@ fn full_session_on_simulated_testbed() {
                 }
             });
         }
-        let residues: Vec<u64> =
-            update_joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let residues: Vec<u64> = update_joins.into_iter().map(|j| j.join().unwrap()).collect();
         stop.store(true, SeqCst);
         residues
     });
@@ -93,9 +92,7 @@ fn full_session_on_simulated_testbed() {
 /// concurrent pipeline.
 #[test]
 fn all_element_types_roundtrip() {
-    fn drive<T: OrderedBits + std::fmt::Debug>(
-        values: impl Iterator<Item = T> + Clone,
-    ) {
+    fn drive<T: OrderedBits + std::fmt::Debug>(values: impl Iterator<Item = T> + Clone) {
         let sketch = Quancurrent::<T>::builder().k(16).b(4).seed(1).build();
         let mut updater = sketch.updater();
         for v in values.clone() {
@@ -112,7 +109,7 @@ fn all_element_types_roundtrip() {
     drive((0..10_000u64).map(|i| i * 3));
     drive((0..10_000u32).map(|i| i ^ 0xAAAA));
     drive((-5_000..5_000i64).map(|i| i * 7));
-    drive((-5_000..5_000i32).map(|i| i));
+    drive(-5_000..5_000i32);
     drive((0..10_000).map(|i| (i as f64) * 0.25 - 100.0));
     drive((0..10_000).map(|i| (i as f32) * 0.5 - 50.0));
 }
@@ -121,9 +118,7 @@ fn all_element_types_roundtrip() {
 /// moved into threads, drop order arbitrary.
 #[test]
 fn ownership_and_send_patterns() {
-    let sketch = std::sync::Arc::new(
-        Quancurrent::<u64>::builder().k(32).b(4).seed(2).build(),
-    );
+    let sketch = std::sync::Arc::new(Quancurrent::<u64>::builder().k(32).b(4).seed(2).build());
 
     let mut joins = Vec::new();
     for t in 0..4u64 {

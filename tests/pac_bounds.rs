@@ -60,13 +60,8 @@ fn concurrent_rank_error_within_relaxed_epsilon() {
     let threads = 8;
     let n: u64 = 400_000;
 
-    let sketch = Quancurrent::<f64>::builder()
-        .k(k)
-        .b(b)
-        .numa_nodes(2)
-        .threads_per_node(4)
-        .seed(31)
-        .build();
+    let sketch =
+        Quancurrent::<f64>::builder().k(k).b(b).numa_nodes(2).threads_per_node(4).seed(31).build();
     let all = std::sync::Mutex::new(Vec::with_capacity(n as usize));
     let per_thread = n / threads as u64;
     std::thread::scope(|s| {

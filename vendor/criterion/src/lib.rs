@@ -1,0 +1,251 @@
+//! Offline drop-in subset of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking API.
+//!
+//! The build container has no crates.io access, so the real criterion cannot
+//! be fetched; this crate keeps the `benches/` targets source-compatible and
+//! still useful: each benchmark runs a short calibrated timing loop and
+//! prints mean ns/iter (plus derived element throughput when declared via
+//! [`Throughput::Elements`]). There are no statistical comparisons, HTML
+//! reports, or outlier analysis.
+//!
+//! Knobs (environment variables):
+//! * `CRITERION_MEASURE_MS` — target measurement time per benchmark in
+//!   milliseconds (default 300).
+//! * `CRITERION_QUICK=1` — single-pass smoke mode: every benchmark runs its
+//!   closure once (CI uses this to verify bench targets stay runnable).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measure: Duration,
+    quick: bool,
+}
+
+impl Bencher {
+    fn new(measure: Duration, quick: bool) -> Self {
+        Bencher { iters_done: 0, elapsed: Duration::ZERO, measure, quick }
+    }
+
+    /// Time `routine`, running it repeatedly until the measurement window is
+    /// filled (or exactly once in quick mode).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed = start.elapsed();
+            self.iters_done = 1;
+            return;
+        }
+        // Calibrate: grow the batch size until one batch takes >= 1/10 of the
+        // measurement window, then measure whole batches.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            self.iters_done += batch;
+            self.elapsed += took;
+            if self.elapsed >= self.measure {
+                return;
+            }
+            if took < self.measure / 10 && batch < u64::MAX / 2 {
+                batch *= 2;
+            }
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters_done == 0 {
+            return f64::NAN;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters_done as f64
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed by one iteration.
+    Elements(u64),
+    /// Bytes processed by one iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The top-level benchmark manager.
+pub struct Criterion {
+    measure: Duration,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        let quick = std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false);
+        Criterion { measure: Duration::from_millis(ms), quick }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored in this subset.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measure, self.quick);
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput unit.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare units-per-iteration for derived throughput output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; this subset sizes by wall-clock window.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; see `CRITERION_MEASURE_MS`.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.measure, self.criterion.quick);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.measure, self.criterion.quick);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Finish the group (no-op beyond symmetry with the real API).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let ns = b.ns_per_iter();
+    let mut line = format!("bench {name:<56} {ns:>14.1} ns/iter ({} iters)", b.iters_done);
+    if let Some(tp) = throughput {
+        let per_iter = match tp {
+            Throughput::Elements(n) => n,
+            Throughput::Bytes(n) => n,
+        };
+        let unit = match tp {
+            Throughput::Elements(_) => "Melem/s",
+            Throughput::Bytes(_) => "MB/s",
+        };
+        if ns > 0.0 {
+            let rate = per_iter as f64 / ns * 1e9 / 1e6;
+            line.push_str(&format!("  {rate:>10.2} {unit}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Group benchmark functions into a single runner fn (simple form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_sane_numbers() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(8));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}
