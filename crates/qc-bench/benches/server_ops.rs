@@ -1,0 +1,116 @@
+//! Serving-layer benchmarks: end-to-end request throughput over real
+//! sockets (loopback), as a function of the two knobs the server exposes:
+//!
+//! * **pool size** — connection-handling workers; with 4 concurrent
+//!   writer connections, 1 worker serializes everything (the baseline)
+//!   while ≥4 workers serve all connections in parallel;
+//! * **batch size** — values per `update_many` frame; the round-trip cost
+//!   amortizes across the batch, so throughput should scale steeply until
+//!   the store's per-batch work dominates.
+//!
+//! Also measured: the query and snapshot paths on a pre-loaded server.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qc_server::{Client, Server, ServerConfig, ServerHandle};
+use qc_store::StoreConfig;
+
+const WRITER_CONNS: usize = 4;
+const VALUES_PER_CONN: usize = 8 * 1024;
+
+fn spawn_server(pool_threads: usize) -> ServerHandle {
+    let cfg = ServerConfig {
+        pool_threads,
+        store: StoreConfig { stripes: 16, k: 256, b: 4, seed: 0xBE7C4 },
+        ..ServerConfig::default()
+    };
+    Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port")
+}
+
+/// Drive `WRITER_CONNS` concurrent connections, each pushing
+/// `VALUES_PER_CONN` values in `batch`-sized frames, and wait for acks.
+fn drive_updates(handle: &ServerHandle, batch: usize) {
+    let addr = handle.local_addr();
+    std::thread::scope(|s| {
+        for t in 0..WRITER_CONNS {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let key = format!("bench-{t}");
+                let values: Vec<f64> =
+                    (0..VALUES_PER_CONN).map(|i| ((i * 7919) % 65_536) as f64).collect();
+                for chunk in values.chunks(batch) {
+                    client.update_many(&key, chunk).expect("update_many");
+                }
+            });
+        }
+    });
+}
+
+fn bench_throughput_vs_pool_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_update_vs_pool");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((WRITER_CONNS * VALUES_PER_CONN) as u64));
+    for &pool in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(pool), &pool, |bencher, &pool| {
+            let handle = spawn_server(pool);
+            bencher.iter(|| drive_updates(&handle, 256));
+            handle.shutdown();
+        });
+    }
+    group.finish();
+}
+
+fn bench_throughput_vs_batch_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_update_vs_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((WRITER_CONNS * VALUES_PER_CONN) as u64));
+    for &batch in &[1usize, 16, 256, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |bencher, &batch| {
+            let handle = spawn_server(WRITER_CONNS);
+            bencher.iter(|| drive_updates(&handle, batch));
+            handle.shutdown();
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_paths(c: &mut Criterion) {
+    // Pre-loaded server; one client measuring single-request latency.
+    let handle = spawn_server(4);
+    let mut loader = Client::connect(handle.local_addr()).expect("connect");
+    let values: Vec<f64> = (0..200_000).map(|i| ((i * 31) % 100_000) as f64).collect();
+    for chunk in values.chunks(1024) {
+        loader.update_many("hot", chunk).expect("load");
+    }
+    let keys = ["hot".to_string()];
+
+    let mut group = c.benchmark_group("server_request");
+    group.throughput(Throughput::Elements(1));
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    group.bench_function("query", |bencher| {
+        bencher.iter(|| black_box(client.query("hot", black_box(0.99)).unwrap()));
+    });
+    group.bench_function("rank", |bencher| {
+        bencher.iter(|| black_box(client.rank("hot", black_box(50_000.0)).unwrap()));
+    });
+    group.bench_function("merged_query", |bencher| {
+        bencher.iter(|| black_box(client.merged_query(&keys, black_box(0.5)).unwrap()));
+    });
+    group.bench_function("stats", |bencher| {
+        bencher.iter(|| black_box(client.stats().unwrap()));
+    });
+    let frame_len = client.snapshot_bytes("hot").unwrap().unwrap().len();
+    group.throughput(Throughput::Bytes(frame_len as u64));
+    group.bench_function("snapshot", |bencher| {
+        bencher.iter(|| black_box(client.snapshot_bytes("hot").unwrap()));
+    });
+    group.finish();
+    handle.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_throughput_vs_pool_size,
+    bench_throughput_vs_batch_size,
+    bench_query_paths
+);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! A fixed-size blocking thread pool with a bounded handoff queue.
+//!
+//! The server uses one pool for connection handling: the accept loop
+//! [`execute`](ThreadPool::execute)s each accepted socket, and when all
+//! workers are busy the bounded queue is the *accept backlog* — once it
+//! fills, the accept loop itself blocks, which in turn lets the kernel's
+//! listen queue exert backpressure on clients instead of the server
+//! buffering unboundedly.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The pool has shut down and accepts no further jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool is shut down")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
+
+/// Fixed worker threads pulling jobs from one bounded queue.
+pub struct ThreadPool {
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `threads` workers (minimum 1) sharing a queue of `backlog`
+    /// pending jobs (minimum 1). `name` prefixes worker thread names.
+    pub fn new(threads: usize, backlog: usize, name: &str) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<Job>(backlog.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { sender: Some(sender), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Hand a job to the pool. Blocks while the backlog queue is full;
+    /// fails only after [`shutdown`](ThreadPool::shutdown).
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolClosed> {
+        let sender = self.sender.as_ref().ok_or(PoolClosed)?;
+        sender.send(Box::new(job)).map_err(|_| PoolClosed)
+    }
+
+    /// Graceful shutdown: stop accepting jobs, run everything already
+    /// queued, join all workers.
+    pub fn shutdown(mut self) {
+        self.join_workers();
+    }
+
+    fn join_workers(&mut self) {
+        // Dropping the sender closes the channel; workers drain and exit.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only for the dequeue, never while running a job.
+        let job = match receiver.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return, // a worker panicked mid-recv; stop cleanly
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // channel closed: shutdown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = ThreadPool::new(4, 16, "test");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_joins_outstanding_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2, 8, "drop");
+            for _ in 0..20 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+            }
+        } // Drop must behave like shutdown: drain the queue, join workers.
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn blocked_backlog_drains_and_completes() {
+        // Single worker, queue depth 1: deeper submissions block in
+        // execute() until the worker frees slots, and every job still
+        // runs exactly once.
+        let pool = ThreadPool::new(1, 1, "full");
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let enter = Arc::clone(&gate);
+        pool.execute(move || {
+            enter.wait();
+        })
+        .unwrap();
+        {
+            let counter = Arc::clone(&counter);
+            let pool = &pool;
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        let counter = Arc::clone(&counter);
+                        pool.execute(move || {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        })
+                        .unwrap();
+                    }
+                });
+                gate.wait(); // release the worker while submissions block
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0, 0, "clamp");
+        assert_eq!(pool.threads(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,803 @@
+//! The serving protocol: length-prefixed binary request/response frames.
+//!
+//! Every message on the socket is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     body length `L` (u32 LE; excludes these four bytes)
+//! 4       L     body = opcode (u8) + payload
+//! ```
+//!
+//! Payload primitives reuse the `qc-store` wire conventions — LEB128
+//! varints ([`qc_store::wire::put_varint`]), little-endian `f64` bit
+//! patterns, and length-prefixed UTF-8 strings — so a snapshot frame
+//! travels as the *exact bytes* [`qc_store::wire::encode_summary`]
+//! produces, checksummed and versioned by that layer. The protocol layer
+//! itself stays checksum-free: TCP already protects the transport, and the
+//! summary payloads (the only bulk data) carry their own CRC.
+//!
+//! # Safety contract
+//!
+//! Decoding is **total**: any byte sequence maps to `Ok` or a typed
+//! [`ProtoError`] — never a panic. No decode path allocates
+//! attacker-controlled sizes: every declared length/count is validated
+//! against the bytes actually present (a count of `u64::MAX` is rejected
+//! before any `Vec::with_capacity`), and the frame reader refuses bodies
+//! larger than the configured [`max frame length`](read_frame) before
+//! allocating.
+//!
+//! # Request/response catalogue (version 1)
+//!
+//! | opcode | request            | payload                               | response   |
+//! |--------|--------------------|---------------------------------------|------------|
+//! | `0x01` | [`Request::Update`]      | key, value(f64)                 | `Ok`       |
+//! | `0x02` | [`Request::UpdateMany`]  | key, n, n×value(f64)            | `Ok`       |
+//! | `0x03` | [`Request::Query`]       | key, φ(f64)                     | `MaybeValue` |
+//! | `0x04` | [`Request::Rank`]        | key, value(f64)                 | `MaybeValue` |
+//! | `0x05` | [`Request::MergedQuery`] | n, n×key, φ(f64)                | `MaybeValue` |
+//! | `0x06` | [`Request::Stats`]       | —                               | `Stats`    |
+//! | `0x07` | [`Request::Remove`]      | key                             | `Flag`     |
+//! | `0x08` | [`Request::Keys`]        | —                               | `Keys`     |
+//! | `0x09` | [`Request::Snapshot`]    | key                             | `MaybeFrame` |
+//! | `0x0a` | [`Request::Ingest`]      | key, len, summary wire frame    | `Count`    |
+//!
+//! Responses use the high bit: `0x80` `Ok`, `0x81` `MaybeValue`, `0x82`
+//! `Count`, `0x83` `Flag`, `0x84` `Stats`, `0x85` `Keys`, `0x86`
+//! `MaybeFrame`, `0x8f` `Error`.
+
+use std::io::{self, Read, Write};
+
+use qc_store::wire::{get_varint, put_varint, WireError};
+use qc_store::StoreStats;
+
+/// Bytes of the frame length prefix.
+pub const LEN_PREFIX: usize = 4;
+
+/// Default cap on a frame body; [`read_frame`] rejects longer bodies
+/// before allocating. Generous for snapshot frames (a `k = 4096` summary
+/// with 60 levels is still well under 4 MiB).
+pub const DEFAULT_MAX_FRAME_LEN: usize = 8 << 20;
+
+/// Error codes carried by [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// An embedded summary frame failed `qc-store` wire validation.
+    Wire = 1,
+    /// The request body could not be decoded (the connection survives:
+    /// frame boundaries are intact, only this body was malformed).
+    Proto = 2,
+    /// The server refused the request (e.g. shutting down).
+    Unavailable = 3,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ErrorCode::Wire),
+            2 => Some(ErrorCode::Proto),
+            3 => Some(ErrorCode::Unavailable),
+            _ => None,
+        }
+    }
+}
+
+/// Typed protocol decode failures. Decoding must never panic, whatever
+/// the bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Body ended before the payload it declares.
+    Truncated {
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// Frame length prefix exceeds the configured maximum.
+    FrameTooLarge {
+        /// Declared body length.
+        len: u64,
+        /// Configured cap.
+        max: usize,
+    },
+    /// Empty body, or an opcode this build does not know.
+    UnknownOpcode {
+        /// The opcode byte found (0 for an empty body).
+        found: u8,
+    },
+    /// A varint ran past 64 bits or past the end of the body.
+    MalformedVarint {
+        /// Byte offset of the varint's first byte.
+        offset: usize,
+    },
+    /// A string payload was not valid UTF-8.
+    BadUtf8 {
+        /// Byte offset of the string's first content byte.
+        offset: usize,
+    },
+    /// A presence flag byte was neither 0 nor 1.
+    BadFlag {
+        /// Byte offset of the flag.
+        offset: usize,
+        /// The byte found.
+        found: u8,
+    },
+    /// An unknown [`ErrorCode`] in an error response.
+    UnknownErrorCode {
+        /// The code byte found.
+        found: u8,
+    },
+    /// A declared count does not fit this platform's `usize`.
+    IntOutOfRange {
+        /// Byte offset of the offending varint.
+        offset: usize,
+    },
+    /// Well-formed message followed by unexpected extra bytes.
+    TrailingBytes {
+        /// Number of surplus bytes.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated { needed, have } => {
+                write!(f, "truncated body: need {needed} bytes, have {have}")
+            }
+            ProtoError::FrameTooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds cap {max}")
+            }
+            ProtoError::UnknownOpcode { found } => write!(f, "unknown opcode {found:#04x}"),
+            ProtoError::MalformedVarint { offset } => {
+                write!(f, "malformed varint at byte {offset}")
+            }
+            ProtoError::BadUtf8 { offset } => write!(f, "invalid UTF-8 at byte {offset}"),
+            ProtoError::BadFlag { offset, found } => {
+                write!(f, "bad presence flag {found:#04x} at byte {offset}")
+            }
+            ProtoError::UnknownErrorCode { found } => write!(f, "unknown error code {found}"),
+            ProtoError::IntOutOfRange { offset } => {
+                write!(f, "count at byte {offset} exceeds platform usize")
+            }
+            ProtoError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A frame could not be received: transport failure or protocol violation.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The socket failed (including mid-frame EOF).
+    Io(io::Error),
+    /// The peer sent bytes the protocol rejects.
+    Proto(ProtoError),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Io(e) => write!(f, "transport error: {e}"),
+            RecvError::Proto(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl From<io::Error> for RecvError {
+    fn from(e: io::Error) -> Self {
+        RecvError::Io(e)
+    }
+}
+
+/// Requests a client can issue; one request yields exactly one response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Feed one value into `key`'s sketch.
+    Update {
+        /// Target stream.
+        key: String,
+        /// The observation.
+        value: f64,
+    },
+    /// Feed a batch of values into `key` (one lock acquisition server-side,
+    /// one round-trip on the wire — the serving layer's throughput lever).
+    UpdateMany {
+        /// Target stream.
+        key: String,
+        /// The observations.
+        values: Vec<f64>,
+    },
+    /// φ-quantile estimate for `key`.
+    Query {
+        /// Target stream.
+        key: String,
+        /// Quantile in `[0, 1]`.
+        phi: f64,
+    },
+    /// Normalized rank of `value` within `key`'s stream.
+    Rank {
+        /// Target stream.
+        key: String,
+        /// The probe value.
+        value: f64,
+    },
+    /// φ-quantile over the union of several keys' streams.
+    MergedQuery {
+        /// Streams to union; absent keys contribute nothing.
+        keys: Vec<String>,
+        /// Quantile in `[0, 1]`.
+        phi: f64,
+    },
+    /// Store-wide statistics.
+    Stats,
+    /// Drop a key.
+    Remove {
+        /// Stream to drop.
+        key: String,
+    },
+    /// List resident keys.
+    Keys,
+    /// Serialize `key`'s resident summary as a `qc-store` wire frame.
+    Snapshot {
+        /// Stream to snapshot.
+        key: String,
+    },
+    /// Merge a `qc-store` wire frame into `key`'s absorbed aggregate.
+    Ingest {
+        /// Target stream (created if absent).
+        key: String,
+        /// A frame as produced by [`qc_store::wire::encode_summary`];
+        /// opaque to this layer, validated by the store.
+        frame: Vec<u8>,
+    },
+}
+
+/// Responses the server sends; see the module-level catalogue for which
+/// request yields which.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Acknowledgement with no payload (`Update`, `UpdateMany`).
+    Ok,
+    /// An optional scalar (`Query`, `Rank`, `MergedQuery`; `None` = the
+    /// key(s) hold no data).
+    MaybeValue(Option<f64>),
+    /// An unsigned counter (`Ingest`: the ingested stream length).
+    Count(u64),
+    /// A boolean (`Remove`: whether the key existed).
+    Flag(bool),
+    /// Store-wide statistics (`Stats`).
+    Stats(StoreStats),
+    /// Resident keys (`Keys`).
+    Keys(Vec<String>),
+    /// An optional summary wire frame (`Snapshot`; `None` = absent key).
+    MaybeFrame(Option<Vec<u8>>),
+    /// The request failed; the connection remains usable.
+    Error {
+        /// Failure category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, ProtoError> {
+    let Some(bytes) = buf.get(*pos..*pos + 8) else {
+        return Err(ProtoError::Truncated { needed: *pos + 8, have: buf.len() });
+    };
+    *pos += 8;
+    Ok(f64::from_bits(u64::from_le_bytes(bytes.try_into().expect("slice of 8"))))
+}
+
+fn get_u8(buf: &[u8], pos: &mut usize) -> Result<u8, ProtoError> {
+    let Some(&b) = buf.get(*pos) else {
+        return Err(ProtoError::Truncated { needed: *pos + 1, have: buf.len() });
+    };
+    *pos += 1;
+    Ok(b)
+}
+
+fn varint(buf: &[u8], pos: &mut usize) -> Result<u64, ProtoError> {
+    get_varint(buf, pos).map_err(|e| match e {
+        WireError::MalformedVarint { offset } => ProtoError::MalformedVarint { offset },
+        // `get_varint` only fails with MalformedVarint; keep the mapping
+        // total anyway.
+        _ => ProtoError::MalformedVarint { offset: *pos },
+    })
+}
+
+/// Read a declared length/count and validate it against the bytes left,
+/// assuming each counted element occupies at least `min_element_bytes`.
+/// This is the allocation guard: no `Vec::with_capacity(count)` may happen
+/// before this check.
+fn bounded_count(
+    buf: &[u8],
+    pos: &mut usize,
+    min_element_bytes: usize,
+) -> Result<usize, ProtoError> {
+    let at = *pos;
+    let raw = varint(buf, pos)?;
+    let remaining = (buf.len() - *pos) as u64;
+    let fits =
+        raw.checked_mul(min_element_bytes.max(1) as u64).is_some_and(|need| need <= remaining);
+    if !fits {
+        let needed = usize::try_from(raw)
+            .ok()
+            .and_then(|c| c.checked_mul(min_element_bytes.max(1)))
+            .and_then(|c| c.checked_add(*pos))
+            .unwrap_or(usize::MAX);
+        return Err(ProtoError::Truncated { needed, have: buf.len() });
+    }
+    usize::try_from(raw).map_err(|_| ProtoError::IntOutOfRange { offset: at })
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], ProtoError> {
+    let len = bounded_count(buf, pos, 1)?;
+    let slice = &buf[*pos..*pos + len];
+    *pos += len;
+    Ok(slice)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, ProtoError> {
+    let start_of_content = {
+        let mut probe = *pos;
+        varint(buf, &mut probe)?;
+        probe
+    };
+    let bytes = get_bytes(buf, pos)?;
+    std::str::from_utf8(bytes)
+        .map(str::to_owned)
+        .map_err(|_| ProtoError::BadUtf8 { offset: start_of_content })
+}
+
+fn check_done(buf: &[u8], pos: usize) -> Result<(), ProtoError> {
+    if pos != buf.len() {
+        return Err(ProtoError::TrailingBytes { extra: buf.len() - pos });
+    }
+    Ok(())
+}
+
+impl Request {
+    /// Encode into a frame body (opcode + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Request::Update { key, value } => {
+                out.push(0x01);
+                put_str(&mut out, key);
+                put_f64(&mut out, *value);
+            }
+            Request::UpdateMany { key, values } => {
+                out.push(0x02);
+                put_str(&mut out, key);
+                put_varint(&mut out, values.len() as u64);
+                out.reserve(values.len() * 8);
+                for &v in values {
+                    put_f64(&mut out, v);
+                }
+            }
+            Request::Query { key, phi } => {
+                out.push(0x03);
+                put_str(&mut out, key);
+                put_f64(&mut out, *phi);
+            }
+            Request::Rank { key, value } => {
+                out.push(0x04);
+                put_str(&mut out, key);
+                put_f64(&mut out, *value);
+            }
+            Request::MergedQuery { keys, phi } => {
+                out.push(0x05);
+                put_varint(&mut out, keys.len() as u64);
+                for key in keys {
+                    put_str(&mut out, key);
+                }
+                put_f64(&mut out, *phi);
+            }
+            Request::Stats => out.push(0x06),
+            Request::Remove { key } => {
+                out.push(0x07);
+                put_str(&mut out, key);
+            }
+            Request::Keys => out.push(0x08),
+            Request::Snapshot { key } => {
+                out.push(0x09);
+                put_str(&mut out, key);
+            }
+            Request::Ingest { key, frame } => {
+                out.push(0x0a);
+                put_str(&mut out, key);
+                put_bytes(&mut out, frame);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame body. Total: consumes exactly `body` or returns a
+    /// typed error.
+    pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        let mut pos = 0usize;
+        let op = get_u8(body, &mut pos).map_err(|_| ProtoError::UnknownOpcode { found: 0 })?;
+        let req = match op {
+            0x01 => {
+                let key = get_str(body, &mut pos)?;
+                let value = get_f64(body, &mut pos)?;
+                Request::Update { key, value }
+            }
+            0x02 => {
+                let key = get_str(body, &mut pos)?;
+                let n = bounded_count(body, &mut pos, 8)?;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(get_f64(body, &mut pos)?);
+                }
+                Request::UpdateMany { key, values }
+            }
+            0x03 => {
+                let key = get_str(body, &mut pos)?;
+                let phi = get_f64(body, &mut pos)?;
+                Request::Query { key, phi }
+            }
+            0x04 => {
+                let key = get_str(body, &mut pos)?;
+                let value = get_f64(body, &mut pos)?;
+                Request::Rank { key, value }
+            }
+            0x05 => {
+                // Each key costs at least one length byte.
+                let n = bounded_count(body, &mut pos, 1)?;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(get_str(body, &mut pos)?);
+                }
+                let phi = get_f64(body, &mut pos)?;
+                Request::MergedQuery { keys, phi }
+            }
+            0x06 => Request::Stats,
+            0x07 => Request::Remove { key: get_str(body, &mut pos)? },
+            0x08 => Request::Keys,
+            0x09 => Request::Snapshot { key: get_str(body, &mut pos)? },
+            0x0a => {
+                let key = get_str(body, &mut pos)?;
+                let frame = get_bytes(body, &mut pos)?.to_vec();
+                Request::Ingest { key, frame }
+            }
+            found => return Err(ProtoError::UnknownOpcode { found }),
+        };
+        check_done(body, pos)?;
+        Ok(req)
+    }
+}
+
+/// Encode an `UpdateMany` body straight from a borrowed slice —
+/// byte-identical to `Request::UpdateMany { .. }.encode()` but without
+/// materializing the intermediate `Vec<f64>`/`String`. This is the
+/// client's hot ingest path.
+pub fn encode_update_many(key: &str, values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + key.len() + 2 + 10 + values.len() * 8);
+    out.push(0x02);
+    put_str(&mut out, key);
+    put_varint(&mut out, values.len() as u64);
+    for &v in values {
+        put_f64(&mut out, v);
+    }
+    out
+}
+
+impl Response {
+    /// Encode into a frame body (opcode + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Response::Ok => out.push(0x80),
+            Response::MaybeValue(v) => {
+                out.push(0x81);
+                match v {
+                    None => out.push(0),
+                    Some(v) => {
+                        out.push(1);
+                        put_f64(&mut out, *v);
+                    }
+                }
+            }
+            Response::Count(n) => {
+                out.push(0x82);
+                put_varint(&mut out, *n);
+            }
+            Response::Flag(b) => {
+                out.push(0x83);
+                out.push(*b as u8);
+            }
+            Response::Stats(s) => {
+                out.push(0x84);
+                put_varint(&mut out, s.keys as u64);
+                put_varint(&mut out, s.stripes as u64);
+                put_varint(&mut out, s.updates);
+                put_varint(&mut out, s.ingests);
+                put_varint(&mut out, s.ingest_errors);
+                put_varint(&mut out, s.stream_len);
+                put_varint(&mut out, s.bytes_out);
+                put_varint(&mut out, s.bytes_in);
+            }
+            Response::Keys(keys) => {
+                out.push(0x85);
+                put_varint(&mut out, keys.len() as u64);
+                for key in keys {
+                    put_str(&mut out, key);
+                }
+            }
+            Response::MaybeFrame(f) => {
+                out.push(0x86);
+                match f {
+                    None => out.push(0),
+                    Some(frame) => {
+                        out.push(1);
+                        put_bytes(&mut out, frame);
+                    }
+                }
+            }
+            Response::Error { code, message } => {
+                out.push(0x8f);
+                out.push(*code as u8);
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame body. Total: consumes exactly `body` or returns a
+    /// typed error.
+    pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
+        let mut pos = 0usize;
+        let op = get_u8(body, &mut pos).map_err(|_| ProtoError::UnknownOpcode { found: 0 })?;
+        let resp = match op {
+            0x80 => Response::Ok,
+            0x81 => {
+                let at = pos;
+                match get_u8(body, &mut pos)? {
+                    0 => Response::MaybeValue(None),
+                    1 => Response::MaybeValue(Some(get_f64(body, &mut pos)?)),
+                    found => return Err(ProtoError::BadFlag { offset: at, found }),
+                }
+            }
+            0x82 => Response::Count(varint(body, &mut pos)?),
+            0x83 => {
+                let at = pos;
+                match get_u8(body, &mut pos)? {
+                    0 => Response::Flag(false),
+                    1 => Response::Flag(true),
+                    found => return Err(ProtoError::BadFlag { offset: at, found }),
+                }
+            }
+            0x84 => {
+                let keys_at = pos;
+                let keys = varint(body, &mut pos)?;
+                let stripes_at = pos;
+                let stripes = varint(body, &mut pos)?;
+                Response::Stats(StoreStats {
+                    keys: usize::try_from(keys)
+                        .map_err(|_| ProtoError::IntOutOfRange { offset: keys_at })?,
+                    stripes: usize::try_from(stripes)
+                        .map_err(|_| ProtoError::IntOutOfRange { offset: stripes_at })?,
+                    updates: varint(body, &mut pos)?,
+                    ingests: varint(body, &mut pos)?,
+                    ingest_errors: varint(body, &mut pos)?,
+                    stream_len: varint(body, &mut pos)?,
+                    bytes_out: varint(body, &mut pos)?,
+                    bytes_in: varint(body, &mut pos)?,
+                })
+            }
+            0x85 => {
+                let n = bounded_count(body, &mut pos, 1)?;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(get_str(body, &mut pos)?);
+                }
+                Response::Keys(keys)
+            }
+            0x86 => {
+                let at = pos;
+                match get_u8(body, &mut pos)? {
+                    0 => Response::MaybeFrame(None),
+                    1 => Response::MaybeFrame(Some(get_bytes(body, &mut pos)?.to_vec())),
+                    found => return Err(ProtoError::BadFlag { offset: at, found }),
+                }
+            }
+            0x8f => {
+                let code_byte = get_u8(body, &mut pos)?;
+                let code = ErrorCode::from_u8(code_byte)
+                    .ok_or(ProtoError::UnknownErrorCode { found: code_byte })?;
+                let message = get_str(body, &mut pos)?;
+                Response::Error { code, message }
+            }
+            found => return Err(ProtoError::UnknownOpcode { found }),
+        };
+        check_done(body, pos)?;
+        Ok(resp)
+    }
+}
+
+/// Write one frame (length prefix + body) to `w`. Callers flush.
+///
+/// # Panics
+/// If `body` exceeds `u32::MAX` bytes — locally-built bodies are bounded
+/// far below that by the store's summary sizes.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len()).expect("frame body exceeds u32::MAX");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Read one frame body from `r`, bounded by `max_len`.
+///
+/// * `Ok(None)` — the peer closed the connection cleanly between frames;
+/// * `Err(Io)` — transport failure, including EOF mid-frame;
+/// * `Err(Proto(FrameTooLarge))` — declared body length over `max_len`
+///   (checked **before** any allocation).
+pub fn read_frame<R: Read>(r: &mut R, max_len: usize) -> Result<Option<Vec<u8>>, RecvError> {
+    let mut prefix = [0u8; LEN_PREFIX];
+    // Distinguish clean EOF (no bytes of a next frame) from truncation.
+    let mut filled = 0usize;
+    while filled < LEN_PREFIX {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(RecvError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as u64;
+    if len > max_len as u64 {
+        return Err(RecvError::Proto(ProtoError::FrameTooLarge { len, max: max_len }));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_request_roundtrip() {
+        let reqs = [
+            Request::Update { key: "k".into(), value: 1.5 },
+            Request::UpdateMany { key: "k".into(), values: vec![1.0, 2.0, f64::NAN] },
+            Request::Query { key: "k".into(), phi: 0.5 },
+            Request::Rank { key: "k".into(), value: -0.0 },
+            Request::MergedQuery { keys: vec!["a".into(), "b".into()], phi: 0.99 },
+            Request::Stats,
+            Request::Remove { key: "k".into() },
+            Request::Keys,
+            Request::Snapshot { key: "k".into() },
+            Request::Ingest { key: "k".into(), frame: vec![1, 2, 3] },
+        ];
+        for req in reqs {
+            let body = req.encode();
+            let back = Request::decode(&body).unwrap();
+            // NaN-tolerant comparison: compare re-encodings.
+            assert_eq!(back.encode(), body, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn simple_response_roundtrip() {
+        let resps = [
+            Response::Ok,
+            Response::MaybeValue(None),
+            Response::MaybeValue(Some(42.0)),
+            Response::Count(u64::MAX),
+            Response::Flag(true),
+            Response::Stats(StoreStats { keys: 3, stripes: 16, updates: 7, ..Default::default() }),
+            Response::Keys(vec!["a".into(), "ü".into()]),
+            Response::MaybeFrame(None),
+            Response::MaybeFrame(Some(vec![9; 100])),
+            Response::Error { code: ErrorCode::Wire, message: "bad frame".into() },
+        ];
+        for resp in resps {
+            let body = resp.encode();
+            assert_eq!(Response::decode(&body).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn encode_update_many_matches_request_encode() {
+        for values in [&[][..], &[1.5][..], &[f64::NAN, -0.0, f64::MAX][..]] {
+            let direct = encode_update_many("latency", values);
+            let via_enum =
+                Request::UpdateMany { key: "latency".into(), values: values.to_vec() }.encode();
+            assert_eq!(direct, via_enum);
+        }
+    }
+
+    #[test]
+    fn empty_body_is_unknown_opcode() {
+        assert_eq!(Request::decode(&[]), Err(ProtoError::UnknownOpcode { found: 0 }));
+        assert_eq!(Response::decode(&[]), Err(ProtoError::UnknownOpcode { found: 0 }));
+    }
+
+    #[test]
+    fn absurd_count_is_rejected_before_allocation() {
+        // UpdateMany claiming u64::MAX values with a 0-length key.
+        let mut body = vec![0x02];
+        put_str(&mut body, "");
+        put_varint(&mut body, u64::MAX);
+        assert!(matches!(Request::decode(&body), Err(ProtoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_utf8_is_typed() {
+        let mut body = vec![0x07];
+        put_bytes(&mut body, &[0xff, 0xfe]);
+        assert_eq!(Request::decode(&body), Err(ProtoError::BadUtf8 { offset: 2 }));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut body = Request::Stats.encode();
+        body.push(0);
+        assert_eq!(Request::decode(&body), Err(ProtoError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn frame_io_roundtrip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor, 64).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut cursor, 64).unwrap(), Some(Vec::new()));
+        assert!(read_frame(&mut cursor, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_typed_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = &buf[..];
+        match read_frame(&mut cursor, 1024) {
+            Err(RecvError::Proto(ProtoError::FrameTooLarge { len, max })) => {
+                assert_eq!(len, u32::MAX as u64);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_frame_eof_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6); // prefix + 2 of 5 body bytes
+        let mut cursor = &buf[..];
+        assert!(matches!(read_frame(&mut cursor, 64), Err(RecvError::Io(_))));
+        // Truncated prefix too.
+        let mut cursor = &buf[..2];
+        assert!(matches!(read_frame(&mut cursor, 64), Err(RecvError::Io(_))));
+    }
+}

@@ -1,0 +1,305 @@
+//! The TCP serving loop: accept, dispatch to the pool, answer frames.
+//!
+//! One [`ThreadPool`] worker owns each connection for its whole lifetime
+//! (blocking request/response loop over buffered reads/writes), matching
+//! the store's lock-striped design: concurrency comes from many
+//! connections on many workers, and every request is one store call. The
+//! paper's N-updaters/unbounded-queriers model maps onto writer
+//! connections issuing `Update`/`UpdateMany` and reader connections
+//! issuing `Query`/`MergedQuery` against the same [`SketchStore`].
+//!
+//! Shutdown is graceful and bounded: [`ServerHandle::shutdown`] stops the
+//! accept loop, closes every live connection's socket (unblocking any
+//! worker parked in a read), then joins the pool.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use qc_store::{SketchStore, StoreConfig};
+
+use crate::pool::ThreadPool;
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, RecvError, Request, Response, DEFAULT_MAX_FRAME_LEN,
+};
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Connection-handling worker threads (each owns one live connection,
+    /// so this is also the concurrent-connection cap).
+    pub pool_threads: usize,
+    /// Accepted connections that may queue for a free worker before the
+    /// accept loop blocks (application-level accept backlog; beyond it,
+    /// backpressure falls to the kernel listen queue).
+    pub accept_backlog: usize,
+    /// Per-frame body cap; larger frames are rejected before allocation.
+    pub max_frame_len: usize,
+    /// Configuration for the store built by [`Server::bind`] (ignored by
+    /// [`Server::bind_with_store`]).
+    pub store: StoreConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            pool_threads: 8,
+            accept_backlog: 64,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+/// Entry point: binds a listener and spawns the serving threads.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` and serve a fresh store built from `cfg.store`.
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let store = Arc::new(SketchStore::new(cfg.store.clone()));
+        Self::bind_with_store(addr, cfg, store)
+    }
+
+    /// Bind `addr` and serve an existing store (lets one process expose a
+    /// store it also updates in-process).
+    pub fn bind_with_store<A: ToSocketAddrs>(
+        addr: A,
+        cfg: ServerConfig,
+        store: Arc<SketchStore>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Conns = Arc::new(Mutex::new(HashMap::new()));
+        let pool = Arc::new(ThreadPool::new(cfg.pool_threads, cfg.accept_backlog, "qc-conn"));
+        let accept = {
+            let store = Arc::clone(&store);
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let pool = Arc::clone(&pool);
+            let max_frame_len = cfg.max_frame_len;
+            std::thread::Builder::new().name("qc-accept".into()).spawn(move || {
+                accept_loop(&listener, &store, &shutdown, &conns, &pool, max_frame_len)
+            })?
+        };
+        Ok(ServerHandle {
+            local_addr,
+            store,
+            shutdown,
+            conns,
+            accept: Some(accept),
+            pool: Some(pool),
+        })
+    }
+}
+
+type Conns = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// A running server; dropping it (or calling
+/// [`shutdown`](ServerHandle::shutdown)) stops it gracefully.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    store: Arc<SketchStore>,
+    shutdown: Arc<AtomicBool>,
+    conns: Conns,
+    accept: Option<JoinHandle<()>>,
+    pool: Option<Arc<ThreadPool>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The store this server answers from.
+    pub fn store(&self) -> &Arc<SketchStore> {
+        &self.store
+    }
+
+    /// Number of currently live connections.
+    pub fn active_connections(&self) -> usize {
+        self.conns.lock().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Graceful shutdown: stop accepting, close live connections, join
+    /// every serving thread. In-flight requests finish; subsequent reads
+    /// on client sockets see EOF.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Close every live socket first so workers parked in read() return.
+        // This also unwedges an accept loop blocked on a full backlog
+        // queue: freed workers drain it, letting the loop reach accept().
+        if let Ok(conns) = self.conns.lock() {
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        // Unblock the accept loop with a dummy connection to ourselves.
+        // A wildcard bind address (0.0.0.0 / ::) is not connectable on
+        // every platform; dial the loopback of the same family instead.
+        let mut wake_addr = self.local_addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(match wake_addr {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // The accept thread has exited, so we hold the last pool reference;
+        // consume it to drain the queue and join the workers.
+        if let Some(pool) = self.pool.take() {
+            match Arc::try_unwrap(pool) {
+                Ok(pool) => pool.shutdown(),
+                Err(_) => unreachable!("accept loop joined above still holds the pool"),
+            }
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    store: &Arc<SketchStore>,
+    shutdown: &Arc<AtomicBool>,
+    conns: &Conns,
+    pool: &Arc<ThreadPool>,
+    max_frame_len: usize,
+) {
+    let mut next_id = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Transient accept failure (e.g. EMFILE under fd
+                // exhaustion): back off briefly instead of hot-spinning,
+                // giving workers a chance to close sockets and free fds.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::Relaxed) {
+            // Covers the wake-up dummy connection from `stop`.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let id = next_id;
+        next_id += 1;
+        let store = Arc::clone(store);
+        let shutdown = Arc::clone(shutdown);
+        let conns = Arc::clone(conns);
+        let enqueued = pool.execute(move || {
+            handle_connection(stream, id, &store, &shutdown, &conns, max_frame_len);
+        });
+        if enqueued.is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    id: u64,
+    store: &SketchStore,
+    shutdown: &AtomicBool,
+    conns: &Conns,
+    max_frame_len: usize,
+) {
+    // Register a clone so `stop` can sever the socket under a stuck read.
+    if let Ok(clone) = stream.try_clone() {
+        if let Ok(mut map) = conns.lock() {
+            map.insert(id, clone);
+        }
+    }
+    serve_frames(&stream, store, shutdown, max_frame_len);
+    let _ = stream.shutdown(Shutdown::Both);
+    if let Ok(mut map) = conns.lock() {
+        map.remove(&id);
+    }
+}
+
+fn serve_frames(stream: &TcpStream, store: &SketchStore, shutdown: &AtomicBool, max: usize) {
+    // `&TcpStream` implements Read/Write, so buffering both directions
+    // needs no extra fd duplication: two fds per connection total (the
+    // stream itself plus the registry clone `stop` severs).
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let body = match read_frame(&mut reader, max) {
+            Ok(Some(body)) => body,
+            Ok(None) => return,              // client closed cleanly
+            Err(RecvError::Io(_)) => return, // disconnect / shutdown
+            Err(RecvError::Proto(e)) => {
+                // Framing itself is broken (oversized declaration): answer
+                // once, then close — byte boundaries are untrustworthy.
+                let resp = Response::Error { code: ErrorCode::Proto, message: e.to_string() };
+                let _ = write_frame(&mut writer, &resp.encode());
+                let _ = writer.flush();
+                return;
+            }
+        };
+        let response = match Request::decode(&body) {
+            // A malformed *body* inside a well-delimited frame does not
+            // desync the stream; answer the error and keep serving.
+            Err(e) => Response::Error { code: ErrorCode::Proto, message: e.to_string() },
+            Ok(req) => execute(store, req, shutdown),
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+fn execute(store: &SketchStore, req: Request, shutdown: &AtomicBool) -> Response {
+    if shutdown.load(Ordering::Relaxed) {
+        return Response::Error {
+            code: ErrorCode::Unavailable,
+            message: "server shutting down".into(),
+        };
+    }
+    match req {
+        Request::Update { key, value } => {
+            store.update(&key, value);
+            Response::Ok
+        }
+        Request::UpdateMany { key, values } => {
+            store.update_many(&key, &values);
+            Response::Ok
+        }
+        Request::Query { key, phi } => Response::MaybeValue(store.query(&key, phi)),
+        Request::Rank { key, value } => Response::MaybeValue(store.rank(&key, value)),
+        Request::MergedQuery { keys, phi } => Response::MaybeValue(store.merged_query(&keys, phi)),
+        Request::Stats => Response::Stats(store.stats()),
+        Request::Remove { key } => Response::Flag(store.remove(&key)),
+        Request::Keys => Response::Keys(store.keys()),
+        Request::Snapshot { key } => Response::MaybeFrame(store.snapshot_bytes(&key)),
+        Request::Ingest { key, frame } => match store.ingest_bytes(&key, &frame) {
+            Ok(n) => Response::Count(n),
+            Err(e) => Response::Error { code: ErrorCode::Wire, message: e.to_string() },
+        },
+    }
+}

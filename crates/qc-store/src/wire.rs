@@ -151,7 +151,9 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+/// Append a LEB128 varint (the wire format's integer encoding, also reused
+/// by `qc-server`'s request/response frames).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -163,7 +165,10 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+/// Read a LEB128 varint starting at `*pos`, advancing `*pos` past it.
+/// Rejects encodings longer than a `u64` with a typed error and never reads
+/// past `buf`.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
     let start = *pos;
     let mut value = 0u64;
     let mut shift = 0u32;

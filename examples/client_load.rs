@@ -1,0 +1,106 @@
+//! Load-drive a running `qc-server` (see `examples/serve.rs`): concurrent
+//! writer and querier connections, then a final accuracy spot-check.
+//!
+//! ```sh
+//! # terminal 1
+//! cargo run --release --example serve
+//!
+//! # terminal 2: 4 writers × 100k values in batches of 256, 2 queriers
+//! cargo run --release --example client_load -- 127.0.0.1:7071 4 100000 256
+//! ```
+//!
+//! Each writer streams deterministic values into its own key and a shared
+//! key; queriers poll quantiles while the write load runs. At the end the
+//! example prints per-key p50/p99, the union quantiles, and end-to-end
+//! update throughput.
+
+use quancurrent_suite::server::Client;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7071".to_string());
+    let writers: usize = args.next().map(|s| s.parse().expect("writers")).unwrap_or(4);
+    let per_writer: usize = args.next().map(|s| s.parse().expect("values")).unwrap_or(100_000);
+    let batch: usize = args.next().map(|s| s.parse().expect("batch")).unwrap_or(256);
+
+    println!("driving {addr}: {writers} writers × {per_writer} values, batch {batch}");
+    let done = Arc::new(AtomicBool::new(false));
+    // Snapshot the daemon's update counter before any writer starts: the
+    // monitor gates on the delta, so back-to-back runs against one live
+    // daemon (the documented workflow) measure only their own work.
+    let baseline =
+        Client::connect(&addr).expect("baseline connect").stats().expect("baseline stats").updates;
+    let start = Instant::now();
+
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let addr = addr.clone();
+            s.spawn(move || {
+                let mut client = Client::connect(&addr).expect("writer connect");
+                let key = format!("load-{w}");
+                let values: Vec<f64> =
+                    (0..per_writer).map(|i| ((i * 2654435761) % 1_000_000) as f64).collect();
+                for chunk in values.chunks(batch.max(1)) {
+                    client.update_many(&key, chunk).expect("update_many");
+                    client.update_many("load-shared", chunk).expect("shared update_many");
+                }
+            });
+        }
+        for q in 0..2usize {
+            let addr = addr.clone();
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut client = Client::connect(&addr).expect("querier connect");
+                let mut polls = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let phi = if q == 0 { 0.5 } else { 0.99 };
+                    let _ = client.query("load-shared", phi).expect("query");
+                    polls += 1;
+                }
+                println!("querier {q}: {polls} polls while load ran");
+            });
+        }
+        // Release the queriers once this run's writers are fully acked.
+        let done = Arc::clone(&done);
+        let addr2 = addr.clone();
+        s.spawn(move || {
+            let mut client = Client::connect(&addr2).expect("monitor connect");
+            let target = baseline + (writers * per_writer * 2) as u64;
+            loop {
+                let stats = client.stats().expect("stats");
+                if stats.updates >= target {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+    });
+
+    let elapsed = start.elapsed();
+    let total = (writers * per_writer * 2) as f64;
+    println!(
+        "ingested {total} values in {:.2?} ({:.0} updates/s end-to-end)",
+        elapsed,
+        total / elapsed.as_secs_f64()
+    );
+
+    let mut client = Client::connect(&addr).expect("report connect");
+    let mut keys: Vec<String> = (0..writers).map(|w| format!("load-{w}")).collect();
+    keys.push("load-shared".to_string());
+    for key in &keys {
+        let p50 = client.query(key, 0.5).expect("query");
+        let p99 = client.query(key, 0.99).expect("query");
+        println!("{key:<14} p50={p50:?} p99={p99:?}");
+    }
+    let union = client.merged_query(&keys, 0.5).expect("merged query");
+    println!("{:<14} p50={union:?}", "(union)");
+    let stats = client.stats().expect("stats");
+    println!(
+        "server: keys={} updates={} stream_len={} bytes_out={}",
+        stats.keys, stats.updates, stats.stream_len, stats.bytes_out
+    );
+}

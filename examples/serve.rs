@@ -1,0 +1,62 @@
+//! Run a quantile-serving daemon over the keyed sketch store.
+//!
+//! ```sh
+//! # serve on the default address
+//! cargo run --release --example serve
+//!
+//! # custom address / pool size
+//! cargo run --release --example serve -- 127.0.0.1:7071 16
+//! ```
+//!
+//! The server answers the `qc-server` binary protocol (see the "Serving"
+//! section of the README for the frame table); drive it with
+//! `examples/client_load.rs` or any `qc_server::Client`. The process
+//! serves until stdin closes or a `quit` line arrives, then shuts down
+//! gracefully and prints the final store statistics.
+
+use quancurrent_suite::server::{Server, ServerConfig};
+use quancurrent_suite::StoreConfig;
+use std::io::BufRead;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7071".to_string());
+    let pool_threads: usize =
+        args.next().map(|s| s.parse().expect("pool size must be a number")).unwrap_or(8);
+
+    let cfg = ServerConfig {
+        pool_threads,
+        store: StoreConfig { stripes: 32, k: 256, b: 4, seed: 0xDAEC0DE },
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(&addr, cfg).expect("bind serving address");
+    println!("qc-server listening on {} ({pool_threads} workers)", handle.local_addr());
+    println!("type 'quit' (or close stdin) for graceful shutdown");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {
+                let stats = handle.store().stats();
+                println!(
+                    "keys={} updates={} stream_len={} ingests={} bytes_in={} bytes_out={}",
+                    stats.keys,
+                    stats.updates,
+                    stats.stream_len,
+                    stats.ingests,
+                    stats.bytes_in,
+                    stats.bytes_out
+                );
+            }
+            Err(_) => break,
+        }
+    }
+
+    let stats = handle.store().stats();
+    handle.shutdown();
+    println!(
+        "shut down cleanly: {} keys, {} updates, stream_len {}",
+        stats.keys, stats.updates, stats.stream_len
+    );
+}

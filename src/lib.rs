@@ -10,6 +10,8 @@
 //! * [`common`] — shared kernels (key embeddings, summaries, error math).
 //! * [`store`] — the sharded keyed sketch store: versioned wire format,
 //!   weight-aware summary merging, and the lock-striped key registry.
+//! * [`server`] — the TCP serving layer over the store: binary protocol,
+//!   thread-pooled connection handling, and the blocking client.
 //! * [`mwcas`] — the software DCAS / multi-word CAS substrate.
 //! * [`reclaim`] — interval-based memory reclamation (IBR).
 //! * [`workloads`] — stream generators, the exact oracle, and the
@@ -24,9 +26,11 @@ pub use qc_fcds as fcds;
 pub use qc_mwcas as mwcas;
 pub use qc_reclaim as reclaim;
 pub use qc_sequential as sequential;
+pub use qc_server as server;
 pub use qc_store as store;
 pub use qc_workloads as workloads;
 pub use quancurrent;
 
 pub use qc_common::{OrderedBits, Summary};
+pub use qc_server::{Client, Server, ServerConfig};
 pub use qc_store::{SketchStore, StoreConfig, WireError};
