@@ -20,7 +20,7 @@ const VALUES_PER_CONN: usize = 8 * 1024;
 fn spawn_server(pool_threads: usize) -> ServerHandle {
     let cfg = ServerConfig {
         pool_threads,
-        store: StoreConfig { stripes: 16, k: 256, b: 4, seed: 0xBE7C4 },
+        store: StoreConfig::default().stripes(16).k(256).b(4).seed(0xBE7C4),
         ..ServerConfig::default()
     };
     Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port")

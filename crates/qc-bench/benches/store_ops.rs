@@ -1,13 +1,28 @@
 //! Keyed-store benchmarks: update throughput vs stripe count (the store's
-//! scaling knob), plus the snapshot/ingest wire path and merged queries.
+//! scaling knob), the snapshot/ingest wire path, merged queries — and the
+//! **engines axis**: the same store workloads run over the sequential,
+//! concurrent, and tiered per-key engines.
 //!
 //! The headline series is `store_update_8_threads/<stripes>`: 8 writer
 //! threads spraying updates across 64 keys. With one stripe every writer
 //! contends on one mutex; with 16+ stripes writers mostly own their stripe
 //! and throughput should approach the per-sketch ingestion rate.
+//!
+//! The engines axis asks the tiering questions directly:
+//!
+//! * `store_engines_hot_key/<engine>` — one key hammered far past the
+//!   promotion threshold: tiered must track the concurrent engine, not
+//!   the sequential one.
+//! * `store_engines_cold_spray/<engine>` — 10 000 keys touched a handful
+//!   of times each: tiered must track the sequential engine's memory
+//!   profile (the run prints each engine's `retained` footprint — the
+//!   concurrent engine preallocates Gather&Sort buffers per key, roughly
+//!   an order of magnitude more).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qc_store::{SketchStore, StoreConfig};
+use qc_store::{
+    ConcurrentEngine, SequentialEngine, SketchStore, StoreConfig, StoreEngine, TieredEngine,
+};
 use qc_workloads::streams::{Distribution, StreamGen};
 
 const KEYS: usize = 64;
@@ -16,6 +31,10 @@ const OPS_PER_THREAD: usize = 16 * 1024;
 
 fn key_names() -> Vec<String> {
     (0..KEYS).map(|i| format!("stream-{i:03}")).collect()
+}
+
+fn cfg(stripes: usize, seed: u64) -> StoreConfig {
+    StoreConfig::default().stripes(stripes).k(256).b(4).seed(seed)
 }
 
 fn bench_update_vs_stripes(c: &mut Criterion) {
@@ -29,7 +48,7 @@ fn bench_update_vs_stripes(c: &mut Criterion) {
             |bencher, &stripes| {
                 let keys = key_names();
                 bencher.iter(|| {
-                    let store = SketchStore::new(StoreConfig { stripes, k: 256, b: 4, seed: 7 });
+                    let store = SketchStore::new(cfg(stripes, 7));
                     std::thread::scope(|s| {
                         for t in 0..THREADS {
                             let store = &store;
@@ -57,12 +76,12 @@ fn bench_single_thread_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_update_single_thread");
     group.throughput(Throughput::Elements(1));
     group.bench_function("hot_key", |bencher| {
-        let store = SketchStore::new(StoreConfig { stripes: 16, k: 256, b: 4, seed: 3 });
+        let store = SketchStore::new(cfg(16, 3));
         let mut gen = StreamGen::new(Distribution::Uniform, 5);
         bencher.iter(|| store.update("hot", black_box(gen.next_f64())));
     });
     group.bench_function("key_spray", |bencher| {
-        let store = SketchStore::new(StoreConfig { stripes: 16, k: 256, b: 4, seed: 4 });
+        let store = SketchStore::new(cfg(16, 4));
         let keys = key_names();
         let mut gen = StreamGen::new(Distribution::Uniform, 6);
         let mut i = 0usize;
@@ -74,8 +93,82 @@ fn bench_single_thread_update(c: &mut Criterion) {
     group.finish();
 }
 
+const HOT_OPS: usize = 256 * 1024;
+
+/// Run one engines-axis workload over a given engine type, returning the
+/// final stats for the footprint report.
+fn run_hot_key<E: StoreEngine<f64>>(seed: u64) -> u64 {
+    let store = SketchStore::<f64, E>::with_engine(cfg(4, seed));
+    let mut gen = StreamGen::new(Distribution::Uniform, seed);
+    // 256k updates on one key: the default promotion threshold (4k) is
+    // crossed in the first 2%, so the measurement reflects the steady
+    // state of whatever tier the engine settles in.
+    for _ in 0..HOT_OPS {
+        store.update("hot", gen.next_f64());
+    }
+    store.stats().updates
+}
+
+fn run_cold_spray<E: StoreEngine<f64>>(seed: u64, report: bool, name: &str) -> u64 {
+    const COLD_KEYS: usize = 10_000;
+    const TOUCHES: usize = 8;
+    let store = SketchStore::<f64, E>::with_engine(cfg(64, seed));
+    let mut gen = StreamGen::new(Distribution::Uniform, seed);
+    for i in 0..COLD_KEYS {
+        let key = format!("cold-{i:05}");
+        for _ in 0..TOUCHES {
+            store.update(&key, gen.next_f64());
+        }
+    }
+    let stats = store.stats();
+    if report {
+        // The memory-profile half of the engines axis: retained 64-bit
+        // words across all 10k cold keys (criterion measures the time
+        // half). Tiered must match sequential here, not concurrent.
+        println!(
+            "store_engines_cold_spray/{name}: {} keys, retained {} words \
+             ({} cold / {} hot)",
+            stats.keys, stats.retained, stats.cold_keys, stats.hot_keys
+        );
+    }
+    stats.retained
+}
+
+fn bench_engines_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_engines_hot_key");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(HOT_OPS as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(run_hot_key::<SequentialEngine>(11)))
+    });
+    group.bench_function("concurrent", |b| {
+        b.iter(|| black_box(run_hot_key::<ConcurrentEngine>(12)))
+    });
+    group.bench_function("tiered", |b| b.iter(|| black_box(run_hot_key::<TieredEngine>(13))));
+    group.finish();
+
+    // One-shot footprint report per engine (outside the timed loops).
+    run_cold_spray::<SequentialEngine>(21, true, "sequential");
+    run_cold_spray::<ConcurrentEngine>(22, true, "concurrent");
+    run_cold_spray::<TieredEngine>(23, true, "tiered");
+
+    let mut group = c.benchmark_group("store_engines_cold_spray");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(10_000 * 8));
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(run_cold_spray::<SequentialEngine>(21, false, "sequential")))
+    });
+    group.bench_function("concurrent", |b| {
+        b.iter(|| black_box(run_cold_spray::<ConcurrentEngine>(22, false, "concurrent")))
+    });
+    group.bench_function("tiered", |b| {
+        b.iter(|| black_box(run_cold_spray::<TieredEngine>(23, false, "tiered")))
+    });
+    group.finish();
+}
+
 fn bench_wire_roundtrip(c: &mut Criterion) {
-    let store = SketchStore::new(StoreConfig { stripes: 4, k: 256, b: 4, seed: 9 });
+    let store = SketchStore::new(cfg(4, 9));
     let mut gen = StreamGen::new(Distribution::Normal { mean: 0.0, std_dev: 1.0 }, 11);
     for _ in 0..200_000 {
         store.update("src", gen.next_f64());
@@ -88,14 +181,14 @@ fn bench_wire_roundtrip(c: &mut Criterion) {
         bencher.iter(|| black_box(store.snapshot_bytes("src").unwrap()));
     });
     group.bench_function("ingest_bytes", |bencher| {
-        let sink = SketchStore::new(StoreConfig { stripes: 4, k: 256, b: 4, seed: 10 });
+        let sink: SketchStore = SketchStore::new(cfg(4, 10));
         bencher.iter(|| sink.ingest_bytes("dst", black_box(&frame)).unwrap());
     });
     group.finish();
 }
 
 fn bench_merged_query(c: &mut Criterion) {
-    let store = SketchStore::new(StoreConfig { stripes: 16, k: 256, b: 4, seed: 13 });
+    let store = SketchStore::new(cfg(16, 13));
     let keys = key_names();
     let mut gen = StreamGen::new(Distribution::Uniform, 17);
     for i in 0..400_000usize {
@@ -115,6 +208,7 @@ criterion_group!(
     benches,
     bench_update_vs_stripes,
     bench_single_thread_update,
+    bench_engines_axis,
     bench_wire_roundtrip,
     bench_merged_query
 );

@@ -1,10 +1,10 @@
 //! §4.1 validation: expected holes per batch.
 //!
-//! The paper proves E[H] ≤ 2.8 per 2k-batch for every local buffer size b
+//! The paper proves E\[H\] ≤ 2.8 per 2k-batch for every local buffer size b
 //! (under a uniform stochastic scheduler). This binary measures holes
 //! empirically via the Gather&Sort round-stamp instrumentation, sweeping b
 //! and the thread count, and also prints the analytical bound components
-//! (E[H₁] ≤ 1.4, halving per region).
+//! (E\[H₁\] ≤ 1.4, halving per region).
 
 use qc_bench::{banner, Options, QcSetup};
 use qc_workloads::stats::RunStats;
@@ -13,8 +13,8 @@ use qc_workloads::table::Table;
 use qc_workloads::topology::Topology;
 use std::sync::Barrier;
 
-/// Analytical upper bound on E[H_j] from §4.1 / Appendix A.4:
-/// E[H_j] ≤ b² · C((j+2)b − 2, b − 1) · (1/2)^((j+2)b − 1).
+/// Analytical upper bound on E\[H_j\] from §4.1 / Appendix A.4:
+/// E\[H_j\] ≤ b² · C((j+2)b − 2, b − 1) · (1/2)^((j+2)b − 1).
 fn analytic_region_bound(j: u64, b: u64) -> f64 {
     // Compute in log2 space: the binomial can overflow u64 fast.
     let n = (j + 2) * b - 2;

@@ -4,9 +4,12 @@
 //! region (the harness invokes `make_worker` pre-barrier), matching the
 //! paper's methodology of measuring pure feeding time.
 
+use qc_common::engine::ConcurrentIngest;
 use qc_fcds::Fcds;
 use qc_sequential::QuantilesSketch;
-use qc_workloads::harness::{fixed_ops_throughput, mixed_throughput, Throughput};
+use qc_workloads::harness::{
+    concurrent_ingest_throughput, fixed_ops_throughput, mixed_throughput, Throughput,
+};
 use qc_workloads::streams::{Distribution, StreamGen};
 use qc_workloads::topology::Topology;
 use quancurrent::{Config, Quancurrent};
@@ -55,6 +58,28 @@ impl QcSetup {
     }
 }
 
+/// Backend-generic update throughput: `threads` writers registered
+/// through [`ConcurrentIngest::writer`] feed `n_total` elements. This is
+/// the single measurement path behind [`qc_update_throughput`] and
+/// [`fcds_update_throughput`], and it accepts any future backend that
+/// implements the trait.
+pub fn engine_update_throughput<S>(
+    sketch: &S,
+    threads: usize,
+    n_total: u64,
+    dist: Distribution,
+    seed: u64,
+) -> Throughput
+where
+    S: ConcurrentIngest<f64> + ?Sized,
+{
+    let per_thread = n_total / threads as u64;
+    concurrent_ingest_throughput(sketch, threads, per_thread, |t| {
+        let mut gen = StreamGen::new(dist, seed.wrapping_add(t as u64 * 77));
+        move |_i| gen.next_f64()
+    })
+}
+
 /// Update-only throughput: `threads` updaters feed `n_total` elements.
 pub fn qc_update_throughput(
     setup: &QcSetup,
@@ -64,12 +89,7 @@ pub fn qc_update_throughput(
     seed: u64,
 ) -> Throughput {
     let sketch = setup.build(threads);
-    let per_thread = n_total / threads as u64;
-    fixed_ops_throughput(threads, per_thread, |t| {
-        let mut updater = sketch.updater();
-        let mut gen = StreamGen::new(dist, seed.wrapping_add(t as u64 * 77));
-        move |_i| updater.update(gen.next_f64())
-    })
+    engine_update_throughput(&sketch, threads, n_total, dist, seed)
 }
 
 /// Query-only throughput: prefill with `prefill` elements, then `threads`
@@ -192,12 +212,7 @@ pub fn fcds_update_throughput(
     seed: u64,
 ) -> Throughput {
     let fcds = Fcds::<f64>::with_seed(k, buffer, threads, seed);
-    let per_thread = n_total / threads as u64;
-    fixed_ops_throughput(threads, per_thread, |t| {
-        let mut worker = fcds.updater();
-        let mut gen = StreamGen::new(dist, seed.wrapping_add(t as u64 * 997));
-        move |_i| worker.update(gen.next_f64())
-    })
+    engine_update_throughput(&fcds, threads, n_total, dist, seed.wrapping_mul(997))
 }
 
 #[cfg(test)]
@@ -245,6 +260,19 @@ mod tests {
     fn fcds_runner_works() {
         let tp = fcds_update_throughput(64, 128, 2, 20_000, Distribution::Uniform, 1);
         assert_eq!(tp.ops, 20_000);
+    }
+
+    /// The generic runner drives both concurrent backends through one
+    /// trait object — no concrete sketch types in the measurement path.
+    #[test]
+    fn engine_runner_is_backend_generic() {
+        let qc = tiny().build(2);
+        let fcds = Fcds::<f64>::with_seed(64, 128, 2, 9);
+        let backends: [&dyn ConcurrentIngest<f64>; 2] = [&qc, &fcds];
+        for backend in backends {
+            let tp = engine_update_throughput(backend, 2, 10_000, Distribution::Uniform, 4);
+            assert_eq!(tp.ops, 10_000);
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   CDF estimation.
 //! * [`merge`] / [`sample`] — the sorted-merge and odd-or-even subsampling
 //!   kernels used by every propagation step.
+//! * [`engine`] — the unified sketch-engine capability traits
+//!   ([`QuantileEstimator`], [`StreamIngest`], [`MergeableSketch`],
+//!   [`ConcurrentIngest`]) every backend in the workspace implements.
 //! * [`error`] — the ε(k) error model of the classic Quantiles sketch and the
 //!   relaxation/staleness error composition of §4.2 of the paper.
 //!
@@ -30,6 +33,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bits;
+pub mod engine;
 pub mod error;
 pub mod merge;
 pub mod rng;
@@ -37,5 +41,8 @@ pub mod sample;
 pub mod summary;
 
 pub use bits::OrderedBits;
+pub use engine::{
+    ConcurrentIngest, MergeableSketch, QuantileEstimator, SketchEngine, StreamIngest,
+};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use summary::{Summary, WeightedItem, WeightedSummary};

@@ -46,12 +46,37 @@ pub trait Summary {
         self.quantile_bits(phi).map(T::from_ordered_bits)
     }
 
-    /// Typed rank estimate.
+    /// Typed rank estimate (absolute weight below `x`).
+    #[deprecated(note = "ambiguous name: use `rank_weight` (absolute) or `rank_fraction` \
+                         (normalized) instead")]
     fn rank<T: OrderedBits>(&self, x: T) -> u64
     where
         Self: Sized,
     {
         self.rank_bits(x.to_ordered_bits())
+    }
+
+    /// Typed **absolute** rank estimate: the total weight of summary points
+    /// strictly smaller than `x`.
+    fn rank_weight<T: OrderedBits>(&self, x: T) -> u64
+    where
+        Self: Sized,
+    {
+        self.rank_bits(x.to_ordered_bits())
+    }
+
+    /// Typed **normalized** rank estimate: the fraction of the stream
+    /// strictly below `x`, in `[0, 1]`. Returns `0.0` on an empty summary.
+    fn rank_fraction<T: OrderedBits>(&self, x: T) -> f64
+    where
+        Self: Sized,
+    {
+        let n = self.stream_len();
+        if n == 0 {
+            0.0
+        } else {
+            self.rank_bits(x.to_ordered_bits()) as f64 / n as f64
+        }
     }
 
     /// Estimated CDF at each split point: `rank(p) / n`.
@@ -152,24 +177,42 @@ impl WeightedSummary {
         self.items.last().map(|it| it.value_bits)
     }
 
+    /// **Normalized** rank of `value` (deprecated name).
+    ///
+    /// This inherent method shadows the also-deprecated [`Summary::rank`]
+    /// (which returns the absolute weight below `value`) — the two
+    /// `rank`s silently disagree, which is why both are deprecated in
+    /// favor of the explicit names.
+    #[deprecated(note = "ambiguous name: use `rank_fraction` (normalized) or `rank_weight` \
+                         (absolute) instead")]
+    pub fn rank<T: OrderedBits>(&self, value: T) -> f64 {
+        self.rank_fraction(value)
+    }
+
     /// **Normalized** rank of `value`: the estimated fraction of the stream
     /// strictly below it, in `[0, 1]`. Returns `0.0` on an empty summary.
     ///
-    /// This inherent method shadows [`Summary::rank`] (which returns the
-    /// absolute weight below `value`) — merged queries across sketches of
-    /// different stream sizes compare fractions, not weights. Call
-    /// `Summary::rank(&s, value)` explicitly for the absolute form.
-    pub fn rank<T: OrderedBits>(&self, value: T) -> f64 {
+    /// Merged queries across sketches of different stream sizes compare
+    /// fractions; per-stream weight accounting uses
+    /// [`WeightedSummary::rank_weight`].
+    pub fn rank_fraction<T: OrderedBits>(&self, value: T) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
         self.rank_bits(value.to_ordered_bits()) as f64 / self.total as f64
     }
 
-    /// Estimated CDF at each typed split point: `rank(p)` for every `p`,
-    /// i.e. the normalized counterpart of [`Summary::cdf_bits`].
+    /// **Absolute** rank of `value`: the estimated total weight of stream
+    /// elements strictly below it.
+    pub fn rank_weight<T: OrderedBits>(&self, value: T) -> u64 {
+        self.rank_bits(value.to_ordered_bits())
+    }
+
+    /// Estimated CDF at each typed split point: `rank_fraction(p)` for
+    /// every `p`, i.e. the normalized counterpart of
+    /// [`Summary::cdf_bits`].
     pub fn cdf<T: OrderedBits>(&self, split_points: &[T]) -> Vec<f64> {
-        split_points.iter().map(|&p| self.rank(p)).collect()
+        split_points.iter().map(|&p| self.rank_fraction(p)).collect()
     }
 }
 
@@ -340,22 +383,32 @@ mod tests {
         assert_eq!(s.quantile::<f64>(0.0), Some(-5.0));
         assert_eq!(s.quantile::<f64>(0.5), Some(0.0));
         assert_eq!(s.quantile::<f64>(1.0), Some(10.0));
-        // Trait form: absolute weight below the probe.
-        assert_eq!(Summary::rank(&s, 0.0f64), 2);
-        // Inherent form: normalized fraction.
-        assert!((s.rank(0.0f64) - 0.4).abs() < 1e-12);
+        // Absolute weight below the probe.
+        assert_eq!(s.rank_weight(0.0f64), 2);
+        // Normalized fraction.
+        assert!((s.rank_fraction(0.0f64) - 0.4).abs() < 1e-12);
+    }
+
+    /// The deprecated `rank` names keep their historical semantics until
+    /// removal: trait `rank` = absolute weight, inherent `rank` = fraction.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_rank_names_keep_semantics() {
+        let s = unit_summary(&[10, 20, 30, 40]);
+        assert_eq!(Summary::rank(&s, 25u64), s.rank_weight(25u64));
+        assert_eq!(s.rank(25u64), s.rank_fraction(25u64));
     }
 
     #[test]
     fn normalized_rank_and_cdf() {
         let s = unit_summary(&[10, 20, 30, 40]);
         // u64 probes use the identity embedding.
-        assert_eq!(s.rank(5u64), 0.0);
-        assert_eq!(s.rank(25u64), 0.5);
-        assert_eq!(s.rank(100u64), 1.0);
+        assert_eq!(s.rank_fraction(5u64), 0.0);
+        assert_eq!(s.rank_fraction(25u64), 0.5);
+        assert_eq!(s.rank_fraction(100u64), 1.0);
         assert_eq!(s.cdf(&[5u64, 25, 100]), vec![0.0, 0.5, 1.0]);
         // Empty summaries rank everything at 0.
-        assert_eq!(WeightedSummary::empty().rank(7u64), 0.0);
+        assert_eq!(WeightedSummary::empty().rank_fraction(7u64), 0.0);
         assert_eq!(WeightedSummary::empty().cdf(&[1u64, 2]), vec![0.0, 0.0]);
     }
 

@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, RwLock};
 
 use qc_common::bits::OrderedBits;
+use qc_common::engine::{ConcurrentIngest, MergeableSketch, QuantileEstimator, StreamIngest};
 use qc_common::summary::{Summary, WeightedSummary};
 use qc_sequential::QuantilesSketch;
 
@@ -179,6 +180,8 @@ impl<T: OrderedBits> Fcds<T> {
     }
 
     /// Estimated rank of `x` in the propagated stream.
+    #[deprecated(note = "ambiguous name: use `QuantileEstimator::rank_weight` (absolute) or \
+                         `QuantileEstimator::rank_fraction` (normalized) instead")]
     pub fn rank(&self, x: T) -> u64 {
         self.summary().rank_bits(x.to_ordered_bits())
     }
@@ -246,6 +249,61 @@ impl<T: OrderedBits> std::fmt::Debug for Fcds<T> {
     }
 }
 
+/// Read-side engine capability: queries see the **propagated** stream
+/// (un-propagated worker buffers are FCDS's relaxation, up to `2·N·B`
+/// hidden updates). Flush workers and [`Fcds::drain`] for exact
+/// end-of-stream accounting.
+impl<T: OrderedBits> QuantileEstimator<T> for Fcds<T> {
+    fn stream_len(&self) -> u64 {
+        Fcds::stream_len(self)
+    }
+
+    fn query(&self, phi: f64) -> Option<T> {
+        Fcds::query(self, phi)
+    }
+
+    fn rank_weight(&self, x: T) -> u64 {
+        self.summary().rank_bits(x.to_ordered_bits())
+    }
+
+    fn cdf(&self, split_points: &[T]) -> Vec<f64> {
+        let bits: Vec<u64> = split_points.iter().map(|x| x.to_ordered_bits()).collect();
+        self.summary().cdf_bits(&bits)
+    }
+
+    fn quantiles(&self, phis: &[f64]) -> Vec<Option<T>> {
+        let summary = self.summary();
+        phis.iter().map(|&phi| summary.quantile_bits(phi).map(T::from_ordered_bits)).collect()
+    }
+
+    fn error_bound(&self) -> f64 {
+        qc_common::error::sequential_epsilon(self.shared.k)
+    }
+}
+
+/// Merge capability: absorption bypasses the worker/propagator pipeline
+/// and folds the summary straight into the shared sequential sketch under
+/// the write lock, conserving total weight exactly.
+impl<T: OrderedBits> MergeableSketch<T> for Fcds<T> {
+    fn to_summary(&self) -> WeightedSummary {
+        self.summary()
+    }
+
+    fn absorb_summary(&mut self, summary: &WeightedSummary) {
+        self.shared.sketch.write().unwrap().absorb_summary(summary);
+    }
+}
+
+/// Multi-writer engine capability.
+///
+/// # Panics
+/// Like [`Fcds::updater`]: when all `max_workers` slots are registered.
+impl<T: OrderedBits> ConcurrentIngest<T> for Fcds<T> {
+    fn writer(&self) -> Box<dyn StreamIngest<T> + Send + '_> {
+        Box::new(self.updater())
+    }
+}
+
 /// An FCDS worker handle (one per thread; `Send`, not `Sync`).
 pub struct FcdsUpdater<T: OrderedBits> {
     shared: Arc<FcdsShared>,
@@ -305,6 +363,19 @@ impl<T: OrderedBits> FcdsUpdater<T> {
     }
 }
 
+/// Writer-side engine capability. `flush` publishes the partial buffer;
+/// pair it with [`Fcds::drain`] (or use [`FcdsEngine`]) to make every
+/// update query-visible.
+impl<T: OrderedBits> StreamIngest<T> for FcdsUpdater<T> {
+    fn update(&mut self, x: T) {
+        FcdsUpdater::update(self, x);
+    }
+
+    fn flush(&mut self) {
+        FcdsUpdater::flush(self);
+    }
+}
+
 impl<T: OrderedBits> Drop for FcdsUpdater<T> {
     fn drop(&mut self) {
         self.flush();
@@ -318,5 +389,91 @@ impl<T: OrderedBits> std::fmt::Debug for FcdsUpdater<T> {
             .field("slot", &self.slot)
             .field("pushed", &self.pushed)
             .finish()
+    }
+}
+
+/// A single-object FCDS engine: the shared sketch bundled with one
+/// resident worker handle, so the FCDS baseline satisfies the full
+/// [`qc_common::engine::SketchEngine`] contract (the raw [`Fcds`] offers
+/// only handle-based ingestion).
+///
+/// [`StreamIngest::flush`] publishes the worker's partial buffer **and**
+/// drains the propagator, so `stream_len` equals the ingested count
+/// exactly after a flush — which is what the engine-conformance suite and
+/// tier migration rely on.
+pub struct FcdsEngine<T: OrderedBits> {
+    /// Declared before `fcds`: dropping the handle flushes its buffer,
+    /// then the sketch's own drop joins the propagator (which drains all
+    /// published buffers before exiting).
+    writer: FcdsUpdater<T>,
+    fcds: Fcds<T>,
+}
+
+impl<T: OrderedBits> FcdsEngine<T> {
+    /// Create an engine with level size `k`, worker buffer size `b`, and
+    /// an explicit sampling seed. The engine reserves the single worker
+    /// slot of its private [`Fcds`] instance.
+    pub fn with_seed(k: usize, buffer_size: usize, seed: u64) -> Self {
+        let fcds = Fcds::with_seed(k, buffer_size, 1, seed);
+        let writer = fcds.updater();
+        Self { writer, fcds }
+    }
+
+    /// The underlying FCDS instance (propagator stats, relaxation bound).
+    pub fn fcds(&self) -> &Fcds<T> {
+        &self.fcds
+    }
+}
+
+impl<T: OrderedBits> StreamIngest<T> for FcdsEngine<T> {
+    fn update(&mut self, x: T) {
+        FcdsUpdater::update(&mut self.writer, x);
+    }
+
+    fn flush(&mut self) {
+        FcdsUpdater::flush(&mut self.writer);
+        self.fcds.drain();
+    }
+}
+
+impl<T: OrderedBits> QuantileEstimator<T> for FcdsEngine<T> {
+    fn stream_len(&self) -> u64 {
+        self.fcds.stream_len()
+    }
+
+    fn query(&self, phi: f64) -> Option<T> {
+        self.fcds.query(phi)
+    }
+
+    fn rank_weight(&self, x: T) -> u64 {
+        QuantileEstimator::rank_weight(&self.fcds, x)
+    }
+
+    fn cdf(&self, split_points: &[T]) -> Vec<f64> {
+        QuantileEstimator::cdf(&self.fcds, split_points)
+    }
+
+    fn quantiles(&self, phis: &[f64]) -> Vec<Option<T>> {
+        QuantileEstimator::quantiles(&self.fcds, phis)
+    }
+
+    fn error_bound(&self) -> f64 {
+        QuantileEstimator::error_bound(&self.fcds)
+    }
+}
+
+impl<T: OrderedBits> MergeableSketch<T> for FcdsEngine<T> {
+    fn to_summary(&self) -> WeightedSummary {
+        self.fcds.summary()
+    }
+
+    fn absorb_summary(&mut self, summary: &WeightedSummary) {
+        MergeableSketch::absorb_summary(&mut self.fcds, summary);
+    }
+}
+
+impl<T: OrderedBits> std::fmt::Debug for FcdsEngine<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FcdsEngine").field("fcds", &self.fcds).finish()
     }
 }

@@ -155,6 +155,60 @@ impl QuantilesSketch {
         self.n += sorted.len() as u64 * (1u64 << level);
     }
 
+    /// Absorb an arbitrary [`WeightedSummary`] into this sketch,
+    /// conserving its total weight **exactly**.
+    ///
+    /// Unlike [`QuantilesSketch::absorb_level`], this is **total**: weights
+    /// need not be powers of two (they are decomposed binarily) and level
+    /// populations need not be multiples of `k`. A ragged remainder of
+    /// `m < k` elements at level `L` is pushed down one level with each
+    /// element duplicated — one element of weight `2^L` is exactly two of
+    /// weight `2^(L-1)` — until it either completes a `k`-array or reaches
+    /// the base buffer, which accepts any count. Each level contributes
+    /// fewer than `k` descending elements, so the extra work is
+    /// `O(k · levels)`, not `O(total weight)`.
+    ///
+    /// This is the summary-round-trip primitive behind engine tiering:
+    /// any backend's exported summary can be folded into a sequential
+    /// sketch without losing a single unit of stream weight.
+    pub fn absorb_summary(&mut self, summary: &WeightedSummary) {
+        // Per-level sorted runs via binary weight decomposition. `items()`
+        // is sorted by value, so each run is sorted too.
+        let mut levels: Vec<Vec<u64>> = Vec::new();
+        for item in summary.items() {
+            let mut w = item.weight;
+            while w != 0 {
+                let j = w.trailing_zeros() as usize;
+                if levels.len() <= j {
+                    levels.resize_with(j + 1, Vec::new);
+                }
+                levels[j].push(item.value_bits);
+                w &= w - 1;
+            }
+        }
+        // Top-down: absorb whole k-arrays at their level, descend ragged
+        // remainders (duplicated) toward the base buffer.
+        let mut carry: Vec<u64> = Vec::new();
+        for level in (1..levels.len()).rev() {
+            let own = std::mem::take(&mut levels[level]);
+            let items = merge_sorted(&own, &carry);
+            let full = items.len() - items.len() % self.k;
+            for chunk in items[..full].chunks(self.k) {
+                self.carry_into(chunk.to_vec(), level - 1);
+            }
+            self.n += (full as u64) << level;
+            carry = Vec::with_capacity(2 * (items.len() - full));
+            for &v in &items[full..] {
+                carry.push(v);
+                carry.push(v);
+            }
+        }
+        // Weight-1 elements: the summary's own level-0 run plus everything
+        // that descended all the way down.
+        let zero = merge_sorted(levels.first().map_or(&[][..], Vec::as_slice), &carry);
+        self.ingest_sorted(&zero);
+    }
+
     /// Merge another sketch into this one (Agarwal et al.'s *mergeable
     /// summaries* property — the result distributes like a sketch built
     /// from the concatenated stream).
@@ -430,6 +484,57 @@ mod tests {
     fn absorb_rejects_ragged_weighted_input() {
         let mut s = QuantilesSketch::with_seed(8, 4);
         s.absorb_level(&[1, 2, 3], 1);
+    }
+
+    #[test]
+    fn absorb_summary_conserves_weight_exactly() {
+        use qc_common::summary::WeightedItem;
+        // Ragged sizes and non-power-of-two weights exercise both the
+        // decomposition and the descend-with-duplication path.
+        let summary = WeightedSummary::from_items(vec![
+            WeightedItem { value_bits: 10, weight: 5 },
+            WeightedItem { value_bits: 20, weight: 7 },
+            WeightedItem { value_bits: 30, weight: 1 },
+            WeightedItem { value_bits: 40, weight: 16 },
+        ]);
+        let mut s = QuantilesSketch::with_seed(8, 1);
+        s.absorb_summary(&summary);
+        assert_eq!(s.n(), 29);
+        assert_eq!(s.summary().stream_len(), 29);
+    }
+
+    #[test]
+    fn absorb_summary_of_own_summary_is_exact_roundtrip() {
+        let a = filled(16, 12_345);
+        let mut b = QuantilesSketch::with_seed(16, 2);
+        b.absorb_summary(&a.summary());
+        assert_eq!(b.n(), a.n());
+        assert_eq!(b.summary().stream_len(), a.n());
+        // Estimates stay within the composed error budget.
+        let (qa, qb) = (a.quantile_bits(0.5).unwrap(), b.quantile_bits(0.5).unwrap());
+        let ra = a.summary().rank_bits(qb).abs_diff(b.summary().rank_bits(qb));
+        assert!(
+            ra as f64 / a.n() as f64 <= 4.0 * a.epsilon(),
+            "round-trip rank drift {ra} (qa={qa}, qb={qb})"
+        );
+    }
+
+    #[test]
+    fn absorb_summary_into_nonempty_sketch_adds() {
+        let mut s = filled(8, 1000);
+        let other = filled(8, 500).summary();
+        s.absorb_summary(&other);
+        assert_eq!(s.n(), 1500);
+        assert_eq!(s.summary().stream_len(), 1500);
+    }
+
+    #[test]
+    fn absorb_empty_summary_is_identity() {
+        let mut s = filled(8, 100);
+        let before = s.summary().items().to_vec();
+        s.absorb_summary(&WeightedSummary::empty());
+        assert_eq!(s.n(), 100);
+        assert_eq!(s.summary().items(), &before[..]);
     }
 
     #[test]

@@ -1,6 +1,9 @@
-//! Typed front-end over the bit-space sketch.
+//! Typed front-end over the bit-space sketch, and the engine-trait
+//! implementations that make [`Sketch`] a drop-in backend for everything
+//! programmed against [`qc_common::engine`].
 
 use qc_common::bits::OrderedBits;
+use qc_common::engine::{MergeableSketch, QuantileEstimator, StreamIngest};
 use qc_common::summary::{Summary, WeightedSummary};
 
 use crate::sketch::QuantilesSketch;
@@ -48,6 +51,8 @@ impl<T: OrderedBits> Sketch<T> {
     }
 
     /// Estimate the rank of `x` (number of stream elements `< x`).
+    #[deprecated(note = "ambiguous name: use `QuantileEstimator::rank_weight` (absolute) or \
+                         `QuantileEstimator::rank_fraction` (normalized) instead")]
     pub fn rank(&self, x: T) -> u64 {
         self.inner.rank_bits(x.to_ordered_bits())
     }
@@ -130,6 +135,55 @@ impl<T: OrderedBits> Sketch<T> {
     }
 }
 
+impl<T: OrderedBits> QuantileEstimator<T> for Sketch<T> {
+    fn stream_len(&self) -> u64 {
+        self.inner.n()
+    }
+
+    fn query(&self, phi: f64) -> Option<T> {
+        self.inner.quantile_bits(phi).map(T::from_ordered_bits)
+    }
+
+    fn rank_weight(&self, x: T) -> u64 {
+        self.inner.rank_bits(x.to_ordered_bits())
+    }
+
+    /// Overridden to build one summary for all split points.
+    fn cdf(&self, split_points: &[T]) -> Vec<f64> {
+        let bits: Vec<u64> = split_points.iter().map(|x| x.to_ordered_bits()).collect();
+        self.inner.summary().cdf_bits(&bits)
+    }
+
+    /// Overridden to build one summary for all φ values.
+    fn quantiles(&self, phis: &[f64]) -> Vec<Option<T>> {
+        let summary = self.inner.summary();
+        phis.iter().map(|&phi| summary.quantile_bits(phi).map(T::from_ordered_bits)).collect()
+    }
+
+    fn error_bound(&self) -> f64 {
+        self.inner.epsilon()
+    }
+}
+
+impl<T: OrderedBits> StreamIngest<T> for Sketch<T> {
+    fn update(&mut self, x: T) {
+        self.inner.update(x.to_ordered_bits());
+    }
+
+    // `update_many` keeps the trait default; `flush` is the default
+    // no-op: every update is immediately visible.
+}
+
+impl<T: OrderedBits> MergeableSketch<T> for Sketch<T> {
+    fn to_summary(&self) -> WeightedSummary {
+        self.inner.summary()
+    }
+
+    fn absorb_summary(&mut self, summary: &WeightedSummary) {
+        self.inner.absorb_summary(summary);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,9 +204,9 @@ mod tests {
         for x in [-10i64, -5, 0, 5, 10] {
             s.update(x);
         }
-        assert_eq!(s.rank(-10), 0);
-        assert_eq!(s.rank(0), 2);
-        assert_eq!(s.rank(11), 5);
+        assert_eq!(s.rank_weight(-10), 0);
+        assert_eq!(s.rank_weight(0), 2);
+        assert_eq!(s.rank_weight(11), 5);
         assert_eq!(s.quantile(0.0), Some(-10));
         assert_eq!(s.quantile(1.0), Some(10));
     }
@@ -213,6 +267,28 @@ mod tests {
         assert!(s.quantile_bounds(0.5).is_none());
         assert!(s.min_retained().is_none());
         assert!(s.max_retained().is_none());
+    }
+
+    /// The typed sketch is a complete engine through the trait objects
+    /// alone (the conformance suite at the workspace root goes further;
+    /// this pins the basics close to the impl).
+    #[test]
+    fn engine_traits_cover_the_sketch() {
+        use qc_common::engine::SketchEngine;
+        let mut engine: Box<dyn SketchEngine<f64>> = Box::new(Sketch::<f64>::with_seed(64, 3));
+        engine.update_many(&(0..1000).map(f64::from).collect::<Vec<_>>());
+        engine.flush();
+        assert_eq!(engine.stream_len(), 1000);
+        assert_eq!(engine.rank_weight(0.0), 0);
+        assert!((engine.rank_fraction(500.0) - 0.5).abs() < 0.05);
+        let cdf = engine.cdf(&[250.0, 750.0]);
+        assert!(cdf[0] < cdf[1]);
+
+        let mut other: Box<dyn SketchEngine<f64>> = Box::new(Sketch::<f64>::with_seed(64, 4));
+        other.absorb_summary(&engine.to_summary());
+        assert_eq!(other.stream_len(), 1000);
+        assert!(other.query(0.5).is_some());
+        assert!(other.error_bound() > 0.0);
     }
 
     #[test]

@@ -603,6 +603,10 @@ impl Response {
                     stream_len: varint(body, &mut pos)?,
                     bytes_out: varint(body, &mut pos)?,
                     bytes_in: varint(body, &mut pos)?,
+                    // Tier/memory fields are node-local diagnostics and do
+                    // not cross the wire (format unchanged since v1);
+                    // remote stats report them as zero.
+                    ..Default::default()
                 })
             }
             0x85 => {

@@ -16,8 +16,9 @@ use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use qc_store::{SketchStore, StoreConfig};
 
@@ -41,6 +42,11 @@ pub struct ServerConfig {
     /// Configuration for the store built by [`Server::bind`] (ignored by
     /// [`Server::bind_with_store`]).
     pub store: StoreConfig,
+    /// Interval between store cool-down sweeps
+    /// ([`SketchStore::cool_down`]): each sweep demotes hot-tier keys that
+    /// saw no updates for a full interval, reclaiming their concurrent
+    /// buffers. `None` disables housekeeping.
+    pub cool_down_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +56,7 @@ impl Default for ServerConfig {
             accept_backlog: 64,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             store: StoreConfig::default(),
+            cool_down_interval: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -86,6 +93,10 @@ impl Server {
                 accept_loop(&listener, &store, &shutdown, &conns, &pool, max_frame_len)
             })?
         };
+        let housekeeping = match cfg.cool_down_interval {
+            Some(interval) => Some(Housekeeping::spawn(Arc::clone(&store), interval)?),
+            None => None,
+        };
         Ok(ServerHandle {
             local_addr,
             store,
@@ -93,7 +104,48 @@ impl Server {
             conns,
             accept: Some(accept),
             pool: Some(pool),
+            housekeeping,
         })
+    }
+}
+
+/// The periodic store-maintenance thread: runs
+/// [`SketchStore::cool_down`] every `interval` so idle hot-tier keys
+/// demote and release their concurrent buffers (without it, any key that
+/// ever crossed the promotion threshold would hold its Gather&Sort
+/// footprint forever). Stopped promptly through a condvar on shutdown.
+struct Housekeeping {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: JoinHandle<()>,
+}
+
+impl Housekeeping {
+    fn spawn(store: Arc<SketchStore>, interval: Duration) -> std::io::Result<Self> {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new().name("qc-housekeeping".into()).spawn(move || {
+                let (lock, cvar) = &*stop;
+                let mut stopped = lock.lock().unwrap();
+                while !*stopped {
+                    let (guard, timeout) = cvar.wait_timeout(stopped, interval).unwrap();
+                    stopped = guard;
+                    if timeout.timed_out() && !*stopped {
+                        drop(stopped);
+                        store.cool_down();
+                        stopped = lock.lock().unwrap();
+                    }
+                }
+            })?
+        };
+        Ok(Self { stop, thread })
+    }
+
+    fn stop(self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+        let _ = self.thread.join();
     }
 }
 
@@ -108,6 +160,7 @@ pub struct ServerHandle {
     conns: Conns,
     accept: Option<JoinHandle<()>>,
     pool: Option<Arc<ThreadPool>>,
+    housekeeping: Option<Housekeeping>,
 }
 
 impl ServerHandle {
@@ -136,6 +189,11 @@ impl ServerHandle {
     fn stop(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
+        }
+        // Stop housekeeping first: a sweep holds stripe locks briefly, and
+        // joining it here keeps shutdown deterministic.
+        if let Some(housekeeping) = self.housekeeping.take() {
+            housekeeping.stop();
         }
         // Close every live socket first so workers parked in read() return.
         // This also unwedges an accept loop blocked on a full backlog

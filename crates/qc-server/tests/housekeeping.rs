@@ -1,0 +1,66 @@
+//! The serving layer's housekeeping loop: a hot-tier key that goes idle
+//! must be demoted by the periodic [`qc_store::SketchStore::cool_down`]
+//! sweep without any client intervention — otherwise every key that ever
+//! burst past the promotion threshold would pin its concurrent buffers
+//! for the server's lifetime.
+
+use std::time::{Duration, Instant};
+
+use qc_server::{Client, Server, ServerConfig};
+use qc_store::StoreConfig;
+
+#[test]
+fn idle_hot_keys_demote_via_server_sweep() {
+    let cfg = ServerConfig {
+        pool_threads: 2,
+        store: StoreConfig::default().stripes(4).k(64).b(4).seed(77).promotion_threshold(100),
+        cool_down_interval: Some(Duration::from_millis(50)),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let values: Vec<f64> = (0..1_000).map(f64::from).collect();
+    client.update_many("bursty", &values).expect("update rpc");
+    assert_eq!(
+        handle.store().stats().hot_keys,
+        1,
+        "1000 updates past threshold 100 promote the key"
+    );
+
+    // No further traffic: within a few sweep intervals the key must cool
+    // down to the sequential tier, with its stream intact.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = handle.store().stats();
+        if stats.hot_keys == 0 {
+            assert_eq!(stats.cold_keys, 1);
+            assert_eq!(stats.stream_len, 1_000, "demotion conserves weight");
+            break;
+        }
+        assert!(Instant::now() < deadline, "housekeeping never demoted the idle key: {stats:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The demoted key still serves queries over the full stream.
+    let median = client.query("bursty", 0.5).expect("query rpc").expect("non-empty");
+    assert!((300.0..700.0).contains(&median), "median {median}");
+    handle.shutdown();
+}
+
+#[test]
+fn housekeeping_can_be_disabled() {
+    let cfg = ServerConfig {
+        pool_threads: 1,
+        store: StoreConfig::default().stripes(2).k(64).b(4).seed(3).promotion_threshold(100),
+        cool_down_interval: None,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    client.update_many("k", &(0..500).map(f64::from).collect::<Vec<_>>()).expect("update");
+    assert_eq!(handle.store().stats().hot_keys, 1);
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(handle.store().stats().hot_keys, 1, "no sweep runs when disabled");
+    handle.shutdown();
+}

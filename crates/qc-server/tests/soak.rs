@@ -74,7 +74,7 @@ fn concurrent_soak_matches_oracle_and_relaxation_bound() {
     let cfg = ServerConfig {
         pool_threads: WRITERS + QUERIERS + 2,
         accept_backlog: 16,
-        store: StoreConfig { stripes: 8, k: K, b: B, seed: 0x50a4 },
+        store: StoreConfig::default().stripes(8).k(K).b(B).seed(0x50a4),
         ..ServerConfig::default()
     };
     let handle = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
@@ -266,7 +266,7 @@ fn snapshot_ingest_between_two_live_servers() {
 
     let mk = |seed: u64| ServerConfig {
         pool_threads: 2,
-        store: StoreConfig { stripes: 4, k: K, b: B, seed },
+        store: StoreConfig::default().stripes(4).k(K).b(B).seed(seed),
         ..ServerConfig::default()
     };
     let a = Server::bind("127.0.0.1:0", mk(1)).expect("bind A");

@@ -1,0 +1,516 @@
+//! Store engines: the pluggable per-key backends of [`crate::SketchStore`].
+//!
+//! A [`StoreEngine`] is a [`SketchEngine`] the store knows how to
+//! construct, place in a memory tier, and maintain. Three engines ship:
+//!
+//! * [`SequentialEngine`] — the Agarwal et al. sketch. Cheapest per key
+//!   (`O(k log(n/k))` retained elements, nothing preallocated), exact
+//!   accounting on every update, but single-writer by nature.
+//! * [`ConcurrentEngine`] — a [`Quancurrent`] sketch bundled with a
+//!   resident [`Updater`] and an *absorbed* side summary for remote
+//!   state. Highest hot-key throughput; pays a fixed Gather&Sort
+//!   footprint (`~8k` words) per key the moment it is created.
+//! * [`TieredEngine`] — the default: every key starts as a compact
+//!   sequential sketch and **promotes in place** to a full Quancurrent
+//!   once its cumulative update pressure crosses
+//!   [`crate::StoreConfig::promotion_threshold`]; idle hot keys demote
+//!   back via an exact summary round-trip on cool-down sweeps
+//!   ([`crate::SketchStore::cool_down`]). Cold keys cost an order of
+//!   magnitude less memory than concurrent ones while hot keys keep the
+//!   concurrent ingestion path.
+//!
+//! Tier migration in both directions is a summary round-trip
+//! ([`MergeableSketch::to_summary`] → [`MergeableSketch::absorb_summary`])
+//! and conserves total stream weight **exactly** — the store's
+//! conservation invariants hold across any number of promotions and
+//! demotions.
+
+use qc_common::bits::OrderedBits;
+use qc_common::engine::{MergeableSketch, QuantileEstimator, SketchEngine, StreamIngest};
+use qc_common::summary::{Summary, WeightedSummary};
+use quancurrent::{Quancurrent, Updater};
+
+use crate::merge::merge_summaries;
+use crate::store::StoreConfig;
+
+/// The memory tier an engine currently occupies (reported per key in
+/// [`crate::StoreStats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Compact sequential sketch: minimal memory, single-writer.
+    Sequential,
+    /// Full concurrent sketch: fixed Gather&Sort buffers, multi-writer
+    /// ingestion path.
+    Concurrent,
+}
+
+/// A sketch engine the store can construct and maintain — the bound of
+/// [`crate::SketchStore`]'s engine parameter.
+pub trait StoreEngine<T: OrderedBits>: SketchEngine<T> + Send + 'static {
+    /// Build a fresh engine for one key. `seed` is the key's
+    /// deterministic sampling seed (derived from the store seed and the
+    /// key bytes).
+    fn build(cfg: &StoreConfig, seed: u64) -> Self
+    where
+        Self: Sized;
+
+    /// The tier this engine currently occupies.
+    fn tier(&self) -> Tier;
+
+    /// Retained 64-bit words (summary points, buffers, preallocations) —
+    /// the store's memory proxy.
+    fn footprint(&self) -> usize;
+
+    /// End a cool-down epoch: perform tier maintenance (e.g. demote an
+    /// idle hot key). Returns `true` if the engine changed tier. Called
+    /// under the key's stripe lock by [`crate::SketchStore::cool_down`].
+    fn maintain(&mut self) -> bool {
+        false
+    }
+}
+
+/// The sequential per-key engine: [`qc_sequential::Sketch`] verbatim.
+pub type SequentialEngine<T = f64> = qc_sequential::Sketch<T>;
+
+impl<T: OrderedBits> StoreEngine<T> for SequentialEngine<T> {
+    fn build(cfg: &StoreConfig, seed: u64) -> Self {
+        qc_sequential::Sketch::with_seed(cfg.k, seed)
+    }
+
+    fn tier(&self) -> Tier {
+        Tier::Sequential
+    }
+
+    fn footprint(&self) -> usize {
+        self.num_retained()
+    }
+}
+
+/// A concurrent per-key engine: a [`Quancurrent`] sketch, one resident
+/// [`Updater`] (all store updates for a key run under its stripe lock, so
+/// a single handle is exactly the single-writer discipline the local
+/// buffer expects), and an *absorbed* summary holding everything merged in
+/// from other sketches.
+///
+/// Reads compose the sketch's quiescent state, the updater's unflushed
+/// tail, and the absorbed summary with [`merge_summaries`], so queries see
+/// **every** element ever handed to the engine — exactly the keyed-store
+/// read semantics.
+pub struct ConcurrentEngine<T: OrderedBits = f64> {
+    sketch: Quancurrent<T>,
+    writer: Updater<T>,
+    absorbed: WeightedSummary,
+    k: usize,
+    merge_seed: u64,
+}
+
+impl<T: OrderedBits> ConcurrentEngine<T> {
+    /// Build an engine with level size `k`, local buffer size `b`, and a
+    /// deterministic seed.
+    pub fn new(k: usize, b: usize, seed: u64) -> Self {
+        let sketch = Quancurrent::<T>::builder().k(k).b(b).seed(seed).build();
+        let writer = sketch.updater();
+        Self { sketch, writer, absorbed: WeightedSummary::empty(), k, merge_seed: seed | 1 }
+    }
+
+    /// The engine's full resident summary: shared levels + Gather&Sort
+    /// buffers + unflushed writer tail + absorbed remote weight. Exact
+    /// when no concurrent writers exist — which the store guarantees by
+    /// funneling all of a key's operations through its stripe lock.
+    pub fn resident_summary(&self) -> WeightedSummary {
+        let quiescent = self.sketch.quiescent_summary();
+        let mut bits: Vec<u64> =
+            self.writer.pending().iter().map(|v| v.to_ordered_bits()).collect();
+        bits.sort_unstable();
+        let pending = if bits.is_empty() {
+            WeightedSummary::empty()
+        } else {
+            WeightedSummary::from_parts([(&bits[..], 1u64)])
+        };
+        merge_summaries(&[quiescent, pending, self.absorbed.clone()], self.k, self.merge_seed)
+    }
+
+    /// The underlying concurrent sketch (diagnostics).
+    pub fn sketch(&self) -> &Quancurrent<T> {
+        &self.sketch
+    }
+}
+
+impl<T: OrderedBits> QuantileEstimator<T> for ConcurrentEngine<T> {
+    fn stream_len(&self) -> u64 {
+        // Cheap exact form of `resident_summary().stream_len()`: merge
+        // conserves weight, so the parts can be summed directly.
+        self.sketch.stream_len()
+            + self.sketch.buffered_len() as u64
+            + self.writer.pending().len() as u64
+            + self.absorbed.stream_len()
+    }
+
+    fn query(&self, phi: f64) -> Option<T> {
+        self.resident_summary().quantile_bits(phi).map(T::from_ordered_bits)
+    }
+
+    fn rank_weight(&self, x: T) -> u64 {
+        self.resident_summary().rank_bits(x.to_ordered_bits())
+    }
+
+    fn cdf(&self, split_points: &[T]) -> Vec<f64> {
+        let bits: Vec<u64> = split_points.iter().map(|x| x.to_ordered_bits()).collect();
+        self.resident_summary().cdf_bits(&bits)
+    }
+
+    fn quantiles(&self, phis: &[f64]) -> Vec<Option<T>> {
+        let summary = self.resident_summary();
+        phis.iter().map(|&phi| summary.quantile_bits(phi).map(T::from_ordered_bits)).collect()
+    }
+
+    fn error_bound(&self) -> f64 {
+        qc_common::error::sequential_epsilon(self.k)
+    }
+}
+
+impl<T: OrderedBits> StreamIngest<T> for ConcurrentEngine<T> {
+    fn update(&mut self, x: T) {
+        self.writer.update(x);
+    }
+
+    // `update_many` keeps the trait default (a per-element loop); `flush`
+    // is the default no-op: the unflushed tail is composed into
+    // every read by `resident_summary`, so nothing is ever invisible.
+}
+
+impl<T: OrderedBits> MergeableSketch<T> for ConcurrentEngine<T> {
+    fn to_summary(&self) -> WeightedSummary {
+        self.resident_summary()
+    }
+
+    fn absorb_summary(&mut self, summary: &WeightedSummary) {
+        let absorbed = std::mem::take(&mut self.absorbed);
+        self.absorbed = merge_summaries(&[absorbed, summary.clone()], self.k, self.merge_seed);
+    }
+}
+
+impl<T: OrderedBits> StoreEngine<T> for ConcurrentEngine<T> {
+    fn build(cfg: &StoreConfig, seed: u64) -> Self {
+        Self::new(cfg.k, cfg.b, seed)
+    }
+
+    fn tier(&self) -> Tier {
+        Tier::Concurrent
+    }
+
+    fn footprint(&self) -> usize {
+        // Fixed Gather&Sort allocation (2 buffers × 2k slot/stamp pairs)
+        // plus live level arrays and side state.
+        8 * self.k
+            + self.sketch.levels_retained()
+            + self.writer.pending().len()
+            + self.absorbed.num_retained()
+    }
+}
+
+impl<T: OrderedBits> std::fmt::Debug for ConcurrentEngine<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentEngine")
+            .field("k", &self.k)
+            .field("stream_len", &QuantileEstimator::stream_len(self))
+            .field("absorbed", &self.absorbed.stream_len())
+            .finish()
+    }
+}
+
+enum TierState<T: OrderedBits> {
+    Cold(SequentialEngine<T>),
+    Hot(ConcurrentEngine<T>),
+}
+
+/// The default store engine: starts every key as a compact sequential
+/// sketch and moves it between tiers as update pressure changes. See the
+/// [module docs](self) for the full tiering story.
+///
+/// * **Promotion** (cold → hot) happens inline in `update`/`update_many`
+///   once cumulative updates reach the configured threshold: the cold
+///   sketch's summary is absorbed into a fresh [`ConcurrentEngine`], so
+///   not a single unit of weight is lost.
+/// * **Demotion** (hot → cold) happens on [`StoreEngine::maintain`] when
+///   an entire epoch passed without updates: the hot engine's resident
+///   summary round-trips into a fresh sequential sketch, releasing the
+///   Gather&Sort buffers.
+pub struct TieredEngine<T: OrderedBits = f64> {
+    state: TierState<T>,
+    k: usize,
+    b: usize,
+    seed: u64,
+    promotion_threshold: u64,
+    /// Updates since creation or last demotion (promotion pressure).
+    pressure: u64,
+    /// Updates in the current cool-down epoch.
+    epoch_updates: u64,
+}
+
+impl<T: OrderedBits> TieredEngine<T> {
+    /// Build a cold engine. `promotion_threshold` is the cumulative
+    /// update count **past which** the key promotes — the first update
+    /// beyond it fires the promotion (`0` promotes on the first update,
+    /// `u64::MAX` pins the key cold).
+    pub fn new(k: usize, b: usize, seed: u64, promotion_threshold: u64) -> Self {
+        Self {
+            state: TierState::Cold(qc_sequential::Sketch::with_seed(k, seed)),
+            k,
+            b,
+            seed,
+            promotion_threshold,
+            pressure: 0,
+            epoch_updates: 0,
+        }
+    }
+
+    /// Is the key currently on the concurrent tier?
+    pub fn is_hot(&self) -> bool {
+        matches!(self.state, TierState::Hot(_))
+    }
+
+    /// Force promotion to the concurrent tier (no-op if already hot).
+    pub fn promote_now(&mut self) {
+        if let TierState::Cold(cold) = &self.state {
+            let summary = MergeableSketch::to_summary(cold);
+            let mut hot =
+                ConcurrentEngine::new(self.k, self.b, self.seed.wrapping_mul(0x9E37_79B9) | 1);
+            hot.absorb_summary(&summary);
+            self.state = TierState::Hot(hot);
+        }
+    }
+
+    /// Force demotion to the sequential tier via an exact summary
+    /// round-trip (no-op if already cold). Resets promotion pressure.
+    pub fn demote_now(&mut self) {
+        if let TierState::Hot(hot) = &self.state {
+            let summary = hot.to_summary();
+            let mut cold = qc_sequential::Sketch::with_seed(self.k, self.seed.rotate_left(11));
+            MergeableSketch::absorb_summary(&mut cold, &summary);
+            self.state = TierState::Cold(cold);
+            self.pressure = 0;
+        }
+    }
+
+    /// The current tier's engine as a read-side trait object.
+    fn inner(&self) -> &dyn SketchEngine<T> {
+        match &self.state {
+            TierState::Cold(e) => e,
+            TierState::Hot(e) => e,
+        }
+    }
+
+    /// The current tier's engine as a write-side trait object.
+    fn inner_mut(&mut self) -> &mut dyn SketchEngine<T> {
+        match &mut self.state {
+            TierState::Cold(e) => e,
+            TierState::Hot(e) => e,
+        }
+    }
+
+    fn after_updates(&mut self, n: u64) {
+        self.pressure = self.pressure.saturating_add(n);
+        self.epoch_updates = self.epoch_updates.saturating_add(n);
+        if !self.is_hot() && self.pressure > self.promotion_threshold {
+            self.promote_now();
+        }
+    }
+}
+
+impl<T: OrderedBits> QuantileEstimator<T> for TieredEngine<T> {
+    fn stream_len(&self) -> u64 {
+        self.inner().stream_len()
+    }
+
+    fn query(&self, phi: f64) -> Option<T> {
+        self.inner().query(phi)
+    }
+
+    fn rank_weight(&self, x: T) -> u64 {
+        self.inner().rank_weight(x)
+    }
+
+    fn cdf(&self, split_points: &[T]) -> Vec<f64> {
+        self.inner().cdf(split_points)
+    }
+
+    fn quantiles(&self, phis: &[f64]) -> Vec<Option<T>> {
+        self.inner().quantiles(phis)
+    }
+
+    fn error_bound(&self) -> f64 {
+        qc_common::error::sequential_epsilon(self.k)
+    }
+}
+
+impl<T: OrderedBits> StreamIngest<T> for TieredEngine<T> {
+    fn update(&mut self, x: T) {
+        self.inner_mut().update(x);
+        self.after_updates(1);
+    }
+
+    /// Overridden (unlike the other engines, whose default suffices) so
+    /// promotion pressure is accounted once per batch.
+    fn update_many(&mut self, xs: &[T]) {
+        self.inner_mut().update_many(xs);
+        self.after_updates(xs.len() as u64);
+    }
+}
+
+impl<T: OrderedBits> MergeableSketch<T> for TieredEngine<T> {
+    fn to_summary(&self) -> WeightedSummary {
+        self.inner().to_summary()
+    }
+
+    fn absorb_summary(&mut self, summary: &WeightedSummary) {
+        self.inner_mut().absorb_summary(summary);
+    }
+}
+
+impl<T: OrderedBits> StoreEngine<T> for TieredEngine<T> {
+    fn build(cfg: &StoreConfig, seed: u64) -> Self {
+        Self::new(cfg.k, cfg.b, seed, cfg.promotion_threshold)
+    }
+
+    fn tier(&self) -> Tier {
+        match self.state {
+            TierState::Cold(_) => Tier::Sequential,
+            TierState::Hot(_) => Tier::Concurrent,
+        }
+    }
+
+    fn footprint(&self) -> usize {
+        // `footprint` lives on `StoreEngine` (not object-safe), so this
+        // one delegation keeps the two-arm match.
+        match &self.state {
+            TierState::Cold(e) => StoreEngine::<T>::footprint(e),
+            TierState::Hot(e) => StoreEngine::<T>::footprint(e),
+        }
+    }
+
+    /// Demotes the key iff the entire epoch since the previous `maintain`
+    /// call saw no updates.
+    fn maintain(&mut self) -> bool {
+        let idle = self.epoch_updates == 0;
+        self.epoch_updates = 0;
+        if idle && self.is_hot() {
+            self.demote_now();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<T: OrderedBits> std::fmt::Debug for TieredEngine<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredEngine")
+            .field("tier", &StoreEngine::<T>::tier(self))
+            .field("pressure", &self.pressure)
+            .field("stream_len", &QuantileEstimator::stream_len(self))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StoreConfig {
+        StoreConfig::default().k(64).b(4).promotion_threshold(256)
+    }
+
+    #[test]
+    fn tiered_starts_cold_and_promotes_under_pressure() {
+        let mut e = TieredEngine::<f64>::build(&cfg(), 7);
+        assert_eq!(StoreEngine::<f64>::tier(&e), Tier::Sequential);
+        for i in 0..256 {
+            e.update(i as f64);
+        }
+        assert!(!e.is_hot(), "at the threshold the key is still cold");
+        e.update(256.0);
+        assert!(e.is_hot(), "crossing the threshold promotes");
+        assert_eq!(QuantileEstimator::stream_len(&e), 257, "promotion conserves weight exactly");
+        assert_eq!(e.to_summary().stream_len(), 257);
+    }
+
+    #[test]
+    fn tiered_update_many_promotes_once_per_batch() {
+        let mut e = TieredEngine::<f64>::build(&cfg(), 8);
+        let batch: Vec<f64> = (0..1000).map(f64::from).collect();
+        e.update_many(&batch);
+        assert!(e.is_hot());
+        assert_eq!(QuantileEstimator::stream_len(&e), 1000);
+        let median = QuantileEstimator::query(&e, 0.5).unwrap();
+        assert!((300.0..700.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn idle_hot_key_demotes_on_second_sweep() {
+        let mut e = TieredEngine::<f64>::build(&cfg(), 9);
+        e.update_many(&(0..500).map(f64::from).collect::<Vec<_>>());
+        assert!(e.is_hot());
+        // First sweep: the busy epoch just ended — no demotion.
+        assert!(!StoreEngine::<f64>::maintain(&mut e));
+        assert!(e.is_hot());
+        // Second sweep with zero updates in between: demote.
+        assert!(StoreEngine::<f64>::maintain(&mut e));
+        assert!(!e.is_hot());
+        assert_eq!(QuantileEstimator::stream_len(&e), 500, "demotion conserves weight exactly");
+    }
+
+    #[test]
+    fn demoted_key_can_repromote() {
+        let mut e = TieredEngine::<f64>::build(&cfg(), 10);
+        e.update_many(&(0..500).map(f64::from).collect::<Vec<_>>());
+        StoreEngine::<f64>::maintain(&mut e);
+        StoreEngine::<f64>::maintain(&mut e);
+        assert!(!e.is_hot());
+        e.update_many(&(0..300).map(f64::from).collect::<Vec<_>>());
+        assert!(e.is_hot(), "fresh pressure after demotion re-promotes");
+        assert_eq!(QuantileEstimator::stream_len(&e), 800);
+    }
+
+    #[test]
+    fn cold_footprint_is_an_order_of_magnitude_below_hot() {
+        let cfg = StoreConfig::default().k(256).b(4).promotion_threshold(u64::MAX);
+        let mut cold = TieredEngine::<f64>::build(&cfg, 1);
+        let mut hot = ConcurrentEngine::<f64>::new(256, 4, 1);
+        for i in 0..64 {
+            cold.update(i as f64);
+            hot.update(i as f64);
+        }
+        let (c, h) = (StoreEngine::<f64>::footprint(&cold), StoreEngine::<f64>::footprint(&hot));
+        assert!(c * 10 <= h, "cold {c} words vs hot {h} words");
+    }
+
+    #[test]
+    fn concurrent_engine_composes_absorbed_and_pending() {
+        let mut e = ConcurrentEngine::<f64>::new(64, 4, 3);
+        e.update_many(&(0..1001).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(QuantileEstimator::stream_len(&e), 1001);
+        let snapshot = e.to_summary();
+        assert_eq!(snapshot.stream_len(), 1001);
+
+        let mut other = ConcurrentEngine::<f64>::new(64, 4, 4);
+        other.absorb_summary(&snapshot);
+        assert_eq!(QuantileEstimator::stream_len(&other), 1001);
+        assert!(other.query(0.5).is_some());
+    }
+
+    #[test]
+    fn tier_migration_preserves_quantile_accuracy() {
+        let mut e = TieredEngine::<f64>::build(&cfg(), 11);
+        e.update_many(&(0..10_000).map(f64::from).collect::<Vec<_>>());
+        assert!(e.is_hot());
+        let before = QuantileEstimator::query(&e, 0.5).unwrap();
+        e.demote_now();
+        let after = QuantileEstimator::query(&e, 0.5).unwrap();
+        let eps = QuantileEstimator::error_bound(&e);
+        assert!(
+            (before - after).abs() / 10_000.0 < 8.0 * eps,
+            "median moved {before} -> {after} across demotion"
+        );
+    }
+}

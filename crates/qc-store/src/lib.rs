@@ -13,15 +13,21 @@
 //! * [`merge`] — [`merge::merge_summaries`]: weight-aware merging of any
 //!   number of summaries with randomized odd-or-even compaction back to a
 //!   `k`-bounded summary, conserving total weight exactly;
+//! * [`engine`] — the store's pluggable per-key backends behind the
+//!   [`qc_common::engine`] traits: [`engine::SequentialEngine`] (compact,
+//!   cold), [`engine::ConcurrentEngine`] (full Quancurrent machinery),
+//!   and the default [`engine::TieredEngine`] that promotes keys from
+//!   cold to hot under update pressure and demotes them on cool-down;
 //! * [`store`] — [`store::SketchStore`]: a fixed-stripe, lock-per-stripe
-//!   registry mapping string keys to live [`quancurrent::Quancurrent`]
-//!   sketches, with keyed update/query, snapshot/ingest through the wire
-//!   format, and cross-key merged queries.
+//!   registry mapping string keys to live engines, with keyed
+//!   update/query, snapshot/ingest through the wire format, and cross-key
+//!   merged queries. Generic over element type and engine;
+//!   `SketchStore` with default parameters is the `f64` tiered store.
 //!
 //! ```
 //! use qc_store::{SketchStore, StoreConfig};
 //!
-//! let store = SketchStore::new(StoreConfig { stripes: 8, k: 128, b: 4, seed: 7 });
+//! let store = SketchStore::new(StoreConfig::default().stripes(8).k(128).b(4).seed(7));
 //! for i in 0..10_000 {
 //!     store.update("checkout", i as f64);
 //!     store.update("search", (i * 2) as f64);
@@ -36,7 +42,7 @@
 //! // Snapshot one key, ship the bytes anywhere, fold them into another
 //! // store (or key) later.
 //! let frame = store.snapshot_bytes("search").unwrap();
-//! let other = SketchStore::default();
+//! let other: SketchStore = SketchStore::default();
 //! other.ingest_bytes("search-replica", &frame).unwrap();
 //! assert_eq!(other.stats().stream_len, 10_000);
 //! ```
@@ -44,10 +50,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod merge;
 pub mod store;
 pub mod wire;
 
+pub use engine::{ConcurrentEngine, SequentialEngine, StoreEngine, Tier, TieredEngine};
 pub use merge::merge_summaries;
-pub use store::{SketchStore, StoreConfig, StoreStats};
+pub use store::{SketchStore, StoreConfig, StoreStats, DEFAULT_PROMOTION_THRESHOLD};
 pub use wire::{decode_summary, encode_summary, WireError};

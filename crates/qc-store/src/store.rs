@@ -1,4 +1,4 @@
-//! A sharded, keyed registry of live sketches.
+//! A sharded, keyed registry of live sketch engines.
 //!
 //! High-cardinality keyed aggregation is the dominant quantile-serving
 //! workload (Gan et al., *Moment-Based Quantile Sketches for Efficient
@@ -10,32 +10,44 @@
 //! * keys are hashed onto a fixed array of stripes (power-of-two count),
 //!   each stripe a mutex around its own key map — writers on different
 //!   stripes never contend, and no lock is ever held across stripes;
-//! * each key owns a live [`Quancurrent<f64>`] sketch (updates go through
-//!   the paper's three-level ingestion path) **plus** an *absorbed*
-//!   [`WeightedSummary`] holding everything merged in from remote
-//!   snapshots via [`SketchStore::ingest_bytes`];
-//! * reads compose the live sketch's quiescent state, its not-yet-flushed
-//!   updater buffer, and the absorbed summary with
-//!   [`crate::merge::merge_summaries`], so `query`/`merged_query` see every
-//!   element ever handed to the store — local or ingested — with exact
-//!   stream-length accounting.
+//! * each key owns a live engine — any [`StoreEngine`] implementor; the
+//!   default [`crate::engine::TieredEngine`] starts keys as
+//!   compact sequential sketches and promotes them to full Quancurrent
+//!   machinery under update pressure (see [`crate::engine`]);
+//! * the store is backend-generic through the
+//!   [`qc_common::engine`] traits: updates go through
+//!   [`qc_common::engine::StreamIngest`], reads through
+//!   [`MergeableSketch::to_summary`], and
+//!   remote state through [`MergeableSketch::absorb_summary`] — so
+//!   `query`/`merged_query` see every element ever handed to the store,
+//!   local or ingested, with exact stream-length accounting.
 //!
-//! Holding the stripe lock during reads makes the per-key composition safe:
-//! the sketch's quiescent summary demands no concurrent updates, and all
-//! updates for a key funnel through its stripe lock.
+//! Holding the stripe lock during reads makes the per-key composition
+//! safe: engines may demand quiescence for exact reads, and all
+//! operations for a key funnel through its stripe lock.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Mutex;
 
 use qc_common::bits::OrderedBits;
+use qc_common::engine::MergeableSketch;
 use qc_common::summary::{Summary, WeightedSummary};
-use quancurrent::{Quancurrent, Updater};
 
+use crate::engine::{StoreEngine, Tier, TieredEngine};
 use crate::merge::merge_summaries;
 use crate::wire::{decode_summary, encode_summary, WireError};
 
 /// Store construction parameters.
+///
+/// Built fluently from [`StoreConfig::default`]:
+///
+/// ```
+/// use qc_store::StoreConfig;
+///
+/// let cfg = StoreConfig::default().stripes(8).k(128).b(4).promotion_threshold(1024);
+/// assert_eq!(cfg.k, 128);
+/// ```
 #[derive(Clone, Debug)]
 pub struct StoreConfig {
     /// Number of lock stripes; rounded up to a power of two, minimum 1.
@@ -48,16 +60,70 @@ pub struct StoreConfig {
     pub b: usize,
     /// Base seed; each key derives its own deterministic seed from it.
     pub seed: u64,
+    /// Cumulative per-key update count **past which** a tiered key
+    /// promotes to the concurrent engine — promotion fires on the first
+    /// update beyond the threshold (`0` promotes on the first update,
+    /// `u64::MAX` pins keys cold). Ignored by non-tiered engines.
+    pub promotion_threshold: u64,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { stripes: 16, k: 256, b: 4, seed: 0x5eed_5704e }
+        StoreConfig {
+            stripes: 16,
+            k: 256,
+            b: 4,
+            seed: 0x5eed_5704e,
+            promotion_threshold: DEFAULT_PROMOTION_THRESHOLD,
+        }
     }
 }
 
-/// Store-wide counters (monotone; sampled without locks except
-/// `keys`/`stream_len`, which sweep the stripes).
+/// Default per-key promotion threshold: roughly where the concurrent
+/// engine's fixed Gather&Sort footprint amortizes against the sequential
+/// sketch's per-update cost.
+pub const DEFAULT_PROMOTION_THRESHOLD: u64 = 4096;
+
+impl StoreConfig {
+    /// Set the number of lock stripes.
+    pub fn stripes(mut self, stripes: usize) -> Self {
+        self.stripes = stripes;
+        self
+    }
+
+    /// Set the per-sketch level size `k`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Set the per-sketch thread-local buffer size `b`.
+    pub fn b(mut self, b: usize) -> Self {
+        self.b = b;
+        self
+    }
+
+    /// Set the base seed keys derive their deterministic seeds from.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the tiering promotion threshold (cumulative updates per key).
+    pub fn promotion_threshold(mut self, threshold: u64) -> Self {
+        self.promotion_threshold = threshold;
+        self
+    }
+}
+
+/// Store-wide counters (monotone; sampled without locks except the fields
+/// that sweep the stripes: `keys`, `stream_len`, the tier counts, and
+/// `retained`).
+///
+/// The tier fields (`cold_keys`, `hot_keys`, `retained`) describe the
+/// local process only and do **not** cross the wire protocol — remote
+/// [`StoreStats`] decoded by `qc-server` report them as zero, keeping the
+/// wire format byte-identical to previous releases.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Number of resident keys.
@@ -76,42 +142,23 @@ pub struct StoreStats {
     pub bytes_out: u64,
     /// Bytes accepted by `ingest_bytes`.
     pub bytes_in: u64,
+    /// Keys currently on the sequential (cold) tier. Local-only.
+    pub cold_keys: usize,
+    /// Keys currently on the concurrent (hot) tier. Local-only.
+    pub hot_keys: usize,
+    /// Retained 64-bit words across all engines (memory proxy).
+    /// Local-only.
+    pub retained: u64,
 }
 
-struct KeyEntry {
-    sketch: Quancurrent<f64>,
-    /// Per-key updater; all updates for the key run under the stripe lock,
-    /// so one handle is exactly the single-writer discipline the sketch's
-    /// local buffer expects.
-    updater: Updater<f64>,
-    /// Everything merged in from remote snapshots, pre-compacted to `2k`
-    /// per level.
-    absorbed: WeightedSummary,
-    /// Seed for this key's merge coins (deterministic per key).
-    merge_seed: u64,
-}
-
-impl KeyEntry {
-    /// The key's full resident summary: shared levels + Gather&Sort
-    /// buffers + unflushed updater buffer + absorbed remote weight.
-    /// Caller must hold the stripe lock (it owns all update paths).
-    fn resident_summary(&self, k: usize) -> WeightedSummary {
-        let quiescent = self.sketch.quiescent_summary();
-        let pending = self.updater.pending();
-        let mut bits: Vec<u64> = pending.iter().map(|v| v.to_ordered_bits()).collect();
-        bits.sort_unstable();
-        let pending_summary = if bits.is_empty() {
-            WeightedSummary::empty()
-        } else {
-            WeightedSummary::from_parts([(&bits[..], 1u64)])
-        };
-        merge_summaries(&[quiescent, pending_summary, self.absorbed.clone()], k, self.merge_seed)
-    }
-}
-
-/// Sharded keyed sketch store; see the [module docs](self).
-pub struct SketchStore {
-    stripes: Box<[Mutex<HashMap<String, KeyEntry>>]>,
+/// Sharded keyed sketch store, generic over the element type and the
+/// per-key engine; see the [module docs](self).
+///
+/// The defaults — `SketchStore` with no parameters — give an `f64` store
+/// over the tiered engine, which is wire- and API-compatible with the
+/// previous `Quancurrent`-only store.
+pub struct SketchStore<T: OrderedBits = f64, E: StoreEngine<T> = TieredEngine<T>> {
+    stripes: Box<[Mutex<HashMap<String, E>>]>,
     mask: usize,
     cfg: StoreConfig,
     updates: AtomicU64,
@@ -119,17 +166,30 @@ pub struct SketchStore {
     ingest_errors: AtomicU64,
     bytes_out: AtomicU64,
     bytes_in: AtomicU64,
+    _marker: std::marker::PhantomData<fn(T) -> T>,
 }
 
-impl Default for SketchStore {
+impl<T: OrderedBits> Default for SketchStore<T, TieredEngine<T>> {
     fn default() -> Self {
         Self::new(StoreConfig::default())
     }
 }
 
-impl SketchStore {
-    /// Build a store with the given configuration.
+impl<T: OrderedBits> SketchStore<T, TieredEngine<T>> {
+    /// Build a store with the default (tiered) engine.
+    ///
+    /// Defined on the concrete default engine so plain
+    /// `SketchStore::new(cfg)` keeps inferring the engine; use
+    /// [`SketchStore::with_engine`] to pick another backend.
     pub fn new(cfg: StoreConfig) -> Self {
+        Self::with_engine(cfg)
+    }
+}
+
+impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
+    /// Build a store over an explicit engine type:
+    /// `SketchStore::<f64, SequentialEngine>::with_engine(cfg)`.
+    pub fn with_engine(cfg: StoreConfig) -> Self {
         let stripes = cfg.stripes.max(1).next_power_of_two();
         let table = (0..stripes).map(|_| Mutex::new(HashMap::new())).collect();
         SketchStore {
@@ -141,6 +201,7 @@ impl SketchStore {
             ingest_errors: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
+            _marker: std::marker::PhantomData,
         }
     }
 
@@ -154,7 +215,7 @@ impl SketchStore {
         self.stripes.len()
     }
 
-    fn stripe_of(&self, key: &str) -> &Mutex<HashMap<String, KeyEntry>> {
+    fn stripe_of(&self, key: &str) -> &Mutex<HashMap<String, E>> {
         // FNV-1a over the key bytes; stripe count is a power of two.
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for b in key.as_bytes() {
@@ -165,29 +226,22 @@ impl SketchStore {
         &self.stripes[((h ^ (h >> 32)) as usize) & self.mask]
     }
 
-    fn make_entry(&self, key: &str) -> KeyEntry {
+    fn key_seed(&self, key: &str) -> u64 {
         // Distinct deterministic seeds per key, derived FNV-style.
         let mut h = self.cfg.seed ^ 0x9e37_79b9_7f4a_7c15;
         for b in key.as_bytes() {
             h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01b3);
         }
-        let sketch = Quancurrent::<f64>::builder().k(self.cfg.k).b(self.cfg.b).seed(h).build();
-        let updater = sketch.updater();
-        KeyEntry {
-            sketch,
-            updater,
-            absorbed: WeightedSummary::empty(),
-            merge_seed: h.rotate_left(17) | 1,
-        }
+        h
     }
 
-    /// Feed one value into `key`'s sketch, creating the key on first use.
-    pub fn update(&self, key: &str, value: f64) {
+    /// Feed one value into `key`'s engine, creating the key on first use.
+    pub fn update(&self, key: &str, value: T) {
         self.update_many(key, &[value]);
     }
 
     /// Feed a batch of values into `key` under a single lock acquisition.
-    pub fn update_many(&self, key: &str, values: &[f64]) {
+    pub fn update_many(&self, key: &str, values: &[T]) {
         if values.is_empty() {
             return;
         }
@@ -195,36 +249,34 @@ impl SketchStore {
         // Probe before inserting: the steady state must not allocate a
         // `String` per call just to use the entry API.
         if !map.contains_key(key) {
-            map.insert(key.to_string(), self.make_entry(key));
+            map.insert(key.to_string(), E::build(&self.cfg, self.key_seed(key)));
         }
-        let entry = map.get_mut(key).expect("entry just ensured");
-        for &v in values {
-            entry.updater.update(v);
-        }
+        let engine = map.get_mut(key).expect("entry just ensured");
+        engine.update_many(values);
         drop(map);
         self.updates.fetch_add(values.len() as u64, Relaxed);
     }
 
     /// φ-quantile estimate over everything `key` has seen (local updates
     /// and ingested snapshots). `None` if the key is absent or empty.
-    pub fn query(&self, key: &str, phi: f64) -> Option<f64> {
-        self.summary_of(key)?.quantile::<f64>(phi)
+    pub fn query(&self, key: &str, phi: f64) -> Option<T> {
+        self.summary_of(key)?.quantile::<T>(phi)
     }
 
-    /// Normalized rank of `value` within `key`'s stream (0.0 ≤ rank ≤ 1.0).
-    /// `None` if the key is absent or empty.
-    pub fn rank(&self, key: &str, value: f64) -> Option<f64> {
+    /// Normalized rank of `value` within `key`'s stream (0.0 ≤ rank ≤
+    /// 1.0). `None` if the key is absent or empty.
+    pub fn rank(&self, key: &str, value: T) -> Option<f64> {
         let summary = self.summary_of(key)?;
         if summary.stream_len() == 0 {
             return None;
         }
-        Some(summary.rank(value))
+        Some(summary.rank_fraction(value))
     }
 
     /// The key's full resident summary, or `None` if the key is absent.
     pub fn summary_of(&self, key: &str) -> Option<WeightedSummary> {
         let map = self.stripe_of(key).lock().unwrap();
-        map.get(key).map(|e| e.resident_summary(self.cfg.k))
+        map.get(key).map(MergeableSketch::to_summary)
     }
 
     /// Serialize `key`'s resident summary with [`crate::wire`]. `None` if
@@ -237,10 +289,10 @@ impl SketchStore {
         Some(bytes)
     }
 
-    /// Decode a serialized summary and merge it into `key`'s absorbed
-    /// aggregate, creating the key if needed. Returns the ingested stream
-    /// length. Malformed frames return a typed [`WireError`] and leave the
-    /// store untouched.
+    /// Decode a serialized summary and merge it into `key`'s engine,
+    /// creating the key if needed. Returns the ingested stream length.
+    /// Malformed frames return a typed [`WireError`] and leave the store
+    /// untouched.
     pub fn ingest_bytes(&self, key: &str, buf: &[u8]) -> Result<u64, WireError> {
         let remote = match decode_summary(buf) {
             Ok(summary) => summary,
@@ -251,9 +303,9 @@ impl SketchStore {
         };
         let ingested = remote.stream_len();
         let mut map = self.stripe_of(key).lock().unwrap();
-        let entry = map.entry(key.to_string()).or_insert_with(|| self.make_entry(key));
-        let absorbed = std::mem::take(&mut entry.absorbed);
-        entry.absorbed = merge_summaries(&[absorbed, remote], self.cfg.k, entry.merge_seed);
+        let engine =
+            map.entry(key.to_string()).or_insert_with(|| E::build(&self.cfg, self.key_seed(key)));
+        engine.absorb_summary(&remote);
         drop(map);
         self.ingests.fetch_add(1, Relaxed);
         self.bytes_in.fetch_add(buf.len() as u64, Relaxed);
@@ -270,8 +322,8 @@ impl SketchStore {
 
     /// φ-quantile over the union of the given keys' streams. `None` if no
     /// key contributed any element.
-    pub fn merged_query<K: AsRef<str>>(&self, keys: &[K], phi: f64) -> Option<f64> {
-        self.merged_summary(keys).quantile::<f64>(phi)
+    pub fn merged_query<K: AsRef<str>>(&self, keys: &[K], phi: f64) -> Option<T> {
+        self.merged_summary(keys).quantile::<T>(phi)
     }
 
     /// Remove a key and return whether it was present.
@@ -298,19 +350,46 @@ impl SketchStore {
         self.stripes.iter().all(|s| s.lock().unwrap().is_empty())
     }
 
-    /// Store-wide statistics. Sweeps the stripes for `keys`/`stream_len`;
-    /// counter fields are exact, lock-free reads.
+    /// Run one cool-down sweep: every engine gets a
+    /// [`StoreEngine::maintain`] call under its stripe lock. With the
+    /// tiered engine, hot keys that saw **no** updates for one full sweep
+    /// interval demote to the sequential tier, releasing their concurrent
+    /// buffers. Returns the number of keys that changed tier.
+    ///
+    /// Call it periodically (e.g. from the serving layer's housekeeping
+    /// loop); the sweep interval defines the cool-down window.
+    pub fn cool_down(&self) -> usize {
+        let mut changed = 0usize;
+        for stripe in self.stripes.iter() {
+            let mut map = stripe.lock().unwrap();
+            for engine in map.values_mut() {
+                if engine.maintain() {
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Store-wide statistics. Sweeps the stripes for `keys`, `stream_len`,
+    /// the per-tier key counts and `retained`; counter fields are exact,
+    /// lock-free reads.
     pub fn stats(&self) -> StoreStats {
         let mut keys = 0usize;
         let mut stream_len = 0u64;
+        let mut cold_keys = 0usize;
+        let mut hot_keys = 0usize;
+        let mut retained = 0u64;
         for stripe in self.stripes.iter() {
             let map = stripe.lock().unwrap();
             keys += map.len();
-            for entry in map.values() {
-                stream_len += entry.sketch.stream_len()
-                    + entry.sketch.buffered_len() as u64
-                    + entry.updater.pending().len() as u64
-                    + entry.absorbed.stream_len();
+            for engine in map.values() {
+                stream_len += engine.stream_len();
+                retained += engine.footprint() as u64;
+                match engine.tier() {
+                    Tier::Sequential => cold_keys += 1,
+                    Tier::Concurrent => hot_keys += 1,
+                }
             }
         }
         StoreStats {
@@ -322,17 +401,22 @@ impl SketchStore {
             stream_len,
             bytes_out: self.bytes_out.load(Relaxed),
             bytes_in: self.bytes_in.load(Relaxed),
+            cold_keys,
+            hot_keys,
+            retained,
         }
     }
 }
 
-impl std::fmt::Debug for SketchStore {
+impl<T: OrderedBits, E: StoreEngine<T>> std::fmt::Debug for SketchStore<T, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let stats = self.stats();
         f.debug_struct("SketchStore")
             .field("stripes", &stats.stripes)
             .field("keys", &stats.keys)
             .field("stream_len", &stats.stream_len)
+            .field("cold_keys", &stats.cold_keys)
+            .field("hot_keys", &stats.hot_keys)
             .field("k", &self.cfg.k)
             .finish()
     }
@@ -341,9 +425,10 @@ impl std::fmt::Debug for SketchStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{ConcurrentEngine, SequentialEngine};
 
     fn small_store(stripes: usize) -> SketchStore {
-        SketchStore::new(StoreConfig { stripes, k: 64, b: 4, seed: 1 })
+        SketchStore::new(StoreConfig::default().stripes(stripes).k(64).b(4).seed(1))
     }
 
     #[test]
@@ -362,7 +447,7 @@ mod tests {
         for i in 0..1000 {
             store.update("lat", i as f64);
         }
-        // Exact accounting: levels + GS buffers + updater pending.
+        // Exact accounting across whatever tier the key occupies.
         let summary = store.summary_of("lat").unwrap();
         assert_eq!(summary.stream_len(), 1000);
         let med = store.query("lat", 0.5).unwrap();
@@ -461,6 +546,7 @@ mod tests {
         assert_eq!(stats.updates, 16_000);
         assert_eq!(stats.stream_len, 16_000);
         assert_eq!(stats.keys, 4);
+        assert_eq!(stats.cold_keys + stats.hot_keys, 4);
         let all: Vec<String> = store.keys();
         let med = store.merged_query(&all, 0.5).unwrap();
         assert!((2000.0..14_000.0).contains(&med), "median {med}");
@@ -473,5 +559,45 @@ mod tests {
         let n = store.snapshot_bytes("a").unwrap().len() as u64;
         store.snapshot_bytes("a").unwrap();
         assert_eq!(store.stats().bytes_out, 2 * n);
+    }
+
+    /// The same store logic runs unchanged over the pure sequential and
+    /// pure concurrent engines — the store is engine-generic.
+    #[test]
+    fn explicit_engine_stores_behave_identically() {
+        let cfg = || StoreConfig::default().stripes(4).k(64).b(4).seed(9);
+        let seq = SketchStore::<f64, SequentialEngine>::with_engine(cfg());
+        let conc = SketchStore::<f64, ConcurrentEngine>::with_engine(cfg());
+        let values: Vec<f64> = (0..3000).map(f64::from).collect();
+        seq.update_many("x", &values);
+        conc.update_many("x", &values);
+        assert_eq!(seq.stats().stream_len, 3000);
+        assert_eq!(conc.stats().stream_len, 3000);
+        assert_eq!(seq.stats().cold_keys, 1);
+        assert_eq!(conc.stats().hot_keys, 1);
+        let (a, b) = (seq.query("x", 0.5).unwrap(), conc.query("x", 0.5).unwrap());
+        assert!((a - b).abs() < 600.0, "medians {a} vs {b}");
+        // Cross-engine interchange through the wire format.
+        let frame = seq.snapshot_bytes("x").unwrap();
+        assert_eq!(conc.ingest_bytes("from-seq", &frame).unwrap(), 3000);
+        assert_eq!(conc.summary_of("from-seq").unwrap().stream_len(), 3000);
+    }
+
+    #[test]
+    fn tier_counts_and_cool_down_sweep() {
+        let store = SketchStore::new(
+            StoreConfig::default().stripes(2).k(64).b(4).seed(3).promotion_threshold(100),
+        );
+        store.update_many("hot", &(0..500).map(f64::from).collect::<Vec<_>>());
+        store.update("cold", 1.0);
+        let stats = store.stats();
+        assert_eq!((stats.hot_keys, stats.cold_keys), (1, 1));
+        // Two idle sweeps demote the hot key; weight stays exact.
+        assert_eq!(store.cool_down(), 0, "first sweep only closes the busy epoch");
+        assert_eq!(store.cool_down(), 1, "second idle sweep demotes");
+        let stats = store.stats();
+        assert_eq!((stats.hot_keys, stats.cold_keys), (0, 2));
+        assert_eq!(stats.stream_len, 501);
+        assert_eq!(store.summary_of("hot").unwrap().stream_len(), 500);
     }
 }

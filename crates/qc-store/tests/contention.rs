@@ -32,7 +32,7 @@ fn hot_key(i: usize) -> String {
 #[test]
 fn single_stripe_hammer_conserves_weight_and_skips_removed_keys() {
     // One stripe: every key collides by construction.
-    let store = Arc::new(SketchStore::new(StoreConfig { stripes: 1, k: 128, b: 4, seed: 9 }));
+    let store = Arc::new(SketchStore::new(StoreConfig::default().stripes(1).k(128).b(4).seed(9)));
     assert_eq!(store.num_stripes(), 1);
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -182,7 +182,7 @@ fn concurrent_remove_and_update_on_one_key_never_lose_the_lock() {
     // deadlock nor corrupt its accounting. Re-creation after removal
     // starts a fresh sketch, so the only invariant on stream length is
     // consistency with what the final summary reports.
-    let store = Arc::new(SketchStore::new(StoreConfig { stripes: 1, k: 64, b: 4, seed: 5 }));
+    let store = Arc::new(SketchStore::new(StoreConfig::default().stripes(1).k(64).b(4).seed(5)));
     let stop = Arc::new(AtomicBool::new(false));
 
     std::thread::scope(|s| {

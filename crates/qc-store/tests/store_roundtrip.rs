@@ -12,7 +12,7 @@ const K: usize = 256;
 const B: usize = 4;
 
 fn store() -> SketchStore {
-    SketchStore::new(StoreConfig { stripes: 8, k: K, b: B, seed: 4242 })
+    SketchStore::new(StoreConfig::default().stripes(8).k(K).b(B).seed(4242))
 }
 
 #[test]

@@ -5,10 +5,18 @@
 //! moment the barrier drops to the last join — the same methodology the
 //! paper describes in §5.1 ("we measure the time it takes to feed the
 //! sketch").
+//!
+//! The engine-generic runners ([`ingest_throughput`],
+//! [`concurrent_ingest_throughput`]) drive any backend through the
+//! [`qc_common::engine`] traits, so one measurement path covers the
+//! sequential sketch, Quancurrent, FCDS, and any store engine.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
+
+use qc_common::engine::{ConcurrentIngest, StreamIngest};
+use qc_common::OrderedBits;
 
 /// A throughput measurement: operations completed over a wall-clock span.
 #[derive(Clone, Copy, Debug, Default)]
@@ -90,6 +98,44 @@ where
         result = Throughput { ops: threads as u64 * ops_per_thread, elapsed: start.elapsed() };
     });
     result
+}
+
+/// Feed `values` through any single-writer engine (trait-object friendly:
+/// `E` may be unsized, e.g. `dyn SketchEngine<f64>`), flush, and measure.
+pub fn ingest_throughput<T, E>(engine: &mut E, values: &[T]) -> Throughput
+where
+    T: OrderedBits,
+    E: StreamIngest<T> + ?Sized,
+{
+    let start = Instant::now();
+    engine.update_many(values);
+    engine.flush();
+    Throughput { ops: values.len() as u64, elapsed: start.elapsed() }
+}
+
+/// Barrier-released multi-writer fill through
+/// [`ConcurrentIngest::writer`]: each thread registers one writer and
+/// builds its stream generator (`make_gen(thread)`) before the clock
+/// starts, then pushes `ops_per_thread` generated elements. This is the
+/// engine-generic form of the paper's update-throughput experiment — it
+/// runs unmodified against Quancurrent and FCDS.
+pub fn concurrent_ingest_throughput<T, S, G>(
+    sketch: &S,
+    threads: usize,
+    ops_per_thread: u64,
+    make_gen: impl Fn(usize) -> G + Sync,
+) -> Throughput
+where
+    T: OrderedBits,
+    S: ConcurrentIngest<T> + ?Sized,
+    G: FnMut(u64) -> T + Send,
+{
+    let make_gen = &make_gen;
+    fixed_ops_throughput(threads, ops_per_thread, |t| {
+        let mut writer = sketch.writer();
+        let mut gen = make_gen(t);
+        move |i| writer.update(gen(i))
+    })
 }
 
 /// Mixed workload: `update_threads` run a fixed number of updates each
@@ -191,6 +237,48 @@ mod tests {
         assert_eq!(tp.ops, 4000);
         assert_eq!(count.load(SeqCst), 4000);
         assert!(tp.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn ingest_runner_counts_and_flushes() {
+        struct Probe {
+            n: u64,
+            flushed: bool,
+        }
+        impl StreamIngest<u64> for Probe {
+            fn update(&mut self, _x: u64) {
+                self.n += 1;
+            }
+            fn flush(&mut self) {
+                self.flushed = true;
+            }
+        }
+        let mut probe = Probe { n: 0, flushed: false };
+        let tp = ingest_throughput(&mut probe, &[1u64, 2, 3, 4, 5]);
+        assert_eq!(tp.ops, 5);
+        assert_eq!(probe.n, 5);
+        assert!(probe.flushed, "runner must flush so queries see the stream");
+    }
+
+    #[test]
+    fn concurrent_ingest_runner_spans_writers() {
+        use std::sync::atomic::AtomicU64;
+        struct Shared(AtomicU64);
+        struct Writer<'a>(&'a AtomicU64);
+        impl StreamIngest<u64> for Writer<'_> {
+            fn update(&mut self, x: u64) {
+                self.0.fetch_add(x, SeqCst);
+            }
+        }
+        impl ConcurrentIngest<u64> for Shared {
+            fn writer(&self) -> Box<dyn StreamIngest<u64> + Send + '_> {
+                Box::new(Writer(&self.0))
+            }
+        }
+        let shared = Shared(AtomicU64::new(0));
+        let tp = concurrent_ingest_throughput(&shared, 4, 100, |_t| |_i| 1u64);
+        assert_eq!(tp.ops, 400);
+        assert_eq!(shared.0.load(SeqCst), 400);
     }
 
     #[test]

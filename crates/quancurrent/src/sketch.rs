@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 
 use qc_common::bits::OrderedBits;
+use qc_common::engine::{ConcurrentIngest, QuantileEstimator, StreamIngest};
 use qc_common::summary::{Summary, WeightedSummary};
 use qc_mwcas::{Arena, MwcasWord};
 use qc_reclaim::{Domain, DomainConfig, Shared};
@@ -180,8 +181,17 @@ impl<T: OrderedBits> Quancurrent<T> {
     }
 
     /// One-off φ-quantile query from a fresh snapshot.
+    #[deprecated(note = "use `QuantileEstimator::query` from the engine trait API instead")]
     pub fn query_once(&self, phi: f64) -> Option<T> {
         self.snapshot().quantile_bits(phi).map(T::from_ordered_bits)
+    }
+
+    /// Elements currently retained in the shared levels: a trit-1 level
+    /// holds `k`, a trit-2 level `2k`. Memory is proportional to this plus
+    /// the fixed Gather&Sort buffers (`S · 2 · 2k` slot/stamp pairs).
+    pub fn levels_retained(&self) -> usize {
+        let tm = self.shared.tritmap_now();
+        (0..MAX_LEVEL).map(|i| tm.trit(i) as usize * self.shared.cfg.k).sum()
     }
 
     /// **Quiescent** summary: the levels *plus* all Gather&Sort-buffered
@@ -245,6 +255,53 @@ impl<T: OrderedBits> Builder<T> {
     /// Build the configured sketch.
     pub fn build(&self) -> Quancurrent<T> {
         Quancurrent::with_config(self.config())
+    }
+}
+
+/// Read-side engine capability: every call answers from a **fresh atomic
+/// snapshot** (Algorithm 5). For repeated queries prefer a cached
+/// [`QueryHandle`]; for batch queries use the overridden `cdf`/`quantiles`,
+/// which collect one snapshot for all probes.
+///
+/// `stream_len` reports the weight visible in the shared levels — buffered
+/// elements are invisible by design (the r-relaxation,
+/// [`Quancurrent::relaxation_bound`]).
+impl<T: OrderedBits> QuantileEstimator<T> for Quancurrent<T> {
+    fn stream_len(&self) -> u64 {
+        self.shared.tritmap_now().stream_size(self.shared.cfg.k)
+    }
+
+    fn query(&self, phi: f64) -> Option<T> {
+        self.snapshot().quantile_bits(phi).map(T::from_ordered_bits)
+    }
+
+    fn rank_weight(&self, x: T) -> u64 {
+        self.snapshot().rank_bits(x.to_ordered_bits())
+    }
+
+    fn cdf(&self, split_points: &[T]) -> Vec<f64> {
+        let bits: Vec<u64> = split_points.iter().map(|x| x.to_ordered_bits()).collect();
+        self.snapshot().cdf_bits(&bits)
+    }
+
+    fn quantiles(&self, phis: &[f64]) -> Vec<Option<T>> {
+        let snapshot = self.snapshot();
+        phis.iter().map(|&phi| snapshot.quantile_bits(phi).map(T::from_ordered_bits)).collect()
+    }
+
+    /// The base ε(k) of the underlying Quantiles sketch. Relaxation adds
+    /// a staleness term on top (see [`qc_common::error::relaxed_epsilon`]
+    /// and [`Quancurrent::relaxation_bound`]).
+    fn error_bound(&self) -> f64 {
+        qc_common::error::sequential_epsilon(self.shared.cfg.k)
+    }
+}
+
+/// Multi-writer engine capability: each writer is an owned [`Updater`]
+/// feeding the paper's three-level ingestion path.
+impl<T: OrderedBits> ConcurrentIngest<T> for Quancurrent<T> {
+    fn writer(&self) -> Box<dyn StreamIngest<T> + Send + '_> {
+        Box::new(self.updater())
     }
 }
 

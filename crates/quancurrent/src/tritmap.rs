@@ -117,7 +117,7 @@ impl Tritmap {
 
 impl std::fmt::Debug for Tritmap {
     /// Prints like the paper's figures: most-significant trit first, e.g.
-    /// `00210` for trits [0,1,2,0,0].
+    /// `00210` for trits \[0,1,2,0,0\].
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let n = self.occupied_levels().max(1);
         let s: String = (0..n).rev().map(|i| char::from(b'0' + self.trit(i))).collect();

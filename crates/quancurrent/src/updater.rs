@@ -263,6 +263,16 @@ impl<T: OrderedBits> Updater<T> {
     }
 }
 
+/// Writer-side engine capability. `flush` is the default no-op: a sub-`b`
+/// thread-local tail is invisible to queries **by design** (it is part of
+/// the r-relaxation bound); compose [`Updater::pending`] into quiescent
+/// accounting where exactness is required, as the keyed store does.
+impl<T: OrderedBits> qc_common::engine::StreamIngest<T> for Updater<T> {
+    fn update(&mut self, x: T) {
+        Updater::update(self, x);
+    }
+}
+
 impl<T: OrderedBits> std::fmt::Debug for Updater<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Updater")

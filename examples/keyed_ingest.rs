@@ -31,7 +31,7 @@ fn main() {
     }
     phis.sort_by(f64::total_cmp);
 
-    let store = SketchStore::new(StoreConfig { stripes: 16, k: 256, b: 4, seed: 1 });
+    let store = SketchStore::new(StoreConfig::default().stripes(16).k(256).b(4).seed(1));
 
     let stdin = std::io::stdin();
     let mut lines = 0u64;
@@ -80,7 +80,8 @@ fn main() {
 
         // Round-trip every key through the wire format into a fresh store,
         // as a replica process would, and cross-check the union median.
-        let replica = SketchStore::new(StoreConfig { stripes: 4, k: 256, b: 4, seed: 2 });
+        let replica: SketchStore =
+            SketchStore::new(StoreConfig::default().stripes(4).k(256).b(4).seed(2));
         let mut bytes = 0usize;
         for key in &keys {
             let frame = store.snapshot_bytes(key).expect("key exists");

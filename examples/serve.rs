@@ -26,7 +26,7 @@ fn main() {
 
     let cfg = ServerConfig {
         pool_threads,
-        store: StoreConfig { stripes: 32, k: 256, b: 4, seed: 0xDAEC0DE },
+        store: StoreConfig::default().stripes(32).k(256).b(4).seed(0xDAEC0DE),
         ..ServerConfig::default()
     };
     let handle = Server::bind(&addr, cfg).expect("bind serving address");

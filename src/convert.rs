@@ -34,28 +34,17 @@
 use qc_common::summary::WeightedSummary;
 use qc_sequential::QuantilesSketch;
 
-/// Rebuild a sequential sketch from a weighted summary whose weights are
-/// powers of two with `k`-multiple level sizes — i.e. any summary produced
-/// by this workspace's sketches.
+/// Rebuild a sequential sketch from **any** weighted summary, conserving
+/// total weight exactly.
 ///
-/// # Panics
-/// If a weight is not a power of two, or a weighted level's size is not a
-/// multiple of `k` (cannot happen for summaries produced by the sketches
-/// in this workspace).
+/// This is [`QuantilesSketch::absorb_summary`] behind the historical
+/// conversion name. Earlier releases panicked on summaries whose weights
+/// were not powers of two or whose level sizes were not multiples of `k`;
+/// the absorb path is total — arbitrary weights are decomposed binarily
+/// and ragged levels descend the hierarchy without losing weight.
 pub fn summary_to_sequential(summary: &WeightedSummary, k: usize, seed: u64) -> QuantilesSketch {
     let mut sketch = QuantilesSketch::with_seed(k, seed);
-    // Group items by weight; items() is sorted by value, so each group is
-    // sorted too.
-    let mut by_level: std::collections::BTreeMap<u32, Vec<u64>> = std::collections::BTreeMap::new();
-    for item in summary.items() {
-        assert!(item.weight.is_power_of_two(), "non-power-of-two weight {}", item.weight);
-        by_level.entry(item.weight.trailing_zeros()).or_default().push(item.value_bits);
-    }
-    // Absorb top-down so low-level carries merge into already-placed
-    // high levels (fewer cascades).
-    for (&level, values) in by_level.iter().rev() {
-        sketch.absorb_level(values, level);
-    }
+    sketch.absorb_summary(summary);
     sketch
 }
 
@@ -81,14 +70,11 @@ pub fn bytes_to_summary(
     Ok(qc_store::merge_summaries(std::slice::from_ref(&decoded), k, seed))
 }
 
-/// Rebuild a **sequential** sketch from a wire frame produced by this
-/// workspace's sketches.
+/// Rebuild a **sequential** sketch from a wire frame.
 ///
-/// # Panics
-/// Like [`summary_to_sequential`]: the frame's weights must be powers of
-/// two with `k`-multiple level sizes (true of every summary the workspace
-/// sketches emit when `k` matches). For foreign frames use
-/// [`bytes_to_summary`], which is total.
+/// Total, like [`summary_to_sequential`]: arbitrary weights and ragged
+/// level sizes are absorbed exactly. [`bytes_to_summary`] differs only in
+/// its output type (a compacted summary rather than a live sketch).
 pub fn bytes_to_sequential(
     buf: &[u8],
     k: usize,

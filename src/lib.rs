@@ -7,9 +7,17 @@
 //!   contribution).
 //! * [`sequential`] — the Agarwal et al. sequential sketch it builds on.
 //! * [`fcds`] — the FCDS concurrent baseline it is compared against.
-//! * [`common`] — shared kernels (key embeddings, summaries, error math).
+//! * [`common`] — shared kernels (key embeddings, summaries, error math)
+//!   and the unified sketch-engine trait API ([`common::engine`]): every
+//!   backend above implements the applicable capability traits
+//!   ([`QuantileEstimator`], [`StreamIngest`], [`MergeableSketch`],
+//!   [`ConcurrentIngest`]), so stores, servers, and benches are written
+//!   once against [`SketchEngine`].
 //! * [`store`] — the sharded keyed sketch store: versioned wire format,
-//!   weight-aware summary merging, and the lock-striped key registry.
+//!   weight-aware summary merging, and the lock-striped key registry,
+//!   generic over the per-key engine. The default [`TieredEngine`] starts
+//!   keys on the compact sequential tier and promotes them to Quancurrent
+//!   under update pressure.
 //! * [`server`] — the TCP serving layer over the store: binary protocol,
 //!   thread-pooled connection handling, and the blocking client.
 //! * [`mwcas`] — the software DCAS / multi-word CAS substrate.
@@ -31,6 +39,12 @@ pub use qc_store as store;
 pub use qc_workloads as workloads;
 pub use quancurrent;
 
-pub use qc_common::{OrderedBits, Summary};
+pub use qc_common::{
+    ConcurrentIngest, MergeableSketch, OrderedBits, QuantileEstimator, SketchEngine, StreamIngest,
+    Summary,
+};
 pub use qc_server::{Client, Server, ServerConfig};
-pub use qc_store::{SketchStore, StoreConfig, WireError};
+pub use qc_store::{
+    ConcurrentEngine, SequentialEngine, SketchStore, StoreConfig, StoreEngine, Tier, TieredEngine,
+    WireError,
+};

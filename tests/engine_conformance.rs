@@ -1,0 +1,205 @@
+//! Engine-conformance suite: one parameterized property-test module run
+//! against **all three sketch backends through trait objects alone**.
+//!
+//! Every backend is handled exclusively as `Box<dyn SketchEngine<f64>>` —
+//! no concrete-type methods — and must satisfy the same contract:
+//!
+//! 1. **Exact weight conservation**: after `update_many` + `flush`,
+//!    `stream_len` and `to_summary().stream_len()` equal the ingested
+//!    count exactly, whatever internal batching/tiering happened.
+//! 2. **Quantile accuracy**: every φ-estimate lands within the engine's
+//!    advertised `error_bound()` of the exact rank (with the usual
+//!    high-probability slack used throughout this workspace's tests).
+//! 3. **Summary round-trip idempotence**: exporting a summary and
+//!    absorbing it into a fresh engine of the same family conserves the
+//!    weight exactly and moves quantile estimates by at most one more
+//!    error budget.
+//!
+//! The backends: the sequential Agarwal et al. sketch (`qc-sequential`),
+//! Quancurrent behind the store's [`ConcurrentEngine`] bundle (the sketch
+//! plus its resident writer, which is what gives the concurrent backend
+//! exact accounting), and the FCDS baseline behind [`FcdsEngine`].
+
+use proptest::prelude::*;
+use qc_fcds::FcdsEngine;
+use qc_sequential::Sketch;
+use qc_store::{ConcurrentEngine, TieredEngine};
+use qc_workloads::ExactOracle;
+use quancurrent_suite::{SketchEngine, Summary};
+
+const K: usize = 128;
+
+/// The backends under test, built fresh per case. The tiered engine rides
+/// along as a fourth backend: it must conform in *both* tiers, so it gets
+/// a low promotion threshold and is exercised across the migration.
+fn engines(seed: u64) -> Vec<(&'static str, Box<dyn SketchEngine<f64>>)> {
+    vec![
+        ("sequential", Box::new(Sketch::<f64>::with_seed(K, seed))),
+        ("concurrent", Box::new(ConcurrentEngine::<f64>::new(K, 4, seed))),
+        ("fcds", Box::new(FcdsEngine::<f64>::with_seed(K, 64, seed))),
+        ("tiered", Box::new(TieredEngine::<f64>::new(K, 4, seed, 512))),
+    ]
+}
+
+/// A value stream with enough spread to make quantiles meaningful.
+fn stream(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = qc_common::rng::Xoshiro256::seed_from_u64(seed);
+    (0..len).map(|_| (rng.next_below(1 << 20) as f64) - (1 << 19) as f64).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Contract 1: exact weight conservation through the trait object.
+    #[test]
+    fn weight_is_conserved_exactly(
+        len in 1usize..4000,
+        seed in 1u64..1_000,
+    ) {
+        let values = stream(len, seed);
+        for (name, mut engine) in engines(seed) {
+            engine.update_many(&values);
+            engine.flush();
+            prop_assert_eq!(
+                engine.stream_len(), len as u64,
+                "{}: stream_len after flush", name
+            );
+            prop_assert_eq!(
+                engine.to_summary().stream_len(), len as u64,
+                "{}: summary weight", name
+            );
+        }
+    }
+
+    /// Contract 2: quantile estimates within the advertised ε(k).
+    #[test]
+    fn quantile_error_is_bounded(
+        len in 512usize..6000,
+        seed in 1u64..500,
+    ) {
+        let values = stream(len, seed);
+        let oracle = ExactOracle::from_values(&values);
+        for (name, mut engine) in engines(seed) {
+            engine.update_many(&values);
+            engine.flush();
+            let eps = engine.error_bound();
+            prop_assert!(eps > 0.0 && eps < 0.5, "{}: eps {}", name, eps);
+            for phi in [0.01, 0.25, 0.5, 0.75, 0.99] {
+                let est = engine.query(phi).expect("non-empty stream answers");
+                // ε is a high-probability bound; 4ε absorbs the fixed
+                // seeds while still catching real estimator bugs (the
+                // same margin the per-crate suites use).
+                let err = oracle.rank_error(phi, quancurrent_suite::OrderedBits::to_ordered_bits(est));
+                prop_assert!(
+                    err <= 4.0 * eps + 1.0 / len as f64,
+                    "{}: phi={} err={} eps={}", name, phi, err, eps
+                );
+            }
+        }
+    }
+
+    /// Contract 3: summary round-trip idempotence across same-family
+    /// engines — weight exact, estimates within one more error budget.
+    #[test]
+    fn summary_round_trip_is_idempotent(
+        len in 256usize..4000,
+        seed in 1u64..500,
+    ) {
+        let values = stream(len, seed);
+        for ((name, mut engine), (_, mut fresh)) in
+            engines(seed).into_iter().zip(engines(seed.wrapping_add(7)))
+        {
+            engine.update_many(&values);
+            engine.flush();
+            let exported = engine.to_summary();
+            fresh.absorb_summary(&exported);
+            prop_assert_eq!(
+                fresh.stream_len(), len as u64,
+                "{}: absorbed weight", name
+            );
+            let back = fresh.to_summary();
+            prop_assert_eq!(
+                back.stream_len(), exported.stream_len(),
+                "{}: round-trip weight", name
+            );
+            let eps = engine.error_bound();
+            for phi in [0.1, 0.5, 0.9] {
+                let a = engine.query(phi).unwrap();
+                let b = fresh.query(phi).unwrap();
+                // Compare through ranks of the original stream: the two
+                // estimates must agree within a small multiple of ε.
+                let mut sorted = values.clone();
+                sorted.sort_by(f64::total_cmp);
+                let ra = sorted.partition_point(|&v| v < a) as f64 / len as f64;
+                let rb = sorted.partition_point(|&v| v < b) as f64 / len as f64;
+                prop_assert!(
+                    (ra - rb).abs() <= 8.0 * eps + 2.0 / len as f64,
+                    "{}: phi={} ranks {} vs {}", name, phi, ra, rb
+                );
+            }
+        }
+    }
+}
+
+/// Cross-backend interchange: any backend's export is absorbable by any
+/// other backend, with exact weight conservation — the property the
+/// tiered store's promotions/demotions and the wire layer rest on.
+#[test]
+fn summaries_interchange_across_backends() {
+    let values = stream(3000, 42);
+    let mut sources = engines(1);
+    for (_, engine) in sources.iter_mut() {
+        engine.update_many(&values);
+        engine.flush();
+    }
+    for (src_name, src) in sources.iter() {
+        for (dst_name, mut dst) in engines(99) {
+            dst.absorb_summary(&src.to_summary());
+            assert_eq!(
+                dst.stream_len(),
+                3000,
+                "{src_name} -> {dst_name}: absorbed weight must be exact"
+            );
+            assert!(dst.query(0.5).is_some(), "{src_name} -> {dst_name}: queryable");
+        }
+    }
+}
+
+/// Multi-writer conformance for the handle-based backends: writers from
+/// several threads, then exact conservation at quiescence. Run with
+/// `b = 1` for Quancurrent so no tail is ever thread-local (FCDS flushes
+/// its tail on writer drop).
+#[test]
+fn concurrent_ingest_conserves_across_writers() {
+    use quancurrent_suite::ConcurrentIngest;
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 5000;
+
+    let qc = quancurrent::Quancurrent::<f64>::builder().k(64).b(1).seed(3).build();
+    let fcds = qc_fcds::Fcds::<f64>::with_seed(64, 128, THREADS, 4);
+    let backends: [(&str, &dyn ConcurrentIngest<f64>); 2] = [("quancurrent", &qc), ("fcds", &fcds)];
+
+    for (name, backend) in backends {
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let mut writer = backend.writer();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        writer.update((t * PER_THREAD + i) as f64);
+                    }
+                    writer.flush();
+                });
+            }
+        });
+        let _ = name;
+    }
+    fcds.drain();
+    let total = (THREADS * PER_THREAD) as u64;
+    // Quancurrent with b = 1: every element reached the levels or a
+    // Gather&Sort buffer.
+    assert_eq!(qc.stream_len() + qc.buffered_len() as u64, total, "quancurrent conservation");
+    assert_eq!(qc.quiescent_summary().stream_len(), total);
+    // FCDS: writer drop flushed, drain propagated everything.
+    use quancurrent_suite::QuantileEstimator;
+    assert_eq!(QuantileEstimator::stream_len(&fcds), total, "fcds conservation");
+}

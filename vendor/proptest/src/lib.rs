@@ -351,7 +351,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// Strategy returned by [`vec()`](crate::collection::vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
