@@ -20,6 +20,7 @@
 //!   an order of magnitude more).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qc_common::Summary;
 use qc_store::{
     ConcurrentEngine, SequentialEngine, SketchStore, StoreConfig, StoreEngine, TieredEngine,
 };
@@ -167,6 +168,96 @@ fn bench_engines_axis(c: &mut Criterion) {
     group.finish();
 }
 
+const MIX_KEYS: usize = 8;
+const MIX_OPS: usize = 4096;
+const MIX_WRITE_BATCH: usize = 32;
+
+/// One pass of the 90/10 read-write mix over hot keys: op `i` is an
+/// `update_many` when `i % 10 == 0`, otherwise alternating `query`/`rank`.
+/// `cached` selects the store's summary-cache read path; the baseline
+/// re-materializes per read (the cost every read paid before the cache).
+fn run_read_mix(store: &SketchStore, keys: &[String], gen: &mut StreamGen, cached: bool) -> u64 {
+    let mut answered = 0u64;
+    for i in 0..MIX_OPS {
+        let key = &keys[i % MIX_KEYS];
+        if i % 10 == 0 {
+            let batch: Vec<f64> = (0..MIX_WRITE_BATCH).map(|_| gen.next_f64()).collect();
+            store.update_many(key, &batch);
+        } else if cached {
+            let hit = if i % 2 == 0 {
+                store.query(key, 0.99).is_some()
+            } else {
+                store.rank(key, 0.5).is_some()
+            };
+            answered += hit as u64;
+        } else {
+            let summary = store.summary_of_uncached(key);
+            let hit = match summary {
+                Some(s) if i % 2 == 0 => s.quantile::<f64>(0.99).is_some(),
+                Some(s) => {
+                    black_box(s.rank_fraction(0.5));
+                    true
+                }
+                None => false,
+            };
+            answered += hit as u64;
+        }
+    }
+    answered
+}
+
+fn mix_store(seed: u64) -> (SketchStore, Vec<String>) {
+    // ONE stripe: every key collides, the worst case for reader/writer
+    // interference — exactly where the RwLock + cache must pay off.
+    let store = SketchStore::new(cfg(1, seed));
+    let keys: Vec<String> = (0..MIX_KEYS).map(|i| format!("hot-{i:02}")).collect();
+    let mut gen = StreamGen::new(Distribution::Uniform, seed ^ 0xabc);
+    for key in &keys {
+        let batch: Vec<f64> = (0..64 * 1024).map(|_| gen.next_f64()).collect();
+        store.update_many(key, &batch);
+    }
+    (store, keys)
+}
+
+/// The tentpole acceptance axis: 90% `query`/`rank`, 10% `update_many`,
+/// keys colliding on one stripe — cached read path vs per-read
+/// materialization, single-threaded and with 4 mixed-workload threads.
+fn bench_read_heavy_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_read_mixed");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(MIX_OPS as u64));
+    for (name, cached) in [("cached", true), ("uncached", false)] {
+        group.bench_function(name, |bencher| {
+            let (store, keys) = mix_store(31);
+            let mut gen = StreamGen::new(Distribution::Uniform, 37);
+            bencher.iter(|| black_box(run_read_mix(&store, &keys, &mut gen, cached)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("store_read_mixed_4_threads");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((4 * MIX_OPS) as u64));
+    for (name, cached) in [("cached", true), ("uncached", false)] {
+        group.bench_function(name, |bencher| {
+            let (store, keys) = mix_store(41);
+            bencher.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..4usize {
+                        let store = &store;
+                        let keys = &keys;
+                        s.spawn(move || {
+                            let mut gen = StreamGen::new(Distribution::Uniform, 43 + t as u64);
+                            black_box(run_read_mix(store, keys, &mut gen, cached));
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_wire_roundtrip(c: &mut Criterion) {
     let store = SketchStore::new(cfg(4, 9));
     let mut gen = StreamGen::new(Distribution::Normal { mean: 0.0, std_dev: 1.0 }, 11);
@@ -209,6 +300,7 @@ criterion_group!(
     bench_update_vs_stripes,
     bench_single_thread_update,
     bench_engines_axis,
+    bench_read_heavy_mixed,
     bench_wire_roundtrip,
     bench_merged_query
 );

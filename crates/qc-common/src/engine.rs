@@ -14,8 +14,9 @@
 //! | [`QuantileEstimator`] | read-side queries (quantile, rank, CDF) | all backends |
 //! | [`StreamIngest`] | single-writer ingestion | sequential sketch, writer handles, engines |
 //! | [`MergeableSketch`] | summary export / absorption | all backends |
+//! | [`VersionedSketch`] | monotone state-version counter (read caching) | all backends |
 //! | [`ConcurrentIngest`] | handle-based multi-writer ingestion | Quancurrent, FCDS |
-//! | [`SketchEngine`] | the three single-object traits combined | store engines |
+//! | [`SketchEngine`] | the four single-object traits combined | store engines |
 //!
 //! The traits are object-safe: `Box<dyn SketchEngine<f64>>` is a fully
 //! functional engine, which is what the engine-conformance suite exercises
@@ -129,17 +130,40 @@ pub trait MergeableSketch<T: OrderedBits> {
     fn absorb_summary(&mut self, summary: &WeightedSummary);
 }
 
+/// Version capability: a monotone counter identifying the sketch's current
+/// observable state, the contract behind summary caching (a materialized
+/// [`WeightedSummary`] tagged with the version that produced it stays valid
+/// for exactly as long as `version()` returns the same value).
+///
+/// The counter must advance across **every** transition that can change
+/// what [`MergeableSketch::to_summary`] or any [`QuantileEstimator`] read
+/// would return — updates, absorbs, internal compactions, tier migrations,
+/// asynchronous propagation — and must never advance spuriously fast
+/// enough to wrap. It carries no other meaning: values are not comparable
+/// across sketches and not dense.
+///
+/// Sketches mutated only through `&mut self` implement this exactly.
+/// Concurrent backends whose shared state moves under plain `&self` (e.g.
+/// a background propagator) must still advance the version for every
+/// visible transition, but may do so with relaxed atomics: under external
+/// synchronization (a store's stripe lock, quiescence) the reading is
+/// exact, while fully unsynchronized readers get a conservative hint.
+pub trait VersionedSketch {
+    /// The current state version (monotone, non-decreasing).
+    fn version(&self) -> u64;
+}
+
 /// A full single-object sketch engine: queryable, single-writer ingestible,
-/// and mergeable. Blanket-implemented for everything providing the three
-/// capabilities — this is the bound stores and harnesses program against,
-/// and it is object-safe (`Box<dyn SketchEngine<T>>`).
+/// mergeable, and versioned. Blanket-implemented for everything providing
+/// the four capabilities — this is the bound stores and harnesses program
+/// against, and it is object-safe (`Box<dyn SketchEngine<T>>`).
 pub trait SketchEngine<T: OrderedBits>:
-    QuantileEstimator<T> + StreamIngest<T> + MergeableSketch<T>
+    QuantileEstimator<T> + StreamIngest<T> + MergeableSketch<T> + VersionedSketch
 {
 }
 
 impl<T: OrderedBits, E> SketchEngine<T> for E where
-    E: QuantileEstimator<T> + StreamIngest<T> + MergeableSketch<T>
+    E: QuantileEstimator<T> + StreamIngest<T> + MergeableSketch<T> + VersionedSketch
 {
 }
 
@@ -188,6 +212,14 @@ mod tests {
         }
     }
 
+    impl VersionedSketch for Exact {
+        fn version(&self) -> u64 {
+            // Every mutation grows one of the two vectors, so their
+            // combined length is an exact version.
+            (self.xs.len() + self.absorbed.len()) as u64
+        }
+    }
+
     impl MergeableSketch<u64> for Exact {
         fn to_summary(&self) -> WeightedSummary {
             let mut items: Vec<WeightedItem> =
@@ -227,6 +259,23 @@ mod tests {
         assert_eq!(e.rank_fraction(7), 0.0);
         assert_eq!(e.cdf(&[1, 2, 3]), vec![0.0, 0.0, 0.0]);
         assert_eq!(e.quantiles(&[0.5]), vec![None]);
+    }
+
+    #[test]
+    fn version_advances_across_mutations_only() {
+        let mut e = boxed();
+        let v0 = e.version();
+        e.update_many(&[1, 2, 3]);
+        let v1 = e.version();
+        assert!(v1 > v0, "updates must advance the version");
+        // Pure reads leave the version alone.
+        let _ = e.query(0.5);
+        let _ = e.cdf(&[2]);
+        assert_eq!(e.version(), v1);
+        let snapshot = e.to_summary();
+        assert_eq!(e.version(), v1);
+        e.absorb_summary(&snapshot);
+        assert!(e.version() > v1, "absorbs must advance the version");
     }
 
     #[test]

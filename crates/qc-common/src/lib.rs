@@ -43,6 +43,7 @@ pub mod summary;
 pub use bits::OrderedBits;
 pub use engine::{
     ConcurrentIngest, MergeableSketch, QuantileEstimator, SketchEngine, StreamIngest,
+    VersionedSketch,
 };
 pub use rng::{SplitMix64, Xoshiro256};
 pub use summary::{Summary, WeightedItem, WeightedSummary};

@@ -4,7 +4,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, RwLock};
 
 use qc_common::bits::OrderedBits;
-use qc_common::engine::{ConcurrentIngest, MergeableSketch, QuantileEstimator, StreamIngest};
+use qc_common::engine::{
+    ConcurrentIngest, MergeableSketch, QuantileEstimator, StreamIngest, VersionedSketch,
+};
 use qc_common::summary::{Summary, WeightedSummary};
 use qc_sequential::QuantilesSketch;
 
@@ -294,6 +296,18 @@ impl<T: OrderedBits> MergeableSketch<T> for Fcds<T> {
     }
 }
 
+/// Version capability: the shared sequential sketch is FCDS's only
+/// query-visible state, and every transition of it — a drained buffer, an
+/// absorbed summary — strictly increases its stream length, so the
+/// propagated stream length is an exact version. The background propagator
+/// advances it asynchronously, which is precisely what a summary cache
+/// needs to notice.
+impl<T: OrderedBits> VersionedSketch for Fcds<T> {
+    fn version(&self) -> u64 {
+        Fcds::stream_len(self)
+    }
+}
+
 /// Multi-writer engine capability.
 ///
 /// # Panics
@@ -459,6 +473,12 @@ impl<T: OrderedBits> QuantileEstimator<T> for FcdsEngine<T> {
 
     fn error_bound(&self) -> f64 {
         QuantileEstimator::error_bound(&self.fcds)
+    }
+}
+
+impl<T: OrderedBits> VersionedSketch for FcdsEngine<T> {
+    fn version(&self) -> u64 {
+        VersionedSketch::version(&self.fcds)
     }
 }
 

@@ -3,7 +3,7 @@
 //! programmed against [`qc_common::engine`].
 
 use qc_common::bits::OrderedBits;
-use qc_common::engine::{MergeableSketch, QuantileEstimator, StreamIngest};
+use qc_common::engine::{MergeableSketch, QuantileEstimator, StreamIngest, VersionedSketch};
 use qc_common::summary::{Summary, WeightedSummary};
 
 use crate::sketch::QuantilesSketch;
@@ -172,6 +172,17 @@ impl<T: OrderedBits> StreamIngest<T> for Sketch<T> {
 
     // `update_many` keeps the trait default; `flush` is the default
     // no-op: every update is immediately visible.
+}
+
+/// Version capability: every state transition of the sequential sketch —
+/// update, merge, absorb — strictly increases the stream length `n` (and
+/// no transition leaves it unchanged, including mutations through
+/// [`Sketch::as_bits_mut`]), so `n` doubles as an exact version with no
+/// extra bookkeeping.
+impl<T: OrderedBits> VersionedSketch for Sketch<T> {
+    fn version(&self) -> u64 {
+        self.inner.n()
+    }
 }
 
 impl<T: OrderedBits> MergeableSketch<T> for Sketch<T> {

@@ -47,6 +47,12 @@ pub struct ServerConfig {
     /// saw no updates for a full interval, reclaiming their concurrent
     /// buffers. `None` disables housekeeping.
     pub cool_down_interval: Option<Duration>,
+    /// Test hook: pretend every connection's registry registration fails
+    /// (as a real `try_clone` failure under fd exhaustion would). An
+    /// unregistered connection cannot be severed by `stop()`, so it must
+    /// be closed on the spot — the shutdown regression suite pins that.
+    #[doc(hidden)]
+    pub fail_connection_registration: bool,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +63,7 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             store: StoreConfig::default(),
             cool_down_interval: Some(Duration::from_secs(30)),
+            fail_connection_registration: false,
         }
     }
 }
@@ -83,19 +90,41 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Conns = Arc::new(Mutex::new(HashMap::new()));
         let pool = Arc::new(ThreadPool::new(cfg.pool_threads, cfg.accept_backlog, "qc-conn"));
+        // Housekeeping before the accept thread: once the accept loop runs
+        // the server is externally reachable, and a spawn failure after
+        // that point would return Err while leaking a live, unstoppable
+        // server on the port. In this order each failure path can still
+        // tear down everything it started.
+        let housekeeping = match cfg.cool_down_interval {
+            // On failure, plain `return Err` tears down cleanly: dropping
+            // the last pool Arc joins the (idle) workers via Drop.
+            Some(interval) => Some(Housekeeping::spawn(Arc::clone(&store), interval)?),
+            None => None,
+        };
         let accept = {
             let store = Arc::clone(&store);
             let shutdown = Arc::clone(&shutdown);
             let conns = Arc::clone(&conns);
-            let pool = Arc::clone(&pool);
-            let max_frame_len = cfg.max_frame_len;
-            std::thread::Builder::new().name("qc-accept".into()).spawn(move || {
-                accept_loop(&listener, &store, &shutdown, &conns, &pool, max_frame_len)
-            })?
-        };
-        let housekeeping = match cfg.cool_down_interval {
-            Some(interval) => Some(Housekeeping::spawn(Arc::clone(&store), interval)?),
-            None => None,
+            let accept_pool = Arc::clone(&pool);
+            let opts = ConnOptions {
+                max_frame_len: cfg.max_frame_len,
+                fail_registration: cfg.fail_connection_registration,
+            };
+            let spawned = std::thread::Builder::new().name("qc-accept".into()).spawn(move || {
+                accept_loop(&listener, &store, &shutdown, &conns, &accept_pool, opts)
+            });
+            match spawned {
+                Ok(handle) => handle,
+                Err(e) => {
+                    // Stop housekeeping explicitly; the pool tears itself
+                    // down when its Arcs drop (the spawn closure holding
+                    // the clone was dropped on failure).
+                    if let Some(housekeeping) = housekeeping {
+                        housekeeping.stop();
+                    }
+                    return Err(e);
+                }
+            }
         };
         Ok(ServerHandle {
             local_addr,
@@ -150,6 +179,14 @@ impl Housekeeping {
 }
 
 type Conns = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// Per-connection serving parameters threaded from [`ServerConfig`]
+/// through the accept loop.
+#[derive(Clone, Copy)]
+struct ConnOptions {
+    max_frame_len: usize,
+    fail_registration: bool,
+}
 
 /// A running server; dropping it (or calling
 /// [`shutdown`](ServerHandle::shutdown)) stops it gracefully.
@@ -240,7 +277,7 @@ fn accept_loop(
     shutdown: &Arc<AtomicBool>,
     conns: &Conns,
     pool: &Arc<ThreadPool>,
-    max_frame_len: usize,
+    opts: ConnOptions,
 ) {
     let mut next_id = 0u64;
     loop {
@@ -268,7 +305,7 @@ fn accept_loop(
         let shutdown = Arc::clone(shutdown);
         let conns = Arc::clone(conns);
         let enqueued = pool.execute(move || {
-            handle_connection(stream, id, &store, &shutdown, &conns, max_frame_len);
+            handle_connection(stream, id, &store, &shutdown, &conns, opts);
         });
         if enqueued.is_err() {
             return;
@@ -282,15 +319,29 @@ fn handle_connection(
     store: &SketchStore,
     shutdown: &AtomicBool,
     conns: &Conns,
-    max_frame_len: usize,
+    opts: ConnOptions,
 ) {
     // Register a clone so `stop` can sever the socket under a stuck read.
-    if let Ok(clone) = stream.try_clone() {
-        if let Ok(mut map) = conns.lock() {
-            map.insert(id, clone);
-        }
+    // If registration fails (fd exhaustion breaking `try_clone`, a
+    // poisoned registry), the connection MUST NOT be served: `stop()`
+    // could never sever it, so a worker parked in `read()` would block
+    // the pool join and wedge shutdown indefinitely. Close it and bail.
+    let registered = !opts.fail_registration
+        && match stream.try_clone() {
+            Ok(clone) => match conns.lock() {
+                Ok(mut map) => {
+                    map.insert(id, clone);
+                    true
+                }
+                Err(_) => false,
+            },
+            Err(_) => false,
+        };
+    if !registered {
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
     }
-    serve_frames(&stream, store, shutdown, max_frame_len);
+    serve_frames(&stream, store, shutdown, opts.max_frame_len);
     let _ = stream.shutdown(Shutdown::Both);
     if let Ok(mut map) = conns.lock() {
         map.remove(&id);

@@ -1,0 +1,88 @@
+//! Shutdown regression suite for connection-registry failures.
+//!
+//! `stop()` severs live connections through the registry; a connection
+//! whose registration failed (e.g. `try_clone` under fd exhaustion) can
+//! never be severed that way. Before the fix, `handle_connection` served
+//! such a connection anyway: a pool worker parked in `read()` survived
+//! shutdown's socket sweep, and `pool.shutdown()` joined forever. The fix
+//! closes the socket and bails the moment registration fails; these tests
+//! pin both the prompt close and the bounded shutdown.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use qc_server::{Server, ServerConfig};
+
+fn config(fail_registration: bool) -> ServerConfig {
+    ServerConfig {
+        pool_threads: 2,
+        accept_backlog: 4,
+        cool_down_interval: None,
+        fail_connection_registration: fail_registration,
+        ..ServerConfig::default()
+    }
+}
+
+/// An unregistered connection is closed immediately instead of being
+/// served: the client sees EOF without sending a byte.
+#[test]
+fn unregistered_connection_is_closed_immediately() {
+    let handle = Server::bind("127.0.0.1:0", config(true)).expect("bind");
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = [0u8; 1];
+    match stream.read(&mut buf) {
+        Ok(0) => {} // EOF: the server closed the unregistered connection
+        Ok(n) => panic!("unexpected {n} bytes from a connection that must be closed"),
+        Err(e) => panic!("expected EOF, got read error {e} (worker parked in serve loop?)"),
+    }
+    handle.shutdown();
+}
+
+/// Shutdown completes within a bounded time even when a connection was
+/// accepted but never made it into the registry. Run under a watchdog:
+/// pre-fix this joined forever on the worker parked in `read()`.
+#[test]
+fn shutdown_is_bounded_with_unregistered_connection() {
+    let handle = Server::bind("127.0.0.1:0", config(true)).expect("bind");
+    let addr = handle.local_addr();
+    // Open (and keep open) a connection the server cannot sever through
+    // its registry; never send anything, so a served connection would
+    // leave a worker blocked in read().
+    let stream = TcpStream::connect(addr).expect("connect");
+    // Give the pool a beat to dequeue the connection before shutting down.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let (done_tx, done_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        handle.shutdown();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("shutdown wedged: unregistered connection blocked the pool join");
+    drop(stream);
+}
+
+/// Control: with registration working (the default), a silent open
+/// connection is severed by shutdown's registry sweep — same bound.
+#[test]
+fn shutdown_is_bounded_with_registered_idle_connection() {
+    let handle = Server::bind("127.0.0.1:0", config(false)).expect("bind");
+    let addr = handle.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let (done_tx, done_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        handle.shutdown();
+        let _ = done_tx.send(());
+    });
+    done_rx.recv_timeout(Duration::from_secs(60)).expect("shutdown wedged on idle connection");
+    // The severed socket reads EOF (or a reset) promptly.
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = [0u8; 1];
+    let _ = stream.read(&mut buf);
+}

@@ -25,8 +25,13 @@
 //! conservation invariants hold across any number of promotions and
 //! demotions.
 
+use std::sync::Mutex;
+
 use qc_common::bits::OrderedBits;
-use qc_common::engine::{MergeableSketch, QuantileEstimator, SketchEngine, StreamIngest};
+use qc_common::engine::{
+    MergeableSketch, QuantileEstimator, SketchEngine, StreamIngest, VersionedSketch,
+};
+use qc_common::rng::SplitMix64;
 use qc_common::summary::{Summary, WeightedSummary};
 use quancurrent::{Quancurrent, Updater};
 
@@ -46,7 +51,13 @@ pub enum Tier {
 
 /// A sketch engine the store can construct and maintain — the bound of
 /// [`crate::SketchStore`]'s engine parameter.
-pub trait StoreEngine<T: OrderedBits>: SketchEngine<T> + Send + 'static {
+///
+/// `Sync` because the store's read path materializes summaries under a
+/// **shared** stripe lock: any number of reader threads may call the
+/// engine's `&self` methods (`version`, `to_summary`, `stream_len`)
+/// concurrently, while every `&mut self` mutation stays exclusive behind
+/// the stripe's write lock.
+pub trait StoreEngine<T: OrderedBits>: SketchEngine<T> + Send + Sync + 'static {
     /// Build a fresh engine for one key. `seed` is the key's
     /// deterministic sampling seed (derived from the store seed and the
     /// key bytes).
@@ -98,36 +109,91 @@ impl<T: OrderedBits> StoreEngine<T> for SequentialEngine<T> {
 /// read semantics.
 pub struct ConcurrentEngine<T: OrderedBits = f64> {
     sketch: Quancurrent<T>,
-    writer: Updater<T>,
+    /// The resident writer. The mutex exists purely so the engine is
+    /// `Sync` without unsafe code: mutations go through `get_mut` (no
+    /// locking — the store's stripe write lock is the real exclusion),
+    /// and concurrent readers take the uncontended lock just long enough
+    /// to copy the sub-`b` pending tail.
+    writer: Mutex<Updater<T>>,
+    /// Compacted bulk of absorbed remote weight.
     absorbed: WeightedSummary,
+    /// Recently absorbed summaries, buffered **uncompacted**: folding each
+    /// small ingest straight into `absorbed` would re-run randomized
+    /// compaction on every call, compounding its rank perturbation across
+    /// N ingests. Folded into `absorbed` in one pass per
+    /// [`ABSORB_COMPACT_FACTOR`]`·k` retained elements instead.
+    absorb_buffer: Vec<WeightedSummary>,
     k: usize,
     merge_seed: u64,
+    /// Advancing seed source for absorb-buffer compactions — each epoch
+    /// flips fresh coins (reusing one sequence would correlate repeated
+    /// halvings of the same level).
+    compact_rng: SplitMix64,
+    version: u64,
 }
+
+/// Buffered absorbed summaries fold into the compacted bulk once their
+/// combined retained size exceeds this multiple of `k` (a bounded read-side
+/// merge cost bought with an `N·s / (factor·k)` reduction in compaction
+/// passes for N ingests of size `s`).
+pub const ABSORB_COMPACT_FACTOR: usize = 4;
 
 impl<T: OrderedBits> ConcurrentEngine<T> {
     /// Build an engine with level size `k`, local buffer size `b`, and a
     /// deterministic seed.
     pub fn new(k: usize, b: usize, seed: u64) -> Self {
         let sketch = Quancurrent::<T>::builder().k(k).b(b).seed(seed).build();
-        let writer = sketch.updater();
-        Self { sketch, writer, absorbed: WeightedSummary::empty(), k, merge_seed: seed | 1 }
+        let writer = Mutex::new(sketch.updater());
+        // Decorrelate merge coins from the sketch's sampling coins with a
+        // full mixer step (`seed | 1` made key seeds differing only in
+        // bit 0 share their compaction randomness).
+        let mut compact_rng = SplitMix64::new(seed);
+        let merge_seed = compact_rng.next_u64();
+        Self {
+            sketch,
+            writer,
+            absorbed: WeightedSummary::empty(),
+            absorb_buffer: Vec::new(),
+            k,
+            merge_seed,
+            compact_rng,
+            version: 0,
+        }
     }
 
     /// The engine's full resident summary: shared levels + Gather&Sort
     /// buffers + unflushed writer tail + absorbed remote weight. Exact
     /// when no concurrent writers exist — which the store guarantees by
-    /// funneling all of a key's operations through its stripe lock.
+    /// funneling all of a key's mutations through its stripe write lock —
+    /// and deterministic for a fixed state, so a cached copy is
+    /// indistinguishable from a rebuild.
     pub fn resident_summary(&self) -> WeightedSummary {
         let quiescent = self.sketch.quiescent_summary();
         let mut bits: Vec<u64> =
-            self.writer.pending().iter().map(|v| v.to_ordered_bits()).collect();
+            self.writer.lock().unwrap().pending().iter().map(|v| v.to_ordered_bits()).collect();
         bits.sort_unstable();
         let pending = if bits.is_empty() {
             WeightedSummary::empty()
         } else {
             WeightedSummary::from_parts([(&bits[..], 1u64)])
         };
-        merge_summaries(&[quiescent, pending, self.absorbed.clone()], self.k, self.merge_seed)
+        let parts =
+            [&quiescent, &pending, &self.absorbed].into_iter().chain(self.absorb_buffer.iter());
+        merge_summaries(parts, self.k, self.merge_seed)
+    }
+
+    /// Total absorbed remote weight (compacted bulk + uncompacted buffer).
+    fn absorbed_weight(&self) -> u64 {
+        self.absorbed.stream_len() + self.absorb_buffer.iter().map(Summary::stream_len).sum::<u64>()
+    }
+
+    /// Fold the buffered absorbed parts into the bulk summary: one
+    /// randomized compaction pass for the whole epoch, with fresh coins.
+    fn compact_absorbed(&mut self) {
+        let seed = self.compact_rng.next_u64();
+        let parts = std::iter::once(&self.absorbed).chain(self.absorb_buffer.iter());
+        self.absorbed = merge_summaries(parts, self.k, seed);
+        self.absorb_buffer.clear();
     }
 
     /// The underlying concurrent sketch (diagnostics).
@@ -142,8 +208,8 @@ impl<T: OrderedBits> QuantileEstimator<T> for ConcurrentEngine<T> {
         // conserves weight, so the parts can be summed directly.
         self.sketch.stream_len()
             + self.sketch.buffered_len() as u64
-            + self.writer.pending().len() as u64
-            + self.absorbed.stream_len()
+            + self.writer.lock().unwrap().pending_len() as u64
+            + self.absorbed_weight()
     }
 
     fn query(&self, phi: f64) -> Option<T> {
@@ -171,11 +237,24 @@ impl<T: OrderedBits> QuantileEstimator<T> for ConcurrentEngine<T> {
 
 impl<T: OrderedBits> StreamIngest<T> for ConcurrentEngine<T> {
     fn update(&mut self, x: T) {
-        self.writer.update(x);
+        self.writer.get_mut().unwrap().update(x);
+        self.version += 1;
     }
 
-    // `update_many` keeps the trait default (a per-element loop); `flush`
-    // is the default no-op: the unflushed tail is composed into
+    /// Overridden to advance the version once per batch (and to hoist the
+    /// writer borrow out of the per-element loop).
+    fn update_many(&mut self, xs: &[T]) {
+        if xs.is_empty() {
+            return;
+        }
+        let writer = self.writer.get_mut().unwrap();
+        for &x in xs {
+            writer.update(x);
+        }
+        self.version += 1;
+    }
+
+    // `flush` is the default no-op: the unflushed tail is composed into
     // every read by `resident_summary`, so nothing is ever invisible.
 }
 
@@ -185,8 +264,26 @@ impl<T: OrderedBits> MergeableSketch<T> for ConcurrentEngine<T> {
     }
 
     fn absorb_summary(&mut self, summary: &WeightedSummary) {
-        let absorbed = std::mem::take(&mut self.absorbed);
-        self.absorbed = merge_summaries(&[absorbed, summary.clone()], self.k, self.merge_seed);
+        if summary.stream_len() == 0 && summary.num_retained() == 0 {
+            // Nothing observable changes; keep the version (and cached
+            // summaries) stable.
+            return;
+        }
+        self.absorb_buffer.push(summary.clone());
+        self.version += 1;
+        let buffered: usize = self.absorb_buffer.iter().map(WeightedSummary::num_retained).sum();
+        if buffered > ABSORB_COMPACT_FACTOR * self.k {
+            self.compact_absorbed();
+        }
+    }
+}
+
+/// Exact version accounting: the engine's resident writer is its only
+/// updater and every mutation comes through `&mut self` (under the store's
+/// stripe write lock), so no state moves between bumps.
+impl<T: OrderedBits> VersionedSketch for ConcurrentEngine<T> {
+    fn version(&self) -> u64 {
+        self.version
     }
 }
 
@@ -204,8 +301,20 @@ impl<T: OrderedBits> StoreEngine<T> for ConcurrentEngine<T> {
         // plus live level arrays and side state.
         8 * self.k
             + self.sketch.levels_retained()
-            + self.writer.pending().len()
+            + self.writer.lock().unwrap().pending_len()
             + self.absorbed.num_retained()
+            + self.absorb_buffer.iter().map(WeightedSummary::num_retained).sum::<usize>()
+    }
+
+    /// Not a tier change, but an idle moment: fold the absorb buffer into
+    /// the compacted bulk so a cooled-down key stops paying the buffer's
+    /// memory and read-merge overhead.
+    fn maintain(&mut self) -> bool {
+        if !self.absorb_buffer.is_empty() {
+            self.compact_absorbed();
+            self.version += 1;
+        }
+        false
     }
 }
 
@@ -214,7 +323,8 @@ impl<T: OrderedBits> std::fmt::Debug for ConcurrentEngine<T> {
         f.debug_struct("ConcurrentEngine")
             .field("k", &self.k)
             .field("stream_len", &QuantileEstimator::stream_len(self))
-            .field("absorbed", &self.absorbed.stream_len())
+            .field("absorbed", &self.absorbed_weight())
+            .field("version", &self.version)
             .finish()
     }
 }
@@ -246,6 +356,7 @@ pub struct TieredEngine<T: OrderedBits = f64> {
     pressure: u64,
     /// Updates in the current cool-down epoch.
     epoch_updates: u64,
+    version: u64,
 }
 
 impl<T: OrderedBits> TieredEngine<T> {
@@ -262,6 +373,7 @@ impl<T: OrderedBits> TieredEngine<T> {
             promotion_threshold,
             pressure: 0,
             epoch_updates: 0,
+            version: 0,
         }
     }
 
@@ -270,14 +382,22 @@ impl<T: OrderedBits> TieredEngine<T> {
         matches!(self.state, TierState::Hot(_))
     }
 
+    /// A well-mixed seed for a freshly built tier engine. Mixing the
+    /// version in makes repeated promote/demote cycles draw fresh
+    /// sampling randomness instead of replaying one coin sequence.
+    fn migration_seed(&self, salt: u64) -> u64 {
+        let mut mixer = SplitMix64::new(self.seed ^ salt ^ self.version);
+        mixer.next_u64()
+    }
+
     /// Force promotion to the concurrent tier (no-op if already hot).
     pub fn promote_now(&mut self) {
         if let TierState::Cold(cold) = &self.state {
             let summary = MergeableSketch::to_summary(cold);
-            let mut hot =
-                ConcurrentEngine::new(self.k, self.b, self.seed.wrapping_mul(0x9E37_79B9) | 1);
+            let mut hot = ConcurrentEngine::new(self.k, self.b, self.migration_seed(0x9E37_79B9));
             hot.absorb_summary(&summary);
             self.state = TierState::Hot(hot);
+            self.version += 1;
         }
     }
 
@@ -286,10 +406,14 @@ impl<T: OrderedBits> TieredEngine<T> {
     pub fn demote_now(&mut self) {
         if let TierState::Hot(hot) = &self.state {
             let summary = hot.to_summary();
-            let mut cold = qc_sequential::Sketch::with_seed(self.k, self.seed.rotate_left(11));
+            let mut cold = qc_sequential::Sketch::with_seed(
+                self.k,
+                self.migration_seed(0x6A09_E667_F3BC_C908),
+            );
             MergeableSketch::absorb_summary(&mut cold, &summary);
             self.state = TierState::Cold(cold);
             self.pressure = 0;
+            self.version += 1;
         }
     }
 
@@ -347,13 +471,18 @@ impl<T: OrderedBits> QuantileEstimator<T> for TieredEngine<T> {
 impl<T: OrderedBits> StreamIngest<T> for TieredEngine<T> {
     fn update(&mut self, x: T) {
         self.inner_mut().update(x);
+        self.version += 1;
         self.after_updates(1);
     }
 
     /// Overridden (unlike the other engines, whose default suffices) so
-    /// promotion pressure is accounted once per batch.
+    /// promotion pressure — and the version — is accounted once per batch.
     fn update_many(&mut self, xs: &[T]) {
+        if xs.is_empty() {
+            return;
+        }
         self.inner_mut().update_many(xs);
+        self.version += 1;
         self.after_updates(xs.len() as u64);
     }
 }
@@ -365,6 +494,17 @@ impl<T: OrderedBits> MergeableSketch<T> for TieredEngine<T> {
 
     fn absorb_summary(&mut self, summary: &WeightedSummary) {
         self.inner_mut().absorb_summary(summary);
+        self.version += 1;
+    }
+}
+
+/// Exact version accounting: one counter owned by the tiered wrapper
+/// covers updates, absorbs, and tier migrations in either direction (the
+/// inner engines' own versions reset across migrations, so they cannot be
+/// forwarded directly).
+impl<T: OrderedBits> VersionedSketch for TieredEngine<T> {
+    fn version(&self) -> u64 {
+        self.version
     }
 }
 
@@ -497,6 +637,78 @@ mod tests {
         other.absorb_summary(&snapshot);
         assert_eq!(QuantileEstimator::stream_len(&other), 1001);
         assert!(other.query(0.5).is_some());
+    }
+
+    #[test]
+    fn versions_advance_on_mutations_and_hold_on_reads() {
+        let mut e = ConcurrentEngine::<f64>::new(64, 4, 5);
+        let v0 = VersionedSketch::version(&e);
+        e.update_many(&(0..100).map(f64::from).collect::<Vec<_>>());
+        let v1 = VersionedSketch::version(&e);
+        assert!(v1 > v0);
+        let snapshot = e.to_summary();
+        let _ = e.query(0.5);
+        let _ = QuantileEstimator::stream_len(&e);
+        assert_eq!(VersionedSketch::version(&e), v1, "reads leave the version alone");
+        e.absorb_summary(&WeightedSummary::empty());
+        assert_eq!(VersionedSketch::version(&e), v1, "empty absorbs change nothing");
+        e.absorb_summary(&snapshot);
+        assert!(VersionedSketch::version(&e) > v1);
+
+        let mut t = TieredEngine::<f64>::build(&cfg(), 6);
+        let v0 = VersionedSketch::version(&t);
+        t.update(1.0);
+        let v1 = VersionedSketch::version(&t);
+        assert!(v1 > v0);
+        t.promote_now();
+        let v2 = VersionedSketch::version(&t);
+        assert!(v2 > v1, "promotion is an observable state change");
+        assert!(!StoreEngine::<f64>::maintain(&mut t));
+        assert!(StoreEngine::<f64>::maintain(&mut t), "idle hot key demotes");
+        assert!(VersionedSketch::version(&t) > v2, "demotion bumps the version");
+    }
+
+    #[test]
+    fn small_absorbs_buffer_losslessly_until_threshold() {
+        // 8 absorbs of 16 unit-weight elements: 128 total, below the
+        // compaction threshold (4k = 256 for k = 64) — every element must
+        // come through verbatim, proving no per-ingest re-compaction.
+        let mut e = ConcurrentEngine::<f64>::new(64, 4, 7);
+        for i in 0..8u64 {
+            let bits: Vec<u64> = (0..16).map(|j| (i * 16 + j) * 3).collect();
+            e.absorb_summary(&WeightedSummary::from_parts([(&bits[..], 1u64)]));
+        }
+        let s = e.to_summary();
+        assert_eq!(s.stream_len(), 128);
+        assert_eq!(s.num_retained(), 128, "sub-threshold absorbs must stay uncompacted");
+    }
+
+    #[test]
+    fn absorb_buffer_compacts_past_threshold_conserving_weight() {
+        let mut e = ConcurrentEngine::<f64>::new(64, 4, 9);
+        for i in 0..40u64 {
+            let bits: Vec<u64> = (0..8).map(|j| i * 8 + j).collect();
+            e.absorb_summary(&WeightedSummary::from_parts([(&bits[..], 1u64)]));
+        }
+        assert_eq!(QuantileEstimator::stream_len(&e), 320);
+        let s = e.to_summary();
+        assert_eq!(s.stream_len(), 320, "compaction conserves weight exactly");
+        assert!(s.num_retained() < 320, "crossing the threshold must compact");
+        // An idle maintain sweep folds whatever is still buffered.
+        let v = VersionedSketch::version(&e);
+        assert!(!StoreEngine::<f64>::maintain(&mut e));
+        if VersionedSketch::version(&e) > v {
+            assert_eq!(e.to_summary().stream_len(), 320);
+        }
+    }
+
+    #[test]
+    fn merge_seeds_differ_for_adjacent_key_seeds() {
+        // `seed | 1` collapsed seeds differing only in bit 0; the mixed
+        // derivation must not.
+        let a = ConcurrentEngine::<f64>::new(64, 4, 42);
+        let b = ConcurrentEngine::<f64>::new(64, 4, 43);
+        assert_ne!(a.merge_seed, b.merge_seed);
     }
 
     #[test]

@@ -37,13 +37,22 @@ const LEVELS: usize = 64;
 /// Merge any number of summaries into one whose per-level population is
 /// bounded by `2k` (so total retained size is `O(k log(n/k))`).
 ///
+/// Takes anything yielding summary **references** — a slice, an array of
+/// borrows, a `chain` over cached `Arc<WeightedSummary>` handles — so
+/// callers composing already-materialized summaries (the store's read
+/// cache, [`crate::engine::ConcurrentEngine`]'s absorb buffer) never clone
+/// an input just to merge it.
+///
 /// `seed` drives the randomized compaction coins; fixing it makes merges
 /// reproducible. Empty input (or all-empty summaries) yields the empty
 /// summary. Total weight is conserved exactly.
 ///
 /// # Panics
 /// If `k == 0`.
-pub fn merge_summaries(summaries: &[WeightedSummary], k: usize, seed: u64) -> WeightedSummary {
+pub fn merge_summaries<'a, I>(summaries: I, k: usize, seed: u64) -> WeightedSummary
+where
+    I: IntoIterator<Item = &'a WeightedSummary>,
+{
     assert!(k > 0, "k must be positive");
     let mut rng = Xoshiro256::seed_from_u64(seed);
 
@@ -120,7 +129,8 @@ mod tests {
 
     #[test]
     fn merge_of_nothing_is_empty() {
-        let m = merge_summaries(&[], 64, 1);
+        let none: [WeightedSummary; 0] = [];
+        let m = merge_summaries(&none, 64, 1);
         assert_eq!(m.stream_len(), 0);
         let m2 = merge_summaries(&[WeightedSummary::empty(), WeightedSummary::empty()], 64, 1);
         assert_eq!(m2.stream_len(), 0);

@@ -8,8 +8,9 @@
 //! is that layer:
 //!
 //! * keys are hashed onto a fixed array of stripes (power-of-two count),
-//!   each stripe a mutex around its own key map — writers on different
-//!   stripes never contend, and no lock is ever held across stripes;
+//!   each stripe an **RwLock** around its own key map — writers on
+//!   different stripes never contend, readers on the *same* stripe never
+//!   contend with each other, and no lock is ever held across stripes;
 //! * each key owns a live engine — any [`StoreEngine`] implementor; the
 //!   default [`crate::engine::TieredEngine`] starts keys as
 //!   compact sequential sketches and promotes them to full Quancurrent
@@ -17,21 +18,37 @@
 //! * the store is backend-generic through the
 //!   [`qc_common::engine`] traits: updates go through
 //!   [`qc_common::engine::StreamIngest`], reads through
-//!   [`MergeableSketch::to_summary`], and
-//!   remote state through [`MergeableSketch::absorb_summary`] — so
+//!   [`qc_common::engine::MergeableSketch::to_summary`], and remote state
+//!   through [`qc_common::engine::MergeableSketch::absorb_summary`] — so
 //!   `query`/`merged_query` see every element ever handed to the store,
 //!   local or ingested, with exact stream-length accounting.
 //!
-//! Holding the stripe lock during reads makes the per-key composition
-//! safe: engines may demand quiescence for exact reads, and all
-//! operations for a key funnel through its stripe lock.
+//! # Read path: versioned summary caching
+//!
+//! Materializing a key's summary is the expensive part of every read (a
+//! three-way merge of quiescent state, unflushed tail, and absorbed remote
+//! weight). The store therefore caches the last materialized
+//! [`WeightedSummary`] per key, tagged with the engine
+//! [`qc_common::engine::VersionedSketch::version`] that produced it:
+//!
+//! * **warm reads** (`query`, `rank`, `cdf`, `snapshot_bytes`,
+//!   `merged_query`) take only the **shared** stripe lock, compare the
+//!   engine version against the cache tag, and clone nothing but an
+//!   `Arc<WeightedSummary>` — they never block each other and never
+//!   rebuild;
+//! * **misses** materialize under the same shared lock (the engines'
+//!   `&self` reads are exact there, because every mutation holds the
+//!   write lock) and publish the result for the next reader;
+//! * **writers** (`update_many`, `ingest_bytes`, `cool_down`, `remove`)
+//!   take the exclusive lock; the engine's version bump is what
+//!   invalidates the cache — no read ever serves a summary whose version
+//!   does not match the engine's current state.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 
 use qc_common::bits::OrderedBits;
-use qc_common::engine::MergeableSketch;
 use qc_common::summary::{Summary, WeightedSummary};
 
 use crate::engine::{StoreEngine, Tier, TieredEngine};
@@ -149,7 +166,37 @@ pub struct StoreStats {
     /// Retained 64-bit words across all engines (memory proxy).
     /// Local-only.
     pub retained: u64,
+    /// Reads answered from a cached summary (shared lock + `Arc` clone).
+    /// Local-only.
+    pub cache_hits: u64,
+    /// Reads that had to materialize a summary. Local-only.
+    pub cache_misses: u64,
 }
+
+/// One key's slot in a stripe map: the live engine plus the cached
+/// materialization of its summary.
+struct KeyEntry<E> {
+    engine: E,
+    /// Last materialized summary, tagged with the engine version that
+    /// produced it. The inner mutex guards only the tag-compare /
+    /// `Arc`-clone critical section (a handful of instructions), so
+    /// readers sharing the stripe lock barely serialize on it.
+    cache: Mutex<Option<CachedSummary>>,
+}
+
+struct CachedSummary {
+    version: u64,
+    summary: Arc<WeightedSummary>,
+}
+
+impl<E> KeyEntry<E> {
+    fn new(engine: E) -> Self {
+        KeyEntry { engine, cache: Mutex::new(None) }
+    }
+}
+
+/// One stripe: a reader-writer lock around the stripe's key map.
+type Stripe<E> = RwLock<HashMap<String, KeyEntry<E>>>;
 
 /// Sharded keyed sketch store, generic over the element type and the
 /// per-key engine; see the [module docs](self).
@@ -158,7 +205,7 @@ pub struct StoreStats {
 /// over the tiered engine, which is wire- and API-compatible with the
 /// previous `Quancurrent`-only store.
 pub struct SketchStore<T: OrderedBits = f64, E: StoreEngine<T> = TieredEngine<T>> {
-    stripes: Box<[Mutex<HashMap<String, E>>]>,
+    stripes: Box<[Stripe<E>]>,
     mask: usize,
     cfg: StoreConfig,
     updates: AtomicU64,
@@ -166,6 +213,8 @@ pub struct SketchStore<T: OrderedBits = f64, E: StoreEngine<T> = TieredEngine<T>
     ingest_errors: AtomicU64,
     bytes_out: AtomicU64,
     bytes_in: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
     _marker: std::marker::PhantomData<fn(T) -> T>,
 }
 
@@ -191,7 +240,7 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     /// `SketchStore::<f64, SequentialEngine>::with_engine(cfg)`.
     pub fn with_engine(cfg: StoreConfig) -> Self {
         let stripes = cfg.stripes.max(1).next_power_of_two();
-        let table = (0..stripes).map(|_| Mutex::new(HashMap::new())).collect();
+        let table = (0..stripes).map(|_| RwLock::new(HashMap::new())).collect();
         SketchStore {
             stripes: table,
             mask: stripes - 1,
@@ -201,6 +250,8 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             ingest_errors: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             _marker: std::marker::PhantomData,
         }
     }
@@ -215,7 +266,7 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         self.stripes.len()
     }
 
-    fn stripe_of(&self, key: &str) -> &Mutex<HashMap<String, E>> {
+    fn stripe_of(&self, key: &str) -> &Stripe<E> {
         // FNV-1a over the key bytes; stripe count is a power of two.
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for b in key.as_bytes() {
@@ -245,15 +296,18 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         if values.is_empty() {
             return;
         }
-        let mut map = self.stripe_of(key).lock().unwrap();
+        let mut map = self.stripe_of(key).write().unwrap();
         // Probe before inserting: the steady state must not allocate a
         // `String` per call just to use the entry API.
         if !map.contains_key(key) {
-            map.insert(key.to_string(), E::build(&self.cfg, self.key_seed(key)));
+            map.insert(key.to_string(), KeyEntry::new(E::build(&self.cfg, self.key_seed(key))));
         }
-        let engine = map.get_mut(key).expect("entry just ensured");
-        engine.update_many(values);
-        drop(map);
+        let entry = map.get_mut(key).expect("entry just ensured");
+        entry.engine.update_many(values);
+        // Count while still holding the stripe lock: bumping after the
+        // drop let `stats()` observe engine weight not yet in `updates`
+        // (`stream_len > updates` mid-flight, under-reported counters at
+        // shutdown barriers).
         self.updates.fetch_add(values.len() as u64, Relaxed);
     }
 
@@ -273,10 +327,61 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         Some(summary.rank_fraction(value))
     }
 
-    /// The key's full resident summary, or `None` if the key is absent.
-    pub fn summary_of(&self, key: &str) -> Option<WeightedSummary> {
-        let map = self.stripe_of(key).lock().unwrap();
-        map.get(key).map(MergeableSketch::to_summary)
+    /// Estimated CDF of `key`'s stream at each split point. `None` if the
+    /// key is absent or empty (the same contract as [`SketchStore::rank`]).
+    /// One cached summary answers all points.
+    pub fn cdf(&self, key: &str, split_points: &[T]) -> Option<Vec<f64>> {
+        let summary = self.summary_of(key)?;
+        if summary.stream_len() == 0 {
+            return None;
+        }
+        Some(summary.cdf(split_points))
+    }
+
+    /// The key's full resident summary behind an `Arc`, or `None` if the
+    /// key is absent.
+    ///
+    /// This is the cached read path: a warm call takes the shared stripe
+    /// lock, compares the engine's
+    /// [`version`](qc_common::engine::VersionedSketch::version) against
+    /// the cache tag, and clones only the `Arc`. A miss materializes the
+    /// summary under the same shared lock (exact: every mutation holds
+    /// the write lock) and publishes it for subsequent readers.
+    pub fn summary_of(&self, key: &str) -> Option<Arc<WeightedSummary>> {
+        let map = self.stripe_of(key).read().unwrap();
+        let entry = map.get(key)?;
+        let version = entry.engine.version();
+        {
+            let cache = entry.cache.lock().unwrap();
+            if let Some(cached) = cache.as_ref() {
+                if cached.version == version {
+                    self.cache_hits.fetch_add(1, Relaxed);
+                    return Some(Arc::clone(&cached.summary));
+                }
+            }
+        }
+        // Rebuild outside the cache mutex so a slow materialization never
+        // blocks warm readers of the previous version. The engine cannot
+        // move while any reader holds the stripe read lock, so every
+        // concurrent miss materializes the same `version`; publishing
+        // unconditionally is safe (last writer wins with an equal value).
+        self.cache_misses.fetch_add(1, Relaxed);
+        let summary = Arc::new(entry.engine.to_summary());
+        *entry.cache.lock().unwrap() =
+            Some(CachedSummary { version, summary: Arc::clone(&summary) });
+        Some(summary)
+    }
+
+    /// The key's resident summary materialized directly from the engine,
+    /// bypassing (and not populating) the cache. `None` if the key is
+    /// absent.
+    ///
+    /// For verification and diagnostics — the cache-coherence suite holds
+    /// [`SketchStore::summary_of`] against this on every interleaving —
+    /// and as the reference cost in read-path benchmarks.
+    pub fn summary_of_uncached(&self, key: &str) -> Option<WeightedSummary> {
+        let map = self.stripe_of(key).read().unwrap();
+        map.get(key).map(|entry| entry.engine.to_summary())
     }
 
     /// Serialize `key`'s resident summary with [`crate::wire`]. `None` if
@@ -302,22 +407,27 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             }
         };
         let ingested = remote.stream_len();
-        let mut map = self.stripe_of(key).lock().unwrap();
-        let engine =
-            map.entry(key.to_string()).or_insert_with(|| E::build(&self.cfg, self.key_seed(key)));
-        engine.absorb_summary(&remote);
-        drop(map);
+        let mut map = self.stripe_of(key).write().unwrap();
+        let entry = map
+            .entry(key.to_string())
+            .or_insert_with(|| KeyEntry::new(E::build(&self.cfg, self.key_seed(key))));
+        entry.engine.absorb_summary(&remote);
+        // Counted under the stripe lock, like `updates`: `stats()` must
+        // never see absorbed weight that is not yet in `ingests`.
         self.ingests.fetch_add(1, Relaxed);
         self.bytes_in.fetch_add(buf.len() as u64, Relaxed);
         Ok(ingested)
     }
 
     /// One summary over the union of the given keys' streams (absent keys
-    /// contribute nothing). Locks one stripe at a time.
+    /// contribute nothing). Locks one stripe at a time — and reuses each
+    /// key's cached summary, so a warm multi-key merge materializes
+    /// nothing per key and clones only `Arc` handles before the final
+    /// cross-key merge.
     pub fn merged_summary<K: AsRef<str>>(&self, keys: &[K]) -> WeightedSummary {
-        let parts: Vec<WeightedSummary> =
+        let parts: Vec<Arc<WeightedSummary>> =
             keys.iter().filter_map(|k| self.summary_of(k.as_ref())).collect();
-        merge_summaries(&parts, self.cfg.k, self.cfg.seed)
+        merge_summaries(parts.iter().map(Arc::as_ref), self.cfg.k, self.cfg.seed)
     }
 
     /// φ-quantile over the union of the given keys' streams. `None` if no
@@ -328,26 +438,26 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
 
     /// Remove a key and return whether it was present.
     pub fn remove(&self, key: &str) -> bool {
-        self.stripe_of(key).lock().unwrap().remove(key).is_some()
+        self.stripe_of(key).write().unwrap().remove(key).is_some()
     }
 
     /// All resident keys (unordered).
     pub fn keys(&self) -> Vec<String> {
         let mut out = Vec::new();
         for stripe in self.stripes.iter() {
-            out.extend(stripe.lock().unwrap().keys().cloned());
+            out.extend(stripe.read().unwrap().keys().cloned());
         }
         out
     }
 
     /// Number of resident keys.
     pub fn len(&self) -> usize {
-        self.stripes.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.stripes.iter().map(|s| s.read().unwrap().len()).sum()
     }
 
     /// Whether the store holds no keys.
     pub fn is_empty(&self) -> bool {
-        self.stripes.iter().all(|s| s.lock().unwrap().is_empty())
+        self.stripes.iter().all(|s| s.read().unwrap().is_empty())
     }
 
     /// Run one cool-down sweep: every engine gets a
@@ -361,10 +471,26 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     pub fn cool_down(&self) -> usize {
         let mut changed = 0usize;
         for stripe in self.stripes.iter() {
-            let mut map = stripe.lock().unwrap();
-            for engine in map.values_mut() {
-                if engine.maintain() {
-                    changed += 1;
+            // Snapshot the key list under the shared lock, then maintain
+            // one key per write-lock acquisition: a demotion is a full
+            // summary round-trip, and holding the stripe exclusively for a
+            // whole multi-key sweep would stall the warm read path every
+            // interval. Keys created after the snapshot simply wait one
+            // sweep; removed keys are skipped.
+            let keys: Vec<String> = stripe.read().unwrap().keys().cloned().collect();
+            for key in keys {
+                let mut map = stripe.write().unwrap();
+                if let Some(entry) = map.get_mut(&key) {
+                    if entry.engine.maintain() {
+                        changed += 1;
+                    }
+                    // Housekeeping for the read cache too: drop summaries
+                    // the engine has since moved past, so written-then-idle
+                    // keys do not pin a stale materialization indefinitely.
+                    let cache = entry.cache.get_mut().unwrap();
+                    if cache.as_ref().is_some_and(|c| c.version != entry.engine.version()) {
+                        *cache = None;
+                    }
                 }
             }
         }
@@ -372,8 +498,9 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     }
 
     /// Store-wide statistics. Sweeps the stripes for `keys`, `stream_len`,
-    /// the per-tier key counts and `retained`; counter fields are exact,
-    /// lock-free reads.
+    /// the per-tier key counts and `retained` under **shared** stripe
+    /// locks (the sweep never blocks other readers); counter fields are
+    /// exact, lock-free reads.
     pub fn stats(&self) -> StoreStats {
         let mut keys = 0usize;
         let mut stream_len = 0u64;
@@ -381,12 +508,12 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         let mut hot_keys = 0usize;
         let mut retained = 0u64;
         for stripe in self.stripes.iter() {
-            let map = stripe.lock().unwrap();
+            let map = stripe.read().unwrap();
             keys += map.len();
-            for engine in map.values() {
-                stream_len += engine.stream_len();
-                retained += engine.footprint() as u64;
-                match engine.tier() {
+            for entry in map.values() {
+                stream_len += entry.engine.stream_len();
+                retained += entry.engine.footprint() as u64;
+                match entry.engine.tier() {
                     Tier::Sequential => cold_keys += 1,
                     Tier::Concurrent => hot_keys += 1,
                 }
@@ -404,6 +531,8 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             cold_keys,
             hot_keys,
             retained,
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
         }
     }
 }
@@ -581,6 +710,77 @@ mod tests {
         let frame = seq.snapshot_bytes("x").unwrap();
         assert_eq!(conc.ingest_bytes("from-seq", &frame).unwrap(), 3000);
         assert_eq!(conc.summary_of("from-seq").unwrap().stream_len(), 3000);
+    }
+
+    #[test]
+    fn warm_reads_hit_the_cache_and_writes_invalidate_it() {
+        let store = small_store(4);
+        store.update_many("k", &(0..2000).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(store.stats().cache_hits, 0);
+        // First read materializes, the next ones ride the cache.
+        let first = store.summary_of("k").unwrap();
+        let misses = store.stats().cache_misses;
+        assert!(misses >= 1);
+        let again = store.summary_of("k").unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "warm read must clone the Arc, not rebuild");
+        let _ = store.query("k", 0.5);
+        let _ = store.rank("k", 100.0);
+        let _ = store.cdf("k", &[10.0, 100.0]);
+        let stats = store.stats();
+        assert!(stats.cache_hits >= 4, "hits {}", stats.cache_hits);
+        assert_eq!(stats.cache_misses, misses, "no rebuild while the key is unwritten");
+        // A write bumps the engine version: the next read rebuilds.
+        store.update("k", 9999.0);
+        let fresh = store.summary_of("k").unwrap();
+        assert!(!Arc::ptr_eq(&first, &fresh));
+        assert_eq!(fresh.stream_len(), 2001);
+        assert_eq!(store.stats().cache_misses, misses + 1);
+    }
+
+    #[test]
+    fn cached_summary_equals_uncached_materialization() {
+        let store = small_store(4);
+        store.update_many("k", &(0..5000).map(f64::from).collect::<Vec<_>>());
+        let cached = store.summary_of("k").unwrap();
+        let direct = store.summary_of_uncached("k").unwrap();
+        assert_eq!(*cached, direct, "materialization is deterministic for a fixed state");
+        store.ingest_bytes("k", &store.snapshot_bytes("k").unwrap()).unwrap();
+        let cached = store.summary_of("k").unwrap();
+        let direct = store.summary_of_uncached("k").unwrap();
+        assert_eq!(*cached, direct, "still coherent after an absorb");
+        assert_eq!(cached.stream_len(), 10_000);
+    }
+
+    #[test]
+    fn concurrent_readers_share_a_stripe_with_writers() {
+        // Readers and writers hammer keys that all live on ONE stripe;
+        // the store must stay coherent and every read must be answerable.
+        let store = std::sync::Arc::new(small_store(1));
+        store.update_many("seed", &(0..100).map(f64::from).collect::<Vec<_>>());
+        std::thread::scope(|s| {
+            for w in 0..2usize {
+                let store = store.clone();
+                s.spawn(move || {
+                    for i in 0..2000 {
+                        store.update("seed", (w * 2000 + i) as f64);
+                    }
+                });
+            }
+            for _ in 0..4usize {
+                let store = store.clone();
+                s.spawn(move || {
+                    for _ in 0..2000 {
+                        let summary = store.summary_of("seed").unwrap();
+                        assert!(summary.stream_len() >= 100);
+                        let q = store.query("seed", 0.5);
+                        assert!(q.is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(store.summary_of("seed").unwrap().stream_len(), 4100);
+        let stats = store.stats();
+        assert!(stats.cache_hits + stats.cache_misses >= 8000);
     }
 
     #[test]

@@ -106,6 +106,19 @@ fn single_stripe_hammer_conserves_weight_and_skips_removed_keys() {
         s.spawn(move || {
             let hot_total = (HOT_KEYS * WRITERS_PER_KEY * BATCHES * BATCH) as u64;
             loop {
+                // Counter invariant, asserted *mid-flight*: the `updates`
+                // counter is bumped under the same stripe lock as the
+                // engine mutation, so a stats sweep can never observe
+                // resident weight that is not yet counted. (This is an
+                // ingest-free workload; removes only ever discard weight,
+                // so `stream_len <= updates` must hold at every instant.)
+                let stats = store_monitor.stats();
+                assert!(
+                    stats.stream_len <= stats.updates,
+                    "stats observed uncounted weight: stream_len {} > updates {}",
+                    stats.stream_len,
+                    stats.updates
+                );
                 let keys: Vec<String> = (0..HOT_KEYS).map(hot_key).collect();
                 let resident: u64 = keys
                     .iter()

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 
 use qc_common::bits::OrderedBits;
-use qc_common::engine::{ConcurrentIngest, QuantileEstimator, StreamIngest};
+use qc_common::engine::{ConcurrentIngest, QuantileEstimator, StreamIngest, VersionedSketch};
 use qc_common::summary::{Summary, WeightedSummary};
 use qc_mwcas::{Arena, MwcasWord};
 use qc_reclaim::{Domain, DomainConfig, Shared};
@@ -294,6 +294,24 @@ impl<T: OrderedBits> QuantileEstimator<T> for Quancurrent<T> {
     /// and [`Quancurrent::relaxation_bound`]).
     fn error_bound(&self) -> f64 {
         qc_common::error::sequential_epsilon(self.shared.cfg.k)
+    }
+}
+
+/// Version capability: every transition of the shared levels is either a
+/// batch installation or a propagation step, and both bump a counter at
+/// their DCAS linearization point — their sum is a state version.
+///
+/// The counters are `Relaxed`, so a fully unsynchronized reader may see a
+/// version slightly behind the levels it can already observe; under
+/// external synchronization (a store's stripe lock) or at quiescence the
+/// reading is exact, which is what the keyed store's summary cache needs.
+/// Elements still inside Gather&Sort buffers or updater-local tails are
+/// invisible to queries (the r-relaxation), so they correctly do not
+/// advance the version.
+impl<T: OrderedBits> VersionedSketch for Quancurrent<T> {
+    fn version(&self) -> u64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.shared.counters.batches.load(Relaxed) + self.shared.counters.propagations.load(Relaxed)
     }
 }
 

@@ -61,6 +61,12 @@ impl<T: OrderedBits> Updater<T> {
         self.local.iter().map(|&bits| T::from_ordered_bits(bits)).collect()
     }
 
+    /// Number of elements in the thread-local buffer (the allocation-free
+    /// form of `pending().len()`, for accounting hot paths).
+    pub fn pending_len(&self) -> usize {
+        self.local.len()
+    }
+
     /// Process one stream element (paper `update(x)`, Algorithm 2).
     #[inline]
     pub fn update(&mut self, x: T) {

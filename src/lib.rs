@@ -41,7 +41,7 @@ pub use quancurrent;
 
 pub use qc_common::{
     ConcurrentIngest, MergeableSketch, OrderedBits, QuantileEstimator, SketchEngine, StreamIngest,
-    Summary,
+    Summary, VersionedSketch,
 };
 pub use qc_server::{Client, Server, ServerConfig};
 pub use qc_store::{

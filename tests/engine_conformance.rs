@@ -141,6 +141,41 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Contract 4: the version counter is monotone across mutations and
+    /// stable across reads — the invariant the store's summary cache
+    /// rests on (a read tagged with version v stays valid while
+    /// `version()` still returns v).
+    #[test]
+    fn version_advances_on_mutations_and_holds_on_reads(
+        len in 1usize..2000,
+        seed in 1u64..500,
+    ) {
+        let values = stream(len, seed);
+        for (name, mut engine) in engines(seed) {
+            let v0 = engine.version();
+            engine.update_many(&values);
+            engine.flush();
+            let v1 = engine.version();
+            prop_assert!(v1 > v0, "{}: flushed updates must advance the version", name);
+            let _ = engine.query(0.5);
+            let _ = engine.cdf(&[0.0]);
+            let snapshot = engine.to_summary();
+            prop_assert_eq!(
+                engine.version(), v1,
+                "{}: reads must not move the version", name
+            );
+            engine.absorb_summary(&snapshot);
+            prop_assert!(
+                engine.version() > v1,
+                "{}: absorbing weight must advance the version", name
+            );
+        }
+    }
+}
+
 /// Cross-backend interchange: any backend's export is absorbable by any
 /// other backend, with exact weight conservation — the property the
 /// tiered store's promotions/demotions and the wire layer rest on.
