@@ -18,6 +18,12 @@
 //!   profile (the run prints each engine's `retained` footprint — the
 //!   concurrent engine preallocates Gather&Sort buffers per key, roughly
 //!   an order of magnitude more).
+//!
+//! The **write-contention axis** (`store_write_hot_key_<n>_threads/`)
+//! asks the write-path question: N threads batch-updating ONE hot key,
+//! leased shared-lock path (`shared`) vs the exclusive-lock baseline
+//! (`fallback`, pinned via `writer_pool(0)`). The multi-thread shared
+//! series must scale; the baseline serializes by construction.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qc_common::Summary;
@@ -168,6 +174,65 @@ fn bench_engines_axis(c: &mut Criterion) {
     group.finish();
 }
 
+const WRITE_KEY: &str = "hot";
+const WRITE_BATCH: usize = 256;
+const WRITE_BATCHES_TOTAL: usize = 512;
+
+/// One pass of the hot-key write-contention axis: `threads` writers split
+/// `WRITE_BATCHES_TOTAL` batches of `WRITE_BATCH` elements on ONE
+/// pre-promoted key. `shared` selects the leased-writer fast path; the
+/// baseline pins `writer_pool(0)`, so every batch serializes on the
+/// stripe write lock — the cost all hot-key writes paid before leases.
+fn write_contention_store(seed: u64, shared: bool) -> SketchStore {
+    let mut cfg = cfg(4, seed).promotion_threshold(128);
+    if !shared {
+        cfg = cfg.writer_pool(0);
+    }
+    let store = SketchStore::new(cfg);
+    // Pre-promote outside the timed loop.
+    let mut gen = StreamGen::new(Distribution::Uniform, seed ^ 0xfeed);
+    let warm: Vec<f64> = (0..512).map(|_| gen.next_f64()).collect();
+    store.update_many(WRITE_KEY, &warm);
+    store
+}
+
+fn run_write_contention(store: &SketchStore, threads: usize) -> u64 {
+    let per_thread = WRITE_BATCHES_TOTAL / threads;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let store = &store;
+            s.spawn(move || {
+                let mut gen = StreamGen::new(Distribution::Uniform, 0x5eed + t as u64);
+                let mut batch = vec![0.0f64; WRITE_BATCH];
+                for _ in 0..per_thread {
+                    for slot in batch.iter_mut() {
+                        *slot = gen.next_f64();
+                    }
+                    store.update_many(WRITE_KEY, &batch);
+                }
+            });
+        }
+    });
+    store.stats().updates
+}
+
+/// The tentpole acceptance axis for the write path: hot-key `update_many`
+/// under 1/2/4 threads, leased shared path vs exclusive-lock baseline.
+fn bench_write_contention(c: &mut Criterion) {
+    for &threads in &[1usize, 2, 4] {
+        let mut group = c.benchmark_group(format!("store_write_hot_key_{threads}_threads"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements((WRITE_BATCHES_TOTAL * WRITE_BATCH) as u64));
+        for (name, shared) in [("shared", true), ("fallback", false)] {
+            group.bench_function(name, |bencher| {
+                let store = write_contention_store(51 + threads as u64, shared);
+                bencher.iter(|| black_box(run_write_contention(&store, threads)));
+            });
+        }
+        group.finish();
+    }
+}
+
 const MIX_KEYS: usize = 8;
 const MIX_OPS: usize = 4096;
 const MIX_WRITE_BATCH: usize = 32;
@@ -300,6 +365,7 @@ criterion_group!(
     bench_update_vs_stripes,
     bench_single_thread_update,
     bench_engines_axis,
+    bench_write_contention,
     bench_read_heavy_mixed,
     bench_wire_roundtrip,
     bench_merged_query

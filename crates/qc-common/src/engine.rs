@@ -16,7 +16,8 @@
 //! | [`MergeableSketch`] | summary export / absorption | all backends |
 //! | [`VersionedSketch`] | monotone state-version counter (read caching) | all backends |
 //! | [`ConcurrentIngest`] | handle-based multi-writer ingestion | Quancurrent, FCDS |
-//! | [`SketchEngine`] | the four single-object traits combined | store engines |
+//! | [`SharedIngest`] | leased writer handles through `&self` (shared-lock writes) | concurrent backends |
+//! | [`SketchEngine`] | the single-object traits combined | store engines |
 //!
 //! The traits are object-safe: `Box<dyn SketchEngine<f64>>` is a fully
 //! functional engine, which is what the engine-conformance suite exercises
@@ -153,17 +154,69 @@ pub trait VersionedSketch {
     fn version(&self) -> u64;
 }
 
+/// Shared-access write capability: lease an **owned** per-thread writer
+/// handle through `&self`, so many threads can ingest into one engine
+/// while holding only a shared (read) lock on whatever registry owns it.
+///
+/// This is the engine-API form of the paper's core discipline — each
+/// writer thread fills a private buffer and synchronizes with the shared
+/// sketch only at its internal propagation points (Gather&Sort / DCAS for
+/// Quancurrent, buffer publication for FCDS) — threaded through to layers
+/// that hold engines behind locks. An exclusive-lock writer serializes
+/// every batch; leased handles synchronize only inside the engine.
+///
+/// # Contract
+///
+/// * The returned handle is self-contained (`'static`): it may be stored,
+///   pooled, and used from any one thread at a time (`Send`, not `Sync`),
+///   concurrently with other handles and with the engine's `&self` reads.
+/// * A leased handle's [`StreamIngest::flush`] must account written
+///   weight at least as completely as the backend's own flush contract
+///   does (see [`StreamIngest::flush`]). For backends whose flush is
+///   **complete** — every [`SketchEngine`], and anything a summary cache
+///   sits on — that means: after the handle's `flush` returns, every
+///   element written through it is visible to
+///   [`MergeableSketch::to_summary`] and
+///   [`QuantileEstimator::stream_len`], and [`VersionedSketch::version`]
+///   has advanced past every reading taken before the flush (relaxed
+///   atomics are fine — see [`VersionedSketch`]). Backends whose residual
+///   buffering is intrinsic (bare Quancurrent's sub-`b` thread-local
+///   tail, part of its r-relaxation bound) keep that relaxation in their
+///   leased handles too and must document it. Between flushes, writes may
+///   always stay buffered in the handle.
+/// * `try_writer` returns `None` when the backend only supports exclusive
+///   `&mut self` ingestion (the default); callers must keep an
+///   exclusive-lock fallback path.
+///
+/// Unlike [`ConcurrentIngest::writer`], whose handles borrow the sketch,
+/// leased handles share ownership of the engine's internals — which is
+/// what lets a keyed store pool them inside the entry that owns the
+/// engine. A handle outliving its engine's useful life (e.g. past a tier
+/// migration) must simply go unused; dropping it is always safe.
+pub trait SharedIngest<T: OrderedBits> {
+    /// Lease an owned writer handle, or `None` if this backend only
+    /// ingests through `&mut self`.
+    fn try_writer(&self) -> Option<Box<dyn StreamIngest<T> + Send>> {
+        None
+    }
+}
+
 /// A full single-object sketch engine: queryable, single-writer ingestible,
-/// mergeable, and versioned. Blanket-implemented for everything providing
-/// the four capabilities — this is the bound stores and harnesses program
-/// against, and it is object-safe (`Box<dyn SketchEngine<T>>`).
+/// mergeable, versioned, and shared-ingest aware (most often via the
+/// [`SharedIngest`] default `None`). Blanket-implemented for everything
+/// providing the capabilities — this is the bound stores and harnesses
+/// program against, and it is object-safe (`Box<dyn SketchEngine<T>>`).
 pub trait SketchEngine<T: OrderedBits>:
-    QuantileEstimator<T> + StreamIngest<T> + MergeableSketch<T> + VersionedSketch
+    QuantileEstimator<T> + StreamIngest<T> + MergeableSketch<T> + VersionedSketch + SharedIngest<T>
 {
 }
 
 impl<T: OrderedBits, E> SketchEngine<T> for E where
-    E: QuantileEstimator<T> + StreamIngest<T> + MergeableSketch<T> + VersionedSketch
+    E: QuantileEstimator<T>
+        + StreamIngest<T>
+        + MergeableSketch<T>
+        + VersionedSketch
+        + SharedIngest<T>
 {
 }
 
@@ -219,6 +272,9 @@ mod tests {
             (self.xs.len() + self.absorbed.len()) as u64
         }
     }
+
+    // Exclusive-only backend: the default `try_writer` (`None`) applies.
+    impl SharedIngest<u64> for Exact {}
 
     impl MergeableSketch<u64> for Exact {
         fn to_summary(&self) -> WeightedSummary {
@@ -276,6 +332,12 @@ mod tests {
         assert_eq!(e.version(), v1);
         e.absorb_summary(&snapshot);
         assert!(e.version() > v1, "absorbs must advance the version");
+    }
+
+    #[test]
+    fn exclusive_only_engines_decline_shared_writers() {
+        let e = boxed();
+        assert!(e.try_writer().is_none(), "default SharedIngest must report None");
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //!   kernels used by every propagation step.
 //! * [`engine`] — the unified sketch-engine capability traits
 //!   ([`QuantileEstimator`], [`StreamIngest`], [`MergeableSketch`],
-//!   [`ConcurrentIngest`]) every backend in the workspace implements.
+//!   [`ConcurrentIngest`], [`SharedIngest`]) every backend in the
+//!   workspace implements.
 //! * [`error`] — the ε(k) error model of the classic Quantiles sketch and the
 //!   relaxation/staleness error composition of §4.2 of the paper.
 //!
@@ -42,7 +43,7 @@ pub mod summary;
 
 pub use bits::OrderedBits;
 pub use engine::{
-    ConcurrentIngest, MergeableSketch, QuantileEstimator, SketchEngine, StreamIngest,
+    ConcurrentIngest, MergeableSketch, QuantileEstimator, SharedIngest, SketchEngine, StreamIngest,
     VersionedSketch,
 };
 pub use rng::{SplitMix64, Xoshiro256};

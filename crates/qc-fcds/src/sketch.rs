@@ -5,7 +5,8 @@ use std::sync::{Arc, RwLock};
 
 use qc_common::bits::OrderedBits;
 use qc_common::engine::{
-    ConcurrentIngest, MergeableSketch, QuantileEstimator, StreamIngest, VersionedSketch,
+    ConcurrentIngest, MergeableSketch, QuantileEstimator, SharedIngest, StreamIngest,
+    VersionedSketch,
 };
 use qc_common::summary::{Summary, WeightedSummary};
 use qc_sequential::QuantilesSketch;
@@ -115,7 +116,7 @@ impl<T: OrderedBits> Fcds<T> {
         let shared = Arc::new(FcdsShared {
             k,
             buffer_size,
-            workers: (0..max_workers).map(|_| WorkerSlot::new(buffer_size)).collect(),
+            workers: (0..max_workers).map(|_| WorkerSlot::new()).collect(),
             sketch: RwLock::new(QuantilesSketch::with_seed(k, seed)),
             stop: AtomicBool::new(false),
             batches: AtomicU64::new(0),
@@ -155,6 +156,15 @@ impl<T: OrderedBits> Fcds<T> {
     /// # Panics
     /// If all slots are taken.
     pub fn updater(&self) -> FcdsUpdater<T> {
+        match self.try_updater() {
+            Some(updater) => updater,
+            None => panic!("all {} FCDS worker slots are registered", self.shared.workers.len()),
+        }
+    }
+
+    /// Register a worker if a slot is free (the non-panicking form of
+    /// [`Fcds::updater`]). Slots are released when the handle drops.
+    pub fn try_updater(&self) -> Option<FcdsUpdater<T>> {
         let start = self.next_worker.fetch_add(1, SeqCst);
         let n = self.shared.workers.len();
         for off in 0..n {
@@ -164,16 +174,16 @@ impl<T: OrderedBits> Fcds<T> {
                 .compare_exchange(false, true, SeqCst, SeqCst)
                 .is_ok()
             {
-                return FcdsUpdater {
+                return Some(FcdsUpdater {
                     shared: Arc::clone(&self.shared),
                     slot,
                     current: 0,
                     pushed: 0,
                     _marker: std::marker::PhantomData,
-                };
+                });
             }
         }
-        panic!("all {n} FCDS worker slots are registered");
+        None
     }
 
     /// Estimate the φ-quantile from the shared sketch.
@@ -423,12 +433,20 @@ pub struct FcdsEngine<T: OrderedBits> {
     fcds: Fcds<T>,
 }
 
+/// Worker slots an [`FcdsEngine`] keeps free for shared-ingest leases on
+/// top of its resident writer (the engine's private [`Fcds`] is built with
+/// `1 +` this many `max_workers`). Spare slots are nearly free: worker
+/// buffers allocate lazily on first use, so an engine that never leases
+/// pays only the slot bookkeeping, not `2·B` words per slot.
+pub const FCDS_LEASED_SLOTS: usize = 7;
+
 impl<T: OrderedBits> FcdsEngine<T> {
     /// Create an engine with level size `k`, worker buffer size `b`, and
-    /// an explicit sampling seed. The engine reserves the single worker
-    /// slot of its private [`Fcds`] instance.
+    /// an explicit sampling seed. The engine reserves one worker slot of
+    /// its private [`Fcds`] instance for the resident writer and leaves
+    /// [`FCDS_LEASED_SLOTS`] more for [`SharedIngest`] leases.
     pub fn with_seed(k: usize, buffer_size: usize, seed: u64) -> Self {
-        let fcds = Fcds::with_seed(k, buffer_size, 1, seed);
+        let fcds = Fcds::with_seed(k, buffer_size, 1 + FCDS_LEASED_SLOTS, seed);
         let writer = fcds.updater();
         Self { writer, fcds }
     }
@@ -436,6 +454,31 @@ impl<T: OrderedBits> FcdsEngine<T> {
     /// The underlying FCDS instance (propagator stats, relaxation bound).
     pub fn fcds(&self) -> &Fcds<T> {
         &self.fcds
+    }
+}
+
+/// A leased FCDS writer: a worker handle plus enough shared state to wait
+/// for the propagator, so its `flush` gives the **exact** post-flush
+/// visibility [`SharedIngest`] demands (a bare [`FcdsUpdater::flush`] only
+/// publishes; the weight becomes query-visible asynchronously).
+struct LeasedFcdsWriter<T: OrderedBits> {
+    inner: FcdsUpdater<T>,
+    shared: Arc<FcdsShared>,
+}
+
+impl<T: OrderedBits> StreamIngest<T> for LeasedFcdsWriter<T> {
+    fn update(&mut self, x: T) {
+        FcdsUpdater::update(&mut self.inner, x);
+    }
+
+    fn flush(&mut self) {
+        FcdsUpdater::flush(&mut self.inner);
+        // Drain: every published buffer (ours included) is merged into the
+        // shared sketch before we report the flush complete — which is
+        // also what advances `Fcds::version` past the written weight.
+        while self.shared.any_published() {
+            std::thread::yield_now();
+        }
     }
 }
 
@@ -479,6 +522,17 @@ impl<T: OrderedBits> QuantileEstimator<T> for FcdsEngine<T> {
 impl<T: OrderedBits> VersionedSketch for FcdsEngine<T> {
     fn version(&self) -> u64 {
         VersionedSketch::version(&self.fcds)
+    }
+}
+
+/// Shared-access leases: worker slots beyond the resident writer are
+/// handed out as self-contained handles whose `flush` publishes **and**
+/// drains, so leased weight is exactly visible post-flush. `None` once all
+/// [`FCDS_LEASED_SLOTS`] are out (slots return when handles drop).
+impl<T: OrderedBits> SharedIngest<T> for FcdsEngine<T> {
+    fn try_writer(&self) -> Option<Box<dyn StreamIngest<T> + Send>> {
+        let inner = self.fcds.try_updater()?;
+        Some(Box::new(LeasedFcdsWriter { inner, shared: Arc::clone(&self.fcds.shared) }))
     }
 }
 

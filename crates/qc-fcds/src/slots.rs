@@ -27,8 +27,14 @@ pub(crate) struct BufCell {
 unsafe impl Sync for BufCell {}
 
 impl BufCell {
-    pub(crate) fn new(capacity: usize) -> Self {
-        Self { state: AtomicU8::new(WORKER), data: UnsafeCell::new(Vec::with_capacity(capacity)) }
+    /// Starts **unallocated**: a slot costs nothing until its worker
+    /// actually pushes (the vector grows amortized to `B` on first fill,
+    /// and [`BufCell::try_drain`] hands back full-capacity vectors from
+    /// then on). This is what lets an engine reserve spare worker slots
+    /// for shared-ingest leases without paying `2·B` words per slot that
+    /// may never register.
+    pub(crate) fn new() -> Self {
+        Self { state: AtomicU8::new(WORKER), data: UnsafeCell::new(Vec::new()) }
     }
 
     /// Worker-side access. Caller must be the registered worker and the
@@ -74,11 +80,8 @@ pub(crate) struct WorkerSlot {
 }
 
 impl WorkerSlot {
-    pub(crate) fn new(capacity: usize) -> Self {
-        Self {
-            bufs: [BufCell::new(capacity), BufCell::new(capacity)],
-            registered: AtomicBool::new(false),
-        }
+    pub(crate) fn new() -> Self {
+        Self { bufs: [BufCell::new(), BufCell::new()], registered: AtomicBool::new(false) }
     }
 }
 
@@ -88,13 +91,13 @@ mod tests {
 
     #[test]
     fn drain_of_unpublished_buffer_is_none() {
-        let cell = BufCell::new(4);
+        let cell = BufCell::new();
         assert!(cell.try_drain().is_none());
     }
 
     #[test]
     fn publish_then_drain_transfers_contents() {
-        let cell = BufCell::new(4);
+        let cell = BufCell::new();
         unsafe { cell.worker_data() }.extend_from_slice(&[3, 1, 2]);
         cell.publish();
         assert!(cell.is_full());
@@ -106,7 +109,7 @@ mod tests {
 
     #[test]
     fn drain_preserves_capacity_for_reuse() {
-        let cell = BufCell::new(64);
+        let cell = BufCell::new();
         unsafe { cell.worker_data() }.extend_from_slice(&[1; 64]);
         cell.publish();
         let _ = cell.try_drain().unwrap();

@@ -3,7 +3,9 @@
 //! programmed against [`qc_common::engine`].
 
 use qc_common::bits::OrderedBits;
-use qc_common::engine::{MergeableSketch, QuantileEstimator, StreamIngest, VersionedSketch};
+use qc_common::engine::{
+    MergeableSketch, QuantileEstimator, SharedIngest, StreamIngest, VersionedSketch,
+};
 use qc_common::summary::{Summary, WeightedSummary};
 
 use crate::sketch::QuantilesSketch;
@@ -173,6 +175,12 @@ impl<T: OrderedBits> StreamIngest<T> for Sketch<T> {
     // `update_many` keeps the trait default; `flush` is the default
     // no-op: every update is immediately visible.
 }
+
+/// Single-writer by nature: the sequential sketch declines shared-access
+/// leases (the trait default, `try_writer` → `None`), which is what tells
+/// a keyed store to keep cold keys on the exclusive-lock write path that
+/// also drives tier promotion.
+impl<T: OrderedBits> SharedIngest<T> for Sketch<T> {}
 
 /// Version capability: every state transition of the sequential sketch —
 /// update, merge, absorb — strictly increases the stream length `n` (and

@@ -45,4 +45,4 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use pool::ThreadPool;
 pub use proto::{ErrorCode, ProtoError, RecvError, Request, Response};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle, LEASE_IDLE_FRAMES};

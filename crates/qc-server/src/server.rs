@@ -8,6 +8,17 @@
 //! connections issuing `Update`/`UpdateMany` and reader connections
 //! issuing `Query`/`MergedQuery` against the same [`SketchStore`].
 //!
+//! Writer connections are the paper's update threads end to end: each
+//! connection caches one [`qc_store::WriterLease`] per recently written
+//! key, so repeated `Update`/`UpdateMany` frames reuse the same
+//! per-thread writer handle under only the **shared** stripe lock —
+//! N connections hammering one hot key synchronize inside the sketch
+//! (Gather&Sort/DCAS), not on a store mutex. Leases are generation-
+//! checked by the store on every use (`remove`/demotion invalidates them
+//! mid-connection, falling back transparently), evicted after sitting
+//! idle for [`LEASE_IDLE_FRAMES`] frames, and returned to the store's
+//! per-key pools when the connection closes.
+//!
 //! Shutdown is graceful and bounded: [`ServerHandle::shutdown`] stops the
 //! accept loop, closes every live connection's socket (unblocking any
 //! worker parked in a read), then joins the pool.
@@ -20,7 +31,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use qc_store::{SketchStore, StoreConfig};
+use qc_store::{SketchStore, StoreConfig, WriterLease};
 
 use crate::pool::ThreadPool;
 use crate::proto::{
@@ -348,42 +359,128 @@ fn handle_connection(
     }
 }
 
+/// A cached lease is evicted (and returned to the store's pool) once this
+/// many frames pass without the connection writing to its key — a
+/// connection that drifts across many keys must not pin a pool slot on
+/// every one of them forever.
+pub const LEASE_IDLE_FRAMES: u64 = 4096;
+
+/// Frames between idle-lease sweeps of a connection's cache.
+const LEASE_SWEEP_INTERVAL: u64 = 512;
+
+/// A connection's writer leases: one per recently written key, tagged
+/// with the frame number of its last use.
+struct ConnLeases {
+    leases: HashMap<String, (WriterLease<f64>, u64)>,
+    frame: u64,
+}
+
+impl ConnLeases {
+    fn new() -> Self {
+        ConnLeases { leases: HashMap::new(), frame: 0 }
+    }
+
+    /// Write a batch for `key`, through the cached lease when it is still
+    /// valid, else through the store's own two-tier path — acquiring a
+    /// lease for next time when the key's engine hands one out.
+    fn write(&mut self, store: &SketchStore, key: String, values: &[f64]) {
+        if let Some((lease, used)) = self.leases.get_mut(&key) {
+            match store.update_many_leased(&key, lease, values) {
+                Ok(()) => {
+                    *used = self.frame;
+                    return;
+                }
+                // The key was removed, demoted, or re-created since the
+                // lease was minted. The rejected lease holds no weight —
+                // drop it and fall through to the normal path.
+                Err(qc_store::StaleLease) => {
+                    self.leases.remove(&key);
+                }
+            }
+        }
+        store.update_many(&key, values);
+        if let Some(lease) = store.lease_writer(&key) {
+            let frame = self.frame;
+            self.leases.insert(key, (lease, frame));
+        }
+    }
+
+    /// Per-frame bookkeeping: every `LEASE_SWEEP_INTERVAL` frames, return
+    /// leases that sat idle past `LEASE_IDLE_FRAMES` to the store.
+    fn tick(&mut self, store: &SketchStore) {
+        self.frame += 1;
+        if !self.frame.is_multiple_of(LEASE_SWEEP_INTERVAL) {
+            return;
+        }
+        let frame = self.frame;
+        let idle: Vec<String> = self
+            .leases
+            .iter()
+            .filter(|(_, (_, used))| frame.saturating_sub(*used) > LEASE_IDLE_FRAMES)
+            .map(|(key, _)| key.clone())
+            .collect();
+        for key in idle {
+            if let Some((lease, _)) = self.leases.remove(&key) {
+                store.return_lease(&key, lease);
+            }
+        }
+    }
+
+    /// Hand every lease back to the store's pools (connection teardown).
+    fn release_all(&mut self, store: &SketchStore) {
+        for (key, (lease, _)) in self.leases.drain() {
+            store.return_lease(&key, lease);
+        }
+    }
+}
+
 fn serve_frames(stream: &TcpStream, store: &SketchStore, shutdown: &AtomicBool, max: usize) {
     // `&TcpStream` implements Read/Write, so buffering both directions
     // needs no extra fd duplication: two fds per connection total (the
     // stream itself plus the registry clone `stop` severs).
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(stream);
+    let mut leases = ConnLeases::new();
     loop {
         if shutdown.load(Ordering::Relaxed) {
-            return;
+            break;
         }
         let body = match read_frame(&mut reader, max) {
             Ok(Some(body)) => body,
-            Ok(None) => return,              // client closed cleanly
-            Err(RecvError::Io(_)) => return, // disconnect / shutdown
+            Ok(None) => break,              // client closed cleanly
+            Err(RecvError::Io(_)) => break, // disconnect / shutdown
             Err(RecvError::Proto(e)) => {
                 // Framing itself is broken (oversized declaration): answer
                 // once, then close — byte boundaries are untrustworthy.
                 let resp = Response::Error { code: ErrorCode::Proto, message: e.to_string() };
                 let _ = write_frame(&mut writer, &resp.encode());
                 let _ = writer.flush();
-                return;
+                break;
             }
         };
         let response = match Request::decode(&body) {
             // A malformed *body* inside a well-delimited frame does not
             // desync the stream; answer the error and keep serving.
             Err(e) => Response::Error { code: ErrorCode::Proto, message: e.to_string() },
-            Ok(req) => execute(store, req, shutdown),
+            Ok(req) => execute(store, req, shutdown, &mut leases),
         };
+        leases.tick(store);
         if write_frame(&mut writer, &response.encode()).is_err() || writer.flush().is_err() {
-            return;
+            break;
         }
     }
+    // Give the held writer handles back to the store's per-key pools so
+    // other connections can reuse them (a dropped lease would strand its
+    // pool slot until the next housekeeping sweep).
+    leases.release_all(store);
 }
 
-fn execute(store: &SketchStore, req: Request, shutdown: &AtomicBool) -> Response {
+fn execute(
+    store: &SketchStore,
+    req: Request,
+    shutdown: &AtomicBool,
+    leases: &mut ConnLeases,
+) -> Response {
     if shutdown.load(Ordering::Relaxed) {
         return Response::Error {
             code: ErrorCode::Unavailable,
@@ -392,18 +489,23 @@ fn execute(store: &SketchStore, req: Request, shutdown: &AtomicBool) -> Response
     }
     match req {
         Request::Update { key, value } => {
-            store.update(&key, value);
+            leases.write(store, key, &[value]);
             Response::Ok
         }
         Request::UpdateMany { key, values } => {
-            store.update_many(&key, &values);
+            leases.write(store, key, &values);
             Response::Ok
         }
         Request::Query { key, phi } => Response::MaybeValue(store.query(&key, phi)),
         Request::Rank { key, value } => Response::MaybeValue(store.rank(&key, value)),
         Request::MergedQuery { keys, phi } => Response::MaybeValue(store.merged_query(&keys, phi)),
         Request::Stats => Response::Stats(store.stats()),
-        Request::Remove { key } => Response::Flag(store.remove(&key)),
+        Request::Remove { key } => {
+            // The generation check would reject the lease anyway; dropping
+            // it promptly frees its pool slot (it holds no weight).
+            leases.leases.remove(&key);
+            Response::Flag(store.remove(&key))
+        }
         Request::Keys => Response::Keys(store.keys()),
         Request::Snapshot { key } => Response::MaybeFrame(store.snapshot_bytes(&key)),
         Request::Ingest { key, frame } => match store.ingest_bytes(&key, &frame) {

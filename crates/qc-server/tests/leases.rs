@@ -1,0 +1,121 @@
+//! The per-connection writer-lease cache: repeated `update`/`update_many`
+//! frames on a hot key must reuse a leased per-thread handle (shared-lock
+//! writes), survive `remove`/demotion invalidation transparently, and
+//! keep the store's accounting exact to the element.
+
+use std::time::{Duration, Instant};
+
+use qc_server::{Client, Server, ServerConfig};
+use qc_store::StoreConfig;
+
+fn serve(
+    seed: u64,
+    promotion_threshold: u64,
+    cool_down: Option<Duration>,
+) -> qc_server::ServerHandle {
+    let cfg = ServerConfig {
+        pool_threads: 4,
+        store: StoreConfig::default()
+            .stripes(4)
+            .k(64)
+            .b(4)
+            .seed(seed)
+            .promotion_threshold(promotion_threshold),
+        cool_down_interval: cool_down,
+        ..ServerConfig::default()
+    };
+    Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port")
+}
+
+/// Repeated hot-key writes from one connection ride the shared path via
+/// the cached lease, with exact end-to-end accounting.
+#[test]
+fn connection_reuses_lease_across_frames() {
+    let handle = serve(91, 50, None);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Promote, then stream many batches over the same connection.
+    let mut total = 0u64;
+    for i in 0..40u64 {
+        let batch: Vec<f64> = (0..64).map(|j| (i * 64 + j) as f64).collect();
+        client.update_many("hot", &batch).expect("update rpc");
+        total += 64;
+    }
+    for i in 0..100u64 {
+        client.update("hot", (total + i) as f64).expect("update rpc");
+    }
+    total += 100;
+
+    let stats = handle.store().stats();
+    assert_eq!(stats.updates, total);
+    assert_eq!(stats.stream_len, total, "leased frames stay exact at quiescence");
+    assert!(
+        stats.shared_writes > 30,
+        "hot-key frames must reuse the connection lease (shared {} / fallback {})",
+        stats.shared_writes,
+        stats.fallback_writes
+    );
+    let median = client.query("hot", 0.5).expect("query rpc").expect("non-empty");
+    assert!((0.25 * total as f64..0.75 * total as f64).contains(&median), "median {median}");
+    handle.shutdown();
+}
+
+/// A `remove` from another connection invalidates a held lease
+/// mid-stream: the writer connection falls back, re-leases, and the
+/// successor key sees exactly the post-removal weight.
+#[test]
+fn remove_from_another_connection_goes_unnoticed_by_the_writer() {
+    let handle = serve(92, 0, None);
+    let mut writer = Client::connect(handle.local_addr()).expect("connect writer");
+    let mut admin = Client::connect(handle.local_addr()).expect("connect admin");
+
+    for i in 0..20u64 {
+        let batch: Vec<f64> = (0..32).map(|j| (i * 32 + j) as f64).collect();
+        writer.update_many("k", &batch).expect("update rpc");
+    }
+    assert!(admin.remove("k").expect("remove rpc"));
+
+    // The writer's cached lease is now stale; the next frames must be
+    // delivered anyway — exactly once each.
+    for i in 0..10u64 {
+        let batch: Vec<f64> = (0..32).map(|j| (i * 32 + j) as f64).collect();
+        writer.update_many("k", &batch).expect("update rpc after remove");
+    }
+    let resident = handle.store().summary_of("k").expect("key re-created");
+    assert_eq!(
+        qc_common::Summary::stream_len(&*resident),
+        320,
+        "successor must hold exactly the post-removal weight"
+    );
+    let stats = handle.store().stats();
+    assert_eq!(stats.updates, 20 * 32 + 10 * 32);
+    handle.shutdown();
+}
+
+/// Housekeeping demotion invalidates connection leases too: a key that
+/// cools down mid-connection keeps accepting writes (fallback →
+/// re-promotion → fresh lease) without losing an element.
+#[test]
+fn demotion_mid_connection_keeps_writes_exact() {
+    let handle = serve(93, 100, Some(Duration::from_millis(30)));
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let batch: Vec<f64> = (0..500).map(f64::from).collect();
+    client.update_many("wave", &batch).expect("first burst");
+    assert_eq!(handle.store().stats().hot_keys, 1);
+
+    // Go idle until housekeeping demotes the key (staling our lease).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.store().stats().hot_keys != 0 {
+        assert!(Instant::now() < deadline, "housekeeping never demoted the idle key");
+        std::thread::sleep(Duration::from_millis(15));
+    }
+
+    // Write again through the same connection: stale lease → fallback →
+    // re-promotion; nothing may be lost on either side of the wave.
+    client.update_many("wave", &batch).expect("second burst");
+    let stats = handle.store().stats();
+    assert_eq!(stats.updates, 1000);
+    assert_eq!(stats.stream_len, 1000, "no element lost across demotion of a leased key");
+    handle.shutdown();
+}

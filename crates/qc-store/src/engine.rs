@@ -25,11 +25,12 @@
 //! conservation invariants hold across any number of promotions and
 //! demotions.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use qc_common::bits::OrderedBits;
 use qc_common::engine::{
-    MergeableSketch, QuantileEstimator, SketchEngine, StreamIngest, VersionedSketch,
+    MergeableSketch, QuantileEstimator, SharedIngest, SketchEngine, StreamIngest, VersionedSketch,
 };
 use qc_common::rng::SplitMix64;
 use qc_common::summary::{Summary, WeightedSummary};
@@ -130,6 +131,23 @@ pub struct ConcurrentEngine<T: OrderedBits = f64> {
     /// halvings of the same level).
     compact_rng: SplitMix64,
     version: u64,
+    /// Sub-`b` tails re-homed by leased-writer flushes (a Gather&Sort
+    /// placement is exactly `b` slots, so a partial tail cannot enter the
+    /// sketch directly). Always shorter than `b`: a flush drains every
+    /// full multiple of `b` back through its updater. Composed into every
+    /// read, so leased weight is exactly visible post-flush.
+    spill: Arc<Mutex<Vec<u64>>>,
+    /// Leased-writer flush progress — the shared-write half of
+    /// [`VersionedSketch::version`] (the `&mut self` half is `version`).
+    /// `Arc`ed into every lease. A weight-moving flush bumps it with
+    /// `Release` **after** the flushed weight is observable, and also
+    /// **before** draining previously-visible spill weight into its
+    /// local buffer (see [`LeasedWriter::flush`]) — so for any version a
+    /// reader `Acquire`-loads before materializing, the final state of
+    /// that version contains everything it accounts for, and any
+    /// materialization that raced an in-flight flush carries a tag the
+    /// flush's completion bump supersedes.
+    shared_ops: Arc<AtomicU64>,
 }
 
 /// Buffered absorbed summaries fold into the compacted bulk once their
@@ -158,6 +176,8 @@ impl<T: OrderedBits> ConcurrentEngine<T> {
             merge_seed,
             compact_rng,
             version: 0,
+            spill: Arc::new(Mutex::new(Vec::new())),
+            shared_ops: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -171,6 +191,7 @@ impl<T: OrderedBits> ConcurrentEngine<T> {
         let quiescent = self.sketch.quiescent_summary();
         let mut bits: Vec<u64> =
             self.writer.lock().unwrap().pending().iter().map(|v| v.to_ordered_bits()).collect();
+        bits.extend(self.spill.lock().unwrap().iter().copied());
         bits.sort_unstable();
         let pending = if bits.is_empty() {
             WeightedSummary::empty()
@@ -200,6 +221,82 @@ impl<T: OrderedBits> ConcurrentEngine<T> {
     pub fn sketch(&self) -> &Quancurrent<T> {
         &self.sketch
     }
+
+    /// Completed shared-write flushes (the leased-writer half of the
+    /// version counter). Exact under external synchronization — which is
+    /// how [`TieredEngine`] folds it into its own version and epoch
+    /// accounting.
+    pub(crate) fn shared_writes(&self) -> u64 {
+        self.shared_ops.load(Ordering::Acquire)
+    }
+}
+
+/// A leased per-thread writer over a [`ConcurrentEngine`]: an owned
+/// [`Updater`] (thread-local buffer → Gather&Sort → DCAS, the paper's
+/// lock-free ingestion path) plus the engine's spill and version cells.
+///
+/// `flush` gives the exact-visibility guarantee of [`SharedIngest`]: full
+/// `b`-multiples of buffered weight go through Gather&Sort placement, the
+/// sub-`b` remainder is re-homed into the engine's spill (composed into
+/// every read), and the shared-ops counter advances afterwards so cached
+/// summaries of the pre-flush state invalidate.
+struct LeasedWriter<T: OrderedBits> {
+    updater: Updater<T>,
+    spill: Arc<Mutex<Vec<u64>>>,
+    shared_ops: Arc<AtomicU64>,
+    b: usize,
+    /// Elements written since the last completed flush (a flush that moved
+    /// no weight must not bump the version — idle handles stay
+    /// cache-neutral).
+    unflushed: u64,
+}
+
+impl<T: OrderedBits> StreamIngest<T> for LeasedWriter<T> {
+    fn update(&mut self, x: T) {
+        self.updater.update(x);
+        self.unflushed += 1;
+    }
+
+    fn update_many(&mut self, xs: &[T]) {
+        for &x in xs {
+            self.updater.update(x);
+        }
+        self.unflushed += xs.len() as u64;
+    }
+
+    fn flush(&mut self) {
+        if self.unflushed == 0 {
+            return;
+        }
+        let tail = self.updater.take_pending();
+        // Park the tail in the spill, and take back out every full
+        // multiple of `b` to push through the Gather&Sort path. The lock
+        // scope covers only the vector surgery: placements (which can make
+        // this thread a batch owner doing real merge work) run outside it.
+        let refill: Vec<u64> = {
+            let mut spill = self.spill.lock().unwrap();
+            spill.extend(tail.iter().map(|v| v.to_ordered_bits()));
+            let take = spill.len() - spill.len() % self.b;
+            if take > 0 {
+                // Draining moves weight that earlier versions already
+                // account for (spill elements are read-visible) into this
+                // writer's local buffer, where it is invisible until the
+                // placements below land. Bump the version *before* the
+                // removal so any summary materialized during that window
+                // carries a tag the completion bump (below) supersedes —
+                // a reader can transiently miss in-flight weight, but
+                // never cache that miss against a final version.
+                self.shared_ops.fetch_add(1, Ordering::Release);
+            }
+            spill.drain(..take).collect()
+        };
+        for bits in refill {
+            self.updater.update(T::from_ordered_bits(bits));
+        }
+        debug_assert_eq!(self.updater.pending_len(), 0, "refill must be a multiple of b");
+        self.shared_ops.fetch_add(1, Ordering::Release);
+        self.unflushed = 0;
+    }
 }
 
 impl<T: OrderedBits> QuantileEstimator<T> for ConcurrentEngine<T> {
@@ -209,6 +306,7 @@ impl<T: OrderedBits> QuantileEstimator<T> for ConcurrentEngine<T> {
         self.sketch.stream_len()
             + self.sketch.buffered_len() as u64
             + self.writer.lock().unwrap().pending_len() as u64
+            + self.spill.lock().unwrap().len() as u64
             + self.absorbed_weight()
     }
 
@@ -278,12 +376,32 @@ impl<T: OrderedBits> MergeableSketch<T> for ConcurrentEngine<T> {
     }
 }
 
-/// Exact version accounting: the engine's resident writer is its only
-/// updater and every mutation comes through `&mut self` (under the store's
-/// stripe write lock), so no state moves between bumps.
+/// Version accounting in two halves: `&mut self` mutations (resident
+/// writes, absorbs, compactions — exclusive under the store's stripe write
+/// lock) bump the plain counter, and every leased-writer flush that moved
+/// weight bumps the shared-ops cell. Both halves only grow, so the sum is
+/// monotone; reading the shared half with `Acquire` *before* materializing
+/// a summary guarantees the materialization sees at least everything the
+/// version accounts for (in-flight leased writes may additionally be
+/// visible early — they invalidate the tag when their flush lands).
 impl<T: OrderedBits> VersionedSketch for ConcurrentEngine<T> {
     fn version(&self) -> u64 {
-        self.version
+        self.version + self.shared_ops.load(Ordering::Acquire)
+    }
+}
+
+/// Shared-access leases: every lease is granted — the sketch supports any
+/// number of concurrent updaters; pooling/capping is the owner's concern
+/// (see the store's per-key writer pool).
+impl<T: OrderedBits> SharedIngest<T> for ConcurrentEngine<T> {
+    fn try_writer(&self) -> Option<Box<dyn StreamIngest<T> + Send>> {
+        Some(Box::new(LeasedWriter {
+            updater: self.sketch.updater(),
+            spill: Arc::clone(&self.spill),
+            shared_ops: Arc::clone(&self.shared_ops),
+            b: self.sketch.config().b,
+            unflushed: 0,
+        }))
     }
 }
 
@@ -302,6 +420,7 @@ impl<T: OrderedBits> StoreEngine<T> for ConcurrentEngine<T> {
         8 * self.k
             + self.sketch.levels_retained()
             + self.writer.lock().unwrap().pending_len()
+            + self.spill.lock().unwrap().len()
             + self.absorbed.num_retained()
             + self.absorb_buffer.iter().map(WeightedSummary::num_retained).sum::<usize>()
     }
@@ -329,9 +448,11 @@ impl<T: OrderedBits> std::fmt::Debug for ConcurrentEngine<T> {
     }
 }
 
+/// The hot variant is boxed so the common case — thousands of cold keys —
+/// pays the sequential sketch's size, not the concurrent engine's.
 enum TierState<T: OrderedBits> {
     Cold(SequentialEngine<T>),
-    Hot(ConcurrentEngine<T>),
+    Hot(Box<ConcurrentEngine<T>>),
 }
 
 /// The default store engine: starts every key as a compact sequential
@@ -354,8 +475,12 @@ pub struct TieredEngine<T: OrderedBits = f64> {
     promotion_threshold: u64,
     /// Updates since creation or last demotion (promotion pressure).
     pressure: u64,
-    /// Updates in the current cool-down epoch.
+    /// Exclusive-path updates in the current cool-down epoch.
     epoch_updates: u64,
+    /// The hot engine's shared-write count at the last `maintain` sweep —
+    /// leased writes bypass `&mut self`, so idle detection compares this
+    /// watermark instead of counting.
+    epoch_shared_watermark: u64,
     version: u64,
 }
 
@@ -373,7 +498,16 @@ impl<T: OrderedBits> TieredEngine<T> {
             promotion_threshold,
             pressure: 0,
             epoch_updates: 0,
+            epoch_shared_watermark: 0,
             version: 0,
+        }
+    }
+
+    /// The hot engine's completed shared-write flushes (0 while cold).
+    fn shared_writes(&self) -> u64 {
+        match &self.state {
+            TierState::Cold(_) => 0,
+            TierState::Hot(hot) => hot.shared_writes(),
         }
     }
 
@@ -396,16 +530,27 @@ impl<T: OrderedBits> TieredEngine<T> {
             let summary = MergeableSketch::to_summary(cold);
             let mut hot = ConcurrentEngine::new(self.k, self.b, self.migration_seed(0x9E37_79B9));
             hot.absorb_summary(&summary);
-            self.state = TierState::Hot(hot);
+            self.state = TierState::Hot(Box::new(hot));
+            self.epoch_shared_watermark = 0;
             self.version += 1;
         }
     }
 
     /// Force demotion to the sequential tier via an exact summary
     /// round-trip (no-op if already cold). Resets promotion pressure.
+    ///
+    /// Outstanding leased writers of the hot engine must already be
+    /// invalidated by the owner (the store bumps the key's lease
+    /// generation): their flushed weight rides the summary round-trip; a
+    /// handle itself becomes a write into an orphaned sketch and is
+    /// rejected by the generation check before it can run.
     pub fn demote_now(&mut self) {
         if let TierState::Hot(hot) = &self.state {
             let summary = hot.to_summary();
+            // Fold the hot engine's shared-write half into the plain
+            // counter (+1 for the migration itself) so the version never
+            // regresses when the shared cell is dropped with the engine.
+            self.version = self.version + hot.shared_writes() + 1;
             let mut cold = qc_sequential::Sketch::with_seed(
                 self.k,
                 self.migration_seed(0x6A09_E667_F3BC_C908),
@@ -413,7 +558,7 @@ impl<T: OrderedBits> TieredEngine<T> {
             MergeableSketch::absorb_summary(&mut cold, &summary);
             self.state = TierState::Cold(cold);
             self.pressure = 0;
-            self.version += 1;
+            self.epoch_shared_watermark = 0;
         }
     }
 
@@ -421,7 +566,7 @@ impl<T: OrderedBits> TieredEngine<T> {
     fn inner(&self) -> &dyn SketchEngine<T> {
         match &self.state {
             TierState::Cold(e) => e,
-            TierState::Hot(e) => e,
+            TierState::Hot(e) => &**e,
         }
     }
 
@@ -429,7 +574,7 @@ impl<T: OrderedBits> TieredEngine<T> {
     fn inner_mut(&mut self) -> &mut dyn SketchEngine<T> {
         match &mut self.state {
             TierState::Cold(e) => e,
-            TierState::Hot(e) => e,
+            TierState::Hot(e) => &mut **e,
         }
     }
 
@@ -498,13 +643,27 @@ impl<T: OrderedBits> MergeableSketch<T> for TieredEngine<T> {
     }
 }
 
-/// Exact version accounting: one counter owned by the tiered wrapper
-/// covers updates, absorbs, and tier migrations in either direction (the
-/// inner engines' own versions reset across migrations, so they cannot be
-/// forwarded directly).
+/// Version accounting: the wrapper's own counter covers `&mut self`
+/// mutations and tier migrations in either direction (the inner engines'
+/// full versions reset across migrations, so they cannot be forwarded
+/// directly), plus the hot engine's shared-write half for leased writes.
+/// Demotion folds the shared half into the plain counter before dropping
+/// the hot engine, so the sum never regresses.
 impl<T: OrderedBits> VersionedSketch for TieredEngine<T> {
     fn version(&self) -> u64 {
-        self.version
+        self.version + self.shared_writes()
+    }
+}
+
+/// Shared-access leases, tier-aware: hot keys lease the concurrent
+/// engine's per-thread writers; cold keys decline, keeping callers on the
+/// exclusive path that drives promotion pressure.
+impl<T: OrderedBits> SharedIngest<T> for TieredEngine<T> {
+    fn try_writer(&self) -> Option<Box<dyn StreamIngest<T> + Send>> {
+        match &self.state {
+            TierState::Cold(_) => None,
+            TierState::Hot(hot) => hot.try_writer(),
+        }
     }
 }
 
@@ -525,15 +684,19 @@ impl<T: OrderedBits> StoreEngine<T> for TieredEngine<T> {
         // one delegation keeps the two-arm match.
         match &self.state {
             TierState::Cold(e) => StoreEngine::<T>::footprint(e),
-            TierState::Hot(e) => StoreEngine::<T>::footprint(e),
+            TierState::Hot(e) => StoreEngine::<T>::footprint(&**e),
         }
     }
 
     /// Demotes the key iff the entire epoch since the previous `maintain`
-    /// call saw no updates.
+    /// call saw no updates — on **either** write path: exclusive-lock
+    /// updates count in `epoch_updates`, leased shared writes move the
+    /// hot engine's shared-write counter past the epoch watermark.
     fn maintain(&mut self) -> bool {
-        let idle = self.epoch_updates == 0;
+        let shared_now = self.shared_writes();
+        let idle = self.epoch_updates == 0 && shared_now == self.epoch_shared_watermark;
         self.epoch_updates = 0;
+        self.epoch_shared_watermark = shared_now;
         if idle && self.is_hot() {
             self.demote_now();
             true
@@ -700,6 +863,96 @@ mod tests {
         if VersionedSketch::version(&e) > v {
             assert_eq!(e.to_summary().stream_len(), 320);
         }
+    }
+
+    #[test]
+    fn leased_writer_weight_is_exact_after_flush() {
+        let e = ConcurrentEngine::<f64>::new(64, 4, 21);
+        let v0 = VersionedSketch::version(&e);
+        let mut w = e.try_writer().expect("concurrent engine always leases");
+        // 10 = 2 full Gather&Sort placements + a sub-b tail of 2.
+        w.update_many(&(0..10).map(f64::from).collect::<Vec<_>>());
+        w.flush();
+        assert_eq!(QuantileEstimator::stream_len(&e), 10, "flushed leased weight must be exact");
+        assert_eq!(e.to_summary().stream_len(), 10);
+        assert!(VersionedSketch::version(&e) > v0, "a weight-moving flush must bump the version");
+        assert!(e.spill.lock().unwrap().len() < 4, "spill must stay below b");
+        // An idle flush is version-neutral (cached summaries stay warm).
+        let v1 = VersionedSketch::version(&e);
+        w.flush();
+        assert_eq!(VersionedSketch::version(&e), v1);
+    }
+
+    #[test]
+    fn concurrent_leases_drain_each_others_spill() {
+        let e = ConcurrentEngine::<f64>::new(64, 4, 22);
+        // 4 leases × 3 elements: each flush parks a sub-b tail; later
+        // flushes pick up full multiples of b. Total must stay exact and
+        // the spill bounded regardless of interleaving.
+        let mut writers: Vec<_> = (0..4).map(|_| e.try_writer().unwrap()).collect();
+        for (i, w) in writers.iter_mut().enumerate() {
+            w.update_many(&[(i * 3) as f64, (i * 3 + 1) as f64, (i * 3 + 2) as f64]);
+            w.flush();
+        }
+        assert_eq!(QuantileEstimator::stream_len(&e), 12);
+        assert_eq!(e.to_summary().stream_len(), 12);
+        assert!(e.spill.lock().unwrap().len() < 4);
+    }
+
+    #[test]
+    fn draining_flush_brackets_the_spill_move_with_two_bumps() {
+        let e = ConcurrentEngine::<f64>::new(64, 4, 25);
+        let mut w = e.try_writer().unwrap();
+        w.update_many(&[1.0, 2.0, 3.0]);
+        w.flush(); // tail of 3 parks in the spill: no drain, one bump
+        let v1 = VersionedSketch::version(&e);
+        w.update_many(&[4.0, 5.0, 6.0]);
+        w.flush(); // spill reaches 6, drains 4 back through Gather&Sort
+        let v2 = VersionedSketch::version(&e);
+        // The drain moves weight that v1 already accounted for out of the
+        // spill; the extra bump before the removal is what keeps a reader
+        // materializing inside that window from caching the miss against
+        // a settled version.
+        assert_eq!(v2 - v1, 2, "a draining flush must bump before the drain and after the land");
+        assert_eq!(QuantileEstimator::stream_len(&e), 6);
+        assert_eq!(e.to_summary().stream_len(), 6);
+    }
+
+    #[test]
+    fn leased_and_resident_writes_compose() {
+        let mut e = ConcurrentEngine::<f64>::new(64, 4, 23);
+        e.update_many(&(0..100).map(f64::from).collect::<Vec<_>>());
+        let mut w = e.try_writer().unwrap();
+        w.update_many(&(100..200).map(f64::from).collect::<Vec<_>>());
+        w.flush();
+        drop(w);
+        e.update_many(&(200..300).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(QuantileEstimator::stream_len(&e), 300);
+        assert_eq!(e.to_summary().stream_len(), 300);
+    }
+
+    #[test]
+    fn tiered_leases_only_when_hot_and_shared_writes_defer_demotion() {
+        let mut t = TieredEngine::<f64>::build(&cfg(), 24);
+        assert!(t.try_writer().is_none(), "cold keys must keep the exclusive path");
+        t.update_many(&(0..500).map(f64::from).collect::<Vec<_>>());
+        assert!(t.is_hot());
+        let mut w = t.try_writer().expect("hot keys lease");
+        // Close the busy epoch, then write through the lease only: the
+        // next sweep must see the shared write and not demote.
+        assert!(!StoreEngine::<f64>::maintain(&mut t));
+        w.update_many(&[1.0, 2.0, 3.0]);
+        w.flush();
+        assert!(!StoreEngine::<f64>::maintain(&mut t), "leased writes must count as activity");
+        assert!(t.is_hot());
+        drop(w);
+        // Two genuinely idle sweeps demote; the version stays monotone
+        // across the fold and the weight stays exact.
+        let v_before = VersionedSketch::version(&t);
+        assert!(StoreEngine::<f64>::maintain(&mut t));
+        assert!(!t.is_hot());
+        assert!(VersionedSketch::version(&t) > v_before, "demotion fold must not regress");
+        assert_eq!(QuantileEstimator::stream_len(&t), 503, "demotion conserves leased weight");
     }
 
     #[test]

@@ -57,5 +57,8 @@ pub mod wire;
 
 pub use engine::{ConcurrentEngine, SequentialEngine, StoreEngine, Tier, TieredEngine};
 pub use merge::merge_summaries;
-pub use store::{SketchStore, StoreConfig, StoreStats, DEFAULT_PROMOTION_THRESHOLD};
+pub use store::{
+    SketchStore, StaleLease, StoreConfig, StoreStats, WriterLease, DEFAULT_PROMOTION_THRESHOLD,
+    DEFAULT_WRITER_POOL,
+};
 pub use wire::{decode_summary, encode_summary, WireError};

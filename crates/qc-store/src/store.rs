@@ -36,13 +36,51 @@
 //!   engine version against the cache tag, and clone nothing but an
 //!   `Arc<WeightedSummary>` — they never block each other and never
 //!   rebuild;
-//! * **misses** materialize under the same shared lock (the engines'
-//!   `&self` reads are exact there, because every mutation holds the
-//!   write lock) and publish the result for the next reader;
-//! * **writers** (`update_many`, `ingest_bytes`, `cool_down`, `remove`)
-//!   take the exclusive lock; the engine's version bump is what
-//!   invalidates the cache — no read ever serves a summary whose version
-//!   does not match the engine's current state.
+//! * **misses** materialize under the same shared lock and publish the
+//!   result for the next reader; the version is read **before**
+//!   materializing, so a summary is never tagged newer than its
+//!   contents;
+//! * **exclusive writers** (`ingest_bytes`, `cool_down`, `remove`, the
+//!   fallback write path) take the exclusive lock; **leased writers**
+//!   (the shared write path below) mutate the engine under the shared
+//!   lock but bump the engine version around every weight movement — so
+//!   a summary materialized while a leased write was in flight carries a
+//!   tag the write's completion bump supersedes, and no read ever serves
+//!   a summary whose version matches the engine's *settled* state while
+//!   missing weight that state accounts for.
+//!
+//! # Write path: leased per-thread writer handles
+//!
+//! The paper's writers never serialize — each thread fills a local buffer
+//! and synchronizes only at Gather&Sort/DCAS points. The store mirrors
+//! that through [`qc_common::engine::SharedIngest`]: each key carries a
+//! small pool of leased writer handles tagged with a **generation**, and
+//! `update_many` becomes a two-tier path:
+//!
+//! * **shared fast path** — for an existing key whose engine leases
+//!   writers (hot/concurrent tiers), the batch is written through a
+//!   pooled per-thread handle under only the **shared** stripe lock:
+//!   N writers on one hot key synchronize inside the engine (the paper's
+//!   propagation points), not on the stripe. Every fast-path call flushes
+//!   its handle before returning it, so handles hold **zero weight while
+//!   idle** and reads stay exact at quiescence;
+//! * **exclusive slow path** — key creation, cold/sequential keys (whose
+//!   exclusive writes are what drives tier promotion), and pool
+//!   exhaustion fall back to the stripe write lock, byte-identical to the
+//!   old behavior. [`StoreStats::shared_writes`] /
+//!   [`StoreStats::fallback_writes`] count the split.
+//!
+//! Callers that keep a handle across calls (the serving layer's
+//! per-connection lease cache) use [`SketchStore::lease_writer`] /
+//! [`SketchStore::update_many_leased`] / [`SketchStore::return_lease`].
+//! `remove`, demotion (`cool_down`), and re-creation each assign the key
+//! a fresh generation from a store-wide counter, so a stale lease can
+//! **never** write into a successor engine: every leased write validates
+//! the generation under the same shared-lock hold as the write itself.
+//! Conservation is exact by construction — a lease buffers weight only
+//! inside a single (locked) write call, every such call ends in a flush,
+//! and invalidation happens under the exclusive lock, which no write can
+//! overlap.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -82,6 +120,12 @@ pub struct StoreConfig {
     /// update beyond the threshold (`0` promotes on the first update,
     /// `u64::MAX` pins keys cold). Ignored by non-tiered engines.
     pub promotion_threshold: u64,
+    /// Per-key writer-handle pool capacity: at most this many leased
+    /// writer handles exist per key (pooled + checked out). `0` disables
+    /// the shared-lock write path entirely — every write takes the
+    /// exclusive fallback, which is the pre-lease behavior (and the
+    /// baseline the write benchmarks compare against).
+    pub writer_pool: usize,
 }
 
 impl Default for StoreConfig {
@@ -92,9 +136,15 @@ impl Default for StoreConfig {
             b: 4,
             seed: 0x5eed_5704e,
             promotion_threshold: DEFAULT_PROMOTION_THRESHOLD,
+            writer_pool: DEFAULT_WRITER_POOL,
         }
     }
 }
+
+/// Default per-key writer-handle pool capacity — sized to the serving
+/// layer's default worker count, so every connection of a default server
+/// can hold a lease on one hot key.
+pub const DEFAULT_WRITER_POOL: usize = 8;
 
 /// Default per-key promotion threshold: roughly where the concurrent
 /// engine's fixed Gather&Sort footprint amortizes against the sequential
@@ -129,6 +179,13 @@ impl StoreConfig {
     /// Set the tiering promotion threshold (cumulative updates per key).
     pub fn promotion_threshold(mut self, threshold: u64) -> Self {
         self.promotion_threshold = threshold;
+        self
+    }
+
+    /// Set the per-key writer-handle pool capacity (`0` disables the
+    /// shared-lock write path).
+    pub fn writer_pool(mut self, handles: usize) -> Self {
+        self.writer_pool = handles;
         self
     }
 }
@@ -171,17 +228,102 @@ pub struct StoreStats {
     pub cache_hits: u64,
     /// Reads that had to materialize a summary. Local-only.
     pub cache_misses: u64,
+    /// Write batches that rode the shared-lock fast path (a leased
+    /// per-thread writer handle). Local-only.
+    pub shared_writes: u64,
+    /// Write batches that took the exclusive-lock fallback (key creation,
+    /// cold-tier keys, exhausted pools, or `writer_pool == 0`).
+    /// Local-only.
+    pub fallback_writes: u64,
 }
 
-/// One key's slot in a stripe map: the live engine plus the cached
-/// materialization of its summary.
-struct KeyEntry<E> {
+/// A writer lease checked out of a key's pool with
+/// [`SketchStore::lease_writer`]: an owned per-thread handle plus the
+/// generation tag it was minted under.
+///
+/// The lease is only usable through the store
+/// ([`SketchStore::update_many_leased`]), which re-validates the
+/// generation under the shared stripe lock on every call — so holding a
+/// lease across requests is safe against concurrent `remove`, demotion,
+/// and re-creation of the key. A lease holds **no buffered weight**
+/// between calls (every leased write ends in a flush); dropping one, even
+/// a stale one, never loses stream weight. Dropping also returns the
+/// handle to the key's pool when the generation still matches (a weak
+/// back-reference, checked atomically with the pool's own generation), so
+/// a lease abandoned on a panic or forgotten by a caller cannot pin one
+/// of the key's [`StoreConfig::writer_pool`] mint slots forever.
+pub struct WriterLease<T> {
+    generation: u64,
+    handle: Option<Box<dyn qc_common::engine::StreamIngest<T> + Send>>,
+    pool: std::sync::Weak<Mutex<WriterPool<T>>>,
+}
+
+impl<T> WriterLease<T> {
+    /// The key generation this lease was minted under (diagnostics).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+impl<T> Drop for WriterLease<T> {
+    fn drop(&mut self) {
+        let (Some(handle), Some(pool)) = (self.handle.take(), self.pool.upgrade()) else {
+            // Key removed (pool deallocated) or handle already returned:
+            // nothing to give back — the handle holds no weight.
+            return;
+        };
+        let mut pool = pool.lock().unwrap();
+        if pool.generation == self.generation {
+            // Flushed by the lease invariant; reusable as-is.
+            pool.idle.push(handle);
+        }
+        // Stale: the generation reset already reclaimed our mint slot.
+    }
+}
+
+impl<T> std::fmt::Debug for WriterLease<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriterLease").field("generation", &self.generation).finish()
+    }
+}
+
+/// A leased write was rejected because the lease no longer matches the
+/// key's live engine (the key was removed, demoted, or re-created since
+/// the lease was minted). **No weight was written.** Drop the lease and
+/// fall back to [`SketchStore::update_many`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaleLease;
+
+impl std::fmt::Display for StaleLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("writer lease does not match the key's current generation")
+    }
+}
+
+impl std::error::Error for StaleLease {}
+
+/// One key's slot in a stripe map: the live engine, the cached
+/// materialization of its summary, and the leased-writer pool.
+struct KeyEntry<T, E> {
     engine: E,
+    /// Lease generation: every leased write validates its tag against
+    /// this under the shared stripe lock. Assigned from the store-wide
+    /// counter at creation and re-assigned (under the write lock) by any
+    /// invalidation — tier demotion today; removal retires the entry and
+    /// with it the generation, so a re-created key never reuses one.
+    /// Mirrored into [`WriterPool::generation`] (kept in sync under the
+    /// same write-lock sections) for lease-drop-time validation.
+    generation: u64,
     /// Last materialized summary, tagged with the engine version that
     /// produced it. The inner mutex guards only the tag-compare /
     /// `Arc`-clone critical section (a handful of instructions), so
     /// readers sharing the stripe lock barely serialize on it.
     cache: Mutex<Option<CachedSummary>>,
+    /// Idle leased writer handles plus the mint count; the mutex guards
+    /// only push/pop (writes run **outside** it, so checkouts never
+    /// serialize the data path). `Arc`ed so outstanding [`WriterLease`]s
+    /// can return their handles on drop through a weak back-reference.
+    pool: Arc<Mutex<WriterPool<T>>>,
 }
 
 struct CachedSummary {
@@ -189,14 +331,56 @@ struct CachedSummary {
     summary: Arc<WeightedSummary>,
 }
 
-impl<E> KeyEntry<E> {
-    fn new(engine: E) -> Self {
-        KeyEntry { engine, cache: Mutex::new(None) }
+struct WriterPool<T> {
+    /// Mirror of [`KeyEntry::generation`], so a dropping lease can
+    /// validate atomically against concurrent invalidation without the
+    /// stripe lock.
+    generation: u64,
+    /// Handles returned after a flush — they hold no weight while idle.
+    idle: Vec<Box<dyn qc_common::engine::StreamIngest<T> + Send>>,
+    /// Handles minted this generation (idle + checked out), capped by
+    /// [`StoreConfig::writer_pool`].
+    minted: usize,
+}
+
+impl<T: OrderedBits, E: StoreEngine<T>> KeyEntry<T, E> {
+    fn new(engine: E, generation: u64) -> Self {
+        KeyEntry {
+            engine,
+            generation,
+            cache: Mutex::new(None),
+            pool: Arc::new(Mutex::new(WriterPool { generation, idle: Vec::new(), minted: 0 })),
+        }
+    }
+
+    /// Check a leased writer handle out of the pool (minting one from the
+    /// engine if under the cap). `None` sends the caller to the
+    /// exclusive-lock fallback. Runs under the shared stripe lock.
+    fn checkout(&self, cap: usize) -> Option<Box<dyn qc_common::engine::StreamIngest<T> + Send>> {
+        if cap == 0 {
+            return None;
+        }
+        let mut pool = self.pool.lock().unwrap();
+        if let Some(handle) = pool.idle.pop() {
+            return Some(handle);
+        }
+        if pool.minted >= cap {
+            return None;
+        }
+        let handle = self.engine.try_writer()?;
+        pool.minted += 1;
+        Some(handle)
+    }
+
+    /// Return a (flushed) handle to the pool. The caller holds the shared
+    /// stripe lock, so the generation cannot have moved since checkout.
+    fn give_back(&self, handle: Box<dyn qc_common::engine::StreamIngest<T> + Send>) {
+        self.pool.lock().unwrap().idle.push(handle);
     }
 }
 
 /// One stripe: a reader-writer lock around the stripe's key map.
-type Stripe<E> = RwLock<HashMap<String, KeyEntry<E>>>;
+type Stripe<T, E> = RwLock<HashMap<String, KeyEntry<T, E>>>;
 
 /// Sharded keyed sketch store, generic over the element type and the
 /// per-key engine; see the [module docs](self).
@@ -205,7 +389,7 @@ type Stripe<E> = RwLock<HashMap<String, KeyEntry<E>>>;
 /// over the tiered engine, which is wire- and API-compatible with the
 /// previous `Quancurrent`-only store.
 pub struct SketchStore<T: OrderedBits = f64, E: StoreEngine<T> = TieredEngine<T>> {
-    stripes: Box<[Stripe<E>]>,
+    stripes: Box<[Stripe<T, E>]>,
     mask: usize,
     cfg: StoreConfig,
     updates: AtomicU64,
@@ -215,6 +399,12 @@ pub struct SketchStore<T: OrderedBits = f64, E: StoreEngine<T> = TieredEngine<T>
     bytes_in: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    shared_writes: AtomicU64,
+    fallback_writes: AtomicU64,
+    /// Store-wide lease-generation source: strictly increasing, never
+    /// reused, so a stale lease can never collide with a successor
+    /// engine's tag.
+    lease_generation: AtomicU64,
     _marker: std::marker::PhantomData<fn(T) -> T>,
 }
 
@@ -252,8 +442,16 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             bytes_in: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            shared_writes: AtomicU64::new(0),
+            fallback_writes: AtomicU64::new(0),
+            lease_generation: AtomicU64::new(0),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// The next never-before-used lease generation.
+    fn next_generation(&self) -> u64 {
+        self.lease_generation.fetch_add(1, Relaxed)
     }
 
     /// The store's configuration (stripe count already normalized).
@@ -266,7 +464,7 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         self.stripes.len()
     }
 
-    fn stripe_of(&self, key: &str) -> &Stripe<E> {
+    fn stripe_of(&self, key: &str) -> &Stripe<T, E> {
         // FNV-1a over the key bytes; stripe count is a power of two.
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for b in key.as_bytes() {
@@ -291,16 +489,51 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         self.update_many(key, &[value]);
     }
 
-    /// Feed a batch of values into `key` under a single lock acquisition.
+    /// Feed a batch of values into `key` under a single lock acquisition —
+    /// the **shared** stripe lock when the key already exists and its
+    /// engine leases writer handles (see the
+    /// [write path](self#write-path-leased-per-thread-writer-handles)),
+    /// the exclusive lock otherwise.
+    ///
+    /// Nothing happens for an empty batch: no key is created and no
+    /// counter moves.
     pub fn update_many(&self, key: &str, values: &[T]) {
         if values.is_empty() {
             return;
         }
+        // Shared fast path: hot-key writers synchronize only inside the
+        // engine (the paper's Gather&Sort/DCAS points), never on the
+        // stripe.
+        {
+            let map = self.stripe_of(key).read().unwrap();
+            if let Some(entry) = map.get(key) {
+                if let Some(mut handle) = entry.checkout(self.cfg.writer_pool) {
+                    // Count before writing (the write is infallible from
+                    // here): a concurrent `stats()` sweep sharing the
+                    // stripe lock must never observe engine weight not
+                    // yet in `updates`.
+                    self.updates.fetch_add(values.len() as u64, Relaxed);
+                    self.shared_writes.fetch_add(1, Relaxed);
+                    handle.update_many(values);
+                    // Flush before the handle goes idle: pooled handles
+                    // hold zero weight, so reads are exact at quiescence
+                    // and invalidation can never strand buffered weight.
+                    handle.flush();
+                    entry.give_back(handle);
+                    return;
+                }
+            }
+        }
+        // Exclusive slow path: key creation, cold-tier keys (whose
+        // `&mut` updates drive promotion pressure), exhausted pools.
         let mut map = self.stripe_of(key).write().unwrap();
         // Probe before inserting: the steady state must not allocate a
         // `String` per call just to use the entry API.
         if !map.contains_key(key) {
-            map.insert(key.to_string(), KeyEntry::new(E::build(&self.cfg, self.key_seed(key))));
+            map.insert(
+                key.to_string(),
+                KeyEntry::new(E::build(&self.cfg, self.key_seed(key)), self.next_generation()),
+            );
         }
         let entry = map.get_mut(key).expect("entry just ensured");
         entry.engine.update_many(values);
@@ -309,6 +542,66 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         // (`stream_len > updates` mid-flight, under-reported counters at
         // shutdown barriers).
         self.updates.fetch_add(values.len() as u64, Relaxed);
+        self.fallback_writes.fetch_add(1, Relaxed);
+    }
+
+    /// Check a writer lease out of `key`'s pool, for callers that reuse a
+    /// per-thread handle across many calls (the serving layer caches one
+    /// per connection per hot key). `None` if the key is absent, its
+    /// engine declines shared writers (cold/sequential tiers), or the
+    /// pool is at capacity — fall back to [`SketchStore::update_many`].
+    pub fn lease_writer(&self, key: &str) -> Option<WriterLease<T>> {
+        let map = self.stripe_of(key).read().unwrap();
+        let entry = map.get(key)?;
+        let handle = entry.checkout(self.cfg.writer_pool)?;
+        Some(WriterLease {
+            generation: entry.generation,
+            handle: Some(handle),
+            pool: Arc::downgrade(&entry.pool),
+        })
+    }
+
+    /// Feed a batch through a held lease under the shared stripe lock.
+    ///
+    /// Validates the lease generation under the same lock hold as the
+    /// write, so a stale lease — the key was removed, demoted, or
+    /// re-created — is rejected **before** any element moves:
+    /// [`StaleLease`] means no weight was written and no counter was
+    /// bumped; drop the lease and retry through
+    /// [`SketchStore::update_many`]. The handle is flushed before the
+    /// call returns, so the write is fully engine-visible.
+    pub fn update_many_leased(
+        &self,
+        key: &str,
+        lease: &mut WriterLease<T>,
+        values: &[T],
+    ) -> Result<(), StaleLease> {
+        let map = self.stripe_of(key).read().unwrap();
+        let entry = map.get(key).ok_or(StaleLease)?;
+        if entry.generation != lease.generation {
+            return Err(StaleLease);
+        }
+        if values.is_empty() {
+            return Ok(());
+        }
+        // Same ordering discipline as the pooled fast path: count first,
+        // then write + flush (infallible), all under the shared lock.
+        self.updates.fetch_add(values.len() as u64, Relaxed);
+        self.shared_writes.fetch_add(1, Relaxed);
+        let handle = lease.handle.as_mut().expect("lease handle present until drop");
+        handle.update_many(values);
+        handle.flush();
+        Ok(())
+    }
+
+    /// Return a lease to `key`'s pool. Equivalent to dropping it — the
+    /// lease's own drop returns the handle through its weak pool
+    /// back-reference when the generation still matches, and a stale
+    /// lease (generation moved, key gone) is discarded; it holds no
+    /// weight by the lease invariant, so nothing is lost either way.
+    pub fn return_lease(&self, key: &str, lease: WriterLease<T>) {
+        let _ = key;
+        drop(lease);
     }
 
     /// φ-quantile estimate over everything `key` has seen (local updates
@@ -345,8 +638,11 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     /// lock, compares the engine's
     /// [`version`](qc_common::engine::VersionedSketch::version) against
     /// the cache tag, and clones only the `Arc`. A miss materializes the
-    /// summary under the same shared lock (exact: every mutation holds
-    /// the write lock) and publishes it for subsequent readers.
+    /// summary under the same shared lock and publishes it for subsequent
+    /// readers — exact whenever the engine is settled (no leased write in
+    /// flight); a concurrent leased write can make the materialization a
+    /// transiently relaxed view, whose tag the write's own version bump
+    /// invalidates when its flush completes.
     pub fn summary_of(&self, key: &str) -> Option<Arc<WeightedSummary>> {
         let map = self.stripe_of(key).read().unwrap();
         let entry = map.get(key)?;
@@ -361,10 +657,16 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             }
         }
         // Rebuild outside the cache mutex so a slow materialization never
-        // blocks warm readers of the previous version. The engine cannot
-        // move while any reader holds the stripe read lock, so every
-        // concurrent miss materializes the same `version`; publishing
-        // unconditionally is safe (last writer wins with an equal value).
+        // blocks warm readers of the previous version. Leased writers may
+        // move the engine under this same shared lock, so two concurrent
+        // misses can materialize *different* summaries — but never under
+        // a settled tag: `version` was read before materializing (a
+        // summary is never tagged newer than its contents), and every
+        // leased flush bumps the version both before draining previously
+        // visible weight and after landing it, so whatever stale value a
+        // racing miss publishes is invalidated by the flush's completion
+        // bump. Publishing unconditionally is therefore safe: a wrong
+        // entry can only sit under a tag no settled state carries.
         self.cache_misses.fetch_add(1, Relaxed);
         let summary = Arc::new(entry.engine.to_summary());
         *entry.cache.lock().unwrap() =
@@ -408,9 +710,9 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         };
         let ingested = remote.stream_len();
         let mut map = self.stripe_of(key).write().unwrap();
-        let entry = map
-            .entry(key.to_string())
-            .or_insert_with(|| KeyEntry::new(E::build(&self.cfg, self.key_seed(key))));
+        let entry = map.entry(key.to_string()).or_insert_with(|| {
+            KeyEntry::new(E::build(&self.cfg, self.key_seed(key)), self.next_generation())
+        });
         entry.engine.absorb_summary(&remote);
         // Counted under the stripe lock, like `updates`: `stats()` must
         // never see absorbed weight that is not yet in `ingests`.
@@ -481,9 +783,39 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             for key in keys {
                 let mut map = stripe.write().unwrap();
                 if let Some(entry) = map.get_mut(&key) {
-                    if entry.engine.maintain() {
-                        changed += 1;
+                    // Flush-on-invalidate, **before** any tier decision:
+                    // pooled handles hold no weight by the lease invariant,
+                    // but flushing them here makes conservation across
+                    // demotion structural rather than an invariant of
+                    // every other code path (a no-op flush is free).
+                    {
+                        let mut pool = entry.pool.lock().unwrap();
+                        for handle in pool.idle.iter_mut() {
+                            handle.flush();
+                        }
                     }
+                    let migrated = entry.engine.maintain();
+                    let mut pool = entry.pool.lock().unwrap();
+                    if migrated {
+                        changed += 1;
+                        // Tier migration orphans every handle minted for
+                        // the previous engine: retire the generation so
+                        // outstanding leases are rejected at their next
+                        // use (and discarded on drop), and drop the idle
+                        // pool with it.
+                        entry.generation = self.next_generation();
+                        pool.generation = entry.generation;
+                        pool.idle.clear();
+                        pool.minted = 0;
+                    } else {
+                        // Housekeeping sweep drops idle leases: handles
+                        // parked for a whole interval re-mint on demand;
+                        // checked-out leases keep their mint slot.
+                        let idle = pool.idle.len();
+                        pool.minted -= idle;
+                        pool.idle.clear();
+                    }
+                    drop(pool);
                     // Housekeeping for the read cache too: drop summaries
                     // the engine has since moved past, so written-then-idle
                     // keys do not pin a stale materialization indefinitely.
@@ -533,6 +865,8 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             retained,
             cache_hits: self.cache_hits.load(Relaxed),
             cache_misses: self.cache_misses.load(Relaxed),
+            shared_writes: self.shared_writes.load(Relaxed),
+            fallback_writes: self.fallback_writes.load(Relaxed),
         }
     }
 }
@@ -781,6 +1115,190 @@ mod tests {
         assert_eq!(store.summary_of("seed").unwrap().stream_len(), 4100);
         let stats = store.stats();
         assert!(stats.cache_hits + stats.cache_misses >= 8000);
+    }
+
+    #[test]
+    fn hot_key_writes_ride_the_shared_path_and_stay_exact() {
+        let store = SketchStore::new(
+            StoreConfig::default().stripes(2).k(64).b(4).seed(5).promotion_threshold(100),
+        );
+        // Cold phase: every batch is an exclusive fallback.
+        store.update_many("k", &(0..100).map(f64::from).collect::<Vec<_>>());
+        let stats = store.stats();
+        assert_eq!(stats.shared_writes, 0);
+        assert!(stats.fallback_writes >= 1);
+        // Push past the promotion threshold (still fallback — that write
+        // fires the promotion), then write hot: shared path.
+        store.update_many("k", &(100..200).map(f64::from).collect::<Vec<_>>());
+        let fallbacks = store.stats().fallback_writes;
+        store.update_many("k", &(200..300).map(f64::from).collect::<Vec<_>>());
+        store.update_many("k", &(300..400).map(f64::from).collect::<Vec<_>>());
+        let stats = store.stats();
+        assert_eq!(stats.shared_writes, 2, "hot-key batches must take the shared path");
+        assert_eq!(stats.fallback_writes, fallbacks, "no fallback once hot");
+        assert_eq!(stats.updates, 400);
+        assert_eq!(stats.stream_len, 400, "leased writes stay exact at quiescence");
+        assert_eq!(store.summary_of("k").unwrap().stream_len(), 400);
+    }
+
+    #[test]
+    fn writer_pool_zero_disables_the_shared_path() {
+        let store = SketchStore::new(
+            StoreConfig::default()
+                .stripes(2)
+                .k(64)
+                .b(4)
+                .seed(6)
+                .promotion_threshold(0)
+                .writer_pool(0),
+        );
+        store.update_many("k", &(0..500).map(f64::from).collect::<Vec<_>>());
+        store.update_many("k", &(0..500).map(f64::from).collect::<Vec<_>>());
+        let stats = store.stats();
+        assert_eq!(stats.shared_writes, 0);
+        assert_eq!(stats.fallback_writes, 2);
+        assert_eq!(stats.stream_len, 1000);
+    }
+
+    #[test]
+    fn empty_batches_touch_nothing_on_either_path() {
+        let store = small_store(2);
+        store.update_many("ephemeral", &[]);
+        assert!(store.is_empty(), "an empty batch must not create the key");
+        let stats = store.stats();
+        assert_eq!((stats.updates, stats.shared_writes, stats.fallback_writes), (0, 0, 0));
+        // Same through a held lease on an existing hot key.
+        let store = SketchStore::new(
+            StoreConfig::default().stripes(2).k(64).b(4).seed(7).promotion_threshold(0),
+        );
+        store.update_many("k", &[1.0]);
+        store.update_many("k", &[2.0]);
+        let mut lease = store.lease_writer("k").expect("hot key leases");
+        let before = store.stats();
+        store.update_many_leased("k", &mut lease, &[]).unwrap();
+        let after = store.stats();
+        assert_eq!(after.updates, before.updates);
+        assert_eq!(after.shared_writes, before.shared_writes);
+        store.return_lease("k", lease);
+    }
+
+    #[test]
+    fn lease_survives_reuse_and_goes_stale_on_remove() {
+        let store = SketchStore::new(
+            StoreConfig::default().stripes(2).k(64).b(4).seed(8).promotion_threshold(0),
+        );
+        store.update_many("k", &[0.0, 1.0]);
+        let mut lease = store.lease_writer("k").expect("hot key leases");
+        for i in 0..10u64 {
+            let batch: Vec<f64> = (0..7).map(|j| (i * 7 + j) as f64).collect();
+            store.update_many_leased("k", &mut lease, &batch).unwrap();
+        }
+        assert_eq!(store.summary_of("k").unwrap().stream_len(), 72);
+        // Remove retires the generation: the held lease must be rejected,
+        // and a re-created key must never see its writes.
+        assert!(store.remove("k"));
+        assert_eq!(store.update_many_leased("k", &mut lease, &[9.0]), Err(StaleLease));
+        store.update_many("k", &[5.0]);
+        assert_eq!(store.update_many_leased("k", &mut lease, &[9.0]), Err(StaleLease));
+        assert_eq!(
+            store.summary_of("k").unwrap().stream_len(),
+            1,
+            "no stale write may land in the successor generation"
+        );
+        // Returning the stale lease is a harmless no-op.
+        store.return_lease("k", lease);
+        assert_eq!(store.stats().stream_len, 1);
+    }
+
+    #[test]
+    fn demotion_invalidates_leases_without_losing_weight() {
+        let store = SketchStore::new(
+            StoreConfig::default().stripes(2).k(64).b(4).seed(9).promotion_threshold(0),
+        );
+        store.update_many("k", &(0..100).map(f64::from).collect::<Vec<_>>());
+        store.update_many("k", &(100..200).map(f64::from).collect::<Vec<_>>());
+        let mut lease = store.lease_writer("k").expect("hot key leases");
+        store.update_many_leased("k", &mut lease, &[200.0, 201.0, 202.0]).unwrap();
+        // Leased writes count as epoch activity: the sweep that closes
+        // their epoch must not demote; the next (idle) one does.
+        assert_eq!(store.cool_down(), 0, "epoch with the leased write just closed");
+        assert_eq!(store.cool_down(), 1, "idle epoch demotes");
+        assert_eq!(store.stats().hot_keys, 0);
+        assert_eq!(
+            store.summary_of("k").unwrap().stream_len(),
+            203,
+            "demotion must conserve leased weight exactly"
+        );
+        assert_eq!(store.update_many_leased("k", &mut lease, &[9.0]), Err(StaleLease));
+        assert_eq!(store.summary_of("k").unwrap().stream_len(), 203);
+        // The normal path keeps working (and re-promotes under pressure).
+        store.update_many("k", &[300.0]);
+        assert_eq!(store.summary_of("k").unwrap().stream_len(), 204);
+    }
+
+    #[test]
+    fn pool_caps_leases_and_sweep_reclaims_idle_handles() {
+        let store = SketchStore::new(
+            StoreConfig::default()
+                .stripes(2)
+                .k(64)
+                .b(4)
+                .seed(10)
+                .promotion_threshold(0)
+                .writer_pool(2),
+        );
+        store.update_many("k", &[0.0]);
+        store.update_many("k", &[1.0]);
+        let lease_a = store.lease_writer("k").expect("first lease");
+        let lease_b = store.lease_writer("k").expect("second lease");
+        assert!(store.lease_writer("k").is_none(), "pool cap must bound minted leases");
+        // update_many still works: the exhausted pool sends it down the
+        // exclusive fallback.
+        store.update_many("k", &[2.0]);
+        assert!(store.stats().fallback_writes >= 1);
+        store.return_lease("k", lease_a);
+        let lease_c = store.lease_writer("k").expect("returned handles are reusable");
+        // Park both handles and sweep: idle leases are dropped and their
+        // mint slots freed, so the pool can mint fresh ones afterwards.
+        store.return_lease("k", lease_b);
+        store.return_lease("k", lease_c);
+        store.cool_down();
+        store.update_many("k", &[3.0]); // keep the key hot across the sweep
+        let fresh_a = store.lease_writer("k").expect("sweep must free idle mint slots");
+        let fresh_b = store.lease_writer("k").expect("both slots mint again");
+        assert!(store.lease_writer("k").is_none(), "cap still enforced");
+        store.return_lease("k", fresh_a);
+        store.return_lease("k", fresh_b);
+        assert_eq!(store.stats().stream_len, 4);
+    }
+
+    #[test]
+    fn dropped_leases_release_their_mint_slots_immediately() {
+        // A lease abandoned without `return_lease` (caller bug, worker
+        // panic unwinding a connection's cache) must not pin its mint
+        // slot: the drop returns the handle through the weak pool
+        // back-reference, no housekeeping sweep required.
+        let store = SketchStore::new(
+            StoreConfig::default()
+                .stripes(2)
+                .k(64)
+                .b(4)
+                .seed(11)
+                .promotion_threshold(0)
+                .writer_pool(1),
+        );
+        store.update_many("k", &[0.0]);
+        store.update_many("k", &[1.0]);
+        let lease = store.lease_writer("k").expect("hot key leases");
+        assert!(store.lease_writer("k").is_none(), "single slot checked out");
+        drop(lease);
+        let again = store.lease_writer("k").expect("dropped lease must free its slot");
+        drop(again);
+        // And a stale drop (after removal) is a harmless no-op.
+        let lease = store.lease_writer("k").expect("slot free again");
+        store.remove("k");
+        drop(lease);
+        assert!(store.is_empty());
     }
 
     #[test]

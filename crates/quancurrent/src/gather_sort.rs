@@ -20,7 +20,7 @@
 //! possible only in the instant a buffer is recycled, and errs toward
 //! over-counting (conservative for checking an upper bound).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Outcome of placing a local buffer into a Gather&Sort buffer.
 pub(crate) enum Placement {
@@ -48,6 +48,16 @@ struct Buffer {
     /// Recycling round, bumped on reset. Stamps from other rounds mark
     /// holes.
     round: AtomicU64,
+    /// Set by the batch owner just before it starts installing the 2k
+    /// snapshot into the levels (the level-0 DCAS), cleared by `reset`
+    /// **after** the fill index is zeroed. While set, quiescent accounting
+    /// ([`GatherSort::pending`]/[`GatherSort::pending_len`]) skips this
+    /// buffer: its elements are about to be (or already are) counted by
+    /// the tritmap, and a reader racing the install→reset window would
+    /// otherwise count the batch twice. Skipping makes the race a bounded
+    /// transient *miss* instead — the direction the relaxation model
+    /// already allows.
+    installing: AtomicBool,
 }
 
 impl Buffer {
@@ -59,6 +69,7 @@ impl Buffer {
             stamps: (0..two_k).map(|_| AtomicU64::new(u64::MAX)).collect(),
             index: AtomicU64::new(0),
             round: AtomicU64::new(0),
+            installing: AtomicBool::new(false),
         }
     }
 }
@@ -129,20 +140,40 @@ impl GatherSort {
         }
     }
 
+    /// Mark `which` as being installed into the levels: called by the
+    /// batch owner before its first level-0 DCAS attempt, so accounting
+    /// readers stop counting the buffer's elements before the tritmap
+    /// starts counting them. Cleared by [`GatherSort::reset`].
+    pub(crate) fn begin_install(&self, which: usize) {
+        self.buffers[which].installing.store(true, Ordering::SeqCst);
+    }
+
     /// Algorithm 3, line 34: after the owner's batch lands in level 0,
     /// reopen the buffer for new reservations.
+    ///
+    /// The install flag is cleared **after** the index is zeroed: a
+    /// reader seeing `installing == false` therefore sees either the
+    /// pre-install fill (batch not yet in the levels) or the reset state
+    /// (index 0) — never the full index alongside the installed batch.
     pub(crate) fn reset(&self, which: usize) {
         let buf = &self.buffers[which];
         buf.round.fetch_add(1, Ordering::SeqCst);
         buf.index.store(0, Ordering::SeqCst);
+        buf.installing.store(false, Ordering::SeqCst);
     }
 
     /// Elements currently buffered (for quiescent accounting): with no
     /// in-flight updates, each buffer holds exactly `min(index, 2k)`
-    /// valid elements.
+    /// valid elements. A buffer whose batch is mid-install is skipped
+    /// (see [`GatherSort::begin_install`]); callers reading the levels
+    /// **before** calling this can transiently miss that batch, never
+    /// count it twice.
     pub(crate) fn pending(&self) -> Vec<u64> {
         let mut out = Vec::new();
         for buf in &self.buffers {
+            if buf.installing.load(Ordering::SeqCst) {
+                continue;
+            }
             let idx = (buf.index.load(Ordering::SeqCst) as usize).min(self.two_k);
             for j in 0..idx {
                 out.push(buf.slots[j].load(Ordering::SeqCst));
@@ -153,7 +184,16 @@ impl GatherSort {
 
     /// Number of buffered elements (cheap form of [`GatherSort::pending`]).
     pub(crate) fn pending_len(&self) -> usize {
-        self.buffers.iter().map(|b| (b.index.load(Ordering::SeqCst) as usize).min(self.two_k)).sum()
+        self.buffers
+            .iter()
+            .map(|b| {
+                if b.installing.load(Ordering::SeqCst) {
+                    0
+                } else {
+                    (b.index.load(Ordering::SeqCst) as usize).min(self.two_k)
+                }
+            })
+            .sum()
     }
 
     /// Cumulative holes per region (length `2k/b`) — §4.1's H_j measured.
@@ -236,6 +276,26 @@ mod tests {
         let mut p = gs.pending();
         p.sort_unstable();
         assert_eq!(p, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn installing_buffer_is_skipped_by_pending_until_reset() {
+        let gs = GatherSort::new(2, 2); // 2k = 4
+        gs.try_place(0, &[1, 2]);
+        let Placement::Owner { .. } = gs.try_place(0, &[3, 4]) else {
+            panic!("second region fills the buffer")
+        };
+        assert_eq!(gs.pending_len(), 4, "pre-install: the fill is buffered weight");
+        // The owner flags the buffer before its level-0 DCAS: from that
+        // point the elements are the levels' to count.
+        gs.begin_install(0);
+        assert_eq!(gs.pending_len(), 0, "mid-install: never count the batch alongside levels");
+        assert!(gs.pending().is_empty());
+        gs.reset(0);
+        assert_eq!(gs.pending_len(), 0);
+        // The buffer is reopened and counts again.
+        gs.try_place(0, &[5, 6]);
+        assert_eq!(gs.pending_len(), 2);
     }
 
     #[test]

@@ -4,7 +4,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 
 use qc_common::bits::OrderedBits;
-use qc_common::engine::{ConcurrentIngest, QuantileEstimator, StreamIngest, VersionedSketch};
+use qc_common::engine::{
+    ConcurrentIngest, QuantileEstimator, SharedIngest, StreamIngest, VersionedSketch,
+};
 use qc_common::summary::{Summary, WeightedSummary};
 use qc_mwcas::{Arena, MwcasWord};
 use qc_reclaim::{Domain, DomainConfig, Shared};
@@ -320,6 +322,22 @@ impl<T: OrderedBits> VersionedSketch for Quancurrent<T> {
 impl<T: OrderedBits> ConcurrentIngest<T> for Quancurrent<T> {
     fn writer(&self) -> Box<dyn StreamIngest<T> + Send + '_> {
         Box::new(self.updater())
+    }
+}
+
+/// Shared-access leases: an [`Updater`] shares ownership of the sketch
+/// internals (it holds the `Arc`), so it is exactly the self-contained
+/// handle [`SharedIngest`] asks for and every lease is granted.
+///
+/// The handle keeps the paper's relaxed semantics verbatim: its
+/// [`StreamIngest::flush`] is a no-op, so a sub-`b` thread-local tail
+/// stays invisible to queries (part of the r-relaxation bound). Layers
+/// that need exact post-flush accounting wrap the updater — see the keyed
+/// store's concurrent engine, which re-homes taken tails via
+/// [`Updater::take_pending`].
+impl<T: OrderedBits> SharedIngest<T> for Quancurrent<T> {
+    fn try_writer(&self) -> Option<Box<dyn StreamIngest<T> + Send>> {
+        Some(Box::new(self.updater()))
     }
 }
 

@@ -67,6 +67,20 @@ impl<T: OrderedBits> Updater<T> {
         self.local.len()
     }
 
+    /// Move the thread-local tail out of the handle, leaving it empty
+    /// (capacity retained). [`Updater::pushed`] still counts the taken
+    /// elements — the caller assumes responsibility for re-homing them.
+    ///
+    /// This is how shared-ingest leases achieve exact accounting: a
+    /// sub-`b` tail cannot be placed into Gather&Sort (placement is
+    /// exactly `b` slots), so an engine-level flush takes it and parks it
+    /// in engine-visible storage instead.
+    pub fn take_pending(&mut self) -> Vec<T> {
+        let out = self.pending();
+        self.local.clear();
+        out
+    }
+
     /// Process one stream element (paper `update(x)`, Algorithm 2).
     #[inline]
     pub fn update(&mut self, x: T) {
@@ -112,6 +126,12 @@ impl<T: OrderedBits> Updater<T> {
         debug_assert_eq!(batch.len(), 2 * self.shared.cfg.k);
         debug_assert!(qc_common::merge::is_sorted(&batch));
         let shared = Arc::clone(&self.shared);
+        // From here to the post-install reset, the batch would be counted
+        // both by the buffer's fill index and (once the DCAS lands) by
+        // the tritmap. Flag the buffer so concurrent accounting readers
+        // skip it — they may transiently miss the batch, never see it
+        // twice.
+        shared.gs[self.node].begin_install(which_buffer);
         let block = self.reclaim.alloc(batch);
         let raw = block.into_raw();
 

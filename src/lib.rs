@@ -11,8 +11,8 @@
 //!   and the unified sketch-engine trait API ([`common::engine`]): every
 //!   backend above implements the applicable capability traits
 //!   ([`QuantileEstimator`], [`StreamIngest`], [`MergeableSketch`],
-//!   [`ConcurrentIngest`]), so stores, servers, and benches are written
-//!   once against [`SketchEngine`].
+//!   [`ConcurrentIngest`], [`SharedIngest`]), so stores, servers, and
+//!   benches are written once against [`SketchEngine`].
 //! * [`store`] — the sharded keyed sketch store: versioned wire format,
 //!   weight-aware summary merging, and the lock-striped key registry,
 //!   generic over the per-key engine. The default [`TieredEngine`] starts
@@ -40,8 +40,8 @@ pub use qc_workloads as workloads;
 pub use quancurrent;
 
 pub use qc_common::{
-    ConcurrentIngest, MergeableSketch, OrderedBits, QuantileEstimator, SketchEngine, StreamIngest,
-    Summary, VersionedSketch,
+    ConcurrentIngest, MergeableSketch, OrderedBits, QuantileEstimator, SharedIngest, SketchEngine,
+    StreamIngest, Summary, VersionedSketch,
 };
 pub use qc_server::{Client, Server, ServerConfig};
 pub use qc_store::{
