@@ -24,6 +24,13 @@
 //! leased shared-lock path (`shared`) vs the exclusive-lock baseline
 //! (`fallback`, pinned via `writer_pool(0)`). The multi-thread shared
 //! series must scale; the baseline serializes by construction.
+//!
+//! The **telemetry axis** (`store_telemetry_overhead{,_batched}/`)
+//! prices observation itself: identical hot-key write loops against the
+//! live default registry vs `Registry::disabled()`. On the batched
+//! (throughput-carrying) path the instrumented series must sit within
+//! the noise floor (<2%); the single-element series documents the worst
+//! case — two sharded relaxed increments against a ~170 ns op.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qc_common::Summary;
@@ -323,6 +330,57 @@ fn bench_read_heavy_mixed(c: &mut Criterion) {
     group.finish();
 }
 
+const TELEMETRY_BATCH: usize = 256;
+
+fn telemetry_store(seed: u64, disabled: bool) -> SketchStore {
+    let mut config = cfg(16, seed);
+    if disabled {
+        config = config.telemetry(std::sync::Arc::new(qc_telemetry::Registry::disabled()));
+    }
+    SketchStore::new(config)
+}
+
+/// The telemetry acceptance axis: identical hot-key write loops against
+/// the default live registry vs `Registry::disabled()` inert handles.
+///
+/// Two workloads bound the cost from both ends:
+///
+/// * `store_telemetry_overhead_batched/` — the throughput-carrying write
+///   path (`update_many`, batch = 256, the write-contention axis shape):
+///   two sharded relaxed increments per *batch*, so the instrumented
+///   series must sit within the noise floor (<2%) of the disabled one.
+/// * `store_telemetry_overhead/` — the worst case: single-element
+///   `update`, where those same two increments land on every ~170 ns op.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_telemetry_overhead");
+    group.throughput(Throughput::Elements(1));
+    for (name, disabled) in [("instrumented", false), ("disabled", true)] {
+        group.bench_function(name, |bencher| {
+            let store = telemetry_store(77, disabled);
+            let mut gen = StreamGen::new(Distribution::Uniform, 78);
+            bencher.iter(|| store.update("hot", black_box(gen.next_f64())));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("store_telemetry_overhead_batched");
+    group.throughput(Throughput::Elements(TELEMETRY_BATCH as u64));
+    for (name, disabled) in [("instrumented", false), ("disabled", true)] {
+        group.bench_function(name, |bencher| {
+            let store = telemetry_store(79, disabled);
+            let mut gen = StreamGen::new(Distribution::Uniform, 80);
+            let mut batch = vec![0.0f64; TELEMETRY_BATCH];
+            bencher.iter(|| {
+                for slot in batch.iter_mut() {
+                    *slot = gen.next_f64();
+                }
+                store.update_many("hot", black_box(&batch));
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_wire_roundtrip(c: &mut Criterion) {
     let store = SketchStore::new(cfg(4, 9));
     let mut gen = StreamGen::new(Distribution::Normal { mean: 0.0, std_dev: 1.0 }, 11);
@@ -367,6 +425,7 @@ criterion_group!(
     bench_engines_axis,
     bench_write_contention,
     bench_read_heavy_mixed,
+    bench_telemetry_overhead,
     bench_wire_roundtrip,
     bench_merged_query
 );

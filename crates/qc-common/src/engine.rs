@@ -17,6 +17,7 @@
 //! | [`VersionedSketch`] | monotone state-version counter (read caching) | all backends |
 //! | [`ConcurrentIngest`] | handle-based multi-writer ingestion | Quancurrent, FCDS |
 //! | [`SharedIngest`] | leased writer handles through `&self` (shared-lock writes) | concurrent backends |
+//! | [`InstrumentedSketch`] | backend-internal operation counters for telemetry | Quancurrent, engines wrapping it |
 //! | [`SketchEngine`] | the single-object traits combined | store engines |
 //!
 //! The traits are object-safe: `Box<dyn SketchEngine<f64>>` is a fully
@@ -201,13 +202,49 @@ pub trait SharedIngest<T: OrderedBits> {
     }
 }
 
+/// Telemetry capability: expose backend-internal operation counters as
+/// stable `(name, cumulative value)` pairs.
+///
+/// This is the bridge that lets a metrics registry surface what a
+/// concurrent backend is doing internally — DCAS retries, snapshot
+/// cache miss rates, batch propagations — next to store- and
+/// server-level instruments, without the telemetry layer knowing any
+/// backend's concrete stats type.
+///
+/// # Contract
+///
+/// * Names are stable snake_case identifiers, unique within one call's
+///   result, consistent across calls on the same engine.
+/// * Values are cumulative since engine creation and read with relaxed
+///   atomics: exact once the engine is quiescent (the same contract as
+///   the counters they mirror). They may **reset to zero** when an
+///   engine's internal state is rebuilt (e.g. a tier migration replacing
+///   the hot sketch), so consumers aggregating across engines should
+///   treat them as point-in-time samples, not monotone series.
+/// * The default — no counters — is correct for backends with no
+///   internal concurrency machinery worth reporting.
+pub trait InstrumentedSketch {
+    /// Backend-internal counters as `(name, value)` pairs; empty by
+    /// default.
+    fn internal_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+}
+
 /// A full single-object sketch engine: queryable, single-writer ingestible,
-/// mergeable, versioned, and shared-ingest aware (most often via the
-/// [`SharedIngest`] default `None`). Blanket-implemented for everything
-/// providing the capabilities — this is the bound stores and harnesses
-/// program against, and it is object-safe (`Box<dyn SketchEngine<T>>`).
+/// mergeable, versioned, shared-ingest aware (most often via the
+/// [`SharedIngest`] default `None`), and instrumentable (most often via the
+/// [`InstrumentedSketch`] default of no counters). Blanket-implemented for
+/// everything providing the capabilities — this is the bound stores and
+/// harnesses program against, and it is object-safe
+/// (`Box<dyn SketchEngine<T>>`).
 pub trait SketchEngine<T: OrderedBits>:
-    QuantileEstimator<T> + StreamIngest<T> + MergeableSketch<T> + VersionedSketch + SharedIngest<T>
+    QuantileEstimator<T>
+    + StreamIngest<T>
+    + MergeableSketch<T>
+    + VersionedSketch
+    + SharedIngest<T>
+    + InstrumentedSketch
 {
 }
 
@@ -217,6 +254,7 @@ impl<T: OrderedBits, E> SketchEngine<T> for E where
         + MergeableSketch<T>
         + VersionedSketch
         + SharedIngest<T>
+        + InstrumentedSketch
 {
 }
 
@@ -275,6 +313,9 @@ mod tests {
 
     // Exclusive-only backend: the default `try_writer` (`None`) applies.
     impl SharedIngest<u64> for Exact {}
+
+    // No internal machinery: the default (no counters) applies.
+    impl InstrumentedSketch for Exact {}
 
     impl MergeableSketch<u64> for Exact {
         fn to_summary(&self) -> WeightedSummary {

@@ -43,8 +43,8 @@ pub mod summary;
 
 pub use bits::OrderedBits;
 pub use engine::{
-    ConcurrentIngest, MergeableSketch, QuantileEstimator, SharedIngest, SketchEngine, StreamIngest,
-    VersionedSketch,
+    ConcurrentIngest, InstrumentedSketch, MergeableSketch, QuantileEstimator, SharedIngest,
+    SketchEngine, StreamIngest, VersionedSketch,
 };
 pub use rng::{SplitMix64, Xoshiro256};
 pub use summary::{Summary, WeightedItem, WeightedSummary};

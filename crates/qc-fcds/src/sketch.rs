@@ -5,8 +5,8 @@ use std::sync::{Arc, RwLock};
 
 use qc_common::bits::OrderedBits;
 use qc_common::engine::{
-    ConcurrentIngest, MergeableSketch, QuantileEstimator, SharedIngest, StreamIngest,
-    VersionedSketch,
+    ConcurrentIngest, InstrumentedSketch, MergeableSketch, QuantileEstimator, SharedIngest,
+    StreamIngest, VersionedSketch,
 };
 use qc_common::summary::{Summary, WeightedSummary};
 use qc_sequential::QuantilesSketch;
@@ -535,6 +535,10 @@ impl<T: OrderedBits> SharedIngest<T> for FcdsEngine<T> {
         Some(Box::new(LeasedFcdsWriter { inner, shared: Arc::clone(&self.fcds.shared) }))
     }
 }
+
+/// The FCDS baseline keeps no operation counters worth bridging: the
+/// default (no counters) applies.
+impl<T: OrderedBits> InstrumentedSketch for FcdsEngine<T> {}
 
 impl<T: OrderedBits> MergeableSketch<T> for FcdsEngine<T> {
     fn to_summary(&self) -> WeightedSummary {

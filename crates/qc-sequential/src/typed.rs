@@ -4,7 +4,8 @@
 
 use qc_common::bits::OrderedBits;
 use qc_common::engine::{
-    MergeableSketch, QuantileEstimator, SharedIngest, StreamIngest, VersionedSketch,
+    InstrumentedSketch, MergeableSketch, QuantileEstimator, SharedIngest, StreamIngest,
+    VersionedSketch,
 };
 use qc_common::summary::{Summary, WeightedSummary};
 
@@ -181,6 +182,9 @@ impl<T: OrderedBits> StreamIngest<T> for Sketch<T> {
 /// a keyed store to keep cold keys on the exclusive-lock write path that
 /// also drives tier promotion.
 impl<T: OrderedBits> SharedIngest<T> for Sketch<T> {}
+
+/// No internal concurrency machinery: the default (no counters) applies.
+impl<T: OrderedBits> InstrumentedSketch for Sketch<T> {}
 
 /// Version capability: every state transition of the sequential sketch —
 /// update, merge, absorb — strictly increases the stream length `n` (and

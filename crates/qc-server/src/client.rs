@@ -12,6 +12,7 @@ use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use qc_common::summary::WeightedSummary;
 use qc_store::wire::{decode_summary, WireError};
 use qc_store::StoreStats;
+use qc_telemetry::MetricsSnapshot;
 
 use crate::proto::{
     read_frame, write_frame, ErrorCode, ProtoError, RecvError, Request, Response,
@@ -195,6 +196,18 @@ impl Client {
         match self.call(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             other => unexpected(other, "Stats"),
+        }
+    }
+
+    /// The server's telemetry snapshot: counters, gauges, and latency
+    /// summaries (each latency is a mergeable [`WeightedSummary`] built by
+    /// the server's own sketch engine — see
+    /// [`MetricsSnapshot::quantile`]). Snapshots from several servers
+    /// federate with [`qc_store::merge_summaries`].
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(snap) => Ok(snap),
+            other => unexpected(other, "Metrics"),
         }
     }
 

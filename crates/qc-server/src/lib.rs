@@ -22,6 +22,14 @@
 //! concurrency comes from worker threads, exactly like the paper's
 //! N-updaters/unbounded-queriers model.
 //!
+//! The server observes itself through `qc-telemetry` instruments in the
+//! store's registry: per-opcode request counts/bytes/latencies (the
+//! latency histograms *are* quantile sketches), pool queue depth and
+//! saturation, connection outcomes, and housekeeping sweep durations. One
+//! `Metrics` frame ([`client::Client::metrics`]) ships the whole snapshot
+//! — latency summaries travel in the store's CRC-checked wire format and
+//! merge across servers with [`qc_store::merge_summaries`].
+//!
 //! ```no_run
 //! use qc_server::{Client, Server, ServerConfig};
 //!
@@ -44,5 +52,6 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use pool::ThreadPool;
-pub use proto::{ErrorCode, ProtoError, RecvError, Request, Response};
+pub use proto::{ErrorCode, ProtoError, RecvError, Request, Response, METRICS_VERSION};
+pub use qc_telemetry::MetricsSnapshot;
 pub use server::{Server, ServerConfig, ServerHandle, LEASE_IDLE_FRAMES};

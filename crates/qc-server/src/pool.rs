@@ -6,10 +6,19 @@
 //! fills, the accept loop itself blocks, which in turn lets the kernel's
 //! listen queue exert backpressure on clients instead of the server
 //! buffering unboundedly.
+//!
+//! An instrumented pool ([`ThreadPool::with_instruments`]) reports its
+//! queue depth through a [`Gauge`] (jobs submitted but not yet picked up
+//! by a worker) and counts *saturation* events — submissions that found
+//! the queue full and had to block — through a [`Counter`]. Saturation is
+//! the backpressure signal: a persistently climbing counter means the
+//! pool is undersized for the accept rate.
 
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+use qc_telemetry::{Counter, Gauge};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -29,12 +38,30 @@ impl std::error::Error for PoolClosed {}
 pub struct ThreadPool {
     sender: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs submitted but not yet picked up by a worker.
+    depth: Gauge,
+    /// Submissions that found the queue full and blocked.
+    saturation: Counter,
 }
 
 impl ThreadPool {
     /// Spawn `threads` workers (minimum 1) sharing a queue of `backlog`
     /// pending jobs (minimum 1). `name` prefixes worker thread names.
+    /// Uninstrumented: see [`ThreadPool::with_instruments`].
     pub fn new(threads: usize, backlog: usize, name: &str) -> Self {
+        Self::with_instruments(threads, backlog, name, Gauge::disabled(), Counter::disabled())
+    }
+
+    /// [`ThreadPool::new`] plus instruments: `depth` tracks the number of
+    /// queued (not yet picked up) jobs, `saturation` counts submissions
+    /// that found the queue full and had to block.
+    pub fn with_instruments(
+        threads: usize,
+        backlog: usize,
+        name: &str,
+        depth: Gauge,
+        saturation: Counter,
+    ) -> Self {
         let threads = threads.max(1);
         let (sender, receiver) = std::sync::mpsc::sync_channel::<Job>(backlog.max(1));
         let receiver = Arc::new(Mutex::new(receiver));
@@ -47,7 +74,7 @@ impl ThreadPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        ThreadPool { sender: Some(sender), workers }
+        ThreadPool { sender: Some(sender), workers, depth, saturation }
     }
 
     /// Number of worker threads.
@@ -59,7 +86,31 @@ impl ThreadPool {
     /// fails only after [`shutdown`](ThreadPool::shutdown).
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolClosed> {
         let sender = self.sender.as_ref().ok_or(PoolClosed)?;
-        sender.send(Box::new(job)).map_err(|_| PoolClosed)
+        // The job decrements the depth gauge itself the moment a worker
+        // picks it up, so the gauge reads "queued, not yet started".
+        let depth = self.depth.clone();
+        let job = Box::new(move || {
+            depth.dec();
+            job();
+        });
+        self.depth.inc();
+        // Non-blocking attempt first purely to *observe* saturation; the
+        // blocking send that follows preserves the backpressure contract.
+        let job = match sender.try_send(job) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Full(job)) => {
+                self.saturation.incr();
+                job
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.depth.dec();
+                return Err(PoolClosed);
+            }
+        };
+        sender.send(job).map_err(|_| {
+            self.depth.dec();
+            PoolClosed
+        })
     }
 
     /// Graceful shutdown: stop accepting jobs, run everything already
@@ -164,6 +215,43 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn instruments_track_depth_and_saturation() {
+        let registry = qc_telemetry::Registry::new();
+        let depth = registry.gauge("pool_depth");
+        let saturation = registry.counter("pool_saturation");
+        let pool = ThreadPool::with_instruments(1, 1, "inst", depth.clone(), saturation.clone());
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let enter = Arc::clone(&gate);
+        // Occupy the single worker so further submissions pile into the
+        // depth-1 queue and at least one finds it full.
+        pool.execute(move || {
+            enter.wait();
+        })
+        .unwrap();
+        {
+            let counter = Arc::clone(&counter);
+            let pool = &pool;
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let counter = Arc::clone(&counter);
+                        pool.execute(move || {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        })
+                        .unwrap();
+                    }
+                });
+                gate.wait(); // release the worker while submissions block
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 5);
+        assert!(saturation.get() >= 1, "a full queue must count saturation");
+        assert_eq!(depth.get(), 0, "every picked-up job must decrement the gauge");
     }
 
     #[test]

@@ -40,15 +40,25 @@
 //! | `0x08` | [`Request::Keys`]        | —                               | `Keys`     |
 //! | `0x09` | [`Request::Snapshot`]    | key                             | `MaybeFrame` |
 //! | `0x0a` | [`Request::Ingest`]      | key, len, summary wire frame    | `Count`    |
+//! | `0x0b` | [`Request::Metrics`]     | —                               | `Metrics`  |
 //!
 //! Responses use the high bit: `0x80` `Ok`, `0x81` `MaybeValue`, `0x82`
 //! `Count`, `0x83` `Flag`, `0x84` `Stats`, `0x85` `Keys`, `0x86`
-//! `MaybeFrame`, `0x8f` `Error`.
+//! `MaybeFrame`, `0x87` `Metrics`, `0x8f` `Error`.
+//!
+//! The `Metrics` payload is versioned independently of the frame
+//! catalogue (leading version byte, currently [`METRICS_VERSION`]): it is
+//! the one response whose shape grows as instruments are added, and the
+//! version byte lets old clients fail typed instead of misparsing.
+//! Latency instruments travel as embedded
+//! [`qc_store::wire::encode_summary`] frames — CRC-checked, and mergeable
+//! with [`qc_store::merge_summaries`] across servers.
 
 use std::io::{self, Read, Write};
 
-use qc_store::wire::{get_varint, put_varint, WireError};
+use qc_store::wire::{decode_summary, encode_summary, get_varint, put_varint, WireError};
 use qc_store::StoreStats;
+use qc_telemetry::MetricsSnapshot;
 
 /// Bytes of the frame length prefix.
 pub const LEN_PREFIX: usize = 4;
@@ -57,6 +67,11 @@ pub const LEN_PREFIX: usize = 4;
 /// before allocating. Generous for snapshot frames (a `k = 4096` summary
 /// with 60 levels is still well under 4 MiB).
 pub const DEFAULT_MAX_FRAME_LEN: usize = 8 << 20;
+
+/// Version byte leading a [`Response::Metrics`] payload. Bumped whenever
+/// the metrics payload layout changes shape (instrument *names* may come
+/// and go freely; only the byte layout is versioned).
+pub const METRICS_VERSION: u8 = 1;
 
 /// Error codes carried by [`Response::Error`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -137,6 +152,19 @@ pub enum ProtoError {
         /// Number of surplus bytes.
         extra: usize,
     },
+    /// A metrics payload declared a version this build does not speak.
+    UnsupportedVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// An embedded latency summary failed `qc-store` wire validation
+    /// (truncated frame, bad magic, CRC mismatch, …).
+    BadSummary {
+        /// Byte offset of the embedded frame's first byte.
+        offset: usize,
+        /// The wire-layer rejection.
+        error: WireError,
+    },
 }
 
 impl std::fmt::Display for ProtoError {
@@ -162,6 +190,12 @@ impl std::fmt::Display for ProtoError {
             }
             ProtoError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after message")
+            }
+            ProtoError::UnsupportedVersion { found } => {
+                write!(f, "unsupported metrics payload version {found}")
+            }
+            ProtoError::BadSummary { offset, error } => {
+                write!(f, "embedded summary at byte {offset} invalid: {error}")
             }
         }
     }
@@ -256,7 +290,28 @@ pub enum Request {
         /// opaque to this layer, validated by the store.
         frame: Vec<u8>,
     },
+    /// The server's telemetry snapshot: counters, gauges, and latency
+    /// summaries from the store's registry (the server observing itself
+    /// with its own sketches).
+    Metrics,
 }
+
+/// Stable per-opcode labels, indexed by [`Request::op_index`]. These name
+/// the server's per-opcode instruments (`server_requests_{label}`, …), so
+/// they are part of the observable surface: treat them as append-only.
+pub const OP_LABELS: [&str; 11] = [
+    "update",
+    "update_many",
+    "query",
+    "rank",
+    "merged_query",
+    "stats",
+    "remove",
+    "keys",
+    "snapshot",
+    "ingest",
+    "metrics",
+];
 
 /// Responses the server sends; see the module-level catalogue for which
 /// request yields which.
@@ -277,6 +332,9 @@ pub enum Response {
     Keys(Vec<String>),
     /// An optional summary wire frame (`Snapshot`; `None` = absent key).
     MaybeFrame(Option<Vec<u8>>),
+    /// A telemetry snapshot (`Metrics`). Latency entries cross the wire
+    /// as CRC-checked `qc-store` summary frames.
+    Metrics(MetricsSnapshot),
     /// The request failed; the connection remains usable.
     Error {
         /// Failure category.
@@ -340,6 +398,16 @@ fn bounded_count(
     usize::try_from(raw).map_err(|_| ProtoError::IntOutOfRange { offset: at })
 }
 
+/// ZigZag map for signed gauge values: small-magnitude integers of either
+/// sign take few varint bytes (`0 → 0, -1 → 1, 1 → 2, -2 → 3, …`).
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
 fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     put_varint(out, bytes.len() as u64);
     out.extend_from_slice(bytes);
@@ -376,6 +444,30 @@ fn check_done(buf: &[u8], pos: usize) -> Result<(), ProtoError> {
 }
 
 impl Request {
+    /// Dense index of this request's opcode (0-based, in catalogue
+    /// order) — use it to index per-opcode instrument arrays.
+    pub fn op_index(&self) -> usize {
+        match self {
+            Request::Update { .. } => 0,
+            Request::UpdateMany { .. } => 1,
+            Request::Query { .. } => 2,
+            Request::Rank { .. } => 3,
+            Request::MergedQuery { .. } => 4,
+            Request::Stats => 5,
+            Request::Remove { .. } => 6,
+            Request::Keys => 7,
+            Request::Snapshot { .. } => 8,
+            Request::Ingest { .. } => 9,
+            Request::Metrics => 10,
+        }
+    }
+
+    /// Stable snake_case label of this request's opcode (see
+    /// [`OP_LABELS`]).
+    pub fn op_label(&self) -> &'static str {
+        OP_LABELS[self.op_index()]
+    }
+
     /// Encode into a frame body (opcode + payload).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16);
@@ -427,6 +519,7 @@ impl Request {
                 put_str(&mut out, key);
                 put_bytes(&mut out, frame);
             }
+            Request::Metrics => out.push(0x0b),
         }
         out
     }
@@ -480,6 +573,7 @@ impl Request {
                 let frame = get_bytes(body, &mut pos)?.to_vec();
                 Request::Ingest { key, frame }
             }
+            0x0b => Request::Metrics,
             found => return Err(ProtoError::UnknownOpcode { found }),
         };
         check_done(body, pos)?;
@@ -554,6 +648,25 @@ impl Response {
                     }
                 }
             }
+            Response::Metrics(snap) => {
+                out.push(0x87);
+                out.push(METRICS_VERSION);
+                put_varint(&mut out, snap.counters.len() as u64);
+                for (name, value) in &snap.counters {
+                    put_str(&mut out, name);
+                    put_varint(&mut out, *value);
+                }
+                put_varint(&mut out, snap.gauges.len() as u64);
+                for (name, value) in &snap.gauges {
+                    put_str(&mut out, name);
+                    put_varint(&mut out, zigzag(*value));
+                }
+                put_varint(&mut out, snap.latencies.len() as u64);
+                for (name, summary) in &snap.latencies {
+                    put_str(&mut out, name);
+                    put_bytes(&mut out, &encode_summary(summary));
+                }
+            }
             Response::Error { code, message } => {
                 out.push(0x8f);
                 out.push(*code as u8);
@@ -624,6 +737,43 @@ impl Response {
                     1 => Response::MaybeFrame(Some(get_bytes(body, &mut pos)?.to_vec())),
                     found => return Err(ProtoError::BadFlag { offset: at, found }),
                 }
+            }
+            0x87 => {
+                let version = get_u8(body, &mut pos)?;
+                if version != METRICS_VERSION {
+                    return Err(ProtoError::UnsupportedVersion { found: version });
+                }
+                // Each counter entry is at least a 1-byte name length plus
+                // a 1-byte value varint; same floor for gauges and latency
+                // entries (whose summary frames are far larger in practice
+                // — the floor only guards the Vec::with_capacity).
+                let n = bounded_count(body, &mut pos, 2)?;
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = get_str(body, &mut pos)?;
+                    counters.push((name, varint(body, &mut pos)?));
+                }
+                let n = bounded_count(body, &mut pos, 2)?;
+                let mut gauges = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = get_str(body, &mut pos)?;
+                    gauges.push((name, unzigzag(varint(body, &mut pos)?)));
+                }
+                let n = bounded_count(body, &mut pos, 2)?;
+                let mut latencies = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = get_str(body, &mut pos)?;
+                    let frame_at = {
+                        let mut probe = pos;
+                        varint(body, &mut probe)?;
+                        probe
+                    };
+                    let frame = get_bytes(body, &mut pos)?;
+                    let summary = decode_summary(frame)
+                        .map_err(|error| ProtoError::BadSummary { offset: frame_at, error })?;
+                    latencies.push((name, summary));
+                }
+                Response::Metrics(MetricsSnapshot { counters, gauges, latencies })
             }
             0x8f => {
                 let code_byte = get_u8(body, &mut pos)?;
@@ -700,6 +850,7 @@ mod tests {
             Request::Keys,
             Request::Snapshot { key: "k".into() },
             Request::Ingest { key: "k".into(), frame: vec![1, 2, 3] },
+            Request::Metrics,
         ];
         for req in reqs {
             let body = req.encode();
@@ -727,6 +878,93 @@ mod tests {
             let body = resp.encode();
             assert_eq!(Response::decode(&body).unwrap(), resp);
         }
+    }
+
+    fn sample_metrics() -> MetricsSnapshot {
+        let recorder = qc_telemetry::LatencyRecorder::new(64);
+        for i in 0..1000 {
+            recorder.record(i as f64 / 1000.0);
+        }
+        MetricsSnapshot {
+            counters: vec![("a".into(), 0), ("requests".into(), u64::MAX)],
+            gauges: vec![("balance".into(), -3), ("depth".into(), i64::MIN)],
+            latencies: vec![("req_seconds".into(), recorder.summary())],
+        }
+    }
+
+    #[test]
+    fn metrics_response_roundtrip() {
+        let resp = Response::Metrics(sample_metrics());
+        let body = resp.encode();
+        assert_eq!(Response::decode(&body).unwrap(), resp);
+        // An empty snapshot also roundtrips (fresh registry).
+        let empty = Response::Metrics(MetricsSnapshot::default());
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn metrics_version_drift_is_typed() {
+        let mut body = Response::Metrics(MetricsSnapshot::default()).encode();
+        body[1] = METRICS_VERSION + 1;
+        assert_eq!(
+            Response::decode(&body),
+            Err(ProtoError::UnsupportedVersion { found: METRICS_VERSION + 1 })
+        );
+    }
+
+    #[test]
+    fn corrupted_embedded_summary_is_typed() {
+        let body = Response::Metrics(sample_metrics()).encode();
+        // Flip one bit inside the embedded summary frame (the last byte of
+        // the body sits in the summary's CRC trailer).
+        let mut corrupt = body.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        match Response::decode(&corrupt) {
+            Err(ProtoError::BadSummary { offset, error: _ }) => {
+                assert!(offset > 0 && offset < body.len());
+            }
+            other => panic!("expected BadSummary, got {other:?}"),
+        }
+        // Truncating the body mid-summary is caught before the CRC runs.
+        let cut = &body[..body.len() - 4];
+        assert!(matches!(Response::decode(cut), Err(ProtoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn zigzag_roundtrips_extremes() {
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn op_labels_are_dense_and_unique() {
+        let reqs = [
+            Request::Update { key: String::new(), value: 0.0 },
+            Request::UpdateMany { key: String::new(), values: vec![] },
+            Request::Query { key: String::new(), phi: 0.5 },
+            Request::Rank { key: String::new(), value: 0.0 },
+            Request::MergedQuery { keys: vec![], phi: 0.5 },
+            Request::Stats,
+            Request::Remove { key: String::new() },
+            Request::Keys,
+            Request::Snapshot { key: String::new() },
+            Request::Ingest { key: String::new(), frame: vec![] },
+            Request::Metrics,
+        ];
+        assert_eq!(reqs.len(), OP_LABELS.len());
+        for (i, req) in reqs.iter().enumerate() {
+            assert_eq!(req.op_index(), i);
+            assert_eq!(req.op_label(), OP_LABELS[i]);
+        }
+        let mut labels: Vec<_> = OP_LABELS.to_vec();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), OP_LABELS.len(), "duplicate op label");
     }
 
     #[test]

@@ -29,13 +29,15 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use qc_store::{SketchStore, StoreConfig, WriterLease};
+use qc_telemetry::{Counter, EventKind, Gauge, LatencyRecorder, Registry};
 
 use crate::pool::ThreadPool;
 use crate::proto::{
     read_frame, write_frame, ErrorCode, RecvError, Request, Response, DEFAULT_MAX_FRAME_LEN,
+    OP_LABELS,
 };
 
 /// Server construction parameters.
@@ -58,6 +60,10 @@ pub struct ServerConfig {
     /// saw no updates for a full interval, reclaiming their concurrent
     /// buffers. `None` disables housekeeping.
     pub cool_down_interval: Option<Duration>,
+    /// Requests whose server-side handling exceeds this duration emit a
+    /// [`qc_telemetry::EventKind::SlowRequest`] event into the store's
+    /// registry (the request still completes normally).
+    pub slow_request_threshold: Duration,
     /// Test hook: pretend every connection's registry registration fails
     /// (as a real `try_clone` failure under fd exhaustion would). An
     /// unregistered connection cannot be severed by `stop()`, so it must
@@ -74,6 +80,7 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             store: StoreConfig::default(),
             cool_down_interval: Some(Duration::from_secs(30)),
+            slow_request_threshold: Duration::from_millis(100),
             fail_connection_registration: false,
         }
     }
@@ -100,7 +107,19 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Conns = Arc::new(Mutex::new(HashMap::new()));
-        let pool = Arc::new(ThreadPool::new(cfg.pool_threads, cfg.accept_backlog, "qc-conn"));
+        // All serving-layer instruments live in the *store's* registry, so
+        // one `Metrics` frame (and one `render_text`) covers both layers.
+        // A store built with `Registry::disabled()` therefore disables the
+        // server's instruments too.
+        let instruments =
+            ServerInstruments::register(store.telemetry(), cfg.slow_request_threshold);
+        let pool = Arc::new(ThreadPool::with_instruments(
+            cfg.pool_threads,
+            cfg.accept_backlog,
+            "qc-conn",
+            instruments.registry.gauge("server_pool_queue_depth"),
+            instruments.registry.counter("server_pool_saturation"),
+        ));
         // Housekeeping before the accept thread: once the accept loop runs
         // the server is externally reachable, and a spawn failure after
         // that point would return Err while leaking a live, unstoppable
@@ -109,7 +128,9 @@ impl Server {
         let housekeeping = match cfg.cool_down_interval {
             // On failure, plain `return Err` tears down cleanly: dropping
             // the last pool Arc joins the (idle) workers via Drop.
-            Some(interval) => Some(Housekeeping::spawn(Arc::clone(&store), interval)?),
+            Some(interval) => {
+                Some(Housekeeping::spawn(Arc::clone(&store), interval, Arc::clone(&instruments))?)
+            }
             None => None,
         };
         let accept = {
@@ -117,12 +138,13 @@ impl Server {
             let shutdown = Arc::clone(&shutdown);
             let conns = Arc::clone(&conns);
             let accept_pool = Arc::clone(&pool);
+            let instruments = Arc::clone(&instruments);
             let opts = ConnOptions {
                 max_frame_len: cfg.max_frame_len,
                 fail_registration: cfg.fail_connection_registration,
             };
             let spawned = std::thread::Builder::new().name("qc-accept".into()).spawn(move || {
-                accept_loop(&listener, &store, &shutdown, &conns, &accept_pool, opts)
+                accept_loop(&listener, &store, &shutdown, &conns, &accept_pool, &instruments, opts)
             });
             match spawned {
                 Ok(handle) => handle,
@@ -149,6 +171,82 @@ impl Server {
     }
 }
 
+/// Per-opcode instrument handles (one entry of
+/// [`ServerInstruments::ops`], indexed by [`Request::op_index`]).
+struct OpInstruments {
+    /// `server_requests_{op}`: requests of this opcode served.
+    requests: Counter,
+    /// `server_request_bytes_{op}`: request body bytes of this opcode.
+    bytes: Counter,
+    /// `server_request_seconds_{op}`: handling latency, recorded into the
+    /// store's own sketch engine (the self-sketching layer).
+    latency: LatencyRecorder,
+}
+
+/// Every serving-layer instrument, registered once at bind time into the
+/// store's [`Registry`] and shared (via `Arc`) by the accept loop, the
+/// connection handlers, and the housekeeping thread. Handles are held,
+/// never re-looked-up: the hot path touches only relaxed atomics and a
+/// striped sketch.
+struct ServerInstruments {
+    registry: Arc<Registry>,
+    /// Per-opcode triples, indexed by [`Request::op_index`].
+    ops: Vec<OpInstruments>,
+    /// `server_proto_errors`: malformed frames/bodies (each also emits a
+    /// [`EventKind::ProtoError`] event with the peer address — satellite
+    /// fix for the previously silent swallow in the connection loop).
+    proto_errors: Counter,
+    /// `server_io_errors`: connections dropped by transport failure.
+    io_errors: Counter,
+    /// `server_conns_accepted`: connections handed to the pool.
+    conns_accepted: Counter,
+    /// `server_conns_closed_eof`: clean client-side closes.
+    conns_closed_eof: Counter,
+    /// `server_conns_closed_error`: closes after an I/O or protocol error.
+    conns_closed_error: Counter,
+    /// `server_conns_closed_shutdown`: closes forced by server shutdown.
+    conns_closed_shutdown: Counter,
+    /// `server_active_connections`: currently served connections.
+    active_connections: Gauge,
+    /// `server_lease_fallbacks`: stale-lease rejections that fell back to
+    /// the store's two-tier write path.
+    lease_fallbacks: Counter,
+    /// `server_sweeps`: housekeeping cool-down sweeps completed.
+    sweeps: Counter,
+    /// `server_sweep_seconds`: sweep duration sketch.
+    sweep_seconds: LatencyRecorder,
+    /// Threshold above which a request emits a `SlowRequest` event.
+    slow_threshold: Duration,
+}
+
+impl ServerInstruments {
+    fn register(registry: &Arc<Registry>, slow_threshold: Duration) -> Arc<Self> {
+        let ops = OP_LABELS
+            .iter()
+            .map(|label| OpInstruments {
+                requests: registry.counter(&format!("server_requests_{label}")),
+                bytes: registry.counter(&format!("server_request_bytes_{label}")),
+                latency: registry.latency(&format!("server_request_seconds_{label}")),
+            })
+            .collect();
+        Arc::new(ServerInstruments {
+            registry: Arc::clone(registry),
+            ops,
+            proto_errors: registry.counter("server_proto_errors"),
+            io_errors: registry.counter("server_io_errors"),
+            conns_accepted: registry.counter("server_conns_accepted"),
+            conns_closed_eof: registry.counter("server_conns_closed_eof"),
+            conns_closed_error: registry.counter("server_conns_closed_error"),
+            conns_closed_shutdown: registry.counter("server_conns_closed_shutdown"),
+            active_connections: registry.gauge("server_active_connections"),
+            lease_fallbacks: registry.counter("server_lease_fallbacks"),
+            sweeps: registry.counter("server_sweeps"),
+            sweep_seconds: registry.latency("server_sweep_seconds"),
+            slow_threshold,
+        })
+    }
+}
+
 /// The periodic store-maintenance thread: runs
 /// [`SketchStore::cool_down`] every `interval` so idle hot-tier keys
 /// demote and release their concurrent buffers (without it, any key that
@@ -160,7 +258,11 @@ struct Housekeeping {
 }
 
 impl Housekeeping {
-    fn spawn(store: Arc<SketchStore>, interval: Duration) -> std::io::Result<Self> {
+    fn spawn(
+        store: Arc<SketchStore>,
+        interval: Duration,
+        instruments: Arc<ServerInstruments>,
+    ) -> std::io::Result<Self> {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let thread = {
             let stop = Arc::clone(&stop);
@@ -172,7 +274,10 @@ impl Housekeeping {
                     stopped = guard;
                     if timeout.timed_out() && !*stopped {
                         drop(stopped);
+                        let start = Instant::now();
                         store.cool_down();
+                        instruments.sweeps.incr();
+                        instruments.sweep_seconds.record_duration(start.elapsed());
                         stopped = lock.lock().unwrap();
                     }
                 }
@@ -220,6 +325,13 @@ impl ServerHandle {
     /// The store this server answers from.
     pub fn store(&self) -> &Arc<SketchStore> {
         &self.store
+    }
+
+    /// The telemetry registry this server records into (the store's own
+    /// registry — store and server instruments share one namespace, one
+    /// `Metrics` frame, one [`Registry::render_text`] exposition).
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        self.store.telemetry()
     }
 
     /// Number of currently live connections.
@@ -288,12 +400,13 @@ fn accept_loop(
     shutdown: &Arc<AtomicBool>,
     conns: &Conns,
     pool: &Arc<ThreadPool>,
+    instruments: &Arc<ServerInstruments>,
     opts: ConnOptions,
 ) {
     let mut next_id = 0u64;
     loop {
-        let stream = match listener.accept() {
-            Ok((stream, _peer)) => stream,
+        let (stream, peer) = match listener.accept() {
+            Ok(accepted) => accepted,
             Err(_) => {
                 if shutdown.load(Ordering::Relaxed) {
                     return;
@@ -310,13 +423,16 @@ fn accept_loop(
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
+        instruments.conns_accepted.incr();
+        instruments.registry.event(EventKind::ConnOpen, format!("peer={peer}"));
         let id = next_id;
         next_id += 1;
         let store = Arc::clone(store);
         let shutdown = Arc::clone(shutdown);
         let conns = Arc::clone(conns);
+        let instruments = Arc::clone(instruments);
         let enqueued = pool.execute(move || {
-            handle_connection(stream, id, &store, &shutdown, &conns, opts);
+            handle_connection(stream, id, peer, &store, &shutdown, &conns, &instruments, opts);
         });
         if enqueued.is_err() {
             return;
@@ -324,14 +440,33 @@ fn accept_loop(
     }
 }
 
+/// Why a connection's serving loop ended — classified so connection
+/// outcomes are countable (previously every exit path was silent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnOutcome {
+    /// The client closed cleanly between frames.
+    Eof,
+    /// The transport failed (disconnect, reset, mid-frame EOF, or a
+    /// failed response write).
+    IoError,
+    /// The peer violated framing; the server answered once and closed.
+    ProtoError,
+    /// Server shutdown severed the connection.
+    Shutdown,
+}
+
+#[allow(clippy::too_many_arguments)] // one private call site, mirror of accept_loop's captures
 fn handle_connection(
     stream: TcpStream,
     id: u64,
+    peer: SocketAddr,
     store: &SketchStore,
     shutdown: &AtomicBool,
     conns: &Conns,
+    instruments: &ServerInstruments,
     opts: ConnOptions,
 ) {
+    instruments.active_connections.inc();
     // Register a clone so `stop` can sever the socket under a stuck read.
     // If registration fails (fd exhaustion breaking `try_clone`, a
     // poisoned registry), the connection MUST NOT be served: `stop()`
@@ -348,15 +483,26 @@ fn handle_connection(
             },
             Err(_) => false,
         };
-    if !registered {
+    let outcome = if registered {
+        let outcome = serve_frames(&stream, peer, store, shutdown, instruments, opts.max_frame_len);
         let _ = stream.shutdown(Shutdown::Both);
-        return;
+        if let Ok(mut map) = conns.lock() {
+            map.remove(&id);
+        }
+        outcome
+    } else {
+        let _ = stream.shutdown(Shutdown::Both);
+        instruments.io_errors.incr();
+        instruments.registry.event(EventKind::IoError, format!("peer={peer} registration failed"));
+        ConnOutcome::IoError
+    };
+    match outcome {
+        ConnOutcome::Eof => instruments.conns_closed_eof.incr(),
+        ConnOutcome::IoError | ConnOutcome::ProtoError => instruments.conns_closed_error.incr(),
+        ConnOutcome::Shutdown => instruments.conns_closed_shutdown.incr(),
     }
-    serve_frames(&stream, store, shutdown, opts.max_frame_len);
-    let _ = stream.shutdown(Shutdown::Both);
-    if let Ok(mut map) = conns.lock() {
-        map.remove(&id);
-    }
+    instruments.active_connections.dec();
+    instruments.registry.event(EventKind::ConnClose, format!("peer={peer} outcome={outcome:?}"));
 }
 
 /// A cached lease is evicted (and returned to the store's pool) once this
@@ -383,7 +529,13 @@ impl ConnLeases {
     /// Write a batch for `key`, through the cached lease when it is still
     /// valid, else through the store's own two-tier path — acquiring a
     /// lease for next time when the key's engine hands one out.
-    fn write(&mut self, store: &SketchStore, key: String, values: &[f64]) {
+    fn write(
+        &mut self,
+        store: &SketchStore,
+        instruments: &ServerInstruments,
+        key: String,
+        values: &[f64],
+    ) {
         if let Some((lease, used)) = self.leases.get_mut(&key) {
             match store.update_many_leased(&key, lease, values) {
                 Ok(()) => {
@@ -395,6 +547,8 @@ impl ConnLeases {
                 // drop it and fall through to the normal path.
                 Err(qc_store::StaleLease) => {
                     self.leases.remove(&key);
+                    instruments.lease_fallbacks.incr();
+                    instruments.registry.event(EventKind::LeaseFallback, format!("key={key}"));
                 }
             }
         }
@@ -434,45 +588,88 @@ impl ConnLeases {
     }
 }
 
-fn serve_frames(stream: &TcpStream, store: &SketchStore, shutdown: &AtomicBool, max: usize) {
+fn serve_frames(
+    stream: &TcpStream,
+    peer: SocketAddr,
+    store: &SketchStore,
+    shutdown: &AtomicBool,
+    instruments: &ServerInstruments,
+    max: usize,
+) -> ConnOutcome {
     // `&TcpStream` implements Read/Write, so buffering both directions
     // needs no extra fd duplication: two fds per connection total (the
     // stream itself plus the registry clone `stop` severs).
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(stream);
     let mut leases = ConnLeases::new();
-    loop {
+    let outcome = loop {
         if shutdown.load(Ordering::Relaxed) {
-            break;
+            break ConnOutcome::Shutdown;
         }
         let body = match read_frame(&mut reader, max) {
             Ok(Some(body)) => body,
-            Ok(None) => break,              // client closed cleanly
-            Err(RecvError::Io(_)) => break, // disconnect / shutdown
+            Ok(None) => break ConnOutcome::Eof, // client closed cleanly
+            Err(RecvError::Io(e)) => {
+                // Disconnects and shutdown-severed sockets land here too;
+                // count them all — a reset storm and a deploy restart look
+                // identical from inside, the event detail disambiguates.
+                instruments.io_errors.incr();
+                instruments.registry.event(EventKind::IoError, format!("peer={peer} {e}"));
+                break if shutdown.load(Ordering::Relaxed) {
+                    ConnOutcome::Shutdown
+                } else {
+                    ConnOutcome::IoError
+                };
+            }
             Err(RecvError::Proto(e)) => {
                 // Framing itself is broken (oversized declaration): answer
                 // once, then close — byte boundaries are untrustworthy.
+                instruments.proto_errors.incr();
+                instruments.registry.event(EventKind::ProtoError, format!("peer={peer} {e}"));
                 let resp = Response::Error { code: ErrorCode::Proto, message: e.to_string() };
                 let _ = write_frame(&mut writer, &resp.encode());
                 let _ = writer.flush();
-                break;
+                break ConnOutcome::ProtoError;
             }
         };
         let response = match Request::decode(&body) {
             // A malformed *body* inside a well-delimited frame does not
             // desync the stream; answer the error and keep serving.
-            Err(e) => Response::Error { code: ErrorCode::Proto, message: e.to_string() },
-            Ok(req) => execute(store, req, shutdown, &mut leases),
+            Err(e) => {
+                instruments.proto_errors.incr();
+                instruments.registry.event(EventKind::ProtoError, format!("peer={peer} {e}"));
+                Response::Error { code: ErrorCode::Proto, message: e.to_string() }
+            }
+            Ok(req) => {
+                let op = &instruments.ops[req.op_index()];
+                let label = req.op_label();
+                op.requests.incr();
+                op.bytes.add(body.len() as u64);
+                let start = Instant::now();
+                let response = execute(store, req, shutdown, &mut leases, instruments);
+                let elapsed = start.elapsed();
+                op.latency.record_duration(elapsed);
+                if elapsed >= instruments.slow_threshold {
+                    instruments.registry.event(
+                        EventKind::SlowRequest,
+                        format!("peer={peer} op={label} micros={}", elapsed.as_micros()),
+                    );
+                }
+                response
+            }
         };
         leases.tick(store);
         if write_frame(&mut writer, &response.encode()).is_err() || writer.flush().is_err() {
-            break;
+            instruments.io_errors.incr();
+            instruments.registry.event(EventKind::IoError, format!("peer={peer} response write"));
+            break ConnOutcome::IoError;
         }
-    }
+    };
     // Give the held writer handles back to the store's per-key pools so
     // other connections can reuse them (a dropped lease would strand its
     // pool slot until the next housekeeping sweep).
     leases.release_all(store);
+    outcome
 }
 
 fn execute(
@@ -480,6 +677,7 @@ fn execute(
     req: Request,
     shutdown: &AtomicBool,
     leases: &mut ConnLeases,
+    instruments: &ServerInstruments,
 ) -> Response {
     if shutdown.load(Ordering::Relaxed) {
         return Response::Error {
@@ -489,11 +687,11 @@ fn execute(
     }
     match req {
         Request::Update { key, value } => {
-            leases.write(store, key, &[value]);
+            leases.write(store, instruments, key, &[value]);
             Response::Ok
         }
         Request::UpdateMany { key, values } => {
-            leases.write(store, key, &values);
+            leases.write(store, instruments, key, &values);
             Response::Ok
         }
         Request::Query { key, phi } => Response::MaybeValue(store.query(&key, phi)),
@@ -512,5 +710,6 @@ fn execute(
             Ok(n) => Response::Count(n),
             Err(e) => Response::Error { code: ErrorCode::Wire, message: e.to_string() },
         },
+        Request::Metrics => Response::Metrics(store.telemetry_snapshot()),
     }
 }

@@ -5,8 +5,11 @@
 //! allocation of attacker-controlled size.
 
 use proptest::prelude::*;
-use qc_server::proto::{read_frame, write_frame, ProtoError, RecvError, Request, Response};
-use qc_server::ErrorCode;
+use qc_common::summary::{WeightedItem, WeightedSummary};
+use qc_server::proto::{
+    read_frame, write_frame, ProtoError, RecvError, Request, Response, METRICS_VERSION,
+};
+use qc_server::{ErrorCode, MetricsSnapshot};
 use qc_store::StoreStats;
 
 fn key_strategy() -> impl Strategy<Value = String> {
@@ -35,7 +38,32 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         key_strategy().prop_map(|key| Request::Snapshot { key }),
         (key_strategy(), prop::collection::vec(any::<u8>(), 0..128))
             .prop_map(|(key, frame)| Request::Ingest { key, frame }),
+        Just(Request::Metrics),
     ]
+}
+
+fn summary_strategy() -> impl Strategy<Value = WeightedSummary> {
+    prop::collection::vec((any::<u64>(), 1u64..16), 0..64).prop_map(|items| {
+        WeightedSummary::from_items(
+            items
+                .into_iter()
+                .map(|(value_bits, weight)| WeightedItem { value_bits, weight })
+                .collect(),
+        )
+    })
+}
+
+fn metrics_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        prop::collection::vec((key_strategy(), any::<u64>()), 0..6),
+        prop::collection::vec((key_strategy(), any::<i64>()), 0..6),
+        prop::collection::vec((key_strategy(), summary_strategy()), 0..3),
+    )
+        .prop_map(|(counters, gauges, latencies)| MetricsSnapshot {
+            counters,
+            gauges,
+            latencies,
+        })
 }
 
 fn stats_strategy() -> impl Strategy<Value = StoreStats> {
@@ -65,6 +93,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         prop::collection::vec(key_strategy(), 0..12).prop_map(Response::Keys),
         prop_oneof![Just(None), prop::collection::vec(any::<u8>(), 0..200).prop_map(Some)]
             .prop_map(Response::MaybeFrame),
+        metrics_strategy().prop_map(Response::Metrics),
         (
             prop::sample::select(vec![ErrorCode::Wire, ErrorCode::Proto, ErrorCode::Unavailable]),
             key_strategy()
@@ -141,10 +170,61 @@ proptest! {
     }
 
     #[test]
-    fn unknown_opcodes_are_typed(op in 0x0bu8..0x80, tail in prop::collection::vec(any::<u8>(), 0..16)) {
+    fn unknown_opcodes_are_typed(op in 0x0cu8..0x80, tail in prop::collection::vec(any::<u8>(), 0..16)) {
         let mut body = vec![op];
         body.extend_from_slice(&tail);
         prop_assert_eq!(Request::decode(&body), Err(ProtoError::UnknownOpcode { found: op }));
+    }
+
+    #[test]
+    fn metrics_roundtrip_is_identity(snap in metrics_strategy()) {
+        let resp = Response::Metrics(snap.clone());
+        let body = resp.encode();
+        match Response::decode(&body).unwrap() {
+            Response::Metrics(back) => prop_assert_eq!(back, snap),
+            other => prop_assert!(false, "wrong response kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_truncation_is_typed_never_panics(snap in metrics_strategy(), cut in 0.0f64..1.0) {
+        let body = Response::Metrics(snap).encode();
+        let len = (body.len() as f64 * cut) as usize;
+        if len < body.len() {
+            // Unlike scalar frames, a truncated metrics body can never be
+            // a valid shorter message when entries were dropped mid-list:
+            // the decoder must consume exactly what it declared. Any typed
+            // error is acceptable; panics and over-reads are not.
+            if let Ok(shorter) = Response::decode(&body[..len]) {
+                prop_assert!(shorter.encode().len() == len);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_bit_flips_never_panic(snap in metrics_strategy(), pos in 0.0f64..1.0, bit in 0u32..8) {
+        let mut body = Response::Metrics(snap).encode();
+        let idx = ((body.len() - 1) as f64 * pos) as usize;
+        body[idx] ^= 1 << bit;
+        // Flips inside an embedded summary frame are caught by its CRC
+        // (surfacing as BadSummary); flips elsewhere may still decode.
+        // Either way: no panic, and on success the whole body was spoken
+        // for.
+        if let Ok(back) = Response::decode(&body) {
+            prop_assert_eq!(back.encode(), body);
+        }
+    }
+
+    #[test]
+    fn metrics_absurd_counts_are_rejected_without_allocation(count in 1u64 << 20..u64::MAX) {
+        // A metrics body declaring `count` counters but carrying none must
+        // be rejected by the bounds check before any Vec::with_capacity.
+        let mut body = vec![0x87u8, METRICS_VERSION];
+        qc_store::wire::put_varint(&mut body, count);
+        prop_assert!(matches!(
+            Response::decode(&body),
+            Err(ProtoError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -30,7 +30,8 @@ use std::sync::{Arc, Mutex};
 
 use qc_common::bits::OrderedBits;
 use qc_common::engine::{
-    MergeableSketch, QuantileEstimator, SharedIngest, SketchEngine, StreamIngest, VersionedSketch,
+    InstrumentedSketch, MergeableSketch, QuantileEstimator, SharedIngest, SketchEngine,
+    StreamIngest, VersionedSketch,
 };
 use qc_common::rng::SplitMix64;
 use qc_common::summary::{Summary, WeightedSummary};
@@ -405,6 +406,14 @@ impl<T: OrderedBits> SharedIngest<T> for ConcurrentEngine<T> {
     }
 }
 
+/// Forwards the wrapped Quancurrent's operation counters (DCAS retries,
+/// snapshot miss rates, …) unchanged.
+impl<T: OrderedBits> InstrumentedSketch for ConcurrentEngine<T> {
+    fn internal_counters(&self) -> Vec<(&'static str, u64)> {
+        self.sketch.internal_counters()
+    }
+}
+
 impl<T: OrderedBits> StoreEngine<T> for ConcurrentEngine<T> {
     fn build(cfg: &StoreConfig, seed: u64) -> Self {
         Self::new(cfg.k, cfg.b, seed)
@@ -663,6 +672,17 @@ impl<T: OrderedBits> SharedIngest<T> for TieredEngine<T> {
         match &self.state {
             TierState::Cold(_) => None,
             TierState::Hot(hot) => hot.try_writer(),
+        }
+    }
+}
+
+/// Forwards the hot tier's counters; a cold (sequential) tier has none.
+/// Values reset on demotion — see the [`InstrumentedSketch`] contract.
+impl<T: OrderedBits> InstrumentedSketch for TieredEngine<T> {
+    fn internal_counters(&self) -> Vec<(&'static str, u64)> {
+        match &self.state {
+            TierState::Cold(_) => Vec::new(),
+            TierState::Hot(hot) => hot.internal_counters(),
         }
     }
 }

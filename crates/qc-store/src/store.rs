@@ -82,12 +82,13 @@
 //! and invalidation happens under the exclusive lock, which no write can
 //! overlap.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, RwLock};
 
 use qc_common::bits::OrderedBits;
 use qc_common::summary::{Summary, WeightedSummary};
+use qc_telemetry::{Counter, EventKind, Gauge, MetricsSnapshot, Registry};
 
 use crate::engine::{StoreEngine, Tier, TieredEngine};
 use crate::merge::merge_summaries;
@@ -126,6 +127,13 @@ pub struct StoreConfig {
     /// exclusive fallback, which is the pre-lease behavior (and the
     /// baseline the write benchmarks compare against).
     pub writer_pool: usize,
+    /// Metrics registry the store records into. `None` (the default) makes
+    /// the store create its own live [`Registry`]; pass a shared one to
+    /// aggregate several subsystems (the server threads its store's
+    /// registry through every layer), or `Arc::new(Registry::disabled())`
+    /// to turn instrumentation into no-ops — in that mode the counter
+    /// fields of [`StoreStats`] read zero (the sweep fields stay exact).
+    pub telemetry: Option<Arc<Registry>>,
 }
 
 impl Default for StoreConfig {
@@ -137,6 +145,7 @@ impl Default for StoreConfig {
             seed: 0x5eed_5704e,
             promotion_threshold: DEFAULT_PROMOTION_THRESHOLD,
             writer_pool: DEFAULT_WRITER_POOL,
+            telemetry: None,
         }
     }
 }
@@ -188,53 +197,144 @@ impl StoreConfig {
         self.writer_pool = handles;
         self
     }
+
+    /// Record into a shared metrics registry (see [`StoreConfig::telemetry`]).
+    pub fn telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
 }
 
-/// Store-wide counters (monotone; sampled without locks except the fields
-/// that sweep the stripes: `keys`, `stream_len`, the tier counts, and
-/// `retained`).
+/// Store-wide statistics: a mix of **counter** fields (monotone, read
+/// lock-free from telemetry counters) and **sweep** fields (recomputed by
+/// walking the stripes under shared locks). See
+/// [`StoreStats::consistency`] for the exact consistency model and the
+/// invariants that hold for any single sample.
 ///
-/// The tier fields (`cold_keys`, `hot_keys`, `retained`) describe the
-/// local process only and do **not** cross the wire protocol — remote
-/// [`StoreStats`] decoded by `qc-server` report them as zero, keeping the
-/// wire format byte-identical to previous releases.
+/// The tier fields (`cold_keys`, `hot_keys`, `retained`) and the fields
+/// marked local-only describe the local process only and do **not** cross
+/// the wire protocol — remote [`StoreStats`] decoded by `qc-server`
+/// report them as zero, keeping the wire format byte-identical to
+/// previous releases.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Number of resident keys.
+    /// Number of resident keys. **Sweep**: one shared lock per stripe;
+    /// exact per stripe, stripes sampled at slightly different times.
     pub keys: usize,
-    /// Number of stripes (fixed at construction).
+    /// Number of stripes. **Constant** (fixed at construction).
     pub stripes: usize,
-    /// Total elements ingested via `update`/`update_many`.
+    /// Total elements ingested via `update`/`update_many`. **Counter**,
+    /// bumped under the same stripe-lock hold as the engine write, so a
+    /// concurrent sweep can never observe `stream_len > updates` (weight
+    /// in an engine but not in the counter).
     pub updates: u64,
-    /// Total successfully ingested remote snapshots.
+    /// Total successfully ingested remote snapshots. **Counter**, bumped
+    /// under the stripe write lock like `updates`.
     pub ingests: u64,
-    /// Ingest attempts rejected with a [`WireError`].
+    /// Ingest attempts rejected with a [`WireError`]. **Counter**, bumped
+    /// before the store is touched (a rejected frame changes nothing).
     pub ingest_errors: u64,
-    /// Total stream length across all keys (local + absorbed).
+    /// Total stream length across all keys (local + absorbed). **Sweep**
+    /// (same discipline as `keys`).
     pub stream_len: u64,
-    /// Bytes produced by `snapshot_bytes`.
+    /// Bytes produced by `snapshot_bytes`. **Counter**, lock-free.
     pub bytes_out: u64,
-    /// Bytes accepted by `ingest_bytes`.
+    /// Bytes accepted by `ingest_bytes`. **Counter**, under the write lock.
     pub bytes_in: u64,
-    /// Keys currently on the sequential (cold) tier. Local-only.
+    /// Keys currently on the sequential (cold) tier. **Sweep**.
+    /// Local-only.
     pub cold_keys: usize,
-    /// Keys currently on the concurrent (hot) tier. Local-only.
+    /// Keys currently on the concurrent (hot) tier. **Sweep**. Local-only.
     pub hot_keys: usize,
-    /// Retained 64-bit words across all engines (memory proxy).
+    /// Retained 64-bit words across all engines (memory proxy). **Sweep**.
     /// Local-only.
     pub retained: u64,
     /// Reads answered from a cached summary (shared lock + `Arc` clone).
-    /// Local-only.
+    /// **Counter**, bumped before the read's `reads` bump. Local-only.
     pub cache_hits: u64,
-    /// Reads that had to materialize a summary. Local-only.
+    /// Reads that had to materialize a summary. **Counter**, bumped before
+    /// the read's `reads` bump. Local-only.
     pub cache_misses: u64,
+    /// Summary reads served (`summary_of` and everything built on it:
+    /// `query`, `rank`, `cdf`, `snapshot_bytes`, `merged_query` per key).
+    /// **Counter**, bumped after the read's hit-or-miss classification —
+    /// so `cache_hits + cache_misses >= reads` holds for every sample
+    /// (see [`StoreStats::consistency`]). Local-only.
+    pub reads: u64,
     /// Write batches that rode the shared-lock fast path (a leased
-    /// per-thread writer handle). Local-only.
+    /// per-thread writer handle). **Counter**, bumped after `updates`
+    /// within the same lock hold. Local-only.
     pub shared_writes: u64,
     /// Write batches that took the exclusive-lock fallback (key creation,
     /// cold-tier keys, exhausted pools, or `writer_pool == 0`).
+    /// **Counter**, bumped after `updates` within the same lock hold.
     /// Local-only.
     pub fallback_writes: u64,
+    /// Cold→hot tier promotions observed on the write path. **Counter**.
+    /// Local-only.
+    pub promotions: u64,
+    /// Hot→cold demotions performed by `cool_down` sweeps. **Counter**.
+    /// Local-only.
+    pub demotions: u64,
+    /// Keys removed via `remove`. **Counter**. Local-only.
+    pub removals: u64,
+}
+
+impl StoreStats {
+    /// Check (and `debug_assert!`) the invariants that hold for **any
+    /// single sample**, even one taken mid-flight under full contention.
+    ///
+    /// # Consistency model
+    ///
+    /// `stats()` mixes three kinds of fields:
+    ///
+    /// * **Constant** — `stripes`: fixed at construction.
+    /// * **Counter** — sharded relaxed atomics read lock-free. Each is
+    ///   exact at quiescence; mid-flight samples never *under*-report a
+    ///   completed operation. Counters bumped under a stripe-lock hold
+    ///   (`updates`, `ingests`, `bytes_in`) are additionally ordered
+    ///   against that stripe's engine state.
+    /// * **Sweep** — `keys`, `stream_len`, `cold_keys`, `hot_keys`,
+    ///   `retained`: recomputed by walking the stripes under shared locks,
+    ///   one stripe at a time. Exact per stripe; concurrent writers on
+    ///   *other* stripes may land between stripe visits, so a sweep field
+    ///   is a consistent cut per stripe, not across the store.
+    ///
+    /// The cross-field invariants this method asserts:
+    ///
+    /// * `cache_hits + cache_misses >= reads` — every served read
+    ///   classifies as a hit or miss *before* it counts as a read, and
+    ///   `stats()` samples `reads` first, so the inequality can never
+    ///   invert (it is an equality at quiescence).
+    /// * `updates >= shared_writes + fallback_writes` — every counted
+    ///   batch is non-empty and its element count lands in `updates`
+    ///   before the batch counter moves.
+    /// * `cold_keys + hot_keys == keys` — both sides come from the same
+    ///   per-stripe lock holds of one sweep.
+    ///
+    /// Returns whether all invariants hold (also `debug_assert!`ed, which
+    /// is how the contention suite keeps them honest).
+    pub fn consistency(&self) -> bool {
+        let reads_classified = self.cache_hits + self.cache_misses >= self.reads;
+        debug_assert!(
+            reads_classified,
+            "cache_hits ({}) + cache_misses ({}) < reads ({})",
+            self.cache_hits, self.cache_misses, self.reads
+        );
+        let batches_counted = self.updates >= self.shared_writes + self.fallback_writes;
+        debug_assert!(
+            batches_counted,
+            "updates ({}) < shared_writes ({}) + fallback_writes ({})",
+            self.updates, self.shared_writes, self.fallback_writes
+        );
+        let tiers_partition = self.cold_keys + self.hot_keys == self.keys;
+        debug_assert!(
+            tiers_partition,
+            "cold_keys ({}) + hot_keys ({}) != keys ({})",
+            self.cold_keys, self.hot_keys, self.keys
+        );
+        reads_classified && batches_counted && tiers_partition
+    }
 }
 
 /// A writer lease checked out of a key's pool with
@@ -382,6 +482,53 @@ impl<T: OrderedBits, E: StoreEngine<T>> KeyEntry<T, E> {
 /// One stripe: a reader-writer lock around the stripe's key map.
 type Stripe<T, E> = RwLock<HashMap<String, KeyEntry<T, E>>>;
 
+/// The store's instrument handles, registered once at construction (the
+/// registry's get-or-register takes a mutex; hot paths must not pay it).
+/// These **are** the store's statistics: [`SketchStore::stats`] reads the
+/// same counters the telemetry snapshot exports, so the two can never
+/// drift apart.
+struct StoreInstruments {
+    updates: Counter,
+    ingests: Counter,
+    ingest_errors: Counter,
+    bytes_out: Counter,
+    bytes_in: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    reads: Counter,
+    shared_writes: Counter,
+    fallback_writes: Counter,
+    promotions: Counter,
+    demotions: Counter,
+    removals: Counter,
+    /// Resident keys per stripe, maintained exactly under the stripe
+    /// write lock (insert/remove are exclusive-path operations).
+    stripe_keys: Vec<Gauge>,
+}
+
+impl StoreInstruments {
+    fn register(registry: &Registry, stripes: usize) -> Self {
+        StoreInstruments {
+            updates: registry.counter("store_updates"),
+            ingests: registry.counter("store_ingests"),
+            ingest_errors: registry.counter("store_ingest_errors"),
+            bytes_out: registry.counter("store_bytes_out"),
+            bytes_in: registry.counter("store_bytes_in"),
+            cache_hits: registry.counter("store_cache_hits"),
+            cache_misses: registry.counter("store_cache_misses"),
+            reads: registry.counter("store_reads"),
+            shared_writes: registry.counter("store_shared_writes"),
+            fallback_writes: registry.counter("store_fallback_writes"),
+            promotions: registry.counter("store_promotions"),
+            demotions: registry.counter("store_demotions"),
+            removals: registry.counter("store_removals"),
+            stripe_keys: (0..stripes)
+                .map(|i| registry.gauge(&format!("store_stripe_keys_{i:02}")))
+                .collect(),
+        }
+    }
+}
+
 /// Sharded keyed sketch store, generic over the element type and the
 /// per-key engine; see the [module docs](self).
 ///
@@ -392,15 +539,11 @@ pub struct SketchStore<T: OrderedBits = f64, E: StoreEngine<T> = TieredEngine<T>
     stripes: Box<[Stripe<T, E>]>,
     mask: usize,
     cfg: StoreConfig,
-    updates: AtomicU64,
-    ingests: AtomicU64,
-    ingest_errors: AtomicU64,
-    bytes_out: AtomicU64,
-    bytes_in: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    shared_writes: AtomicU64,
-    fallback_writes: AtomicU64,
+    /// The metrics registry: either the one [`StoreConfig::telemetry`]
+    /// shares across subsystems, or a private live one.
+    registry: Arc<Registry>,
+    /// Registered instrument handles — these back [`SketchStore::stats`].
+    instruments: StoreInstruments,
     /// Store-wide lease-generation source: strictly increasing, never
     /// reused, so a stale lease can never collide with a successor
     /// engine's tag.
@@ -431,22 +574,24 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     pub fn with_engine(cfg: StoreConfig) -> Self {
         let stripes = cfg.stripes.max(1).next_power_of_two();
         let table = (0..stripes).map(|_| RwLock::new(HashMap::new())).collect();
+        let registry = cfg.telemetry.clone().unwrap_or_else(|| Arc::new(Registry::new()));
+        let instruments = StoreInstruments::register(&registry, stripes);
         SketchStore {
             stripes: table,
             mask: stripes - 1,
             cfg,
-            updates: AtomicU64::new(0),
-            ingests: AtomicU64::new(0),
-            ingest_errors: AtomicU64::new(0),
-            bytes_out: AtomicU64::new(0),
-            bytes_in: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            shared_writes: AtomicU64::new(0),
-            fallback_writes: AtomicU64::new(0),
+            registry,
+            instruments,
             lease_generation: AtomicU64::new(0),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// The metrics registry this store records into — the one passed via
+    /// [`StoreConfig::telemetry`] or the store's own. The serving layer
+    /// registers its instruments here so one snapshot covers both.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The next never-before-used lease generation.
@@ -464,7 +609,7 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         self.stripes.len()
     }
 
-    fn stripe_of(&self, key: &str) -> &Stripe<T, E> {
+    fn stripe_index(&self, key: &str) -> usize {
         // FNV-1a over the key bytes; stripe count is a power of two.
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for b in key.as_bytes() {
@@ -472,7 +617,11 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         // Fold the high bits in so the low-bit mask sees the whole hash.
-        &self.stripes[((h ^ (h >> 32)) as usize) & self.mask]
+        ((h ^ (h >> 32)) as usize) & self.mask
+    }
+
+    fn stripe_of(&self, key: &str) -> &Stripe<T, E> {
+        &self.stripes[self.stripe_index(key)]
     }
 
     fn key_seed(&self, key: &str) -> u64 {
@@ -512,8 +661,8 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                     // here): a concurrent `stats()` sweep sharing the
                     // stripe lock must never observe engine weight not
                     // yet in `updates`.
-                    self.updates.fetch_add(values.len() as u64, Relaxed);
-                    self.shared_writes.fetch_add(1, Relaxed);
+                    self.instruments.updates.add(values.len() as u64);
+                    self.instruments.shared_writes.incr();
                     handle.update_many(values);
                     // Flush before the handle goes idle: pooled handles
                     // hold zero weight, so reads are exact at quiescence
@@ -526,7 +675,8 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         }
         // Exclusive slow path: key creation, cold-tier keys (whose
         // `&mut` updates drive promotion pressure), exhausted pools.
-        let mut map = self.stripe_of(key).write().unwrap();
+        let stripe_ix = self.stripe_index(key);
+        let mut map = self.stripes[stripe_ix].write().unwrap();
         // Probe before inserting: the steady state must not allocate a
         // `String` per call just to use the entry API.
         if !map.contains_key(key) {
@@ -534,15 +684,24 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                 key.to_string(),
                 KeyEntry::new(E::build(&self.cfg, self.key_seed(key)), self.next_generation()),
             );
+            self.instruments.stripe_keys[stripe_ix].inc();
         }
         let entry = map.get_mut(key).expect("entry just ensured");
+        // Promotion fires inside the engine on update pressure; observe it
+        // as a tier flip around the write (exclusive path only — leased
+        // writes require an already-hot engine).
+        let tier_before = entry.engine.tier();
         entry.engine.update_many(values);
         // Count while still holding the stripe lock: bumping after the
         // drop let `stats()` observe engine weight not yet in `updates`
         // (`stream_len > updates` mid-flight, under-reported counters at
         // shutdown barriers).
-        self.updates.fetch_add(values.len() as u64, Relaxed);
-        self.fallback_writes.fetch_add(1, Relaxed);
+        self.instruments.updates.add(values.len() as u64);
+        self.instruments.fallback_writes.incr();
+        if tier_before == Tier::Sequential && entry.engine.tier() == Tier::Concurrent {
+            self.instruments.promotions.incr();
+            self.registry.event(EventKind::Promotion, format!("key={key}"));
+        }
     }
 
     /// Check a writer lease out of `key`'s pool, for callers that reuse a
@@ -586,8 +745,8 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         }
         // Same ordering discipline as the pooled fast path: count first,
         // then write + flush (infallible), all under the shared lock.
-        self.updates.fetch_add(values.len() as u64, Relaxed);
-        self.shared_writes.fetch_add(1, Relaxed);
+        self.instruments.updates.add(values.len() as u64);
+        self.instruments.shared_writes.incr();
         let handle = lease.handle.as_mut().expect("lease handle present until drop");
         handle.update_many(values);
         handle.flush();
@@ -651,7 +810,11 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             let cache = entry.cache.lock().unwrap();
             if let Some(cached) = cache.as_ref() {
                 if cached.version == version {
-                    self.cache_hits.fetch_add(1, Relaxed);
+                    // Classify (hit) before counting the read: `stats()`
+                    // samples in the opposite order, so
+                    // `cache_hits + cache_misses >= reads` never inverts.
+                    self.instruments.cache_hits.incr();
+                    self.instruments.reads.incr();
                     return Some(Arc::clone(&cached.summary));
                 }
             }
@@ -667,10 +830,11 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         // racing miss publishes is invalidated by the flush's completion
         // bump. Publishing unconditionally is therefore safe: a wrong
         // entry can only sit under a tag no settled state carries.
-        self.cache_misses.fetch_add(1, Relaxed);
+        self.instruments.cache_misses.incr();
         let summary = Arc::new(entry.engine.to_summary());
         *entry.cache.lock().unwrap() =
             Some(CachedSummary { version, summary: Arc::clone(&summary) });
+        self.instruments.reads.incr();
         Some(summary)
     }
 
@@ -692,7 +856,7 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     pub fn snapshot_bytes(&self, key: &str) -> Option<Vec<u8>> {
         let summary = self.summary_of(key)?;
         let bytes = encode_summary(&summary);
-        self.bytes_out.fetch_add(bytes.len() as u64, Relaxed);
+        self.instruments.bytes_out.add(bytes.len() as u64);
         Some(bytes)
     }
 
@@ -704,20 +868,26 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         let remote = match decode_summary(buf) {
             Ok(summary) => summary,
             Err(e) => {
-                self.ingest_errors.fetch_add(1, Relaxed);
+                self.instruments.ingest_errors.incr();
                 return Err(e);
             }
         };
         let ingested = remote.stream_len();
-        let mut map = self.stripe_of(key).write().unwrap();
-        let entry = map.entry(key.to_string()).or_insert_with(|| {
-            KeyEntry::new(E::build(&self.cfg, self.key_seed(key)), self.next_generation())
-        });
+        let stripe_ix = self.stripe_index(key);
+        let mut map = self.stripes[stripe_ix].write().unwrap();
+        if !map.contains_key(key) {
+            map.insert(
+                key.to_string(),
+                KeyEntry::new(E::build(&self.cfg, self.key_seed(key)), self.next_generation()),
+            );
+            self.instruments.stripe_keys[stripe_ix].inc();
+        }
+        let entry = map.get_mut(key).expect("entry just ensured");
         entry.engine.absorb_summary(&remote);
         // Counted under the stripe lock, like `updates`: `stats()` must
         // never see absorbed weight that is not yet in `ingests`.
-        self.ingests.fetch_add(1, Relaxed);
-        self.bytes_in.fetch_add(buf.len() as u64, Relaxed);
+        self.instruments.ingests.incr();
+        self.instruments.bytes_in.add(buf.len() as u64);
         Ok(ingested)
     }
 
@@ -740,7 +910,14 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
 
     /// Remove a key and return whether it was present.
     pub fn remove(&self, key: &str) -> bool {
-        self.stripe_of(key).write().unwrap().remove(key).is_some()
+        let stripe_ix = self.stripe_index(key);
+        let removed = self.stripes[stripe_ix].write().unwrap().remove(key).is_some();
+        if removed {
+            self.instruments.stripe_keys[stripe_ix].dec();
+            self.instruments.removals.incr();
+            self.registry.event(EventKind::Eviction, format!("key={key}"));
+        }
+        removed
     }
 
     /// All resident keys (unordered).
@@ -798,6 +975,8 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                     let mut pool = entry.pool.lock().unwrap();
                     if migrated {
                         changed += 1;
+                        self.instruments.demotions.incr();
+                        self.registry.event(EventKind::Demotion, format!("key={key}"));
                         // Tier migration orphans every handle minted for
                         // the previous engine: retire the generation so
                         // outstanding leases are rejected at their next
@@ -834,6 +1013,13 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     /// locks (the sweep never blocks other readers); counter fields are
     /// exact, lock-free reads.
     pub fn stats(&self) -> StoreStats {
+        // Sampling order upholds the `consistency()` invariants under
+        // concurrency: `reads` before the hit/miss counters (each read
+        // classifies before it counts), the batch counters before
+        // `updates` (each write bumps `updates` before its batch counter).
+        let reads = self.instruments.reads.get();
+        let shared_writes = self.instruments.shared_writes.get();
+        let fallback_writes = self.instruments.fallback_writes.get();
         let mut keys = 0usize;
         let mut stream_len = 0u64;
         let mut cold_keys = 0usize;
@@ -854,20 +1040,52 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         StoreStats {
             keys,
             stripes: self.stripes.len(),
-            updates: self.updates.load(Relaxed),
-            ingests: self.ingests.load(Relaxed),
-            ingest_errors: self.ingest_errors.load(Relaxed),
+            updates: self.instruments.updates.get(),
+            ingests: self.instruments.ingests.get(),
+            ingest_errors: self.instruments.ingest_errors.get(),
             stream_len,
-            bytes_out: self.bytes_out.load(Relaxed),
-            bytes_in: self.bytes_in.load(Relaxed),
+            bytes_out: self.instruments.bytes_out.get(),
+            bytes_in: self.instruments.bytes_in.get(),
             cold_keys,
             hot_keys,
             retained,
-            cache_hits: self.cache_hits.load(Relaxed),
-            cache_misses: self.cache_misses.load(Relaxed),
-            shared_writes: self.shared_writes.load(Relaxed),
-            fallback_writes: self.fallback_writes.load(Relaxed),
+            cache_hits: self.instruments.cache_hits.get(),
+            cache_misses: self.instruments.cache_misses.get(),
+            reads,
+            shared_writes,
+            fallback_writes,
+            promotions: self.instruments.promotions.get(),
+            demotions: self.instruments.demotions.get(),
+            removals: self.instruments.removals.get(),
         }
+    }
+
+    /// A telemetry snapshot of the store's registry, extended with the
+    /// engine-internal counters ([`qc_common::engine::InstrumentedSketch`])
+    /// summed across all
+    /// resident keys — Quancurrent's DCAS retries, snapshot miss rates and
+    /// friends, sampled under shared stripe locks and exported as
+    /// `sketch_*` gauges (gauges, not counters: a key's internal counts
+    /// reset when demotion rebuilds its engine, and removal forgets them).
+    pub fn telemetry_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        if !self.registry.is_enabled() {
+            return snap;
+        }
+        let mut engine_totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for stripe in self.stripes.iter() {
+            let map = stripe.read().unwrap();
+            for entry in map.values() {
+                for (name, value) in entry.engine.internal_counters() {
+                    *engine_totals.entry(name).or_insert(0) += value;
+                }
+            }
+        }
+        for (name, value) in engine_totals {
+            snap.gauges.push((format!("sketch_{name}"), value.min(i64::MAX as u64) as i64));
+        }
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
     }
 }
 

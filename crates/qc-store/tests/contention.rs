@@ -119,6 +119,12 @@ fn single_stripe_hammer_conserves_weight_and_skips_removed_keys() {
                     stats.stream_len,
                     stats.updates
                 );
+                // Cross-field consistency model (documented per field on
+                // `StoreStats`), asserted mid-flight: read classification
+                // (hits + misses >= reads), batch accounting, and the
+                // tier partition must hold for *any* sample, not just at
+                // quiescence.
+                assert!(stats.consistency(), "mid-flight stats sample inconsistent: {stats:?}");
                 let keys: Vec<String> = (0..HOT_KEYS).map(hot_key).collect();
                 let resident: u64 = keys
                     .iter()
@@ -165,6 +171,7 @@ fn single_stripe_hammer_conserves_weight_and_skips_removed_keys() {
     let churn = doomed_rounds.load(Ordering::Relaxed) * 3;
     assert_eq!(stats.updates, hot_total + churn, "update counter lost increments");
     assert_eq!(stats.stream_len, hot_total, "resident weight disagrees with summaries");
+    assert!(stats.consistency(), "quiescent stats inconsistent: {stats:?}");
 
     // merged_summary skips missing and removed keys and counts every
     // survivor exactly once — including duplicates in the key list? No:
@@ -225,6 +232,7 @@ fn concurrent_remove_and_update_on_one_key_never_lose_the_lock() {
 
     // Whatever survived is internally consistent.
     let stats = store.stats();
+    assert!(stats.consistency(), "post-race stats inconsistent: {stats:?}");
     match store.summary_of("flicker") {
         Some(summary) => assert_eq!(stats.stream_len, summary.stream_len()),
         None => assert_eq!(stats.stream_len, 0),

@@ -82,6 +82,57 @@ fn tier_counts_track_per_key_pressure() {
     assert_eq!(stats.stream_len, 3 * 1_000 + 20 * 10);
 }
 
+/// Tier transitions are observable: promotions/demotions/removals count
+/// in the registry, structured events carry the key, and the
+/// `telemetry_snapshot` bridge exposes the hot engine's internal
+/// counters as `sketch_*` gauges.
+#[test]
+fn tier_transitions_are_counted_and_evented() {
+    use qc_telemetry::EventKind;
+    let store = SketchStore::new(
+        StoreConfig::default().stripes(4).k(64).b(4).seed(3).promotion_threshold(200),
+    );
+    store.update_many("hot", &(0..1_000).map(f64::from).collect::<Vec<_>>());
+    store.update_many("cold", &[1.0, 2.0]);
+
+    let snap = store.telemetry_snapshot();
+    assert_eq!(snap.counter("store_promotions"), Some(1));
+    assert_eq!(snap.counter("store_demotions"), Some(0));
+    // The hot key's concurrent engine surfaces its internal counters
+    // through the InstrumentedSketch bridge.
+    assert!(
+        snap.gauge("sketch_batches").is_some(),
+        "hot engine counters missing from snapshot: {:?}",
+        snap.gauges
+    );
+
+    // Two idle sweeps demote; the demotion is counted and evented.
+    store.cool_down();
+    assert_eq!(store.cool_down(), 1);
+    store.remove("cold");
+    let snap = store.telemetry_snapshot();
+    assert_eq!(snap.counter("store_demotions"), Some(1));
+    assert_eq!(snap.counter("store_removals"), Some(1));
+
+    let events = store.telemetry().events().drain();
+    let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&EventKind::Promotion), "events: {kinds:?}");
+    assert!(kinds.contains(&EventKind::Demotion), "events: {kinds:?}");
+    assert!(kinds.contains(&EventKind::Eviction), "events: {kinds:?}");
+    let promo = events.iter().find(|e| e.kind == EventKind::Promotion).unwrap();
+    assert!(promo.detail.contains("key=hot"), "detail: {}", promo.detail);
+
+    // Per-stripe key gauges partition the key count.
+    let stats = store.stats();
+    let striped: i64 = snap
+        .gauges
+        .iter()
+        .filter(|(n, _)| n.starts_with("store_stripe_keys_"))
+        .map(|&(_, v)| v)
+        .sum();
+    assert_eq!(striped, stats.keys as i64);
+}
+
 /// The memory half of the tiering claim, at test scale (the `store_ops`
 /// bench runs the 10k-key version): on an all-cold population the tiered
 /// store's retained footprint matches the sequential store's and sits an

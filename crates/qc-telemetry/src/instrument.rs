@@ -1,0 +1,254 @@
+//! Sharded counters and gauges.
+//!
+//! Counters are the hottest instrument (one per store update, per request
+//! byte, …) so they shard across cache-line-padded atomics indexed by a
+//! per-thread slot: concurrent writers on different threads touch
+//! different cache lines, and [`Counter::get`] sums the shards. Relaxed
+//! ordering everywhere — a counter read races its writers by design and
+//! is exact once the writers are quiescent (the same contract as
+//! quancurrent's own `SketchStats`).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Number of counter shards; power of two so the thread slot maps with a
+/// mask. 16 × 64 B = 1 KiB per counter, paid only for enabled registries.
+pub(crate) const SHARDS: usize = 16;
+
+/// Monotone thread slot allocator (never reused; only the low bits matter).
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's shard index, assigned round-robin on first use.
+#[inline]
+pub(crate) fn shard_index() -> usize {
+    THREAD_SLOT.with(|slot| {
+        let mut ix = slot.get();
+        if ix == usize::MAX {
+            ix = NEXT_THREAD_SLOT.fetch_add(1, Relaxed);
+            slot.set(ix);
+        }
+        ix & (SHARDS - 1)
+    })
+}
+
+/// One atomic per cache line so shards don't false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+struct CounterCore {
+    shards: [PaddedU64; SHARDS],
+}
+
+/// A monotone event counter.
+///
+/// Handles are cheap clones sharing one set of shards; the default value
+/// (and [`Counter::disabled`]) is a no-op handle whose operations compile
+/// to a branch on a null `Option`.
+#[derive(Clone, Default)]
+pub struct Counter {
+    core: Option<Arc<CounterCore>>,
+}
+
+impl Counter {
+    /// A live counter starting at zero.
+    pub fn new() -> Self {
+        Self { core: Some(Arc::new(CounterCore { shards: Default::default() })) }
+    }
+
+    /// A no-op handle: `add` does nothing, `get` reads zero.
+    pub fn disabled() -> Self {
+        Self { core: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Add `n` to the counter (relaxed, on this thread's shard).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(core) = &self.core {
+            core.shards[shard_index()].0.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Sum of all shards. Exact when writers are quiescent; otherwise a
+    /// relaxed snapshot that never under-reports a completed `add`.
+    pub fn get(&self) -> u64 {
+        match &self.core {
+            Some(core) => core.shards.iter().map(|s| s.0.load(Relaxed)).sum(),
+            None => 0,
+        }
+    }
+
+    /// Two handles are siblings if they share the same shards (used by the
+    /// registry's get-or-register to hand out the same instrument twice).
+    pub fn same_instrument(&self, other: &Counter) -> bool {
+        match (&self.core, &other.core) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("enabled", &self.is_enabled())
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+/// A signed point-in-time value (queue depth, live connections, resident
+/// keys). Single atomic — gauges are read-mostly and rarely contended.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    core: Option<Arc<AtomicI64>>,
+}
+
+impl Gauge {
+    /// A live gauge starting at zero.
+    pub fn new() -> Self {
+        Self { core: Some(Arc::new(AtomicI64::new(0))) }
+    }
+
+    /// A no-op handle.
+    pub fn disabled() -> Self {
+        Self { core: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(core) = &self.core {
+            core.store(v, Relaxed);
+        }
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(core) = &self.core {
+            core.fetch_add(delta, Relaxed);
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        match &self.core {
+            Some(core) => core.load(Relaxed),
+            None => 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge")
+            .field("enabled", &self.is_enabled())
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    /// The headline contract: sharding never loses an increment.
+    #[test]
+    fn counter_sums_exactly_under_8_threads() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 100_000;
+        let counter = Counter::new();
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    barrier.wait();
+                    for _ in 0..PER_THREAD {
+                        counter.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn counter_add_and_clone_share_state() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        assert_eq!(b.get(), 7);
+        assert!(a.same_instrument(&b));
+        assert!(!a.same_instrument(&Counter::new()));
+    }
+
+    #[test]
+    fn disabled_counter_is_inert() {
+        let c = Counter::disabled();
+        c.add(100);
+        c.incr();
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_enabled());
+        assert!(c.same_instrument(&Counter::disabled()));
+    }
+
+    #[test]
+    fn gauge_tracks_signed_values() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        g.inc();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 6);
+        let h = g.clone();
+        h.add(-6);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn disabled_gauge_is_inert() {
+        let g = Gauge::disabled();
+        g.set(42);
+        g.inc();
+        assert_eq!(g.get(), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Latency quantiles from the repo's own sketch engine.
+//!
+//! A [`LatencyRecorder`] is a stripe of mutexes over
+//! [`qc_sequential::Sketch<f64>`]: writers `try_lock` stripes starting at
+//! their thread's home stripe, so under contention they spread out instead
+//! of queueing, and only block when every stripe is busy (rare: the
+//! critical section is a single sketch update). Reads merge the stripes
+//! with the standard mergeability property (Agarwal et al.), so the error
+//! bound of the merged summary is still ε(k) — the recorder dogfoods the
+//! exact machinery the paper builds on.
+
+use std::sync::{Arc, Mutex, TryLockError};
+use std::time::Duration;
+
+use qc_common::bits::OrderedBits;
+use qc_common::summary::{Summary, WeightedSummary};
+use qc_sequential::Sketch;
+
+/// Number of sketch stripes. Small on purpose: each stripe costs O(k log n)
+/// retained samples and reads merge all of them.
+const STRIPES: usize = 4;
+
+/// Default sketch accuracy parameter (ε ≈ 1.7%).
+pub(crate) const DEFAULT_K: usize = 128;
+
+/// Fixed seed so summaries are reproducible run-to-run in tests; stripe
+/// index is mixed in so stripes sample independently.
+const SEED: u64 = 0x9cb2_77d1;
+
+struct RecorderCore {
+    stripes: [Mutex<Sketch<f64>>; STRIPES],
+    k: usize,
+}
+
+/// Records observations (typically seconds of latency) into striped
+/// quantile sketches; see the module docs.
+///
+/// Handles are cheap clones sharing the stripes; the default value (and
+/// [`LatencyRecorder::disabled`]) is a no-op handle.
+#[derive(Clone, Default)]
+pub struct LatencyRecorder {
+    core: Option<Arc<RecorderCore>>,
+}
+
+impl LatencyRecorder {
+    /// A live recorder with accuracy parameter `k`.
+    pub fn new(k: usize) -> Self {
+        let stripes =
+            std::array::from_fn(|i| Mutex::new(Sketch::with_seed(k, SEED.wrapping_add(i as u64))));
+        Self { core: Some(Arc::new(RecorderCore { stripes, k })) }
+    }
+
+    /// A no-op handle: `record` does nothing, `summary` is empty.
+    pub fn disabled() -> Self {
+        Self { core: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Record one observation.
+    ///
+    /// Lock discipline: try each stripe starting from this thread's home
+    /// stripe; if all `try_lock`s fail (every stripe mid-update), fall back
+    /// to a blocking lock on the home stripe. The observation is never
+    /// dropped — latency tails are exactly what we must not lose.
+    pub fn record(&self, value: f64) {
+        let Some(core) = &self.core else { return };
+        let home = crate::instrument::shard_index() % STRIPES;
+        for offset in 0..STRIPES {
+            let stripe = &core.stripes[(home + offset) % STRIPES];
+            match stripe.try_lock() {
+                Ok(mut sketch) => {
+                    sketch.update(value);
+                    return;
+                }
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    poisoned.into_inner().update(value);
+                    return;
+                }
+                Err(TryLockError::WouldBlock) => continue,
+            }
+        }
+        lock_recovering(&core.stripes[home]).update(value);
+    }
+
+    /// Record a [`Duration`] in seconds (the exposition convention).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Total observations recorded so far (relaxed across stripes).
+    pub fn count(&self) -> u64 {
+        match &self.core {
+            Some(core) => core.stripes.iter().map(|s| lock_recovering(s).n()).sum(),
+            None => 0,
+        }
+    }
+
+    /// Merge the stripes into one sketch and summarize it. The result is a
+    /// mergeable [`WeightedSummary`] with the usual ε(k) rank guarantee.
+    pub fn summary(&self) -> WeightedSummary {
+        match &self.core {
+            Some(core) => {
+                let mut merged = Sketch::<f64>::with_seed(core.k, SEED);
+                for stripe in &core.stripes {
+                    let sketch = lock_recovering(stripe);
+                    merged.merge_from(&sketch);
+                }
+                merged.summary()
+            }
+            None => WeightedSummary::empty(),
+        }
+    }
+
+    /// Estimate the φ-quantile of the recorded observations.
+    pub fn quantile(&self, phi: f64) -> Option<f64> {
+        self.summary().quantile_bits(phi).map(f64::from_ordered_bits)
+    }
+
+    /// The accuracy parameter this recorder was built with.
+    pub fn k(&self) -> usize {
+        match &self.core {
+            Some(core) => core.k,
+            None => 0,
+        }
+    }
+
+    /// See [`Counter::same_instrument`](crate::Counter::same_instrument).
+    pub fn same_instrument(&self, other: &LatencyRecorder) -> bool {
+        match (&self.core, &other.core) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyRecorder")
+            .field("enabled", &self.is_enabled())
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// Telemetry must keep working after a writer panic: recover the guard.
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// p50/p99 within the sketch's ε(k) rank bound of an exact oracle,
+    /// even with observations spread across stripes by many threads.
+    #[test]
+    fn quantiles_match_exact_oracle_within_epsilon() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 5_000;
+        const N: usize = THREADS * PER_THREAD;
+        let recorder = LatencyRecorder::new(DEFAULT_K);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let recorder = recorder.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Distinct values across all threads: t + THREADS*i.
+                        recorder.record((t + THREADS * i) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(recorder.count(), N as u64);
+
+        // Merging STRIPES sketches of the same k keeps the rank error
+        // O(ε(k)); allow a 3ε cushion for the stripe merge.
+        let eps = Sketch::<f64>::new(DEFAULT_K).epsilon();
+        let tolerance = 3.0 * eps * N as f64;
+        for phi in [0.5, 0.99, 0.999] {
+            let estimate = recorder.quantile(phi).expect("non-empty recorder");
+            // Values are exactly 0..N, so the true rank of `estimate` is
+            // `estimate` itself.
+            let target_rank = phi * N as f64;
+            assert!(
+                (estimate - target_rank).abs() <= tolerance,
+                "phi={phi}: estimate {estimate} vs target rank {target_rank} (tol {tolerance})"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_is_mergeable_and_counts_everything() {
+        use qc_common::engine::MergeableSketch;
+        let a = LatencyRecorder::new(64);
+        let b = LatencyRecorder::new(64);
+        for i in 0..1000 {
+            a.record(i as f64);
+            b.record((i + 1000) as f64);
+        }
+        let sa = a.summary();
+        let sb = b.summary();
+        assert_eq!(sa.stream_len(), 1000);
+        assert_eq!(sb.stream_len(), 1000);
+        // Federation path: absorb both summaries into a fresh sketch.
+        let mut merged = Sketch::<f64>::new(64);
+        merged.absorb_summary(&sa);
+        merged.absorb_summary(&sb);
+        assert_eq!(merged.n(), 2000);
+        let median = merged.quantile(0.5).unwrap();
+        assert!((700.0..1300.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = LatencyRecorder::disabled();
+        r.record(1.0);
+        r.record_duration(Duration::from_millis(5));
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.quantile(0.5), None);
+        assert_eq!(r.summary(), WeightedSummary::empty());
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn record_duration_records_seconds() {
+        let r = LatencyRecorder::new(32);
+        r.record_duration(Duration::from_millis(250));
+        assert_eq!(r.count(), 1);
+        let v = r.quantile(0.5).unwrap();
+        assert!((v - 0.25).abs() < 1e-9, "got {v}");
+    }
+}

@@ -1,0 +1,56 @@
+//! # qc-telemetry — the suite observing itself with its own sketches
+//!
+//! A std-only metrics layer shared by [`qc-store`] and [`qc-server`]. The
+//! design goal is *always-on* instrumentation: every instrument is cheap
+//! enough to leave enabled in production, and the whole registry collapses
+//! to no-ops via [`Registry::disabled`] so the overhead can be measured
+//! (and is benched in `qc-bench` to stay under 2% on the hot update path).
+//!
+//! ## Instruments
+//!
+//! | Instrument          | Implementation                              | Cost per op |
+//! |---------------------|---------------------------------------------|-------------|
+//! | [`Counter`]         | 16 cache-line-padded relaxed `AtomicU64`s, sharded by thread | one relaxed `fetch_add` |
+//! | [`Gauge`]           | a single relaxed `AtomicI64`                | one relaxed RMW |
+//! | [`LatencyRecorder`] | stripe of mutexes over `qc_sequential::Sketch<f64>` | one `try_lock` + sketch update |
+//! | [`EventRing`]       | fixed-size lock-free ring of structured [`Event`]s | `fetch_add` + `try_lock`, never blocks |
+//!
+//! ## Self-sketching
+//!
+//! The latency "histogram" is not a histogram at all: it **is** the repo's
+//! own quantile sketch ([`qc_sequential::Sketch`]), so p50/p99/p999 come
+//! from the same ε(k)-guaranteed estimator the paper reproduces, and a
+//! telemetry snapshot is a set of named [`WeightedSummary`]s that reuse
+//! the store's CRC-checked wire format and merge with `merge_summaries`
+//! for multi-server federation.
+//!
+//! ```
+//! use qc_telemetry::{EventKind, Registry};
+//!
+//! let registry = Registry::new();
+//! let requests = registry.counter("requests");
+//! let latency = registry.latency("request_seconds");
+//!
+//! requests.incr();
+//! latency.record(0.0042);
+//! registry.event(EventKind::SlowRequest, "peer=127.0.0.1:9 op=query");
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("requests"), Some(1));
+//! assert!(snap.quantile("request_seconds", 0.99).is_some());
+//! println!("{}", snap.render_text());
+//! ```
+//!
+//! [`qc-store`]: ../qc_store/index.html
+//! [`qc-server`]: ../qc_server/index.html
+//! [`WeightedSummary`]: qc_common::summary::WeightedSummary
+
+pub mod events;
+pub mod instrument;
+pub mod latency;
+pub mod registry;
+
+pub use events::{Event, EventKind, EventRing};
+pub use instrument::{Counter, Gauge};
+pub use latency::LatencyRecorder;
+pub use registry::{MetricsSnapshot, Registry};

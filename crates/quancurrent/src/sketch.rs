@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use qc_common::bits::OrderedBits;
 use qc_common::engine::{
-    ConcurrentIngest, QuantileEstimator, SharedIngest, StreamIngest, VersionedSketch,
+    ConcurrentIngest, InstrumentedSketch, QuantileEstimator, SharedIngest, StreamIngest,
+    VersionedSketch,
 };
 use qc_common::summary::{Summary, WeightedSummary};
 use qc_mwcas::{Arena, MwcasWord};
@@ -338,6 +339,29 @@ impl<T: OrderedBits> ConcurrentIngest<T> for Quancurrent<T> {
 impl<T: OrderedBits> SharedIngest<T> for Quancurrent<T> {
     fn try_writer(&self) -> Option<Box<dyn StreamIngest<T> + Send>> {
         Some(Box::new(self.updater()))
+    }
+}
+
+/// Telemetry bridge: the paper's operation counters ([`SketchStats`])
+/// exposed under stable names, so DCAS retries and snapshot miss rates
+/// surface in a metrics registry next to store- and server-level
+/// instruments.
+impl<T: OrderedBits> InstrumentedSketch for Quancurrent<T> {
+    fn internal_counters(&self) -> Vec<(&'static str, u64)> {
+        let stats = self.stats();
+        vec![
+            ("batches", stats.batches),
+            ("propagations", stats.propagations),
+            ("merges", stats.merges),
+            ("dcas_retries", stats.dcas_retries),
+            ("level_waits", stats.level_waits),
+            ("snapshots_built", stats.snapshots_built),
+            ("snapshot_retries", stats.snapshot_retries),
+            ("snapshot_cache_hits", stats.cache_hits),
+            ("snapshot_cache_misses", stats.cache_misses),
+            ("holes", stats.holes),
+            ("gs_full_spins", stats.gs_full_spins),
+        ]
     }
 }
 

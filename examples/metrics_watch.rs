@@ -1,0 +1,71 @@
+//! A top-like console for a running qc-server: poll the `Metrics` frame
+//! and render the registry's instruments in place.
+//!
+//! ```sh
+//! # watch the default address at the default cadence
+//! cargo run --release --example metrics_watch
+//!
+//! # custom address / poll interval / one-shot dump
+//! cargo run --release --example metrics_watch -- 127.0.0.1:7071 2
+//! cargo run --release --example metrics_watch -- 127.0.0.1:7071 --once
+//! ```
+//!
+//! Everything shown comes over the wire from the server's own telemetry:
+//! counters and gauges as plain values, latencies as the CRC-checked
+//! summary frames the store itself serializes — the watcher re-derives
+//! p50/p90/p99/p999 client-side from the sketch, it is not trusting
+//! server-side percentile math.
+
+use std::time::Duration;
+
+use quancurrent_suite::server::Client;
+
+fn main() {
+    let mut addr = "127.0.0.1:7071".to_string();
+    let mut interval = Duration::from_secs(1);
+    let mut once = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--once" {
+            once = true;
+        } else if let Ok(secs) = arg.parse::<u64>() {
+            interval = Duration::from_secs(secs.max(1));
+        } else {
+            addr = arg;
+        }
+    }
+
+    let mut client = match Client::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            eprintln!("start a server first: cargo run --release --example serve");
+            std::process::exit(1);
+        }
+    };
+
+    loop {
+        let snap = match client.metrics() {
+            Ok(snap) => snap,
+            Err(e) => {
+                eprintln!("metrics poll failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if !once {
+            // ANSI clear + home: redraw in place, top-style.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "qc-server {addr} — {} counters, {} gauges, {} latency sketches",
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.latencies.len()
+        );
+        println!();
+        print!("{}", snap.render_text());
+        if once {
+            return;
+        }
+        std::thread::sleep(interval);
+    }
+}

@@ -36,12 +36,13 @@ pub use qc_reclaim as reclaim;
 pub use qc_sequential as sequential;
 pub use qc_server as server;
 pub use qc_store as store;
+pub use qc_telemetry as telemetry;
 pub use qc_workloads as workloads;
 pub use quancurrent;
 
 pub use qc_common::{
-    ConcurrentIngest, MergeableSketch, OrderedBits, QuantileEstimator, SharedIngest, SketchEngine,
-    StreamIngest, Summary, VersionedSketch,
+    ConcurrentIngest, InstrumentedSketch, MergeableSketch, OrderedBits, QuantileEstimator,
+    SharedIngest, SketchEngine, StreamIngest, Summary, VersionedSketch,
 };
 pub use qc_server::{Client, Server, ServerConfig};
 pub use qc_store::{
