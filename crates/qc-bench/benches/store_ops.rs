@@ -32,6 +32,8 @@
 //! the noise floor (<2%); the single-element series documents the worst
 //! case — two sharded relaxed increments against a ~170 ns op.
 
+use std::time::Duration;
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qc_common::Summary;
 use qc_store::{
@@ -381,6 +383,80 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+const WAL_BATCH: usize = 256;
+
+/// A store with the given durability setting, logging into `dir`.
+/// `None` is the in-memory baseline every WAL series is priced against.
+fn wal_store(
+    seed: u64,
+    dir: &qc_workloads::TempDir,
+    policy: Option<qc_store::FsyncPolicy>,
+) -> SketchStore {
+    let mut config = cfg(4, seed);
+    if let Some(policy) = policy {
+        config = config.data_dir(dir.path()).fsync(policy);
+    }
+    match policy {
+        None => SketchStore::new(config),
+        Some(_) => SketchStore::<f64>::recover(config).expect("fresh data dir").0,
+    }
+}
+
+/// The durability acceptance axis: identical hot-key write loops with the
+/// log detached (`memory`) and attached under each fsync policy.
+///
+/// * `store_wal_overhead_batched/` — the throughput-carrying path
+///   (`update_many`, batch = 256): one frame append (+ optional fsync)
+///   amortized over 256 elements.
+/// * `store_wal_overhead/` — the worst case: single-element `update`,
+///   one frame and one policy decision per ~170 ns op. `per_frame` here
+///   is the price of "ack ⇒ durable" paid on every element — expect
+///   orders of magnitude, that is the honest number.
+///
+/// The log grows unboundedly inside the timed loop by design (no
+/// checkpoint runs), matching what a server does between housekeeping
+/// sweeps.
+fn bench_wal_overhead(c: &mut Criterion) {
+    let series: [(&str, Option<qc_store::FsyncPolicy>); 4] = [
+        ("memory", None),
+        ("wal_off", Some(qc_store::FsyncPolicy::Off)),
+        ("wal_interval_1ms", Some(qc_store::FsyncPolicy::Interval(Duration::from_millis(1)))),
+        ("wal_per_frame", Some(qc_store::FsyncPolicy::PerFrame)),
+    ];
+
+    let mut group = c.benchmark_group("store_wal_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    for (name, policy) in series {
+        group.bench_function(name, |bencher| {
+            let dir = qc_workloads::TempDir::new("bench-wal");
+            let store = wal_store(91, &dir, policy);
+            let mut gen = StreamGen::new(Distribution::Uniform, 92);
+            bencher.iter(|| store.update("hot", black_box(gen.next_f64())));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("store_wal_overhead_batched");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WAL_BATCH as u64));
+    for (name, policy) in series {
+        group.bench_function(name, |bencher| {
+            let dir = qc_workloads::TempDir::new("bench-wal-batched");
+            let store = wal_store(93, &dir, policy);
+            let mut gen = StreamGen::new(Distribution::Uniform, 94);
+            let mut batch = vec![0.0f64; WAL_BATCH];
+            bencher.iter(|| {
+                for slot in batch.iter_mut() {
+                    *slot = gen.next_f64();
+                }
+                store.update_many("hot", black_box(&batch));
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_wire_roundtrip(c: &mut Criterion) {
     let store = SketchStore::new(cfg(4, 9));
     let mut gen = StreamGen::new(Distribution::Normal { mean: 0.0, std_dev: 1.0 }, 11);
@@ -426,6 +502,7 @@ criterion_group!(
     bench_write_contention,
     bench_read_heavy_mixed,
     bench_telemetry_overhead,
+    bench_wal_overhead,
     bench_wire_roundtrip,
     bench_merged_query
 );

@@ -1,0 +1,39 @@
+//! Child-process target for the crash-injection suite.
+//!
+//! Binds a durable server on an ephemeral port, publishes the address
+//! through a ready file (written atomically: temp + rename, so the
+//! parent never reads a half-written address), then parks forever — the
+//! parent test ends this process with SIGKILL, which is the whole point:
+//! no destructor, no flush, no goodbye. Everything the parent can then
+//! recover must have come through the write-ahead log's fsyncs.
+//!
+//! Usage: `crash_server <data_dir> <ready_file> [cool_down_ms]`
+
+use std::time::Duration;
+
+use qc_server::{Server, ServerConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: crash_server <data_dir> <ready_file> [cool_down_ms]";
+    let data_dir = args.next().expect(usage);
+    let ready_file = args.next().expect(usage);
+    let cool_down_ms: Option<u64> = args.next().map(|s| s.parse().expect("cool_down_ms: u64"));
+
+    let cfg = ServerConfig {
+        data_dir: Some(data_dir.into()),
+        cool_down_interval: cool_down_ms.map(Duration::from_millis),
+        ..Default::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", cfg).expect("bind durable server");
+
+    let tmp = format!("{ready_file}.tmp");
+    std::fs::write(&tmp, handle.local_addr().to_string()).expect("write ready file");
+    std::fs::rename(&tmp, &ready_file).expect("publish ready file");
+
+    // Park until SIGKILLed. The handle must stay alive (dropping it would
+    // shut the server down gracefully, defeating the test).
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

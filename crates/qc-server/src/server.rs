@@ -58,12 +58,22 @@ pub struct ServerConfig {
     /// Interval between store cool-down sweeps
     /// ([`SketchStore::cool_down`]): each sweep demotes hot-tier keys that
     /// saw no updates for a full interval, reclaiming their concurrent
-    /// buffers. `None` disables housekeeping.
+    /// buffers. With a durable store ([`ServerConfig::data_dir`]), each
+    /// sweep also flushes pending log frames and writes a checkpoint,
+    /// compacting the log behind it. `None` disables housekeeping.
     pub cool_down_interval: Option<Duration>,
     /// Requests whose server-side handling exceeds this duration emit a
     /// [`qc_telemetry::EventKind::SlowRequest`] event into the store's
     /// registry (the request still completes normally).
     pub slow_request_threshold: Duration,
+    /// Durable data directory. `Some` makes [`Server::bind`] recover the
+    /// store from disk **before** accepting connections (replaying the
+    /// checkpoint and log tail) and log every mutation from then on; the
+    /// housekeeping thread checkpoints on each sweep. Overrides
+    /// `store.data_dir`. `None` (the default) leaves durability to
+    /// whatever `store.data_dir` says — also `None` by default, a purely
+    /// in-memory server.
+    pub data_dir: Option<std::path::PathBuf>,
     /// Test hook: pretend every connection's registry registration fails
     /// (as a real `try_clone` failure under fd exhaustion would). An
     /// unregistered connection cannot be severed by `stop()`, so it must
@@ -81,6 +91,7 @@ impl Default for ServerConfig {
             store: StoreConfig::default(),
             cool_down_interval: Some(Duration::from_secs(30)),
             slow_request_threshold: Duration::from_millis(100),
+            data_dir: None,
             fail_connection_registration: false,
         }
     }
@@ -90,9 +101,23 @@ impl Default for ServerConfig {
 pub struct Server;
 
 impl Server {
-    /// Bind `addr` and serve a fresh store built from `cfg.store`.
+    /// Bind `addr` and serve a fresh store built from `cfg.store` — or,
+    /// with [`ServerConfig::data_dir`] set, a store **recovered** from
+    /// that directory before the listener accepts its first connection,
+    /// so no request can ever observe (or write into) a half-replayed
+    /// store. Recovery failures surface as the bind error.
     pub fn bind<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
-        let store = Arc::new(SketchStore::new(cfg.store.clone()));
+        let mut store_cfg = cfg.store.clone();
+        if cfg.data_dir.is_some() {
+            store_cfg.data_dir = cfg.data_dir.clone();
+        }
+        let store = if store_cfg.data_dir.is_some() {
+            let (store, _report) =
+                SketchStore::recover(store_cfg).map_err(std::io::Error::other)?;
+            Arc::new(store)
+        } else {
+            Arc::new(SketchStore::new(store_cfg))
+        };
         Self::bind_with_store(addr, cfg, store)
     }
 

@@ -1,0 +1,258 @@
+//! Crash injection: SIGKILL a loaded child-process server mid-write-storm
+//! and hold recovery to the durability guarantee — **exact** weight
+//! conservation for every key up to the last fsync'd frame, with any torn
+//! tail reported as a typed error, never a panic.
+//!
+//! The proof has two independent sides. The parent computes each key's
+//! durable weight straight from the on-disk files with the public
+//! `persist` parsers (checkpoint entries + log records above each key's
+//! LSN floor), then checks that (a) an in-process `SketchStore::recover`
+//! agrees exactly, (b) every *acknowledged* batch is included — an ack
+//! means the frame was fsync'd before the response was sent — with at
+//! most the one in-flight batch per writer beyond that, and (c) a
+//! restarted child server serves the same totals end-to-end.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+use qc_common::Summary;
+use qc_server::Client;
+use qc_store::persist::{parse_checkpoint, parse_segment, RecordOp};
+use qc_store::{SketchStore, StoreConfig};
+use qc_workloads::tempdir::TempDir;
+
+const WRITERS: usize = 4;
+const BATCH: usize = 32;
+
+/// Spawn the crash-target server on `data_dir` and wait for its address.
+fn spawn_server(
+    data_dir: &Path,
+    scratch: &TempDir,
+    tag: &str,
+    cool_down_ms: Option<u64>,
+) -> (Child, std::net::SocketAddr) {
+    let ready = scratch.path().join(format!("addr-{tag}"));
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_crash_server"));
+    cmd.arg(data_dir).arg(&ready).stdout(Stdio::null()).stderr(Stdio::inherit());
+    if let Some(ms) = cool_down_ms {
+        cmd.arg(ms.to_string());
+    }
+    let child = cmd.spawn().expect("spawn crash_server");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&ready) {
+            break text.trim().parse().expect("ready file holds an address");
+        }
+        assert!(Instant::now() < deadline, "crash_server never became ready");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    (child, addr)
+}
+
+/// Per-key durable weight, computed from the files alone: checkpoint
+/// summaries plus every log record above the checkpoint's LSN floor for
+/// its key — the same arithmetic recovery performs, done independently
+/// with the public parsers.
+fn durable_weights(dir: &Path) -> HashMap<String, u64> {
+    let mut segments = Vec::new();
+    let mut checkpoints = Vec::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        if name.starts_with("wal-") && name.ends_with(".log") {
+            segments.push(name);
+        } else if name.starts_with("ckpt-") && name.ends_with(".ck") {
+            checkpoints.push(name);
+        }
+    }
+    segments.sort();
+    checkpoints.sort();
+
+    let mut weights: HashMap<String, u64> = HashMap::new();
+    let mut floors: HashMap<String, u64> = HashMap::new();
+    let ckpt_stem = if let Some(newest) = checkpoints.last() {
+        let entries = parse_checkpoint(&std::fs::read(dir.join(newest)).unwrap())
+            .expect("surviving checkpoint must be valid (pruning runs only after fsync)");
+        for entry in entries {
+            let summary = qc_store::decode_summary(&entry.summary).unwrap();
+            weights.insert(entry.key.clone(), summary.stream_len());
+            floors.insert(entry.key, entry.lsn);
+        }
+        Some(newest.trim_end_matches(".ck").trim_start_matches("ckpt-").to_string())
+    } else {
+        None
+    };
+
+    let mut saw_error = false;
+    for name in &segments {
+        // Segments the checkpoint covers were either pruned or are
+        // neutralized below by the per-key LSN floor; skip the ones whose
+        // sequence number is at or below the checkpoint's for speed only.
+        if let Some(stem) = &ckpt_stem {
+            let seg_stem = name.trim_end_matches(".log").trim_start_matches("wal-");
+            if seg_stem <= stem.as_str() {
+                continue;
+            }
+        }
+        assert!(!saw_error, "records must not continue past a damaged segment");
+        let scan = parse_segment(&std::fs::read(dir.join(name)).unwrap());
+        for parsed in &scan.records {
+            let floor = floors.get(parsed.record.op.key()).copied().unwrap_or(0);
+            if parsed.record.lsn <= floor {
+                continue;
+            }
+            match &parsed.record.op {
+                RecordOp::UpdateMany { key, value_bits } => {
+                    *weights.entry(key.clone()).or_insert(0) += value_bits.len() as u64;
+                }
+                RecordOp::Ingest { key, frame } => {
+                    let summary = qc_store::decode_summary(frame).unwrap();
+                    *weights.entry(key.clone()).or_insert(0) += summary.stream_len();
+                }
+                RecordOp::Remove { key } => {
+                    weights.remove(key);
+                }
+            }
+        }
+        saw_error = scan.error.is_some();
+    }
+    weights
+}
+
+/// The storm: `WRITERS` clients hammer distinct keys with fixed-size
+/// batches until the server dies under them, each counting its own acks.
+/// Returns per-writer acknowledged batch counts.
+fn write_storm_until_killed(addr: std::net::SocketAddr, child: &mut Child) -> Vec<u64> {
+    let acked: Vec<AtomicU64> = (0..WRITERS).map(|_| AtomicU64::new(0)).collect();
+    std::thread::scope(|scope| {
+        for (t, acks) in acked.iter().enumerate() {
+            scope.spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else { return };
+                let key = format!("storm-{t}");
+                for round in 0.. {
+                    let base = (round * BATCH) as f64;
+                    let batch: Vec<f64> = (0..BATCH).map(|i| base + i as f64).collect();
+                    // The first failed call is the crash; stop. Everything
+                    // acknowledged before it must survive recovery.
+                    if client.update_many(&key, &batch).is_err() {
+                        return;
+                    }
+                    acks.fetch_add(1, Relaxed);
+                }
+            });
+        }
+        // Let the storm build real durable state, then pull the plug:
+        // SIGKILL, no flush, no destructors.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while acked.iter().map(|a| a.load(Relaxed)).sum::<u64>() < 40 {
+            assert!(Instant::now() < deadline, "storm never made progress");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        child.kill().expect("SIGKILL crash_server");
+        child.wait().expect("reap crash_server");
+    });
+    acked.into_iter().map(|a| a.into_inner()).collect()
+}
+
+fn recover_cfg(dir: &Path) -> StoreConfig {
+    StoreConfig::default().data_dir(dir)
+}
+
+/// Run one full kill-9 cycle against a server with the given housekeeping
+/// interval, returning the per-writer acks and the independently computed
+/// durable weights.
+fn crash_cycle(
+    data_dir: &Path,
+    scratch: &TempDir,
+    cool_down_ms: Option<u64>,
+) -> (Vec<u64>, HashMap<String, u64>) {
+    let tag = cool_down_ms.map_or_else(|| "plain".to_string(), |ms| format!("ckpt{ms}"));
+    let (mut child, addr) = spawn_server(data_dir, scratch, &tag, cool_down_ms);
+    let acks = write_storm_until_killed(addr, &mut child);
+    let durable = durable_weights(data_dir);
+    (acks, durable)
+}
+
+/// Shared assertions: recovery agrees with the files exactly, and every
+/// ack is covered with at most one in-flight batch of slack per writer.
+fn assert_conservation(acks: &[u64], durable: &HashMap<String, u64>, data_dir: &Path) {
+    for (t, &acked) in acks.iter().enumerate() {
+        let key = format!("storm-{t}");
+        let weight = durable.get(&key).copied().unwrap_or(0);
+        assert_eq!(weight % BATCH as u64, 0, "{key}: only whole batches are ever durable");
+        assert!(
+            weight >= acked * BATCH as u64,
+            "{key}: acked {acked} batches but only {weight} elements durable — \
+             an acknowledged write was lost"
+        );
+        assert!(
+            weight <= (acked + 1) * BATCH as u64,
+            "{key}: {weight} elements durable for {acked} acked batches — \
+             more than one in-flight batch appeared from nowhere"
+        );
+    }
+
+    // The recovered store must match the independent file arithmetic
+    // exactly, key by key — and never panic on whatever the kill left.
+    let (store, report) = SketchStore::<f64>::recover(recover_cfg(data_dir)).unwrap();
+    if let Some(corruption) = &report.corruption {
+        // Typed, and torn tails can only sit at the very end of the log.
+        assert_eq!(corruption.segments_dropped, 0, "a crash tears only the last segment");
+    }
+    let mut keys = store.keys();
+    keys.sort();
+    let mut expected: Vec<String> = durable.keys().cloned().collect();
+    expected.sort();
+    assert_eq!(keys, expected, "recovered key set matches the durable files");
+    for (key, &weight) in durable {
+        let summary = store.summary_of(key).expect("durable key is resident");
+        assert_eq!(
+            summary.stream_len(),
+            weight,
+            "{key}: recovery must conserve weight exactly up to the last fsync'd frame"
+        );
+    }
+    drop(store);
+}
+
+#[test]
+fn kill9_mid_storm_conserves_every_fsynced_frame() {
+    let data = TempDir::new("crash-kill9");
+    let scratch = TempDir::new("crash-kill9-scratch");
+    let (acks, durable) = crash_cycle(data.path(), &scratch, None);
+    assert!(acks.iter().sum::<u64>() >= 40, "the storm must have made real progress");
+    assert_conservation(&acks, &durable, data.path());
+
+    // Restart a server on the crashed directory: recovery end-to-end.
+    let (mut child, addr) = spawn_server(data.path(), &scratch, "restarted", None);
+    let mut client = Client::connect(addr).expect("connect to restarted server");
+    let total: u64 = durable.values().sum();
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.stream_len, total, "restarted server serves the recovered weight");
+    // And it keeps accepting durable writes.
+    client.update_many("post-crash", &[1.0, 2.0, 3.0]).unwrap();
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let after = durable_weights(data.path());
+    assert_eq!(after.get("post-crash").copied(), Some(3), "post-restart writes are logged");
+}
+
+#[test]
+fn kill9_with_aggressive_checkpointing_still_conserves() {
+    let data = TempDir::new("crash-ckpt");
+    let scratch = TempDir::new("crash-ckpt-scratch");
+    // Housekeeping every 20ms: the storm races live checkpoint compaction,
+    // so the kill lands around rotations, prunes, and renames too.
+    let (acks, durable) = crash_cycle(data.path(), &scratch, Some(20));
+    assert_conservation(&acks, &durable, data.path());
+
+    // A second recovery of the repaired directory is clean and identical.
+    let (store, report) = SketchStore::<f64>::recover(recover_cfg(data.path())).unwrap();
+    assert!(report.corruption.is_none(), "first recovery repaired the tail: {report:?}");
+    for (key, &weight) in &durable {
+        assert_eq!(store.summary_of(key).unwrap().stream_len(), weight);
+    }
+}

@@ -170,6 +170,81 @@ fn malformed_frames_are_counted_and_evented() {
 }
 
 #[test]
+fn durable_workload_wal_telemetry_is_exact() {
+    let dir = qc_workloads::TempDir::new("metrics-wal");
+    let durable_cfg = || ServerConfig {
+        cool_down_interval: None,
+        data_dir: Some(dir.path().to_path_buf()),
+        ..Default::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", durable_cfg()).expect("bind durable");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Scripted writes: 6 singles + 1 batch + 1 ingest + 1 remove = 9 log
+    // appends; the default PerFrame policy fsyncs each one.
+    for i in 0..6 {
+        client.update("w", i as f64).unwrap();
+    }
+    client.update_many("w", &[100.0, 200.0]).unwrap();
+    let frame = client.snapshot_bytes("w").unwrap().expect("resident key");
+    client.ingest_bytes("x", &frame).unwrap();
+    client.remove("x").unwrap();
+
+    let snap = client.metrics().unwrap();
+    assert_eq!(snap.counter("wal_appends"), Some(9), "6 singles + batch + ingest + remove");
+    assert_eq!(snap.counter("wal_fsyncs"), Some(9), "PerFrame syncs every append");
+    assert_eq!(snap.counter("wal_errors"), Some(0));
+    assert_eq!(snap.counter("wal_checkpoints"), Some(0), "nothing checkpoints unprompted");
+    assert!(snap.counter("wal_bytes").unwrap() > 0, "frame bytes accumulate");
+    assert_eq!(
+        snap.latency("checkpoint_seconds").map(|s| s.stream_len()),
+        Some(0),
+        "checkpoint latency sketch is registered but empty"
+    );
+
+    // One checkpoint — the same call the housekeeping sweep makes.
+    let stats = handle.store().checkpoint().expect("checkpoint").expect("dirty log");
+    let snap = client.metrics().unwrap();
+    assert_eq!(snap.counter("wal_checkpoints"), Some(1));
+    assert_eq!(snap.latency("checkpoint_seconds").unwrap().stream_len(), 1);
+    let events = handle.telemetry().events().drain();
+    let ckpt =
+        events.iter().find(|e| e.kind == EventKind::Checkpoint).expect("Checkpoint event recorded");
+    assert!(
+        ckpt.detail.contains(&format!("keys={}", stats.keys)),
+        "checkpoint detail names the key count: {}",
+        ckpt.detail
+    );
+
+    client.shutdown();
+    handle.shutdown();
+
+    // Restart on the same directory: a fresh registry whose first entry
+    // is the recovery trail, with WAL counters reset to a clean slate.
+    let handle = Server::bind("127.0.0.1:0", durable_cfg()).expect("rebind durable");
+    let recovery = handle
+        .telemetry()
+        .events()
+        .drain()
+        .into_iter()
+        .find(|e| e.kind == EventKind::Recovery)
+        .expect("Recovery event recorded before accepting traffic");
+    assert!(
+        recovery.detail.contains("corrupt=false"),
+        "clean shutdown recovers clean: {}",
+        recovery.detail
+    );
+
+    let mut client = Client::connect(handle.local_addr()).expect("connect after recovery");
+    let snap = client.metrics().unwrap();
+    assert_eq!(snap.counter("wal_appends"), Some(0), "recovery replay must not re-log");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.stream_len, 8, "6 singles + a batch of 2 survive the restart");
+    client.shutdown();
+    handle.shutdown();
+}
+
+#[test]
 fn metrics_roundtrip_against_live_server_is_lossless() {
     let handle = bind();
     let mut client = Client::connect(handle.local_addr()).expect("connect");

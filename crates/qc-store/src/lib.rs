@@ -22,7 +22,11 @@
 //!   registry mapping string keys to live engines, with keyed
 //!   update/query, snapshot/ingest through the wire format, and cross-key
 //!   merged queries. Generic over element type and engine;
-//!   `SketchStore` with default parameters is the `f64` tiered store.
+//!   `SketchStore` with default parameters is the `f64` tiered store;
+//! * [`persist`] — the restart-safety layer: an append-only segment log
+//!   of every mutation plus checkpoint compaction, replayed by
+//!   [`store::SketchStore::recover`] with typed, clean-prefix handling
+//!   of torn and corrupt files.
 //!
 //! ```
 //! use qc_store::{SketchStore, StoreConfig};
@@ -52,11 +56,15 @@
 
 pub mod engine;
 pub mod merge;
+pub mod persist;
 pub mod store;
 pub mod wire;
 
 pub use engine::{ConcurrentEngine, SequentialEngine, StoreEngine, Tier, TieredEngine};
 pub use merge::merge_summaries;
+pub use persist::{
+    CheckpointError, CheckpointStats, FsyncPolicy, PersistError, RecordError, RecoveryReport,
+};
 pub use store::{
     SketchStore, StaleLease, StoreConfig, StoreStats, WriterLease, DEFAULT_PROMOTION_THRESHOLD,
     DEFAULT_WRITER_POOL,

@@ -1,0 +1,1171 @@
+//! Durable persistence: an append-only segment log plus checkpoint
+//! compaction, built on the [`crate::wire`] primitives.
+//!
+//! Everything the store accumulates lives in memory; this module is the
+//! restart-safety layer ([`crate::SketchStore::recover`] is the entry
+//! point). The design is the classic WAL + snapshot pair, specialized to
+//! mergeable summaries:
+//!
+//! * **Segment log** — every mutating store operation (`update_many`,
+//!   `ingest_bytes`, `remove`) appends one length-prefixed, CRC-trailed
+//!   record to the active `wal-<seq>.log` segment *while holding the
+//!   key's stripe lock*, so per-key log order always matches per-key
+//!   apply order. Records carry a store-wide **LSN** (log sequence
+//!   number, strictly increasing, assigned under the log mutex).
+//! * **Checkpoints** — a housekeeping sweep seals the active segment,
+//!   then writes every key's resident [`qc_common::WeightedSummary`] (the same
+//!   CRC-checked [`crate::wire`] frame that crosses the network) plus the
+//!   key's last-applied LSN into `ckpt-<seq>.ck` (via a temp file +
+//!   rename), and finally deletes the sealed segments and older
+//!   checkpoints it supersedes. Because summaries merge with **exact**
+//!   weight conservation, a checkpoint is a lossless compaction of the
+//!   log prefix it covers.
+//! * **Recovery** — load the newest fully-valid checkpoint (corrupt ones
+//!   fall back to their predecessor, whose segments are still on disk —
+//!   pruning happens only after the successor is durable), ingest each
+//!   entry through the ordinary summary-ingest path, then replay the
+//!   remaining segments in order, skipping records the checkpoint already
+//!   covers (`record.lsn <= checkpoint lsn` for that key). Replay stops
+//!   at the first torn or corrupt frame with a **typed**
+//!   [`RecordError`] in the [`RecoveryReport`] — never a panic and never
+//!   an attacker-sized allocation (every allocation is bounded by the
+//!   actual file length).
+//!
+//! # Record frame layout
+//!
+//! Both file kinds share one frame envelope (multi-byte integers
+//! little-endian, varints LEB128 as in [`crate::wire`]):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     body length `n` (u32 LE, <= MAX_RECORD_LEN)
+//! 4       n     body
+//! 4+n     4     CRC-32 (IEEE) over the body
+//! ```
+//!
+//! Segment bodies: `opcode u8`, `lsn varint`, `key_len varint`, key
+//! bytes, then an opcode-specific payload — `0x01` update batch (`count`
+//! varint + `count` 8-byte LE ordered-bit values), `0x02` ingest (one
+//! [`crate::wire`] summary frame, verbatim), `0x03` remove (empty).
+//! Checkpoint bodies: `0x10` entry (`lsn varint`, `key_len varint`, key,
+//! summary frame) and `0x1f` footer (`entry count` varint), which must be
+//! the final frame — a checkpoint without its footer is rejected whole.
+//!
+//! # Durability guarantee
+//!
+//! With [`FsyncPolicy::PerFrame`], an operation that has returned is
+//! durable: recovery conserves every key's weight **exactly** up to the
+//! last fsync'd frame, and the crash-injection suite kills a loaded
+//! server with SIGKILL to hold it to that. `Interval` bounds data loss by
+//! time instead of by frame; `Off` leaves flushing to the OS.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::wire::{crc32, decode_summary, get_varint, put_varint, WireError};
+
+/// First four bytes of every log segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"QCWL";
+
+/// First four bytes of every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"QCCP";
+
+/// On-disk format version for both file kinds.
+pub const PERSIST_VERSION: u16 = 1;
+
+/// Fixed file header length (magic + version + flags).
+pub const FILE_HEADER_LEN: usize = 8;
+
+/// Per-frame envelope overhead (length prefix + CRC trailer).
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// Upper bound on a single record body. Anything larger is corruption by
+/// construction (the store caps batches far below this), so the decoder
+/// can reject absurd lengths before trusting them.
+pub const MAX_RECORD_LEN: usize = 1 << 26;
+
+/// When (and whether) the log fsyncs appended frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every appended frame: an acknowledged operation
+    /// is durable. The default — correctness first; the
+    /// `store_wal_overhead` bench axis prices it.
+    PerFrame,
+    /// `fdatasync` at most once per interval (checked on each append and
+    /// on every housekeeping sweep): bounded data loss, near-`Off` cost.
+    Interval(Duration),
+    /// Never fsync from the store; the OS flushes when it pleases.
+    Off,
+}
+
+/// A filesystem operation failed. Carries which operation, on which
+/// path — the one error recovery cannot type its way around.
+#[derive(Debug)]
+pub struct PersistError {
+    /// The operation that failed (`"create"`, `"read"`, `"rename"`, …).
+    pub op: &'static str,
+    /// The path it failed on.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl PersistError {
+    fn new(op: &'static str, path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        PersistError { op, path: path.into(), source }
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "persistence {} failed on {}: {}", self.op, self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Typed decode failures for one log/checkpoint frame. Like
+/// [`WireError`], every malformed input maps to one of these — frame
+/// decoding never panics, whatever the bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecordError {
+    /// The file is shorter than its fixed header, or the magic bytes are
+    /// not the expected file kind.
+    BadFileHeader {
+        /// The leading bytes found (zero-padded when the file is shorter).
+        found: [u8; 4],
+    },
+    /// File-format version newer than this build understands.
+    UnsupportedVersion {
+        /// Version in the header.
+        found: u16,
+        /// Highest version this build decodes.
+        supported: u16,
+    },
+    /// Reserved header flag bits were set.
+    ReservedFlags {
+        /// The flag word found.
+        found: u16,
+    },
+    /// The file ends mid-frame — the torn tail of an interrupted write.
+    Torn {
+        /// Byte offset of the frame's length prefix.
+        offset: usize,
+        /// Bytes the frame claims to need.
+        needed: usize,
+        /// Bytes actually present from `offset`.
+        have: usize,
+    },
+    /// A frame length prefix exceeds [`MAX_RECORD_LEN`].
+    Oversized {
+        /// Byte offset of the frame's length prefix.
+        offset: usize,
+        /// The claimed body length.
+        length: usize,
+    },
+    /// The frame's CRC-32 trailer does not match its body.
+    ChecksumMismatch {
+        /// Byte offset of the frame's length prefix.
+        offset: usize,
+        /// Checksum stored in the trailer.
+        stored: u32,
+        /// Checksum computed over the body read.
+        computed: u32,
+    },
+    /// The body's opcode byte is not one this build knows.
+    BadOpcode {
+        /// Byte offset of the frame's length prefix.
+        offset: usize,
+        /// The opcode found.
+        found: u8,
+    },
+    /// The body failed structural decoding (varint overrun, key length
+    /// past the body, non-UTF-8 key, payload size mismatch, zero LSN).
+    Malformed {
+        /// Byte offset of the frame's length prefix.
+        offset: usize,
+        /// The underlying wire-level cause.
+        cause: WireError,
+    },
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::BadFileHeader { found } => write!(f, "bad file header {found:02x?}"),
+            RecordError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported persist version {found} (supported <= {supported})")
+            }
+            RecordError::ReservedFlags { found } => {
+                write!(f, "reserved persist flags set: {found:#06x}")
+            }
+            RecordError::Torn { offset, needed, have } => {
+                write!(f, "torn frame at byte {offset}: need {needed} bytes, have {have}")
+            }
+            RecordError::Oversized { offset, length } => {
+                write!(f, "oversized frame at byte {offset}: {length} bytes")
+            }
+            RecordError::ChecksumMismatch { offset, stored, computed } => write!(
+                f,
+                "frame checksum mismatch at byte {offset}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            RecordError::BadOpcode { offset, found } => {
+                write!(f, "unknown record opcode {found:#04x} at byte {offset}")
+            }
+            RecordError::Malformed { offset, cause } => {
+                write!(f, "malformed record at byte {offset}: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Why a whole checkpoint file was rejected (recovery then falls back to
+/// the previous checkpoint, whose segments are still on disk).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// A frame inside the checkpoint failed to decode.
+    Frame(RecordError),
+    /// The file ended without (or with frames after) the footer.
+    MissingFooter,
+    /// The footer's entry count disagrees with the entries present.
+    CountMismatch {
+        /// Count stored in the footer.
+        stored: u64,
+        /// Entries actually decoded.
+        found: u64,
+    },
+    /// An entry's embedded summary frame failed [`decode_summary`].
+    BadSummary {
+        /// Index of the offending entry.
+        index: usize,
+        /// The wire-level cause.
+        cause: WireError,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Frame(e) => write!(f, "checkpoint frame error: {e}"),
+            CheckpointError::MissingFooter => f.write_str("checkpoint footer missing"),
+            CheckpointError::CountMismatch { stored, found } => {
+                write!(f, "checkpoint footer count {stored} != {found} entries")
+            }
+            CheckpointError::BadSummary { index, cause } => {
+                write!(f, "checkpoint entry {index} summary invalid: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One durable mutation, as decoded from a segment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RecordOp {
+    /// A batch of ordered-bit values fed to one key.
+    UpdateMany {
+        /// The target key.
+        key: String,
+        /// The batch, as order-preserving bit embeddings
+        /// ([`qc_common::bits::OrderedBits`]).
+        value_bits: Vec<u64>,
+    },
+    /// A remote summary frame ingested into one key.
+    Ingest {
+        /// The target key.
+        key: String,
+        /// The verbatim [`crate::wire`] summary frame.
+        frame: Vec<u8>,
+    },
+    /// A key removal.
+    Remove {
+        /// The removed key.
+        key: String,
+    },
+}
+
+impl RecordOp {
+    /// The key this record targets.
+    pub fn key(&self) -> &str {
+        match self {
+            RecordOp::UpdateMany { key, .. }
+            | RecordOp::Ingest { key, .. }
+            | RecordOp::Remove { key } => key,
+        }
+    }
+}
+
+/// A decoded segment record: the operation plus its log sequence number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalRecord {
+    /// Store-wide log sequence number (strictly increasing, never 0).
+    pub lsn: u64,
+    /// The operation.
+    pub op: RecordOp,
+}
+
+/// One record located inside a parsed segment (byte range included so
+/// tests can cut files exactly at frame boundaries).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedRecord {
+    /// The decoded record.
+    pub record: WalRecord,
+    /// Byte offset of the frame's length prefix.
+    pub start: usize,
+    /// Byte offset one past the frame's CRC trailer.
+    pub end: usize,
+}
+
+/// The result of scanning a segment byte-for-byte: the clean prefix of
+/// records, plus the first error (if any) and where it sits.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SegmentScan {
+    /// Records decoded before the first error.
+    pub records: Vec<ParsedRecord>,
+    /// First torn/corrupt frame: `(offset, error)`. `None` for a clean
+    /// segment.
+    pub error: Option<(usize, RecordError)>,
+}
+
+/// One checkpointed key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointEntry {
+    /// The key.
+    pub key: String,
+    /// The key's last-applied LSN at checkpoint time: replay skips this
+    /// key's records with `lsn <=` this value.
+    pub lsn: u64,
+    /// The key's summary as a verbatim [`crate::wire`] frame.
+    pub summary: Vec<u8>,
+}
+
+/// Where a recovery stopped replaying the log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogCorruption {
+    /// Sequence number of the damaged segment.
+    pub segment: u64,
+    /// Byte offset of the first bad frame within it.
+    pub offset: u64,
+    /// The typed decode failure.
+    pub error: RecordError,
+    /// Later segments dropped to keep the clean-prefix invariant (always
+    /// 0 for a crash-torn tail, which can only sit in the last segment).
+    pub segments_dropped: usize,
+}
+
+impl std::fmt::Display for LogCorruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "log segment {} corrupt at byte {} ({}); {} later segment(s) dropped",
+            self.segment, self.offset, self.error, self.segments_dropped
+        )
+    }
+}
+
+/// What [`crate::SketchStore::recover`] found and did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint restored from, if any.
+    pub checkpoint_seq: Option<u64>,
+    /// Keys restored from the checkpoint.
+    pub checkpoint_keys: usize,
+    /// Newer checkpoints rejected as corrupt before one loaded (each
+    /// recorded with its typed cause).
+    pub checkpoints_rejected: Vec<(u64, CheckpointError)>,
+    /// Log segments scanned during replay.
+    pub segments_scanned: usize,
+    /// Records applied from the log.
+    pub records_applied: u64,
+    /// Records skipped because the checkpoint already covered them.
+    pub records_skipped: u64,
+    /// The torn/corrupt tail that stopped replay, if any. Typed, never a
+    /// panic; everything before it was applied, nothing after it was.
+    pub corruption: Option<LogCorruption>,
+}
+
+/// What one checkpoint pass wrote and reclaimed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Sequence number of the checkpoint file written.
+    pub seq: u64,
+    /// Keys captured.
+    pub keys: usize,
+    /// Bytes in the checkpoint file.
+    pub bytes: u64,
+    /// Log segments deleted behind the checkpoint.
+    pub segments_pruned: usize,
+    /// Older checkpoint files deleted.
+    pub checkpoints_pruned: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Frame encoding / decoding
+// ---------------------------------------------------------------------------
+
+const OP_UPDATE_MANY: u8 = 0x01;
+const OP_INGEST: u8 = 0x02;
+const OP_REMOVE: u8 = 0x03;
+const OP_CKPT_ENTRY: u8 = 0x10;
+const OP_CKPT_FOOTER: u8 = 0x1f;
+
+/// A borrowed record for the append path (no allocation beyond the
+/// frame buffer itself).
+pub(crate) enum WalOpRef<'a> {
+    UpdateMany { key: &'a str, value_bits: &'a [u64] },
+    Ingest { key: &'a str, frame: &'a [u8] },
+    Remove { key: &'a str },
+}
+
+fn push_frame(out: &mut Vec<u8>, body: &[u8]) {
+    debug_assert!(body.len() <= MAX_RECORD_LEN);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+}
+
+fn encode_record(lsn: u64, op: &WalOpRef<'_>) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    let (opcode, key) = match op {
+        WalOpRef::UpdateMany { key, .. } => (OP_UPDATE_MANY, key),
+        WalOpRef::Ingest { key, .. } => (OP_INGEST, key),
+        WalOpRef::Remove { key } => (OP_REMOVE, key),
+    };
+    body.push(opcode);
+    put_varint(&mut body, lsn);
+    put_varint(&mut body, key.len() as u64);
+    body.extend_from_slice(key.as_bytes());
+    match op {
+        WalOpRef::UpdateMany { value_bits, .. } => {
+            put_varint(&mut body, value_bits.len() as u64);
+            for bits in *value_bits {
+                body.extend_from_slice(&bits.to_le_bytes());
+            }
+        }
+        WalOpRef::Ingest { frame, .. } => body.extend_from_slice(frame),
+        WalOpRef::Remove { .. } => {}
+    }
+    let mut out = Vec::with_capacity(body.len() + FRAME_OVERHEAD);
+    push_frame(&mut out, &body);
+    out
+}
+
+/// Validate an 8-byte file header in `bytes` against `magic`.
+fn check_header(bytes: &[u8], magic: [u8; 4]) -> Result<(), RecordError> {
+    if bytes.len() < FILE_HEADER_LEN || bytes[0..4] != magic {
+        let mut found = [0u8; 4];
+        for (i, b) in bytes.iter().take(4).enumerate() {
+            found[i] = *b;
+        }
+        return Err(RecordError::BadFileHeader { found });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version == 0 || version > PERSIST_VERSION {
+        return Err(RecordError::UnsupportedVersion { found: version, supported: PERSIST_VERSION });
+    }
+    let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+    if flags != 0 {
+        return Err(RecordError::ReservedFlags { found: flags });
+    }
+    Ok(())
+}
+
+fn file_header(magic: [u8; 4]) -> [u8; FILE_HEADER_LEN] {
+    let mut h = [0u8; FILE_HEADER_LEN];
+    h[0..4].copy_from_slice(&magic);
+    h[4..6].copy_from_slice(&PERSIST_VERSION.to_le_bytes());
+    h
+}
+
+/// Split the frame starting at `pos` out of `bytes`. `Ok(None)` at a
+/// clean end of file. On success returns `(body_range, end)`.
+fn next_frame(
+    bytes: &[u8],
+    pos: usize,
+) -> Result<Option<(std::ops::Range<usize>, usize)>, RecordError> {
+    if pos == bytes.len() {
+        return Ok(None);
+    }
+    let have = bytes.len() - pos;
+    if have < 4 {
+        return Err(RecordError::Torn { offset: pos, needed: FRAME_OVERHEAD, have });
+    }
+    let len =
+        u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]) as usize;
+    if len > MAX_RECORD_LEN {
+        return Err(RecordError::Oversized { offset: pos, length: len });
+    }
+    let needed = len + FRAME_OVERHEAD;
+    if have < needed {
+        return Err(RecordError::Torn { offset: pos, needed, have });
+    }
+    let body = pos + 4..pos + 4 + len;
+    let crc_at = body.end;
+    let stored = u32::from_le_bytes([
+        bytes[crc_at],
+        bytes[crc_at + 1],
+        bytes[crc_at + 2],
+        bytes[crc_at + 3],
+    ]);
+    let computed = crc32(&bytes[body.clone()]);
+    if stored != computed {
+        return Err(RecordError::ChecksumMismatch { offset: pos, stored, computed });
+    }
+    Ok(Some((body, crc_at + 4)))
+}
+
+fn malformed(offset: usize, cause: WireError) -> RecordError {
+    RecordError::Malformed { offset, cause }
+}
+
+/// Decode `(lsn, key, payload_pos)` from a record body (shared prefix of
+/// every body kind). `offset` is the frame's file offset, for errors.
+fn decode_body_prefix(body: &[u8], offset: usize) -> Result<(u64, String, usize), RecordError> {
+    let mut pos = 0usize;
+    let lsn = get_varint(body, &mut pos).map_err(|e| malformed(offset, e))?;
+    if lsn == 0 {
+        return Err(malformed(offset, WireError::ZeroWeight { index: 0 }));
+    }
+    let key_len = get_varint(body, &mut pos).map_err(|e| malformed(offset, e))?;
+    let key_end = (key_len as usize).checked_add(pos).filter(|&end| end <= body.len());
+    let Some(key_end) = key_end else {
+        return Err(malformed(
+            offset,
+            WireError::Truncated { needed: key_len as usize, have: body.len() - pos },
+        ));
+    };
+    let Ok(key) = std::str::from_utf8(&body[pos..key_end]) else {
+        return Err(malformed(offset, WireError::MalformedVarint { offset: pos }));
+    };
+    Ok((lsn, key.to_string(), key_end))
+}
+
+fn decode_record(body: &[u8], offset: usize) -> Result<WalRecord, RecordError> {
+    let Some((&opcode, rest)) = body.split_first() else {
+        return Err(malformed(offset, WireError::Truncated { needed: 1, have: 0 }));
+    };
+    let (lsn, key, mut pos) = decode_body_prefix(rest, offset)?;
+    let op = match opcode {
+        OP_UPDATE_MANY => {
+            let count = get_varint(rest, &mut pos).map_err(|e| malformed(offset, e))?;
+            let remaining = rest.len() - pos;
+            if count.checked_mul(8) != Some(remaining as u64) {
+                return Err(malformed(
+                    offset,
+                    WireError::Truncated {
+                        needed: count.saturating_mul(8) as usize,
+                        have: remaining,
+                    },
+                ));
+            }
+            // Bounded by the body length actually read — never by the
+            // (attacker-controllable) count alone.
+            let mut value_bits = Vec::with_capacity(count as usize);
+            for chunk in rest[pos..].chunks_exact(8) {
+                value_bits.push(u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)")));
+            }
+            RecordOp::UpdateMany { key, value_bits }
+        }
+        OP_INGEST => {
+            let frame = rest[pos..].to_vec();
+            // Validate the embedded summary now: a corrupt payload is a
+            // typed scan error, not a replay-time surprise.
+            if let Err(cause) = decode_summary(&frame) {
+                return Err(malformed(offset, cause));
+            }
+            RecordOp::Ingest { key, frame }
+        }
+        OP_REMOVE => {
+            if pos != rest.len() {
+                return Err(malformed(
+                    offset,
+                    WireError::TrailingBytes { extra: rest.len() - pos },
+                ));
+            }
+            RecordOp::Remove { key }
+        }
+        other => return Err(RecordError::BadOpcode { offset, found: other }),
+    };
+    Ok(WalRecord { lsn, op })
+}
+
+/// Scan a whole segment image: header check, then frames until the first
+/// error or a clean end. All allocations are bounded by `bytes.len()`.
+pub fn parse_segment(bytes: &[u8]) -> SegmentScan {
+    let mut scan = SegmentScan::default();
+    if let Err(e) = check_header(bytes, SEGMENT_MAGIC) {
+        scan.error = Some((0, e));
+        return scan;
+    }
+    let mut pos = FILE_HEADER_LEN;
+    loop {
+        match next_frame(bytes, pos) {
+            Ok(None) => return scan,
+            Ok(Some((body, end))) => match decode_record(&bytes[body], pos) {
+                Ok(record) => {
+                    scan.records.push(ParsedRecord { record, start: pos, end });
+                    pos = end;
+                }
+                Err(e) => {
+                    scan.error = Some((pos, e));
+                    return scan;
+                }
+            },
+            Err(e) => {
+                scan.error = Some((pos, e));
+                return scan;
+            }
+        }
+    }
+}
+
+/// Decode a whole checkpoint image. All-or-nothing: any frame error,
+/// missing footer, count mismatch, or invalid embedded summary rejects
+/// the file (recovery falls back to the previous checkpoint).
+pub fn parse_checkpoint(bytes: &[u8]) -> Result<Vec<CheckpointEntry>, CheckpointError> {
+    check_header(bytes, CHECKPOINT_MAGIC).map_err(CheckpointError::Frame)?;
+    let mut entries = Vec::new();
+    let mut pos = FILE_HEADER_LEN;
+    let mut footer: Option<u64> = None;
+    loop {
+        match next_frame(bytes, pos).map_err(CheckpointError::Frame)? {
+            None => break,
+            Some((body, end)) => {
+                if footer.is_some() {
+                    // Frames after the footer: the file was not written by
+                    // this code; reject it whole.
+                    return Err(CheckpointError::MissingFooter);
+                }
+                let frame = &bytes[body];
+                let Some((&opcode, rest)) = frame.split_first() else {
+                    return Err(CheckpointError::Frame(malformed(
+                        pos,
+                        WireError::Truncated { needed: 1, have: 0 },
+                    )));
+                };
+                match opcode {
+                    OP_CKPT_ENTRY => {
+                        let (lsn, key, payload) =
+                            decode_body_prefix(rest, pos).map_err(CheckpointError::Frame)?;
+                        let summary = rest[payload..].to_vec();
+                        if let Err(cause) = decode_summary(&summary) {
+                            return Err(CheckpointError::BadSummary {
+                                index: entries.len(),
+                                cause,
+                            });
+                        }
+                        entries.push(CheckpointEntry { key, lsn, summary });
+                    }
+                    OP_CKPT_FOOTER => {
+                        let mut fpos = 0usize;
+                        let count = get_varint(rest, &mut fpos)
+                            .map_err(|e| CheckpointError::Frame(malformed(pos, e)))?;
+                        if fpos != rest.len() {
+                            return Err(CheckpointError::Frame(malformed(
+                                pos,
+                                WireError::TrailingBytes { extra: rest.len() - fpos },
+                            )));
+                        }
+                        footer = Some(count);
+                    }
+                    other => {
+                        return Err(CheckpointError::Frame(RecordError::BadOpcode {
+                            offset: pos,
+                            found: other,
+                        }))
+                    }
+                }
+                pos = end;
+            }
+        }
+    }
+    match footer {
+        None => Err(CheckpointError::MissingFooter),
+        Some(stored) if stored != entries.len() as u64 => {
+            Err(CheckpointError::CountMismatch { stored, found: entries.len() as u64 })
+        }
+        Some(_) => Ok(entries),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File naming and directory layout
+// ---------------------------------------------------------------------------
+
+/// File name of log segment `seq`.
+pub fn segment_file_name(seq: u64) -> String {
+    format!("wal-{seq:016x}.log")
+}
+
+/// File name of checkpoint `seq` (covers segments `<= seq`).
+pub fn checkpoint_file_name(seq: u64) -> String {
+    format!("ckpt-{seq:016x}.ck")
+}
+
+fn checkpoint_tmp_name(seq: u64) -> String {
+    format!("ckpt-{seq:016x}.tmp")
+}
+
+fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let hex = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// What a data directory contains (sorted ascending by sequence).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct DirListing {
+    pub(crate) segments: Vec<u64>,
+    pub(crate) checkpoints: Vec<u64>,
+    pub(crate) stale_tmp: Vec<PathBuf>,
+}
+
+pub(crate) fn scan_dir(dir: &Path) -> Result<DirListing, PersistError> {
+    let mut listing = DirListing::default();
+    let entries = std::fs::read_dir(dir).map_err(|e| PersistError::new("read_dir", dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| PersistError::new("read_dir", dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = parse_seq(name, "wal-", ".log") {
+            listing.segments.push(seq);
+        } else if let Some(seq) = parse_seq(name, "ckpt-", ".ck") {
+            listing.checkpoints.push(seq);
+        } else if parse_seq(name, "ckpt-", ".tmp").is_some() {
+            listing.stale_tmp.push(entry.path());
+        }
+    }
+    listing.segments.sort_unstable();
+    listing.checkpoints.sort_unstable();
+    Ok(listing)
+}
+
+/// Best-effort directory fsync (directory entries are metadata; some
+/// filesystems decline to sync a directory handle — never fatal).
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, PersistError> {
+    let mut file = File::open(path).map_err(|e| PersistError::new("open", path, e))?;
+    // Size-hint the allocation from real file metadata — reading a
+    // corrupt file allocates what the file holds, nothing more.
+    let len = file.metadata().map(|m| m.len() as usize).unwrap_or(0);
+    let mut bytes = Vec::with_capacity(len.min(1 << 30));
+    file.read_to_end(&mut bytes).map_err(|e| PersistError::new("read", path, e))?;
+    Ok(bytes)
+}
+
+// ---------------------------------------------------------------------------
+// The live log writer
+// ---------------------------------------------------------------------------
+
+/// What one append did (for the caller's telemetry).
+pub(crate) struct AppendOutcome {
+    pub(crate) lsn: u64,
+    pub(crate) bytes: u64,
+    pub(crate) synced: bool,
+}
+
+/// The open, append-only end of the segment log. Owned by the store
+/// behind a mutex; every public method is `&mut self`.
+pub(crate) struct Wal {
+    dir: PathBuf,
+    file: File,
+    seq: u64,
+    next_lsn: u64,
+    policy: FsyncPolicy,
+    last_sync: Instant,
+    /// Appends since the last checkpoint — `0` lets a sweep skip
+    /// checkpointing an idle store.
+    pub(crate) dirty_records: u64,
+    /// A failed append or sync poisons the log: the store keeps serving
+    /// from memory, but stops pretending to be durable (counted and
+    /// evented by the caller).
+    pub(crate) poisoned: bool,
+}
+
+fn create_segment(dir: &Path, seq: u64) -> Result<File, PersistError> {
+    let path = dir.join(segment_file_name(seq));
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&path)
+        .map_err(|e| PersistError::new("create", &path, e))?;
+    file.write_all(&file_header(SEGMENT_MAGIC))
+        .map_err(|e| PersistError::new("write", &path, e))?;
+    file.sync_data().map_err(|e| PersistError::new("fsync", &path, e))?;
+    sync_dir(dir);
+    Ok(file)
+}
+
+impl Wal {
+    /// Open a fresh active segment `seq` in `dir` and hand out LSNs from
+    /// `next_lsn` up.
+    pub(crate) fn create(
+        dir: &Path,
+        seq: u64,
+        next_lsn: u64,
+        policy: FsyncPolicy,
+    ) -> Result<Self, PersistError> {
+        let file = create_segment(dir, seq)?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            file,
+            seq,
+            next_lsn: next_lsn.max(1),
+            policy,
+            last_sync: Instant::now(),
+            dirty_records: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Append one record, fsyncing per the policy.
+    pub(crate) fn append(&mut self, op: &WalOpRef<'_>) -> Result<AppendOutcome, PersistError> {
+        let lsn = self.next_lsn;
+        let frame = encode_record(lsn, op);
+        let path = || self.dir.join(segment_file_name(self.seq));
+        self.file.write_all(&frame).map_err(|e| PersistError::new("append", path(), e))?;
+        let synced = match self.policy {
+            FsyncPolicy::PerFrame => true,
+            FsyncPolicy::Interval(every) => self.last_sync.elapsed() >= every,
+            FsyncPolicy::Off => false,
+        };
+        if synced {
+            self.file.sync_data().map_err(|e| PersistError::new("fsync", path(), e))?;
+            self.last_sync = Instant::now();
+        }
+        self.next_lsn += 1;
+        self.dirty_records += 1;
+        Ok(AppendOutcome { lsn, bytes: frame.len() as u64, synced })
+    }
+
+    /// Force an fsync of the active segment (housekeeping sweeps call
+    /// this so `Interval`/`Off` policies still get periodic durability).
+    /// Returns whether a sync actually ran.
+    pub(crate) fn sync(&mut self) -> Result<bool, PersistError> {
+        if matches!(self.policy, FsyncPolicy::PerFrame) {
+            return Ok(false); // nothing can be pending
+        }
+        let path = self.dir.join(segment_file_name(self.seq));
+        self.file.sync_data().map_err(|e| PersistError::new("fsync", path, e))?;
+        self.last_sync = Instant::now();
+        Ok(true)
+    }
+
+    /// Seal the active segment (fsync it) and open a fresh one. Returns
+    /// the sealed segment's sequence number — the new checkpoint's name.
+    pub(crate) fn rotate(&mut self) -> Result<u64, PersistError> {
+        let sealed = self.seq;
+        let path = self.dir.join(segment_file_name(sealed));
+        self.file.sync_data().map_err(|e| PersistError::new("fsync", path, e))?;
+        self.file = create_segment(&self.dir, sealed + 1)?;
+        self.seq = sealed + 1;
+        self.last_sync = Instant::now();
+        self.dirty_records = 0;
+        Ok(sealed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint writing and pruning
+// ---------------------------------------------------------------------------
+
+/// Write checkpoint `seq` durably: temp file, fsync, rename, dir fsync.
+/// Returns the file's byte size.
+pub(crate) fn write_checkpoint(
+    dir: &Path,
+    seq: u64,
+    entries: &[CheckpointEntry],
+) -> Result<u64, PersistError> {
+    let mut image = Vec::with_capacity(
+        FILE_HEADER_LEN + entries.iter().map(|e| e.summary.len() + e.key.len() + 24).sum::<usize>(),
+    );
+    image.extend_from_slice(&file_header(CHECKPOINT_MAGIC));
+    let mut body = Vec::new();
+    for entry in entries {
+        body.clear();
+        body.push(OP_CKPT_ENTRY);
+        put_varint(&mut body, entry.lsn);
+        put_varint(&mut body, entry.key.len() as u64);
+        body.extend_from_slice(entry.key.as_bytes());
+        body.extend_from_slice(&entry.summary);
+        push_frame(&mut image, &body);
+    }
+    body.clear();
+    body.push(OP_CKPT_FOOTER);
+    put_varint(&mut body, entries.len() as u64);
+    push_frame(&mut image, &body);
+
+    let tmp = dir.join(checkpoint_tmp_name(seq));
+    let path = dir.join(checkpoint_file_name(seq));
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| PersistError::new("create", &tmp, e))?;
+    file.write_all(&image).map_err(|e| PersistError::new("write", &tmp, e))?;
+    file.sync_all().map_err(|e| PersistError::new("fsync", &tmp, e))?;
+    drop(file);
+    std::fs::rename(&tmp, &path).map_err(|e| PersistError::new("rename", &path, e))?;
+    sync_dir(dir);
+    Ok(image.len() as u64)
+}
+
+/// Delete segments with `seq <= upto` and checkpoints with `seq < upto`
+/// (the checkpoint named `upto` is the live one). Best-effort per file —
+/// a file that refuses deletion is skipped, not fatal (recovery ignores
+/// superseded files anyway).
+pub(crate) fn prune_obsolete(dir: &Path, upto: u64) -> (usize, usize) {
+    let Ok(listing) = scan_dir(dir) else { return (0, 0) };
+    let mut segments = 0usize;
+    let mut checkpoints = 0usize;
+    for seq in listing.segments.iter().filter(|&&s| s <= upto) {
+        if std::fs::remove_file(dir.join(segment_file_name(*seq))).is_ok() {
+            segments += 1;
+        }
+    }
+    for seq in listing.checkpoints.iter().filter(|&&s| s < upto) {
+        if std::fs::remove_file(dir.join(checkpoint_file_name(*seq))).is_ok() {
+            checkpoints += 1;
+        }
+    }
+    if segments + checkpoints > 0 {
+        sync_dir(dir);
+    }
+    (segments, checkpoints)
+}
+
+/// Truncate segment `seq` to `len` bytes (cutting a torn/corrupt tail)
+/// and delete every segment after `seq`, restoring the clean-prefix
+/// invariant for the *next* recovery. A `len` below the fixed header —
+/// i.e. the header itself never reached disk — deletes the file instead:
+/// a headerless stub holds nothing recoverable.
+pub(crate) fn truncate_log(
+    dir: &Path,
+    seq: u64,
+    len: u64,
+    later: &[u64],
+) -> Result<usize, PersistError> {
+    let path = dir.join(segment_file_name(seq));
+    if len < FILE_HEADER_LEN as u64 {
+        std::fs::remove_file(&path).map_err(|e| PersistError::new("remove", &path, e))?;
+    } else {
+        let file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| PersistError::new("open", &path, e))?;
+        file.set_len(len).map_err(|e| PersistError::new("truncate", &path, e))?;
+        file.sync_all().map_err(|e| PersistError::new("fsync", &path, e))?;
+    }
+    let mut dropped = 0usize;
+    for &later_seq in later {
+        let later_path = dir.join(segment_file_name(later_seq));
+        std::fs::remove_file(&later_path)
+            .map_err(|e| PersistError::new("remove", &later_path, e))?;
+        dropped += 1;
+    }
+    sync_dir(dir);
+    Ok(dropped)
+}
+
+/// The durable state a directory scan recovers, before it is applied to
+/// a store: the chosen checkpoint, the replayable record stream, and the
+/// bookkeeping the store needs to resume logging.
+pub(crate) struct RecoveredLog {
+    pub(crate) checkpoint: Option<(u64, Vec<CheckpointEntry>)>,
+    pub(crate) records: Vec<WalRecord>,
+    pub(crate) report: RecoveryReport,
+    /// First LSN the resumed log may assign.
+    pub(crate) next_lsn: u64,
+    /// Sequence the resumed active segment should use.
+    pub(crate) next_seq: u64,
+}
+
+/// Read everything durable out of `dir` (creating it if missing) and
+/// repair the log tail: stale temp files are removed, a torn/corrupt
+/// tail is truncated away and later segments dropped. Pure I/O — the
+/// caller applies the result to a store.
+pub(crate) fn recover_dir(dir: &Path) -> Result<RecoveredLog, PersistError> {
+    std::fs::create_dir_all(dir).map_err(|e| PersistError::new("create_dir", dir, e))?;
+    let listing = scan_dir(dir)?;
+    for tmp in &listing.stale_tmp {
+        let _ = std::fs::remove_file(tmp);
+    }
+    let mut report = RecoveryReport::default();
+    let mut max_lsn = 0u64;
+
+    // Newest fully-valid checkpoint wins; corrupt ones are recorded and
+    // skipped (their predecessor's segments are still on disk, because
+    // pruning runs only after a successor checkpoint is durable).
+    let mut checkpoint: Option<(u64, Vec<CheckpointEntry>)> = None;
+    for &seq in listing.checkpoints.iter().rev() {
+        let path = dir.join(checkpoint_file_name(seq));
+        match parse_checkpoint(&read_file(&path)?) {
+            Ok(entries) => {
+                for entry in &entries {
+                    max_lsn = max_lsn.max(entry.lsn);
+                }
+                report.checkpoint_seq = Some(seq);
+                report.checkpoint_keys = entries.len();
+                checkpoint = Some((seq, entries));
+                break;
+            }
+            Err(e) => report.checkpoints_rejected.push((seq, e)),
+        }
+    }
+    let ckpt_seq = checkpoint.as_ref().map(|(seq, _)| *seq);
+
+    // Replay candidates: segments the checkpoint does not cover.
+    // (`Option` orders `None < Some(_)`, so no checkpoint replays all.)
+    let replayable: Vec<u64> =
+        listing.segments.iter().copied().filter(|&s| Some(s) > ckpt_seq).collect();
+    let mut records = Vec::new();
+    for (ix, &seq) in replayable.iter().enumerate() {
+        report.segments_scanned += 1;
+        let path = dir.join(segment_file_name(seq));
+        let scan = parse_segment(&read_file(&path)?);
+        for parsed in &scan.records {
+            max_lsn = max_lsn.max(parsed.record.lsn);
+        }
+        records.extend(scan.records.into_iter().map(|p| p.record));
+        if let Some((offset, error)) = scan.error {
+            // Clean-prefix stop: truncate the damaged tail and drop the
+            // segments after it so the next startup sees a valid log.
+            // Header errors report offset 0, which `truncate_log` turns
+            // into deleting the stub outright.
+            let dropped = truncate_log(dir, seq, offset as u64, &replayable[ix + 1..])?;
+            report.corruption = Some(LogCorruption {
+                segment: seq,
+                offset: offset as u64,
+                error,
+                segments_dropped: dropped,
+            });
+            break;
+        }
+    }
+
+    let next_seq = listing.segments.iter().copied().max().unwrap_or(ckpt_seq.unwrap_or(0)) + 1;
+    Ok(RecoveredLog { checkpoint, records, report, next_lsn: max_lsn + 1, next_seq })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrips_through_a_frame() {
+        let frame =
+            encode_record(7, &WalOpRef::UpdateMany { key: "lat", value_bits: &[1, 2, u64::MAX] });
+        let mut image = file_header(SEGMENT_MAGIC).to_vec();
+        image.extend_from_slice(&frame);
+        let scan = parse_segment(&image);
+        assert_eq!(scan.error, None);
+        assert_eq!(scan.records.len(), 1);
+        let rec = &scan.records[0].record;
+        assert_eq!(rec.lsn, 7);
+        assert_eq!(
+            rec.op,
+            RecordOp::UpdateMany { key: "lat".into(), value_bits: vec![1, 2, u64::MAX] }
+        );
+        assert_eq!(scan.records[0].start, FILE_HEADER_LEN);
+        assert_eq!(scan.records[0].end, image.len());
+    }
+
+    #[test]
+    fn every_truncation_of_a_segment_is_clean_prefix() {
+        let mut image = file_header(SEGMENT_MAGIC).to_vec();
+        for lsn in 1..=5u64 {
+            image.extend_from_slice(&encode_record(
+                lsn,
+                &WalOpRef::UpdateMany { key: "k", value_bits: &[lsn, lsn * 2] },
+            ));
+        }
+        let full = parse_segment(&image);
+        assert_eq!(full.records.len(), 5);
+        assert_eq!(full.error, None);
+        for cut in 0..image.len() {
+            let scan = parse_segment(&image[..cut]);
+            // The decoded prefix must be an exact prefix of the full log.
+            for (i, rec) in scan.records.iter().enumerate() {
+                assert_eq!(rec, &full.records[i], "cut={cut}");
+            }
+            if cut < image.len() {
+                assert!(
+                    scan.records.len() < 5 || scan.error.is_none(),
+                    "cut={cut} decoded too much"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitflips_are_typed_never_panics() {
+        let mut image = file_header(SEGMENT_MAGIC).to_vec();
+        image.extend_from_slice(&encode_record(
+            1,
+            &WalOpRef::Ingest { key: "a", frame: b"not-a-summary" },
+        ));
+        image.extend_from_slice(&encode_record(2, &WalOpRef::Remove { key: "a" }));
+        for bit in 0..image.len() * 8 {
+            let mut corrupt = image.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            let _ = parse_segment(&corrupt); // must not panic
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut image = file_header(SEGMENT_MAGIC).to_vec();
+        image.extend_from_slice(&(u32::MAX).to_le_bytes());
+        image.extend_from_slice(&[0u8; 64]);
+        let scan = parse_segment(&image);
+        assert!(matches!(scan.error, Some((_, RecordError::Oversized { .. }))));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_footer_enforcement() {
+        let dir = std::env::temp_dir().join(format!("qc-persist-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let summary = crate::wire::encode_summary(&qc_common::summary::WeightedSummary::empty());
+        let entries = vec![
+            CheckpointEntry { key: "a".into(), lsn: 3, summary: summary.clone() },
+            CheckpointEntry { key: "b".into(), lsn: 9, summary: summary.clone() },
+        ];
+        write_checkpoint(&dir, 1, &entries).unwrap();
+        let path = dir.join(checkpoint_file_name(1));
+        let bytes = read_file(&path).unwrap();
+        assert_eq!(parse_checkpoint(&bytes).unwrap(), entries);
+        // Cutting the footer off rejects the whole file.
+        let cut = parse_checkpoint(&bytes[..bytes.len() - 1]);
+        assert!(matches!(
+            cut,
+            Err(CheckpointError::Frame(RecordError::Torn { .. }))
+                | Err(CheckpointError::MissingFooter)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seq_file_names_roundtrip() {
+        assert_eq!(parse_seq(&segment_file_name(42), "wal-", ".log"), Some(42));
+        assert_eq!(parse_seq(&checkpoint_file_name(7), "ckpt-", ".ck"), Some(7));
+        assert_eq!(parse_seq("wal-zz.log", "wal-", ".log"), None);
+        assert_eq!(parse_seq("wal-00000000000000010.log", "wal-", ".log"), None);
+    }
+}

@@ -83,15 +83,21 @@
 //! overlap.
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use qc_common::bits::OrderedBits;
 use qc_common::summary::{Summary, WeightedSummary};
-use qc_telemetry::{Counter, EventKind, Gauge, MetricsSnapshot, Registry};
+use qc_telemetry::{Counter, EventKind, Gauge, LatencyRecorder, MetricsSnapshot, Registry};
 
 use crate::engine::{StoreEngine, Tier, TieredEngine};
 use crate::merge::merge_summaries;
+use crate::persist::{
+    self, CheckpointEntry, CheckpointStats, FsyncPolicy, PersistError, RecordOp, RecoveryReport,
+    Wal, WalOpRef,
+};
 use crate::wire::{decode_summary, encode_summary, WireError};
 
 /// Store construction parameters.
@@ -134,6 +140,16 @@ pub struct StoreConfig {
     /// to turn instrumentation into no-ops — in that mode the counter
     /// fields of [`StoreStats`] read zero (the sweep fields stay exact).
     pub telemetry: Option<Arc<Registry>>,
+    /// Durable-log directory. `None` (the default) keeps the store purely
+    /// in memory. A directory takes effect only through
+    /// [`SketchStore::recover`], which replays whatever the directory
+    /// holds and then logs every mutation into it; the plain constructors
+    /// ([`SketchStore::new`], [`SketchStore::with_engine`]) ignore it, so
+    /// they stay infallible.
+    pub data_dir: Option<PathBuf>,
+    /// When appended log frames reach disk (see [`FsyncPolicy`]).
+    /// Irrelevant without [`StoreConfig::data_dir`].
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for StoreConfig {
@@ -146,6 +162,8 @@ impl Default for StoreConfig {
             promotion_threshold: DEFAULT_PROMOTION_THRESHOLD,
             writer_pool: DEFAULT_WRITER_POOL,
             telemetry: None,
+            data_dir: None,
+            fsync: FsyncPolicy::PerFrame,
         }
     }
 }
@@ -201,6 +219,19 @@ impl StoreConfig {
     /// Record into a shared metrics registry (see [`StoreConfig::telemetry`]).
     pub fn telemetry(mut self, registry: Arc<Registry>) -> Self {
         self.telemetry = Some(registry);
+        self
+    }
+
+    /// Log mutations durably under `dir` (consumed by
+    /// [`SketchStore::recover`]; see [`StoreConfig::data_dir`]).
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the durable-log fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
         self
     }
 }
@@ -424,6 +455,13 @@ struct KeyEntry<T, E> {
     /// serialize the data path). `Arc`ed so outstanding [`WriterLease`]s
     /// can return their handles on drop through a weak back-reference.
     pool: Arc<Mutex<WriterPool<T>>>,
+    /// Highest log LSN applied to this key, advanced (`fetch_max`) under
+    /// the same stripe-lock hold as the engine write it tags. A
+    /// checkpoint reads it under the exclusive lock — no write in flight —
+    /// so `(summary, last_lsn)` is a consistent pair: replay applies a
+    /// record to this key iff its LSN is above the checkpointed value.
+    /// Zero while the store has no durable log.
+    last_lsn: AtomicU64,
 }
 
 struct CachedSummary {
@@ -450,6 +488,7 @@ impl<T: OrderedBits, E: StoreEngine<T>> KeyEntry<T, E> {
             generation,
             cache: Mutex::new(None),
             pool: Arc::new(Mutex::new(WriterPool { generation, idle: Vec::new(), minted: 0 })),
+            last_lsn: AtomicU64::new(0),
         }
     }
 
@@ -501,6 +540,19 @@ struct StoreInstruments {
     promotions: Counter,
     demotions: Counter,
     removals: Counter,
+    /// Records appended to the durable log (zero without persistence).
+    wal_appends: Counter,
+    /// Frame bytes appended to the durable log (envelope included).
+    wal_bytes: Counter,
+    /// fsyncs issued for the active log segment.
+    wal_fsyncs: Counter,
+    /// Failed log appends/syncs/checkpoints — durability degraded, the
+    /// store kept serving from memory.
+    wal_errors: Counter,
+    /// Checkpoints written (each seals, compacts, and prunes the log).
+    wal_checkpoints: Counter,
+    /// Wall-clock seconds per checkpoint pass, self-sketched.
+    checkpoint_seconds: LatencyRecorder,
     /// Resident keys per stripe, maintained exactly under the stripe
     /// write lock (insert/remove are exclusive-path operations).
     stripe_keys: Vec<Gauge>,
@@ -522,6 +574,12 @@ impl StoreInstruments {
             promotions: registry.counter("store_promotions"),
             demotions: registry.counter("store_demotions"),
             removals: registry.counter("store_removals"),
+            wal_appends: registry.counter("wal_appends"),
+            wal_bytes: registry.counter("wal_bytes"),
+            wal_fsyncs: registry.counter("wal_fsyncs"),
+            wal_errors: registry.counter("wal_errors"),
+            wal_checkpoints: registry.counter("wal_checkpoints"),
+            checkpoint_seconds: registry.latency("checkpoint_seconds"),
             stripe_keys: (0..stripes)
                 .map(|i| registry.gauge(&format!("store_stripe_keys_{i:02}")))
                 .collect(),
@@ -548,7 +606,23 @@ pub struct SketchStore<T: OrderedBits = f64, E: StoreEngine<T> = TieredEngine<T>
     /// reused, so a stale lease can never collide with a successor
     /// engine's tag.
     lease_generation: AtomicU64,
+    /// The durable log, when this store was built by
+    /// [`SketchStore::recover`] with a data directory. `None` everywhere
+    /// else, which makes every logging hook a no-op — including during
+    /// recovery replay itself, which runs before this is attached.
+    persistence: Option<Persistence>,
     _marker: std::marker::PhantomData<fn(T) -> T>,
+}
+
+/// Live durability state: the open log behind its append mutex.
+///
+/// **Lock order**: every appender takes the log mutex while already
+/// holding a stripe lock (shared or exclusive) — so nothing may acquire a
+/// stripe lock while holding the log mutex. [`SketchStore::checkpoint`]
+/// rotates under the mutex, then releases it before gathering summaries.
+struct Persistence {
+    wal: Mutex<Wal>,
+    dir: PathBuf,
 }
 
 impl<T: OrderedBits> Default for SketchStore<T, TieredEngine<T>> {
@@ -565,6 +639,12 @@ impl<T: OrderedBits> SketchStore<T, TieredEngine<T>> {
     /// [`SketchStore::with_engine`] to pick another backend.
     pub fn new(cfg: StoreConfig) -> Self {
         Self::with_engine(cfg)
+    }
+
+    /// Recover a default-engine store from `cfg.data_dir` and keep
+    /// logging into it; see [`SketchStore::recover_with_engine`].
+    pub fn recover(cfg: StoreConfig) -> Result<(Self, RecoveryReport), PersistError> {
+        Self::recover_with_engine(cfg)
     }
 }
 
@@ -583,8 +663,91 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             registry,
             instruments,
             lease_generation: AtomicU64::new(0),
+            persistence: None,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Recover a store from `cfg.data_dir`, then keep logging into it.
+    ///
+    /// Replays the newest valid checkpoint (each entry ingested through
+    /// the ordinary summary-merge path) and the log tail behind it
+    /// (through the ordinary `update_many`/`ingest_bytes`/`remove`
+    /// paths), stopping cleanly at the first torn or corrupt frame: the
+    /// damage is reported as a typed [`RecoveryReport::corruption`] —
+    /// never a panic — the torn tail is physically truncated away, and a
+    /// fresh active segment is opened for new appends. With
+    /// [`FsyncPolicy::PerFrame`] the recovered store conserves every
+    /// key's weight exactly up to the last fsync'd frame.
+    ///
+    /// Without [`StoreConfig::data_dir`] this is `with_engine` plus an
+    /// empty report: a purely in-memory store.
+    ///
+    /// Replay drives the ordinary write paths, so store counters
+    /// (`updates`, `ingests`, …) include the replayed operations.
+    pub fn recover_with_engine(cfg: StoreConfig) -> Result<(Self, RecoveryReport), PersistError> {
+        let Some(dir) = cfg.data_dir.clone() else {
+            return Ok((Self::with_engine(cfg), RecoveryReport::default()));
+        };
+        let recovered = persist::recover_dir(&dir)?;
+        // Build with persistence unattached: replay below runs through the
+        // public write paths without re-logging itself.
+        let mut store = Self::with_engine(cfg);
+        let mut report = recovered.report;
+        // Per-key replay floor: a record applies iff its LSN is above the
+        // checkpoint's floor for that key (records at or below it are
+        // already inside the checkpointed summary).
+        let mut floors: HashMap<String, u64> = HashMap::new();
+        if let Some((_seq, entries)) = &recovered.checkpoint {
+            for entry in entries {
+                // The checkpoint decoder validated every embedded summary,
+                // so this ingest cannot fail on a well-typed path.
+                if store.ingest_bytes(&entry.key, &entry.summary).is_ok() {
+                    store.note_applied_lsn(&entry.key, entry.lsn);
+                    floors.insert(entry.key.clone(), entry.lsn);
+                }
+            }
+        }
+        for record in &recovered.records {
+            if record.lsn <= floors.get(record.op.key()).copied().unwrap_or(0) {
+                report.records_skipped += 1;
+                continue;
+            }
+            match &record.op {
+                RecordOp::UpdateMany { key, value_bits } => {
+                    let values: Vec<T> =
+                        value_bits.iter().map(|&bits| T::from_ordered_bits(bits)).collect();
+                    store.update_many(key, &values);
+                    store.note_applied_lsn(key, record.lsn);
+                }
+                RecordOp::Ingest { key, frame } => {
+                    // Validated at scan time; a failure here would mean the
+                    // scan and the store disagree on the wire format.
+                    if store.ingest_bytes(key, frame).is_ok() {
+                        store.note_applied_lsn(key, record.lsn);
+                    }
+                }
+                RecordOp::Remove { key } => {
+                    store.remove(key);
+                }
+            }
+            report.records_applied += 1;
+        }
+        let wal = Wal::create(&dir, recovered.next_seq, recovered.next_lsn, store.cfg.fsync)?;
+        store.persistence = Some(Persistence { wal: Mutex::new(wal), dir });
+        store.registry.event(
+            EventKind::Recovery,
+            format!(
+                "checkpoint={} keys={} segments={} applied={} skipped={} corrupt={}",
+                report.checkpoint_seq.map_or_else(|| "none".into(), |s| s.to_string()),
+                report.checkpoint_keys,
+                report.segments_scanned,
+                report.records_applied,
+                report.records_skipped,
+                report.corruption.is_some(),
+            ),
+        );
+        Ok((store, report))
     }
 
     /// The metrics registry this store records into — the one passed via
@@ -592,6 +755,60 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     /// registers its instruments here so one snapshot covers both.
     pub fn telemetry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The durable data directory, when this store was built by
+    /// [`SketchStore::recover`] with one configured.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.persistence.as_ref().map(|p| p.dir.as_path())
+    }
+
+    /// Advance a key's applied-LSN watermark (recovery replay only; live
+    /// appends advance it inside [`SketchStore::log_op`]).
+    fn note_applied_lsn(&self, key: &str, lsn: u64) {
+        let map = self.stripe_of(key).read().unwrap();
+        if let Some(entry) = map.get(key) {
+            entry.last_lsn.fetch_max(lsn, Relaxed);
+        }
+    }
+
+    /// Append an update batch to the durable log. No-op without
+    /// persistence; otherwise the caller MUST hold the key's stripe lock
+    /// (shared or exclusive) across this call so per-key log order
+    /// matches per-key apply order.
+    fn log_update(&self, key: &str, values: &[T], last_lsn: &AtomicU64) {
+        if self.persistence.is_none() {
+            return;
+        }
+        let bits: Vec<u64> = values.iter().map(|v| v.to_ordered_bits()).collect();
+        self.log_op(Some(last_lsn), WalOpRef::UpdateMany { key, value_bits: &bits });
+    }
+
+    /// Append one record to the durable log (no-op without persistence).
+    /// Same lock contract as [`SketchStore::log_update`]. An I/O failure
+    /// degrades durability, not service: it is counted, evented, and the
+    /// log is poisoned so later checkpoints do not compact away segments
+    /// that no longer cover the store.
+    fn log_op(&self, last_lsn: Option<&AtomicU64>, op: WalOpRef<'_>) {
+        let Some(p) = &self.persistence else { return };
+        let mut wal = p.wal.lock().unwrap();
+        match wal.append(&op) {
+            Ok(outcome) => {
+                self.instruments.wal_appends.incr();
+                self.instruments.wal_bytes.add(outcome.bytes);
+                if outcome.synced {
+                    self.instruments.wal_fsyncs.incr();
+                }
+                if let Some(last_lsn) = last_lsn {
+                    last_lsn.fetch_max(outcome.lsn, Relaxed);
+                }
+            }
+            Err(e) => {
+                wal.poisoned = true;
+                self.instruments.wal_errors.incr();
+                self.registry.event(EventKind::WalError, e.to_string());
+            }
+        }
     }
 
     /// The next never-before-used lease generation.
@@ -668,6 +885,11 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                     // hold zero weight, so reads are exact at quiescence
                     // and invalidation can never strand buffered weight.
                     handle.flush();
+                    // Log under this same shared-lock hold: a checkpoint
+                    // (exclusive) can then never capture weight whose
+                    // record is not yet sequenced, and per-key log order
+                    // matches apply order.
+                    self.log_update(key, values, &entry.last_lsn);
                     entry.give_back(handle);
                     return;
                 }
@@ -698,6 +920,7 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         // shutdown barriers).
         self.instruments.updates.add(values.len() as u64);
         self.instruments.fallback_writes.incr();
+        self.log_update(key, values, &entry.last_lsn);
         if tier_before == Tier::Sequential && entry.engine.tier() == Tier::Concurrent {
             self.instruments.promotions.incr();
             self.registry.event(EventKind::Promotion, format!("key={key}"));
@@ -750,6 +973,7 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         let handle = lease.handle.as_mut().expect("lease handle present until drop");
         handle.update_many(values);
         handle.flush();
+        self.log_update(key, values, &entry.last_lsn);
         Ok(())
     }
 
@@ -888,6 +1112,9 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         // never see absorbed weight that is not yet in `ingests`.
         self.instruments.ingests.incr();
         self.instruments.bytes_in.add(buf.len() as u64);
+        // The frame is logged verbatim (it already carries its own CRC
+        // and decoded cleanly above); replay re-ingests it.
+        self.log_op(Some(&entry.last_lsn), WalOpRef::Ingest { key, frame: buf });
         Ok(ingested)
     }
 
@@ -911,7 +1138,15 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     /// Remove a key and return whether it was present.
     pub fn remove(&self, key: &str) -> bool {
         let stripe_ix = self.stripe_index(key);
-        let removed = self.stripes[stripe_ix].write().unwrap().remove(key).is_some();
+        let mut map = self.stripes[stripe_ix].write().unwrap();
+        let removed = map.remove(key).is_some();
+        if removed {
+            // Logged under the same exclusive hold as the removal: a
+            // racing re-creation of the key cannot sequence its first
+            // batch before the remove.
+            self.log_op(None, WalOpRef::Remove { key });
+        }
+        drop(map);
         if removed {
             self.instruments.stripe_keys[stripe_ix].dec();
             self.instruments.removals.incr();
@@ -1005,7 +1240,93 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                 }
             }
         }
+        // Durability housekeeping rides the same sweep: flush whatever
+        // the lazier fsync policies left pending, then compact the log.
+        if let Some(p) = &self.persistence {
+            {
+                let mut wal = p.wal.lock().unwrap();
+                if !wal.poisoned {
+                    match wal.sync() {
+                        Ok(true) => self.instruments.wal_fsyncs.incr(),
+                        Ok(false) => {}
+                        Err(e) => {
+                            wal.poisoned = true;
+                            self.instruments.wal_errors.incr();
+                            self.registry.event(EventKind::WalError, e.to_string());
+                        }
+                    }
+                }
+            }
+            if let Err(e) = self.checkpoint() {
+                self.instruments.wal_errors.incr();
+                self.registry.event(EventKind::WalError, e.to_string());
+            }
+        }
         changed
+    }
+
+    /// Write a checkpoint: seal the active log segment, capture every
+    /// key's summary together with its last applied LSN, write the
+    /// checkpoint durably (temp file + fsync + rename), and prune the
+    /// sealed segments and older checkpoints behind it. Old files are
+    /// deleted only after the new checkpoint is durable, so a crash at
+    /// any point leaves a recoverable directory.
+    ///
+    /// Returns `Ok(None)` when there is nothing to do: no persistence
+    /// configured, no appends since the last checkpoint, or a poisoned
+    /// log (compacting away segments the log no longer extends would
+    /// lose weight). [`SketchStore::cool_down`] calls this every sweep;
+    /// it is public so tests and operators can force a compaction point.
+    pub fn checkpoint(&self) -> Result<Option<CheckpointStats>, PersistError> {
+        let Some(p) = &self.persistence else { return Ok(None) };
+        let start = Instant::now();
+        let sealed = {
+            let mut wal = p.wal.lock().unwrap();
+            if wal.dirty_records == 0 || wal.poisoned {
+                return Ok(None);
+            }
+            // Rotate under the append mutex, then RELEASE it before
+            // touching any stripe: appenders take this mutex while
+            // holding a stripe lock, so gathering under it would invert
+            // the lock order (see [`Persistence`]).
+            wal.rotate()?
+        };
+        let mut entries = Vec::new();
+        for stripe in self.stripes.iter() {
+            let keys: Vec<String> = stripe.read().unwrap().keys().cloned().collect();
+            for key in keys {
+                // The exclusive lock is load-bearing despite no mutation:
+                // it waits out in-flight shared-path writers, so the
+                // summary and the LSN watermark are a consistent pair.
+                // Records above the watermark live in the new segment and
+                // replay on top of this summary; records at or below it
+                // are inside it.
+                #[allow(clippy::readonly_write_lock)]
+                let map = stripe.write().unwrap();
+                let Some(entry) = map.get(&key) else { continue };
+                let summary = entry.engine.to_summary();
+                entries.push(CheckpointEntry {
+                    key,
+                    lsn: entry.last_lsn.load(Relaxed),
+                    summary: encode_summary(&summary),
+                });
+            }
+        }
+        let bytes = persist::write_checkpoint(&p.dir, sealed, &entries)?;
+        let (segments_pruned, checkpoints_pruned) = persist::prune_obsolete(&p.dir, sealed);
+        self.instruments.wal_checkpoints.incr();
+        self.instruments.checkpoint_seconds.record(start.elapsed().as_secs_f64());
+        self.registry.event(
+            EventKind::Checkpoint,
+            format!("seq={sealed} keys={} bytes={bytes}", entries.len()),
+        );
+        Ok(Some(CheckpointStats {
+            seq: sealed,
+            keys: entries.len(),
+            bytes,
+            segments_pruned,
+            checkpoints_pruned,
+        }))
     }
 
     /// Store-wide statistics. Sweeps the stripes for `keys`, `stream_len`,

@@ -40,6 +40,13 @@ pub enum EventKind {
     LeaseFallback,
     /// A key was removed from the store.
     Eviction,
+    /// A store recovered its state from a durable data directory.
+    Recovery,
+    /// The store wrote a checkpoint and pruned the log behind it.
+    Checkpoint,
+    /// An append or sync of the durable log failed; the store keeps
+    /// serving from memory but durability has degraded.
+    WalError,
 }
 
 impl EventKind {
@@ -55,6 +62,9 @@ impl EventKind {
             EventKind::Demotion => "demotion",
             EventKind::LeaseFallback => "lease_fallback",
             EventKind::Eviction => "eviction",
+            EventKind::Recovery => "recovery",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::WalError => "wal_error",
         }
     }
 }

@@ -11,7 +11,10 @@
 //! * [`harness`] — barrier-released multi-threaded throughput runners
 //!   (update-only, query-only, mixed);
 //! * [`stats`] — mean/σ/stderr over repeated runs (the paper averages 15);
-//! * [`table`] — aligned console tables + CSV emission for every figure.
+//! * [`table`] — aligned console tables + CSV emission for every figure;
+//! * [`tempdir`] — a std-only scratch-directory guard for the durability
+//!   test suites (the workspace builds without crates.io, so no
+//!   `tempfile`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,6 +24,7 @@ pub mod harness;
 pub mod stats;
 pub mod streams;
 pub mod table;
+pub mod tempdir;
 pub mod topology;
 
 pub use exact::{phi_grid, AccuracyReport, ExactOracle};
@@ -28,4 +32,5 @@ pub use harness::{fixed_ops_throughput, format_ops, mixed_throughput, Throughput
 pub use stats::RunStats;
 pub use streams::{Distribution, StreamGen};
 pub use table::Table;
+pub use tempdir::TempDir;
 pub use topology::Topology;

@@ -1,0 +1,117 @@
+//! A std-only scratch-directory guard for tests.
+//!
+//! The test suites that exercise durable persistence each need a unique,
+//! disposable on-disk directory. The usual answer is the `tempfile`
+//! crate; this workspace builds without crates.io access, so [`TempDir`]
+//! reimplements the 5% of it the suites use: create a uniquely named
+//! directory under [`std::env::temp_dir`], hand out its path, and remove
+//! the whole tree on drop.
+//!
+//! Uniqueness does not rely on randomness: the name combines the process
+//! id (isolating concurrent test binaries) with a process-wide atomic
+//! counter (isolating tests within one binary, including `cargo test`'s
+//! default multi-threaded runner), and creation retries on collision with
+//! a leftover directory from a previous crashed run.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under [`std::env::temp_dir`], deleted
+/// (recursively, best-effort) on drop.
+///
+/// ```
+/// use qc_workloads::tempdir::TempDir;
+///
+/// let dir = TempDir::new("doc");
+/// std::fs::write(dir.path().join("probe"), b"x").unwrap();
+/// let kept = dir.path().to_path_buf();
+/// drop(dir);
+/// assert!(!kept.exists());
+/// ```
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+    /// Disarmed by [`TempDir::keep`] so a failing test can leave its
+    /// directory behind for inspection.
+    delete_on_drop: bool,
+}
+
+impl TempDir {
+    /// Create a fresh, empty scratch directory whose name starts with
+    /// `prefix` (use the test name; it makes leaked directories
+    /// attributable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — in a test that is the
+    /// right failure mode, and it keeps every caller a one-liner.
+    pub fn new(prefix: &str) -> Self {
+        let base = std::env::temp_dir();
+        let pid = std::process::id();
+        // A stale directory with our exact name can only be a leftover
+        // from a crashed earlier run (pids recycle); advance the counter
+        // past it rather than inheriting its contents.
+        loop {
+            let id = NEXT_ID.fetch_add(1, Relaxed);
+            let path = base.join(format!("qc-{prefix}-{pid}-{id}"));
+            match std::fs::create_dir(&path) {
+                Ok(()) => return TempDir { path, delete_on_drop: true },
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => panic!("creating scratch dir {}: {e}", path.display()),
+            }
+        }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Disarm the drop-time deletion and return the path — for debugging
+    /// a failing test by inspecting what it left on disk.
+    pub fn keep(mut self) -> PathBuf {
+        self.delete_on_drop = false;
+        self.path.clone()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if self.delete_on_drop {
+            // Best-effort: a failure to clean /tmp must not turn a
+            // passing test into a panicking one (especially during
+            // unwinding from the real failure).
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_cleans_up() {
+        let a = TempDir::new("unit");
+        let b = TempDir::new("unit");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir() && b.path().is_dir());
+        std::fs::create_dir(a.path().join("nested")).unwrap();
+        std::fs::write(a.path().join("nested/file"), b"payload").unwrap();
+        let (pa, pb) = (a.path().to_path_buf(), b.path().to_path_buf());
+        drop(a);
+        drop(b);
+        assert!(!pa.exists(), "dropped TempDir must remove its tree");
+        assert!(!pb.exists());
+    }
+
+    #[test]
+    fn keep_disarms_deletion() {
+        let dir = TempDir::new("keep");
+        let path = dir.keep();
+        assert!(path.is_dir());
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+}
