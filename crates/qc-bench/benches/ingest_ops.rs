@@ -1,0 +1,117 @@
+//! UDP ingest benchmarks, three layers deep:
+//!
+//! * **codec** — datagram encode/decode throughput as a function of
+//!   records per datagram (the CRC pass plus the varint walk; decode
+//!   additionally allocates the record vec, so the gap between the two
+//!   curves is the allocation cost);
+//! * **daemon e2e** — datagrams through a real loopback socket into a
+//!   live [`qc_ingest::IngestDaemon`] and down into the store, completion
+//!   observed through the daemon's own applied-counter (the counters are
+//!   the contract; the bench leans on them the same way the tests do).
+//!
+//! Values are batched per record exactly as `qc-load` packs them, so the
+//! curves here predict the harness's achievable rates.
+
+use std::net::UdpSocket;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qc_ingest::datagram::{decode_datagram, encode_datagram, Record};
+use qc_ingest::{IngestConfig, IngestDaemon};
+use qc_store::{SketchStore, StoreConfig};
+
+const VALUES_PER_RECORD: usize = 32;
+
+fn records(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|r| Record {
+            key: format!("bench-{}", r % 8),
+            values: (0..VALUES_PER_RECORD).map(|v| ((r * 131 + v * 17) % 65_536) as f64).collect(),
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut encode_group = c.benchmark_group("ingest_encode");
+    for &n in &[1usize, 4, 16] {
+        let recs = records(n);
+        encode_group.throughput(Throughput::Elements((n * VALUES_PER_RECORD) as u64));
+        encode_group.bench_with_input(BenchmarkId::from_parameter(n), &recs, |bencher, recs| {
+            bencher.iter(|| black_box(encode_datagram(black_box(recs))));
+        });
+    }
+    encode_group.finish();
+
+    let mut decode_group = c.benchmark_group("ingest_decode");
+    for &n in &[1usize, 4, 16] {
+        let bytes = encode_datagram(&records(n));
+        decode_group.throughput(Throughput::Elements((n * VALUES_PER_RECORD) as u64));
+        decode_group.bench_with_input(BenchmarkId::from_parameter(n), &bytes, |bencher, bytes| {
+            bencher.iter(|| black_box(decode_datagram(black_box(bytes)).expect("valid datagram")));
+        });
+    }
+    decode_group.finish();
+}
+
+fn bench_daemon_e2e(c: &mut Criterion) {
+    const DATAGRAMS: usize = 512;
+    const RECORDS: usize = 4;
+    let mut group = c.benchmark_group("ingest_daemon_e2e");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((DATAGRAMS * RECORDS * VALUES_PER_RECORD) as u64));
+    for &processors in &[1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(processors),
+            &processors,
+            |bencher, &processors| {
+                let store = Arc::new(SketchStore::new(
+                    StoreConfig::default().stripes(16).k(256).b(4).seed(0x1463),
+                ));
+                let daemon = IngestDaemon::spawn(
+                    Arc::clone(&store),
+                    IngestConfig::default().processors(processors).queue_capacity(4096),
+                )
+                .expect("spawn daemon");
+                let socket = UdpSocket::bind("127.0.0.1:0").expect("bind sender");
+                socket.connect(daemon.local_addr()).expect("connect sender");
+                let bytes = encode_datagram(&records(RECORDS));
+                let applied =
+                    || store.telemetry_snapshot().counter("ingest_applied_datagrams").unwrap_or(0);
+                bencher.iter(|| {
+                    let target = applied() + DATAGRAMS as u64;
+                    let mut sent = 0usize;
+                    // Completion via the daemon's own counters: keep the
+                    // offered side honest (re-send what the kernel or the
+                    // queue shed) until everything is applied.
+                    while applied() < target {
+                        if sent < DATAGRAMS {
+                            socket.send(&bytes).expect("send");
+                            sent += 1;
+                            if sent.is_multiple_of(64) {
+                                std::thread::sleep(Duration::from_micros(50));
+                            }
+                        } else {
+                            // Outstanding datagrams still draining; if some
+                            // were shed, top the run back up.
+                            std::thread::sleep(Duration::from_micros(200));
+                            let snap = store.telemetry_snapshot();
+                            let lost = snap.counter("ingest_dropped_queue").unwrap_or(0)
+                                + snap.counter("ingest_dropped_decode").unwrap_or(0)
+                                + snap.counter("ingest_dropped_oversized").unwrap_or(0);
+                            let received = snap.counter("ingest_datagrams").unwrap_or(0);
+                            if received.saturating_sub(lost) < target {
+                                socket.send(&bytes).expect("resend");
+                            }
+                        }
+                    }
+                });
+                daemon.shutdown();
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_daemon_e2e);
+criterion_main!(benches);

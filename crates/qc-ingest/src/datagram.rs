@@ -1,0 +1,444 @@
+//! The ingest datagram format: one UDP packet = one CRC-checked batch of
+//! `(key, values…)` records.
+//!
+//! The TCP protocol pays a round trip and two fds per connection; the
+//! ingest path is fire-and-forget — a writer packs as many records as fit
+//! into one datagram and sends it. Delivery is **at-most-once**: a
+//! datagram is either applied whole (the CRC covers the entire packet) or
+//! dropped whole and counted, never partially applied.
+//!
+//! # Layout (version 1)
+//!
+//! All multi-byte integers are little-endian; varints are the LEB128
+//! encoding from [`qc_store::wire`].
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  = b"QCDG"
+//! 4       2     version = 1            (u16 LE)
+//! 6       2     flags   = 0            (u16 LE, reserved — must be zero)
+//! 8       var   record count `n`       (varint)
+//! ·             n records, each:
+//!                 var  key length in bytes (varint)
+//!                 ·    key (UTF-8)
+//!                 var  value count `m`     (varint)
+//!                 8*m  value bits          (f64::to_bits, u64 LE each)
+//! end-4   4     CRC-32 (IEEE)          (u32 LE, over all preceding bytes)
+//! ```
+//!
+//! Values travel as raw `f64` bit patterns (not deltas): ingest batches
+//! are unsorted measurement streams, so there is no ordered-bit locality
+//! to exploit, and fixed-width values keep the encoder allocation-free
+//! per element. Decoding is total and panic-free: every length claim is
+//! checked against the bytes actually present **before** any allocation,
+//! so a hostile 4-byte datagram claiming 2^60 records costs nothing.
+
+use qc_store::wire::{crc32, get_varint, put_varint, WireError};
+
+/// First four bytes of every ingest datagram.
+pub const MAGIC: [u8; 4] = *b"QCDG";
+
+/// The datagram version this module encodes (and the highest it decodes).
+pub const VERSION: u16 = 1;
+
+/// Fixed header length in bytes (magic + version + flags).
+pub const HEADER_LEN: usize = 8;
+
+/// Trailing checksum length in bytes.
+pub const CHECKSUM_LEN: usize = 4;
+
+/// Largest payload a UDP datagram can carry over IPv4 (65535 minus the
+/// IP and UDP headers). The daemon's receive buffer is sized one byte
+/// past its configured cap so kernel truncation is detectable.
+pub const MAX_DATAGRAM_LEN: usize = 65507;
+
+/// Smallest possible encoded record: a zero-length key (1-byte varint)
+/// with zero values (1-byte varint). Used to bound hostile record-count
+/// claims before any allocation.
+pub const MIN_RECORD_LEN: usize = 2;
+
+/// One `(key, values…)` record inside a datagram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Store key the values belong to.
+    pub key: String,
+    /// Batch of observations (bit-exact through the wire, NaNs included).
+    pub values: Vec<f64>,
+}
+
+/// Typed decode failures. Every malformed datagram maps to one of these —
+/// decoding must never panic, whatever the bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatagramError {
+    /// Fewer bytes than a well-formed datagram can occupy.
+    Truncated {
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// Version newer than this decoder understands.
+    UnsupportedVersion {
+        /// Version in the header.
+        found: u16,
+        /// Highest version this build decodes.
+        supported: u16,
+    },
+    /// Reserved flag bits were set (v1 defines none).
+    ReservedFlags {
+        /// The flag word found.
+        found: u16,
+    },
+    /// The trailing CRC-32 does not match the datagram contents.
+    ChecksumMismatch {
+        /// Checksum stored in the datagram.
+        stored: u32,
+        /// Checksum computed over the received bytes.
+        computed: u32,
+    },
+    /// A varint ran past 64 bits or past the end of the payload.
+    MalformedVarint {
+        /// Byte offset of the varint's first byte.
+        offset: usize,
+    },
+    /// A length claim (record count, key length, value count) exceeds the
+    /// bytes actually present. Rejected before any allocation.
+    LengthOverrun {
+        /// Byte offset of the offending claim.
+        offset: usize,
+        /// Bytes the claim implies.
+        claimed: u64,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A key is not valid UTF-8.
+    BadKeyUtf8 {
+        /// Byte offset of the key's first byte.
+        offset: usize,
+    },
+    /// Well-formed records followed by unexpected extra bytes.
+    TrailingBytes {
+        /// Number of surplus bytes.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for DatagramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatagramError::Truncated { needed, have } => {
+                write!(f, "truncated datagram: need {needed} bytes, have {have}")
+            }
+            DatagramError::BadMagic { found } => write!(f, "bad magic {found:02x?}"),
+            DatagramError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported datagram version {found} (decoder supports <= {supported})")
+            }
+            DatagramError::ReservedFlags { found } => {
+                write!(f, "reserved flag bits set: {found:#06x}")
+            }
+            DatagramError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            DatagramError::MalformedVarint { offset } => {
+                write!(f, "malformed varint at offset {offset}")
+            }
+            DatagramError::LengthOverrun { offset, claimed, available } => {
+                write!(
+                    f,
+                    "length claim at offset {offset} implies {claimed} bytes, {available} available"
+                )
+            }
+            DatagramError::BadKeyUtf8 { offset } => {
+                write!(f, "key at offset {offset} is not valid UTF-8")
+            }
+            DatagramError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the last record")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatagramError {}
+
+/// Incremental datagram assembly with a hard size budget.
+///
+/// Senders loop `push` until it declines, ship [`DatagramBuilder::finish`],
+/// and keep pushing into the recycled builder — the classic fill-a-packet
+/// loop. The budget accounts for the header, the worst-case record-count
+/// varint, and the trailing CRC, so a finished datagram never exceeds
+/// `max_len`.
+#[derive(Debug)]
+pub struct DatagramBuilder {
+    body: Vec<u8>,
+    records: u64,
+    max_len: usize,
+}
+
+impl DatagramBuilder {
+    /// A builder whose finished datagrams never exceed `max_len` bytes
+    /// (clamped to at least one minimal record's worth of framing).
+    pub fn new(max_len: usize) -> Self {
+        let floor = HEADER_LEN + 1 + MIN_RECORD_LEN + CHECKSUM_LEN;
+        DatagramBuilder { body: Vec::new(), records: 0, max_len: max_len.max(floor) }
+    }
+
+    /// Number of records pushed since the last `finish`.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// True when nothing has been pushed since the last `finish`.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Bytes the datagram would occupy if finished now.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + varint_len(self.records) + self.body.len() + CHECKSUM_LEN
+    }
+
+    /// Append one record if it fits in the remaining budget. Returns
+    /// `false` (and leaves the builder unchanged) when it does not — the
+    /// caller should `finish` the current datagram and push again. A
+    /// record too large for an *empty* builder can never be sent; the
+    /// caller sees `push` fail on a fresh builder and must split the
+    /// batch.
+    pub fn push(&mut self, key: &str, values: &[f64]) -> bool {
+        let record_len = varint_len(key.len() as u64)
+            + key.len()
+            + varint_len(values.len() as u64)
+            + 8 * values.len();
+        let total =
+            HEADER_LEN + varint_len(self.records + 1) + self.body.len() + record_len + CHECKSUM_LEN;
+        if total > self.max_len {
+            return false;
+        }
+        put_varint(&mut self.body, key.len() as u64);
+        self.body.extend_from_slice(key.as_bytes());
+        put_varint(&mut self.body, values.len() as u64);
+        for v in values {
+            self.body.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.records += 1;
+        true
+    }
+
+    /// Seal the accumulated records into a wire datagram and reset the
+    /// builder for reuse. `None` when nothing was pushed.
+    pub fn finish(&mut self) -> Option<Vec<u8>> {
+        if self.records == 0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        put_varint(&mut out, self.records);
+        out.extend_from_slice(&self.body);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        self.body.clear();
+        self.records = 0;
+        Some(out)
+    }
+}
+
+/// Encode a record batch as one datagram, without a size budget. For
+/// tests, benches, and callers that bound their batches themselves;
+/// senders packing to the wire limit want [`DatagramBuilder`].
+pub fn encode_datagram(records: &[Record]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    put_varint(&mut out, records.len() as u64);
+    for rec in records {
+        put_varint(&mut out, rec.key.len() as u64);
+        out.extend_from_slice(rec.key.as_bytes());
+        put_varint(&mut out, rec.values.len() as u64);
+        for v in &rec.values {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode one datagram. Total and panic-free: any byte sequence returns
+/// either the exact record batch that was encoded or a typed
+/// [`DatagramError`], and no allocation is sized from an unvalidated
+/// claim.
+pub fn decode_datagram(buf: &[u8]) -> Result<Vec<Record>, DatagramError> {
+    let min = HEADER_LEN + 1 + CHECKSUM_LEN;
+    if buf.len() < min {
+        return Err(DatagramError::Truncated { needed: min, have: buf.len() });
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&buf[0..4]);
+    if magic != MAGIC {
+        return Err(DatagramError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version > VERSION {
+        return Err(DatagramError::UnsupportedVersion { found: version, supported: VERSION });
+    }
+    let flags = u16::from_le_bytes([buf[6], buf[7]]);
+    if flags != 0 {
+        return Err(DatagramError::ReservedFlags { found: flags });
+    }
+    // CRC before structure: corruption anywhere in the packet surfaces as
+    // one typed error instead of whichever parse step it happens to break.
+    let crc_at = buf.len() - CHECKSUM_LEN;
+    let stored =
+        u32::from_le_bytes([buf[crc_at], buf[crc_at + 1], buf[crc_at + 2], buf[crc_at + 3]]);
+    let computed = crc32(&buf[..crc_at]);
+    if stored != computed {
+        return Err(DatagramError::ChecksumMismatch { stored, computed });
+    }
+    let payload = &buf[..crc_at];
+    let mut pos = HEADER_LEN;
+    let count_at = pos;
+    let count = read_varint(payload, &mut pos)?;
+    // A record occupies at least MIN_RECORD_LEN bytes, so a count claim
+    // larger than the remaining payload admits is hostile — reject before
+    // reserving anything.
+    let remaining = payload.len() - pos;
+    if count > (remaining / MIN_RECORD_LEN) as u64 {
+        return Err(DatagramError::LengthOverrun {
+            offset: count_at,
+            claimed: count.saturating_mul(MIN_RECORD_LEN as u64),
+            available: remaining,
+        });
+    }
+    let mut records = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let key_len_at = pos;
+        let key_len = read_varint(payload, &mut pos)?;
+        let available = payload.len() - pos;
+        if key_len > available as u64 {
+            return Err(DatagramError::LengthOverrun {
+                offset: key_len_at,
+                claimed: key_len,
+                available,
+            });
+        }
+        let key_at = pos;
+        let key_bytes = &payload[pos..pos + key_len as usize];
+        let key = std::str::from_utf8(key_bytes)
+            .map_err(|_| DatagramError::BadKeyUtf8 { offset: key_at })?
+            .to_owned();
+        pos += key_len as usize;
+        let val_count_at = pos;
+        let val_count = read_varint(payload, &mut pos)?;
+        let available = payload.len() - pos;
+        let claimed = val_count.saturating_mul(8);
+        if claimed > available as u64 {
+            return Err(DatagramError::LengthOverrun { offset: val_count_at, claimed, available });
+        }
+        let mut values = Vec::with_capacity(val_count as usize);
+        for _ in 0..val_count {
+            let mut bits = [0u8; 8];
+            bits.copy_from_slice(&payload[pos..pos + 8]);
+            values.push(f64::from_bits(u64::from_le_bytes(bits)));
+            pos += 8;
+        }
+        records.push(Record { key, values });
+    }
+    if pos != payload.len() {
+        return Err(DatagramError::TrailingBytes { extra: payload.len() - pos });
+    }
+    Ok(records)
+}
+
+/// Encoded length of `v` as a varint.
+fn varint_len(v: u64) -> usize {
+    let mut scratch = Vec::with_capacity(10);
+    put_varint(&mut scratch, v);
+    scratch.len()
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, DatagramError> {
+    let offset = *pos;
+    get_varint(buf, pos).map_err(|e| match e {
+        WireError::MalformedVarint { offset } => DatagramError::MalformedVarint { offset },
+        _ => DatagramError::MalformedVarint { offset },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let records = vec![
+            Record { key: "latency.api".into(), values: vec![1.5, 2.5, f64::NAN, -0.0] },
+            Record { key: String::new(), values: vec![] },
+            Record { key: "π".into(), values: vec![3.25] },
+        ];
+        let bytes = encode_datagram(&records);
+        let back = decode_datagram(&bytes).expect("roundtrip decodes");
+        assert_eq!(back.len(), records.len());
+        for (a, b) in records.iter().zip(&back) {
+            assert_eq!(a.key, b.key);
+            let a_bits: Vec<u64> = a.values.iter().map(|v| v.to_bits()).collect();
+            let b_bits: Vec<u64> = b.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a_bits, b_bits);
+        }
+    }
+
+    #[test]
+    fn builder_respects_budget_and_matches_free_encoding() {
+        let mut builder = DatagramBuilder::new(256);
+        let mut pushed = Vec::new();
+        let values = [1.0f64, 2.0, 3.0];
+        let mut i = 0;
+        while builder.push(&format!("key-{i}"), &values) {
+            pushed.push(Record { key: format!("key-{i}"), values: values.to_vec() });
+            i += 1;
+        }
+        assert!(!pushed.is_empty(), "at least one record fits the budget");
+        let bytes = builder.finish().expect("non-empty builder finishes");
+        assert!(bytes.len() <= 256, "finished datagram within budget: {}", bytes.len());
+        assert_eq!(bytes, encode_datagram(&pushed));
+        assert!(builder.is_empty(), "finish resets the builder");
+        assert!(builder.finish().is_none());
+    }
+
+    #[test]
+    fn oversized_single_record_declines_on_fresh_builder() {
+        let mut builder = DatagramBuilder::new(64);
+        let values = vec![0.0f64; 64];
+        assert!(!builder.push("k", &values));
+        assert!(builder.is_empty());
+    }
+
+    #[test]
+    fn hostile_record_count_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        put_varint(&mut buf, u64::MAX >> 1); // absurd record count
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        match decode_datagram(&buf) {
+            Err(DatagramError::LengthOverrun { .. }) => {}
+            other => panic!("expected LengthOverrun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_is_typed() {
+        let mut bytes = encode_datagram(&[Record { key: "k".into(), values: vec![1.0] }]);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(matches!(decode_datagram(&bytes), Err(DatagramError::ChecksumMismatch { .. })));
+    }
+}

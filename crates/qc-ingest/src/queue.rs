@@ -1,0 +1,162 @@
+//! A bounded multi-producer/multi-consumer queue whose producer side
+//! **never blocks**.
+//!
+//! `std::sync::mpsc::sync_channel` is single-consumer; the daemon needs
+//! one socket thread feeding N processor threads, a `try_push` that
+//! returns immediately when the queue is full (the socket thread must
+//! never park behind a slow processor — overload is shed, not buffered
+//! into the kernel), and an exact depth reading for the queue gauge. A
+//! `Mutex<VecDeque>` + `Condvar` does all three: the critical sections
+//! are a handful of pointer moves, far below the per-datagram decode and
+//! sketch work they hand off.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why `try_push` declined an item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the item was dropped (count it).
+    Full,
+    /// The queue was closed; no further items will be consumed.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The queue. Shared by reference (the daemon wraps it in an `Arc`).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (exact at the instant of the lock hold).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue without ever blocking. On [`PushError::Full`] the caller
+    /// keeps `item` back (it is returned untouched inside the `Err`
+    /// conceptually — the queue never saw it) and accounts the drop.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking until an item arrives or the queue is closed
+    /// **and drained**. `None` means: closed, and every item that was ever
+    /// accepted has been popped — the consumer may exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Close the queue: producers are refused from now on, consumers
+    /// drain what remains and then see `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn multi_consumer_conserves_items() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let total = 10_000u64;
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let mut pushed = 0u64;
+        let mut i = 1u64;
+        while i <= total {
+            if q.try_push(i).is_ok() {
+                pushed += i;
+                i += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let consumed: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(consumed, pushed);
+    }
+}

@@ -1,0 +1,144 @@
+//! The `qc-load` command-line harness.
+//!
+//! ```sh
+//! # drive an external server
+//! cargo run --release -p qc-load --bin qc_load -- \
+//!     --udp 127.0.0.1:7072 --tcp 127.0.0.1:7071 --duration-ms 5000 --rate 20000
+//!
+//! # one-command smoke baseline: spin up a server+daemon in-process,
+//! # load it, write the JSON report
+//! cargo run --release -p qc-load --bin qc_load -- \
+//!     --self-host --duration-ms 2000 --out BENCH_ingest_e2e.json
+//! ```
+//!
+//! Flags (all `--name value` unless noted):
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `--self-host` | off | start a server with UDP ingest in-process |
+//! | `--udp ADDR` | — | ingest daemon address (required unless self-host) |
+//! | `--tcp ADDR` | — | TCP server address (queriers + exact accounting) |
+//! | `--writers N` | 4 | UDP writer workers |
+//! | `--queriers N` | 2 | TCP querier workers |
+//! | `--keys N` | 16 | distinct keys |
+//! | `--values N` | 32 | values per record |
+//! | `--records N` | 4 | records per datagram |
+//! | `--rate N` | unthrottled | offered datagrams/s across all writers |
+//! | `--duration-ms N` | 2000 | generation phase length |
+//! | `--seed N` | 0x10AD | workload seed |
+//! | `--queue N` | 1024 | (self-host) daemon queue capacity |
+//! | `--processors N` | 2 | (self-host) daemon processor threads |
+//! | `--context STR` | auto | free-form line copied into the report |
+//! | `--out PATH` | stdout | where the JSON report goes |
+//!
+//! Exit status: 0 on a clean run, 2 when the run completed but saw send
+//! errors or the daemon's drop accounting failed to reconcile, 1 on
+//! usage or connection errors.
+
+use std::time::Duration;
+
+use qc_load::{run, LoadConfig};
+use qc_server::{IngestConfig, Server, ServerConfig};
+
+fn main() {
+    let mut cfg = LoadConfig::default();
+    let mut self_host = false;
+    let mut udp: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut queue_capacity = 1024usize;
+    let mut processors = 2usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| die(&format!("{name} needs a value")));
+        match flag.as_str() {
+            "--self-host" => self_host = true,
+            "--udp" => udp = Some(value("--udp")),
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--writers" => cfg.writers = parse(&value("--writers")),
+            "--queriers" => cfg.queriers = parse(&value("--queriers")),
+            "--keys" => cfg.keys = parse(&value("--keys")),
+            "--values" => cfg.values_per_record = parse(&value("--values")),
+            "--records" => cfg.records_per_datagram = parse(&value("--records")),
+            "--rate" => cfg.rate_datagrams_per_sec = Some(parse(&value("--rate"))),
+            "--duration-ms" => {
+                cfg.duration = Duration::from_millis(parse(&value("--duration-ms")));
+            }
+            "--seed" => cfg.seed = parse(&value("--seed")),
+            "--queue" => queue_capacity = parse(&value("--queue")),
+            "--processors" => processors = parse(&value("--processors")),
+            "--context" => cfg.context = value("--context"),
+            "--out" => out = Some(value("--out")),
+            "--help" | "-h" => {
+                eprintln!("flags: --self-host | --udp ADDR [--tcp ADDR]");
+                eprintln!(
+                    "       --writers N --queriers N --keys N --values N --records N \
+                     --rate N --duration-ms N --seed N --queue N --processors N \
+                     --context STR --out PATH"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other} (try --help)")),
+        }
+    }
+
+    // Self-hosting keeps the server handle alive for the whole run, then
+    // tears the stack down gracefully (ingest severed first, queue
+    // drained) before the report is written.
+    let hosted = if self_host {
+        let server_cfg = ServerConfig {
+            ingest: Some(
+                IngestConfig::default()
+                    .bind("127.0.0.1:0")
+                    .processors(processors)
+                    .queue_capacity(queue_capacity),
+            ),
+            ..ServerConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", server_cfg)
+            .unwrap_or_else(|e| die(&format!("self-host bind failed: {e}")));
+        cfg.udp_addr = handle.ingest_addr().expect("self-host always enables ingest");
+        cfg.tcp_addr = Some(handle.local_addr());
+        Some(handle)
+    } else {
+        let udp = udp.unwrap_or_else(|| die("--udp is required without --self-host"));
+        cfg.udp_addr = udp.parse().unwrap_or_else(|e| die(&format!("bad --udp {udp}: {e}")));
+        cfg.tcp_addr =
+            tcp.map(|t| t.parse().unwrap_or_else(|e| die(&format!("bad --tcp {t}: {e}"))));
+        None
+    };
+    if cfg.context.is_empty() {
+        cfg.context = if self_host {
+            "qc-load self-hosted smoke run".to_string()
+        } else {
+            format!("qc-load run against {}", cfg.udp_addr)
+        };
+    }
+
+    let report = run(&cfg).unwrap_or_else(|e| die(&format!("load run failed: {e}")));
+    if let Some(handle) = hosted {
+        handle.shutdown();
+    }
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            eprintln!("report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    if report.send_errors > 0 || report.daemon.as_ref().is_some_and(|d| !d.conserved()) {
+        std::process::exit(2);
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| die(&format!("cannot parse {s:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("qc-load: {msg}");
+    std::process::exit(1)
+}

@@ -1,0 +1,35 @@
+//! **qc-load** — the workload harness that proves the serving stack
+//! against realistic traffic.
+//!
+//! Every perf PR needs an end-to-end workload to argue against; this
+//! crate is that workload. It drives a live server through both front
+//! doors at once — fire-and-forget UDP ingest (`qc-ingest` datagrams)
+//! and request/response TCP queries — under open-loop rate control, and
+//! reports what actually happened in machine-readable JSON that extends
+//! the committed `BENCH_*.json` trajectory:
+//!
+//! * [`bucket`] — the token-bucket pacing that keeps the offered rate
+//!   clock-driven (open loop), so saturation shows up as drops and
+//!   latency, not as a silently slower generator;
+//! * [`mod@run`] — the harness itself: N writers packing datagrams, M
+//!   queriers cycling quantile reads, per-op latency recorded into
+//!   [`qc_sequential::Sketch`] histograms (the store is measured with
+//!   its own estimator), and a settling phase that fetches the ingest
+//!   daemon's exact drop accounting over the `Metrics` frame;
+//! * [`report`] — the JSON document: achieved rates, p50/p99/p999,
+//!   datagram conservation verdict, kernel-drop callout, and the
+//!   standing CPU-count honesty caveat.
+//!
+//! The `qc_load` binary wraps all of this behind a flag-style CLI and can
+//! self-host a server (`--self-host`) for one-command smoke baselines.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bucket;
+pub mod report;
+pub mod run;
+
+pub use bucket::TokenBucket;
+pub use report::{DaemonCounters, LatencyStats, LoadReport};
+pub use run::{run, LoadConfig};

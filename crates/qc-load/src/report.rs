@@ -1,0 +1,416 @@
+//! Machine-readable run reports.
+//!
+//! A `qc-load` run ends in one JSON document shaped like the committed
+//! `BENCH_*.json` trajectory: what was offered, what was achieved, the
+//! self-sketched latency percentiles, the daemon's exact drop accounting,
+//! and the standing honesty caveats (CPU count, conservation verdict).
+//! The JSON is hand-assembled — the workspace is `std`-only — and kept
+//! strictly valid: strings are escaped, non-finite floats become `null`.
+
+use qc_sequential::Sketch;
+
+/// Latency percentiles derived from a [`qc_sequential::Sketch`] — the
+/// harness measures itself with the same estimator it is loading.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    /// Operations recorded.
+    pub count: u64,
+    /// Median, in seconds.
+    pub p50: Option<f64>,
+    /// 99th percentile, in seconds.
+    pub p99: Option<f64>,
+    /// 99.9th percentile, in seconds.
+    pub p999: Option<f64>,
+    /// Largest retained sample, in seconds.
+    pub max: Option<f64>,
+}
+
+impl LatencyStats {
+    /// Summarize a latency sketch (values in seconds).
+    pub fn from_sketch(sketch: &Sketch<f64>) -> Self {
+        LatencyStats {
+            count: sketch.n(),
+            p50: sketch.quantile(0.5),
+            p99: sketch.quantile(0.99),
+            p999: sketch.quantile(0.999),
+            max: sketch.max_retained(),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"p50_s\": {}, \"p99_s\": {}, \"p999_s\": {}, \"max_s\": {}}}",
+            self.count,
+            opt_num(self.p50),
+            opt_num(self.p99),
+            opt_num(self.p999),
+            opt_num(self.max)
+        )
+    }
+}
+
+/// The ingest daemon's counters at the end of the run, fetched over the
+/// TCP `Metrics` frame — the exact drop accounting.
+#[derive(Clone, Debug, Default)]
+pub struct DaemonCounters {
+    /// Datagrams the daemon received.
+    pub received: u64,
+    /// Datagrams fully applied.
+    pub applied_datagrams: u64,
+    /// Records inside applied datagrams.
+    pub applied_records: u64,
+    /// Values (stream weight) applied.
+    pub applied_values: u64,
+    /// Dropped: queue full or circuit shed.
+    pub dropped_queue: u64,
+    /// Subset of `dropped_queue` shed while the circuit was open.
+    pub shed: u64,
+    /// Dropped: failed the datagram codec.
+    pub dropped_decode: u64,
+    /// Dropped: longer than the daemon's size cap.
+    pub dropped_oversized: u64,
+    /// Circuit-open transitions during the run.
+    pub circuit_opens: u64,
+}
+
+impl DaemonCounters {
+    /// The at-most-once conservation identity: every received datagram
+    /// classified exactly once.
+    pub fn conserved(&self) -> bool {
+        self.received
+            == self.applied_datagrams
+                + self.dropped_queue
+                + self.dropped_decode
+                + self.dropped_oversized
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"received\": {}, \"applied_datagrams\": {}, \"applied_records\": {}, ",
+                "\"applied_values\": {}, \"dropped_queue\": {}, \"shed\": {}, ",
+                "\"dropped_decode\": {}, \"dropped_oversized\": {}, \"circuit_opens\": {}, ",
+                "\"conserved\": {}}}"
+            ),
+            self.received,
+            self.applied_datagrams,
+            self.applied_records,
+            self.applied_values,
+            self.dropped_queue,
+            self.shed,
+            self.dropped_decode,
+            self.dropped_oversized,
+            self.circuit_opens,
+            self.conserved()
+        )
+    }
+}
+
+/// Everything one run produced.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Free-form context line (what this run was for).
+    pub context: String,
+    /// Wall-clock duration of the generation phase, seconds.
+    pub elapsed_secs: f64,
+    /// Writer workers.
+    pub writers: usize,
+    /// Querier workers.
+    pub queriers: usize,
+    /// Distinct keys targeted.
+    pub keys: usize,
+    /// Values per record.
+    pub values_per_record: usize,
+    /// Records per datagram.
+    pub records_per_datagram: usize,
+    /// Offered datagram rate (None = unthrottled).
+    pub target_datagram_rate: Option<f64>,
+    /// Datagrams sent by the writers.
+    pub datagrams_sent: u64,
+    /// Records sent.
+    pub records_sent: u64,
+    /// Values sent.
+    pub values_sent: u64,
+    /// UDP send failures (should be zero on loopback).
+    pub send_errors: u64,
+    /// Achieved datagram rate over the run.
+    pub achieved_datagram_rate: f64,
+    /// Achieved value (weight) rate over the run.
+    pub achieved_value_rate: f64,
+    /// TCP queries issued.
+    pub queries_sent: u64,
+    /// TCP query failures.
+    pub query_errors: u64,
+    /// Achieved query rate over the run.
+    pub achieved_query_rate: f64,
+    /// Writer-side per-datagram send latency (build + sendto).
+    pub send_latency: LatencyStats,
+    /// Querier-side round-trip latency.
+    pub query_latency: Option<LatencyStats>,
+    /// Daemon counters at quiescence (None when no TCP endpoint was
+    /// available to fetch them from).
+    pub daemon: Option<DaemonCounters>,
+    /// Datagrams lost before the daemon saw them (kernel socket-buffer
+    /// drops: `datagrams_sent − daemon.received`). UDP is allowed to do
+    /// this; the daemon's own accounting stays exact regardless.
+    pub kernel_dropped: Option<u64>,
+    /// Store `updates` counter delta across the run, when fetchable.
+    pub store_updates: Option<u64>,
+    /// CPUs visible to this process — the standing caveat: single-core
+    /// boxes bound every rate below.
+    pub cpus: usize,
+}
+
+impl LoadReport {
+    /// Render the report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str("  \"harness\": \"qc-load\",\n");
+        out.push_str(&format!("  \"context\": {},\n", esc(&self.context)));
+        out.push_str(&format!("  \"elapsed_secs\": {},\n", num(self.elapsed_secs)));
+        out.push_str(&format!(
+            "  \"workload\": {{\"writers\": {}, \"queriers\": {}, \"keys\": {}, \"values_per_record\": {}, \"records_per_datagram\": {}, \"target_datagram_rate\": {}}},\n",
+            self.writers,
+            self.queriers,
+            self.keys,
+            self.values_per_record,
+            self.records_per_datagram,
+            opt_num(self.target_datagram_rate)
+        ));
+        out.push_str(&format!(
+            "  \"sent\": {{\"datagrams\": {}, \"records\": {}, \"values\": {}, \"send_errors\": {}}},\n",
+            self.datagrams_sent, self.records_sent, self.values_sent, self.send_errors
+        ));
+        out.push_str(&format!(
+            "  \"achieved\": {{\"datagrams_per_s\": {}, \"values_per_s\": {}, \"queries_per_s\": {}}},\n",
+            num(self.achieved_datagram_rate),
+            num(self.achieved_value_rate),
+            num(self.achieved_query_rate)
+        ));
+        out.push_str(&format!(
+            "  \"queries\": {{\"sent\": {}, \"errors\": {}}},\n",
+            self.queries_sent, self.query_errors
+        ));
+        out.push_str(&format!("  \"send_latency\": {},\n", self.send_latency.json()));
+        out.push_str(&format!(
+            "  \"query_latency\": {},\n",
+            match &self.query_latency {
+                Some(stats) => stats.json(),
+                None => "null".to_string(),
+            }
+        ));
+        out.push_str(&format!(
+            "  \"daemon\": {},\n",
+            match &self.daemon {
+                Some(daemon) => daemon.json(),
+                None => "null".to_string(),
+            }
+        ));
+        out.push_str(&format!("  \"kernel_dropped\": {},\n", opt_u64(self.kernel_dropped)));
+        out.push_str(&format!("  \"store_updates\": {},\n", opt_u64(self.store_updates)));
+        out.push_str(&format!("  \"cpus\": {},\n", self.cpus));
+        out.push_str(&format!(
+            "  \"caveat\": {}\n",
+            esc(&format!(
+                "latencies are self-sketched (qc_sequential::Sketch, k=256); {} CPU(s) visible — \
+                 on a single-core box writers, processors, and the server time-slice one core, so \
+                 rates bound the software overhead, not hardware capacity",
+                self.cpus
+            ))
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// JSON string escape.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number (non-finite → null, since JSON has no NaN/Inf).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn opt_num(v: Option<f64>) -> String {
+    match v {
+        Some(v) => num(v),
+        None => "null".to_string(),
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => format!("{v}"),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal JSON well-formedness walker: enough to catch an escape
+    /// or comma slip in the hand-assembled document without a serde dep.
+    fn check_json(s: &str) -> Result<(), String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        fn ws(bytes: &[u8], pos: &mut usize) {
+            while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+                *pos += 1;
+            }
+        }
+        fn value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+            ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b'{') => {
+                    *pos += 1;
+                    ws(bytes, pos);
+                    if bytes.get(*pos) == Some(&b'}') {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        ws(bytes, pos);
+                        string(bytes, pos)?;
+                        ws(bytes, pos);
+                        if bytes.get(*pos) != Some(&b':') {
+                            return Err(format!("expected ':' at {pos}"));
+                        }
+                        *pos += 1;
+                        value(bytes, pos)?;
+                        ws(bytes, pos);
+                        match bytes.get(*pos) {
+                            Some(b',') => *pos += 1,
+                            Some(b'}') => {
+                                *pos += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or '}}' at {pos}")),
+                        }
+                    }
+                }
+                Some(b'"') => string(bytes, pos),
+                Some(b't') => literal(bytes, pos, b"true"),
+                Some(b'f') => literal(bytes, pos, b"false"),
+                Some(b'n') => literal(bytes, pos, b"null"),
+                Some(_) => number(bytes, pos),
+                None => Err("unexpected end".into()),
+            }
+        }
+        fn string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+            if bytes.get(*pos) != Some(&b'"') {
+                return Err(format!("expected string at {pos}"));
+            }
+            *pos += 1;
+            while let Some(&b) = bytes.get(*pos) {
+                match b {
+                    b'\\' => *pos += 2,
+                    b'"' => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => *pos += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+        fn literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+            if bytes[*pos..].starts_with(lit) {
+                *pos += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at {pos}"))
+            }
+        }
+        fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+            let start = *pos;
+            while let Some(&b) = bytes.get(*pos) {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    *pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if *pos == start {
+                return Err(format!("expected number at {start}"));
+            }
+            Ok(())
+        }
+        value(bytes, &mut pos)?;
+        ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at {pos}"));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let mut report = LoadReport {
+            context: "test \"quoted\"\nline".into(),
+            elapsed_secs: 1.25,
+            writers: 4,
+            queriers: 2,
+            keys: 16,
+            values_per_record: 32,
+            records_per_datagram: 4,
+            target_datagram_rate: Some(1000.0),
+            datagrams_sent: 1234,
+            cpus: 1,
+            ..LoadReport::default()
+        };
+        report.send_latency = LatencyStats {
+            count: 10,
+            p50: Some(0.001),
+            p99: Some(f64::NAN),
+            p999: None,
+            max: None,
+        };
+        report.daemon = Some(DaemonCounters {
+            received: 10,
+            applied_datagrams: 8,
+            dropped_queue: 2,
+            ..DaemonCounters::default()
+        });
+        let json = report.to_json();
+        check_json(&json).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{json}"));
+        // Non-finite floats must not leak.
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn conservation_identity() {
+        let mut c = DaemonCounters {
+            received: 100,
+            applied_datagrams: 90,
+            dropped_queue: 6,
+            dropped_decode: 3,
+            dropped_oversized: 1,
+            ..DaemonCounters::default()
+        };
+        assert!(c.conserved());
+        c.dropped_queue = 5;
+        assert!(!c.conserved());
+    }
+}

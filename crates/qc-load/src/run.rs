@@ -1,0 +1,335 @@
+//! The load harness: writer/querier worker mixes driven against a live
+//! server, self-sketched latencies, exact end-of-run accounting.
+//!
+//! Writers are open-loop UDP senders: each packs `records_per_datagram`
+//! records of `values_per_record` values into one datagram (via
+//! [`qc_ingest::DatagramBuilder`]) and fires it at the ingest daemon,
+//! paced by a shared-rate [`TokenBucket`]
+//! split across the writers. Queriers are closed-loop TCP clients
+//! cycling quantile queries over the same keys. Every worker records its
+//! per-op latency into its own [`qc_sequential::Sketch`] — the harness
+//! measures the quantile store with the store's own estimator — and the
+//! per-worker sketches merge into the report's percentiles.
+//!
+//! After the generation phase the harness **settles**: it polls the
+//! server's `Metrics` frame until the daemon's drop accounting is
+//! quiescent (every received datagram classified, queue empty), then
+//! snapshots the exact counters into the report. UDP may drop datagrams
+//! in the kernel before the daemon sees them; the report calls that out
+//! separately (`kernel_dropped`) — the daemon's own identity stays exact
+//! regardless.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use qc_ingest::DatagramBuilder;
+use qc_sequential::Sketch;
+use qc_server::Client;
+use qc_workloads::streams::{Distribution, StreamGen};
+
+use crate::bucket::TokenBucket;
+use crate::report::{DaemonCounters, LatencyStats, LoadReport};
+
+/// Harness parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// The ingest daemon's UDP address.
+    pub udp_addr: SocketAddr,
+    /// The server's TCP address (queriers + metrics). `None` runs a
+    /// write-only workload with no end-of-run counter fetch.
+    pub tcp_addr: Option<SocketAddr>,
+    /// Writer workers (UDP senders).
+    pub writers: usize,
+    /// Querier workers (TCP clients).
+    pub queriers: usize,
+    /// Distinct keys, named `<key_prefix>-<i>`.
+    pub keys: usize,
+    /// Key name prefix.
+    pub key_prefix: String,
+    /// Values per record.
+    pub values_per_record: usize,
+    /// Records per datagram.
+    pub records_per_datagram: usize,
+    /// Datagram size budget in bytes (records that do not fit roll into
+    /// the next datagram).
+    pub datagram_budget: usize,
+    /// Total offered datagram rate across all writers; `None` offers as
+    /// fast as the writers can send.
+    pub rate_datagrams_per_sec: Option<f64>,
+    /// Generation-phase duration.
+    pub duration: Duration,
+    /// Deterministic workload seed.
+    pub seed: u64,
+    /// Free-form context line copied into the report.
+    pub context: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            udp_addr: "127.0.0.1:0".parse().expect("literal addr"),
+            tcp_addr: None,
+            writers: 4,
+            queriers: 2,
+            keys: 16,
+            key_prefix: "load".to_string(),
+            values_per_record: 32,
+            records_per_datagram: 4,
+            datagram_budget: 1400,
+            rate_datagrams_per_sec: None,
+            duration: Duration::from_secs(2),
+            seed: 0x10AD,
+            context: String::new(),
+        }
+    }
+}
+
+struct WriterOutcome {
+    datagrams: u64,
+    records: u64,
+    values: u64,
+    send_errors: u64,
+    latency: Sketch<f64>,
+}
+
+struct QuerierOutcome {
+    queries: u64,
+    errors: u64,
+    latency: Sketch<f64>,
+}
+
+/// Drive one load run against a live server. Blocks for
+/// `cfg.duration` plus the settling phase.
+pub fn run(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
+    let keys: Vec<String> =
+        (0..cfg.keys.max(1)).map(|i| format!("{}-{i}", cfg.key_prefix)).collect();
+    let store_updates_before = match cfg.tcp_addr {
+        Some(addr) => {
+            let mut client = Client::connect(addr)?;
+            client.metrics().map_err(client_err)?.counter("store_updates")
+        }
+        None => None,
+    };
+    let start = Instant::now();
+    let deadline = start + cfg.duration;
+    let (writer_outcomes, querier_outcomes) =
+        std::thread::scope(|s| -> std::io::Result<(Vec<WriterOutcome>, Vec<QuerierOutcome>)> {
+            let mut writer_handles = Vec::new();
+            for w in 0..cfg.writers.max(1) {
+                let keys = &keys;
+                writer_handles.push(s.spawn(move || writer_loop(cfg, keys, w, deadline)));
+            }
+            let mut querier_handles = Vec::new();
+            if let Some(tcp_addr) = cfg.tcp_addr {
+                for q in 0..cfg.queriers {
+                    let keys = &keys;
+                    querier_handles
+                        .push(s.spawn(move || querier_loop(cfg, tcp_addr, keys, q, deadline)));
+                }
+            }
+            let mut writers = Vec::new();
+            for handle in writer_handles {
+                writers.push(handle.join().expect("writer worker must not panic")?);
+            }
+            let mut queriers = Vec::new();
+            for handle in querier_handles {
+                queriers.push(handle.join().expect("querier worker must not panic")?);
+            }
+            Ok((writers, queriers))
+        })?;
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut report = LoadReport {
+        context: cfg.context.clone(),
+        elapsed_secs: elapsed,
+        writers: cfg.writers.max(1),
+        queriers: if cfg.tcp_addr.is_some() { cfg.queriers } else { 0 },
+        keys: keys.len(),
+        values_per_record: cfg.values_per_record,
+        records_per_datagram: cfg.records_per_datagram,
+        target_datagram_rate: cfg.rate_datagrams_per_sec,
+        cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        ..LoadReport::default()
+    };
+    let mut send_sketch: Option<Sketch<f64>> = None;
+    for w in &writer_outcomes {
+        report.datagrams_sent += w.datagrams;
+        report.records_sent += w.records;
+        report.values_sent += w.values;
+        report.send_errors += w.send_errors;
+        match &mut send_sketch {
+            Some(sketch) => sketch.merge_from(&w.latency),
+            None => send_sketch = Some(w.latency.clone()),
+        }
+    }
+    if let Some(sketch) = &send_sketch {
+        report.send_latency = LatencyStats::from_sketch(sketch);
+    }
+    let mut query_sketch: Option<Sketch<f64>> = None;
+    for q in &querier_outcomes {
+        report.queries_sent += q.queries;
+        report.query_errors += q.errors;
+        match &mut query_sketch {
+            Some(sketch) => sketch.merge_from(&q.latency),
+            None => query_sketch = Some(q.latency.clone()),
+        }
+    }
+    report.query_latency = query_sketch.as_ref().map(LatencyStats::from_sketch);
+    if elapsed > 0.0 {
+        report.achieved_datagram_rate = report.datagrams_sent as f64 / elapsed;
+        report.achieved_value_rate = report.values_sent as f64 / elapsed;
+        report.achieved_query_rate = report.queries_sent as f64 / elapsed;
+    }
+
+    if let Some(tcp_addr) = cfg.tcp_addr {
+        let mut client = Client::connect(tcp_addr)?;
+        let daemon = settle(&mut client)?;
+        report.kernel_dropped = Some(report.datagrams_sent.saturating_sub(daemon.received));
+        report.daemon = Some(daemon);
+        let after = client.metrics().map_err(client_err)?.counter("store_updates");
+        report.store_updates = match (store_updates_before, after) {
+            (Some(before), Some(after)) => Some(after.saturating_sub(before)),
+            (None, after) => after,
+            _ => None,
+        };
+    }
+    Ok(report)
+}
+
+fn writer_loop(
+    cfg: &LoadConfig,
+    keys: &[String],
+    worker: usize,
+    deadline: Instant,
+) -> std::io::Result<WriterOutcome> {
+    let bind: &str = if cfg.udp_addr.is_ipv4() { "0.0.0.0:0" } else { "[::]:0" };
+    let socket = UdpSocket::bind(bind)?;
+    socket.connect(cfg.udp_addr)?;
+    let writers = cfg.writers.max(1);
+    let mut bucket = cfg.rate_datagrams_per_sec.map(|rate| {
+        let per_writer = (rate / writers as f64).max(0.001);
+        TokenBucket::new(per_writer, (per_writer * 0.01).max(1.0), Instant::now())
+    });
+    let mut gen = StreamGen::new(
+        Distribution::Uniform,
+        cfg.seed ^ (worker as u64).wrapping_mul(0x9E3779B97F4A7C15),
+    );
+    let mut latency = Sketch::<f64>::with_seed(256, cfg.seed ^ 0xA5A5 ^ worker as u64);
+    let mut builder = DatagramBuilder::new(cfg.datagram_budget);
+    let mut outcome = WriterOutcome {
+        datagrams: 0,
+        records: 0,
+        values: 0,
+        send_errors: 0,
+        latency: Sketch::with_seed(256, 0),
+    };
+    let mut values = vec![0.0f64; cfg.values_per_record.max(1)];
+    let mut next_key = worker; // offset so workers interleave key order
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        if let Some(bucket) = &mut bucket {
+            if let Err(wait) = bucket.try_take(1.0, now) {
+                // Open loop: sleep only until the next token accrues (or
+                // the deadline, whichever is sooner), never longer.
+                let remaining = deadline.saturating_duration_since(now);
+                std::thread::sleep(wait.min(remaining).min(Duration::from_millis(20)));
+                continue;
+            }
+        }
+        let t0 = Instant::now();
+        let mut records = 0u64;
+        let mut packed_values = 0u64;
+        for _ in 0..cfg.records_per_datagram.max(1) {
+            for v in values.iter_mut() {
+                *v = gen.next_f64();
+            }
+            let key = &keys[next_key % keys.len()];
+            next_key = next_key.wrapping_add(1);
+            if builder.push(key, &values) {
+                records += 1;
+                packed_values += values.len() as u64;
+            } else {
+                // Budget full: ship what fits; the skipped record simply
+                // lands in a later datagram's slot.
+                break;
+            }
+        }
+        let Some(bytes) = builder.finish() else { continue };
+        match socket.send(&bytes) {
+            Ok(_) => {
+                outcome.datagrams += 1;
+                outcome.records += records;
+                outcome.values += packed_values;
+                latency.update(t0.elapsed().as_secs_f64());
+            }
+            Err(_) => outcome.send_errors += 1,
+        }
+    }
+    outcome.latency = latency;
+    Ok(outcome)
+}
+
+fn querier_loop(
+    cfg: &LoadConfig,
+    tcp_addr: SocketAddr,
+    keys: &[String],
+    worker: usize,
+    deadline: Instant,
+) -> std::io::Result<QuerierOutcome> {
+    const PHIS: [f64; 3] = [0.5, 0.99, 0.999];
+    let mut client = Client::connect(tcp_addr)?;
+    let mut latency = Sketch::<f64>::with_seed(256, cfg.seed ^ 0x5A5A ^ worker as u64);
+    let mut outcome = QuerierOutcome { queries: 0, errors: 0, latency: Sketch::with_seed(256, 0) };
+    let mut i = worker;
+    while Instant::now() < deadline {
+        let key = &keys[i % keys.len()];
+        let phi = PHIS[i % PHIS.len()];
+        i = i.wrapping_add(1);
+        let t0 = Instant::now();
+        match client.query(key, phi) {
+            Ok(_) => {
+                outcome.queries += 1;
+                latency.update(t0.elapsed().as_secs_f64());
+            }
+            Err(_) => outcome.errors += 1,
+        }
+    }
+    outcome.latency = latency;
+    Ok(outcome)
+}
+
+/// Poll the `Metrics` frame until the daemon's accounting is quiescent:
+/// the queue is empty and every received datagram has been classified.
+/// Bounded at ~5 s; returns the last snapshot either way (the report's
+/// `conserved` field tells the reader whether quiescence was reached).
+fn settle(client: &mut Client) -> std::io::Result<DaemonCounters> {
+    let mut last = DaemonCounters::default();
+    for _ in 0..125 {
+        let snap = client.metrics().map_err(client_err)?;
+        let counter = |name: &str| snap.counter(name).unwrap_or(0);
+        last = DaemonCounters {
+            received: counter("ingest_datagrams"),
+            applied_datagrams: counter("ingest_applied_datagrams"),
+            applied_records: counter("ingest_applied_records"),
+            applied_values: counter("ingest_applied_values"),
+            dropped_queue: counter("ingest_dropped_queue"),
+            shed: counter("ingest_shed"),
+            dropped_decode: counter("ingest_dropped_decode"),
+            dropped_oversized: counter("ingest_dropped_oversized"),
+            circuit_opens: counter("ingest_circuit_opens"),
+        };
+        let depth = snap.gauge("ingest_queue_depth").unwrap_or(0);
+        if depth == 0 && last.conserved() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    Ok(last)
+}
+
+fn client_err(e: qc_server::ClientError) -> std::io::Error {
+    std::io::Error::other(e.to_string())
+}

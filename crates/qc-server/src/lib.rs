@@ -53,5 +53,6 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use pool::ThreadPool;
 pub use proto::{ErrorCode, ProtoError, RecvError, Request, Response, METRICS_VERSION};
+pub use qc_ingest::{IngestConfig, IngestDaemon, IngestHandle};
 pub use qc_telemetry::MetricsSnapshot;
 pub use server::{Server, ServerConfig, ServerHandle, LEASE_IDLE_FRAMES};

@@ -74,6 +74,13 @@ pub struct ServerConfig {
     /// whatever `store.data_dir` says — also `None` by default, a purely
     /// in-memory server.
     pub data_dir: Option<std::path::PathBuf>,
+    /// UDP ingest front-end. `Some` makes [`Server::bind`] spawn a
+    /// [`qc_ingest::IngestDaemon`] over the same store (its instruments
+    /// land in the store's registry, so the `Metrics` frame covers it);
+    /// read the bound datagram address back from
+    /// [`ServerHandle::ingest_addr`]. `None` (the default) serves TCP
+    /// only.
+    pub ingest: Option<qc_ingest::IngestConfig>,
     /// Test hook: pretend every connection's registry registration fails
     /// (as a real `try_clone` failure under fd exhaustion would). An
     /// unregistered connection cannot be severed by `stop()`, so it must
@@ -92,6 +99,7 @@ impl Default for ServerConfig {
             cool_down_interval: Some(Duration::from_secs(30)),
             slow_request_threshold: Duration::from_millis(100),
             data_dir: None,
+            ingest: None,
             fail_connection_registration: false,
         }
     }
@@ -158,6 +166,28 @@ impl Server {
             }
             None => None,
         };
+        // The UDP front door opens before the TCP one for the same
+        // reason housekeeping does: every failure path below can still
+        // tear down what it started, and nothing is externally reachable
+        // until the accept loop runs. (The daemon accepting datagrams a
+        // moment before TCP accepts is harmless — both write into the
+        // same fully-constructed store.)
+        let ingest = match &cfg.ingest {
+            Some(ingest_cfg) => {
+                let spawned =
+                    qc_ingest::IngestDaemon::spawn(Arc::clone(&store), ingest_cfg.clone());
+                match spawned {
+                    Ok(handle) => Some(handle),
+                    Err(e) => {
+                        if let Some(housekeeping) = housekeeping {
+                            housekeeping.stop();
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            None => None,
+        };
         let accept = {
             let store = Arc::clone(&store);
             let shutdown = Arc::clone(&shutdown);
@@ -177,6 +207,9 @@ impl Server {
                     // Stop housekeeping explicitly; the pool tears itself
                     // down when its Arcs drop (the spawn closure holding
                     // the clone was dropped on failure).
+                    if let Some(ingest) = ingest {
+                        ingest.shutdown();
+                    }
                     if let Some(housekeeping) = housekeeping {
                         housekeeping.stop();
                     }
@@ -192,6 +225,7 @@ impl Server {
             accept: Some(accept),
             pool: Some(pool),
             housekeeping,
+            ingest,
         })
     }
 }
@@ -339,6 +373,7 @@ pub struct ServerHandle {
     accept: Option<JoinHandle<()>>,
     pool: Option<Arc<ThreadPool>>,
     housekeeping: Option<Housekeeping>,
+    ingest: Option<qc_ingest::IngestHandle>,
 }
 
 impl ServerHandle {
@@ -364,6 +399,12 @@ impl ServerHandle {
         self.conns.lock().map(|m| m.len()).unwrap_or(0)
     }
 
+    /// The UDP ingest daemon's bound address, when
+    /// [`ServerConfig::ingest`] enabled one.
+    pub fn ingest_addr(&self) -> Option<SocketAddr> {
+        self.ingest.as_ref().map(|handle| handle.local_addr())
+    }
+
     /// Graceful shutdown: stop accepting, close live connections, join
     /// every serving thread. In-flight requests finish; subsequent reads
     /// on client sockets see EOF.
@@ -375,7 +416,17 @@ impl ServerHandle {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Stop housekeeping first: a sweep holds stripe locks briefly, and
+        // Sever the UDP front door first: the ingest daemon stops
+        // accepting datagrams, drains its already-accepted queue into the
+        // store, and joins its threads — so everything the daemon ever
+        // accepted is applied (or counted dropped) before the TCP side
+        // (and with it, the last chance to query the store) goes away.
+        // The daemon's own ordering contract guarantees the socket thread
+        // is severed before the drain begins.
+        if let Some(ingest) = self.ingest.take() {
+            ingest.shutdown();
+        }
+        // Stop housekeeping next: a sweep holds stripe locks briefly, and
         // joining it here keeps shutdown deterministic.
         if let Some(housekeeping) = self.housekeeping.take() {
             housekeeping.stop();

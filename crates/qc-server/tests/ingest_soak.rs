@@ -1,0 +1,310 @@
+//! End-to-end UDP ingest soak: a real server with the ingest daemon
+//! enabled, writer threads storming datagrams at the UDP front door while
+//! TCP queriers read concurrently, then exact reconciliation.
+//!
+//! Assertions, in order of strength:
+//!
+//! 1. **Exact conservation** — after quiescence every datagram the
+//!    daemon received is classified exactly once:
+//!    `received == applied + dropped_queue + dropped_decode +
+//!    dropped_oversized`, and in the paced phase `received` equals what
+//!    the writers sent (nothing lost in the kernel at these rates), so
+//!    the typed drop counters match the deliberately-malformed and
+//!    deliberately-oversized datagrams one for one.
+//! 2. **Weight identity** — `ingest_applied_values` equals the store's
+//!    `store_updates` gain: a datagram is counted applied only when every
+//!    one of its values landed in a sketch.
+//! 3. **Overload honesty** — with a tiny queue and a hair-trigger
+//!    breaker, a storm opens the circuit (`ingest_circuit_opens ≥ 1`,
+//!    sheds counted), and a paced trickle afterwards closes it again
+//!    (gauge back to 0, trickle datagrams applied). Conservation holds
+//!    through the overload exactly.
+//!
+//! Bounded by a watchdog so a wedged daemon fails fast instead of
+//! hanging CI.
+
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qc_ingest::datagram::{encode_datagram, Record};
+use qc_ingest::BreakerConfig;
+use qc_server::{Client, IngestConfig, MetricsSnapshot, Server, ServerConfig};
+
+const WRITERS: usize = 4;
+const DATAGRAMS_PER_WRITER: usize = 250;
+const RECORDS_PER_DATAGRAM: usize = 4;
+const VALUES_PER_RECORD: usize = 16;
+const CORRUPT: usize = 50;
+const OVERSIZED: usize = 20;
+const SIZE_CAP: usize = 2048;
+
+/// Abort the whole process if the soak wedges.
+fn watchdog(done: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(120));
+        if !done.load(Ordering::SeqCst) {
+            eprintln!("ingest soak watchdog fired: daemon/server wedged");
+            std::process::exit(2);
+        }
+    });
+}
+
+fn udp_sender(target: std::net::SocketAddr) -> UdpSocket {
+    let socket = UdpSocket::bind("127.0.0.1:0").expect("bind sender");
+    socket.connect(target).expect("connect sender");
+    socket
+}
+
+/// Writer `w`'s deterministic datagram `i`: distinct values so the
+/// stream is non-trivial, keys shared across writers so stripes collide.
+fn datagram(w: usize, i: usize) -> Vec<u8> {
+    let records: Vec<Record> = (0..RECORDS_PER_DATAGRAM)
+        .map(|r| Record {
+            key: format!("soak-{}", (w * RECORDS_PER_DATAGRAM + r) % 8),
+            values: (0..VALUES_PER_RECORD)
+                .map(|v| ((w * 1_000_000 + i * 100 + r * 10 + v) % 100_000) as f64)
+                .collect(),
+        })
+        .collect();
+    encode_datagram(&records)
+}
+
+fn counters(snap: &MetricsSnapshot) -> [u64; 9] {
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    [
+        c("ingest_datagrams"),
+        c("ingest_applied_datagrams"),
+        c("ingest_applied_records"),
+        c("ingest_applied_values"),
+        c("ingest_dropped_queue"),
+        c("ingest_shed"),
+        c("ingest_dropped_decode"),
+        c("ingest_dropped_oversized"),
+        c("ingest_circuit_opens"),
+    ]
+}
+
+fn conserved(c: &[u64; 9]) -> bool {
+    c[0] == c[1] + c[4] + c[6] + c[7]
+}
+
+/// Poll until the daemon is quiescent: queue empty and every received
+/// datagram classified. Returns the settled snapshot.
+fn settle(client: &mut Client) -> MetricsSnapshot {
+    let mut snap = client.metrics().expect("metrics");
+    for _ in 0..250 {
+        let c = counters(&snap);
+        if snap.gauge("ingest_queue_depth").unwrap_or(0) == 0 && conserved(&c) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        snap = client.metrics().expect("metrics");
+    }
+    snap
+}
+
+/// Paced storm: 4 writers, corrupt and oversized datagrams mixed in,
+/// queriers reading throughout — then sent-side-exact reconciliation.
+#[test]
+fn paced_storm_reconciles_exactly() {
+    let done = Arc::new(AtomicBool::new(false));
+    watchdog(done.clone());
+
+    let cfg = ServerConfig {
+        ingest: Some(
+            IngestConfig::default().processors(2).queue_capacity(1024).max_datagram_len(SIZE_CAP),
+        ),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let udp_addr = handle.ingest_addr().expect("ingest enabled");
+    let tcp_addr = handle.local_addr();
+
+    let baseline = {
+        let mut client = Client::connect(tcp_addr).expect("connect");
+        client.metrics().expect("metrics").counter("store_updates").unwrap_or(0)
+    };
+
+    let stop_queriers = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Queriers cycle reads over the soak keys for the whole storm.
+        let mut querier_handles = Vec::new();
+        for q in 0..2 {
+            let stop = stop_queriers.clone();
+            querier_handles.push(s.spawn(move || {
+                let mut client = Client::connect(tcp_addr).expect("querier connect");
+                let mut i = q;
+                let mut queries = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let key = format!("soak-{}", i % 8);
+                    client.query(&key, 0.5).expect("concurrent query must not fail");
+                    i += 1;
+                    queries += 1;
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                queries
+            }));
+        }
+
+        // Writers: paced so loopback never sheds in the kernel — the
+        // sent-side totals then reconcile exactly, not just daemon-side.
+        let mut writer_handles = Vec::new();
+        for w in 0..WRITERS {
+            writer_handles.push(s.spawn(move || {
+                let socket = udp_sender(udp_addr);
+                for i in 0..DATAGRAMS_PER_WRITER {
+                    socket.send(&datagram(w, i)).expect("udp send");
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            }));
+        }
+
+        // One hostile sender: corrupt CRCs and oversized datagrams,
+        // paced the same way.
+        let hostile = s.spawn(move || {
+            let socket = udp_sender(udp_addr);
+            for i in 0..CORRUPT {
+                let mut bytes = datagram(0, i);
+                let len = bytes.len();
+                bytes[len / 2] ^= 0xFF; // CRC now fails
+                socket.send(&bytes).expect("udp send corrupt");
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            // Larger than the daemon's cap but fine for loopback UDP.
+            let big = vec![0u8; SIZE_CAP + 512];
+            for _ in 0..OVERSIZED {
+                socket.send(&big).expect("udp send oversized");
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        });
+
+        for h in writer_handles {
+            h.join().expect("writer panicked");
+        }
+        hostile.join().expect("hostile sender panicked");
+        stop_queriers.store(true, Ordering::SeqCst);
+        for h in querier_handles {
+            let queries = h.join().expect("querier panicked");
+            assert!(queries > 0, "querier made no progress during the storm");
+        }
+    });
+
+    let mut client = Client::connect(tcp_addr).expect("connect");
+    let snap = settle(&mut client);
+    let c = counters(&snap);
+    let sent = (WRITERS * DATAGRAMS_PER_WRITER + CORRUPT + OVERSIZED) as u64;
+
+    // 1. Nothing lost at these paced rates: the daemon saw every
+    //    datagram, and classified each exactly once.
+    assert_eq!(c[0], sent, "daemon received != sent (kernel dropped under pacing?)");
+    assert!(conserved(&c), "conservation violated: {c:?}");
+    assert_eq!(c[1], (WRITERS * DATAGRAMS_PER_WRITER) as u64, "applied datagrams");
+    assert_eq!(c[6], CORRUPT as u64, "decode drops must match corrupt datagrams");
+    assert_eq!(c[7], OVERSIZED as u64, "oversize drops must match oversized datagrams");
+    assert_eq!(c[4], 0, "paced storm must not overflow a 1024-deep queue");
+    assert_eq!(c[8], 0, "circuit must stay closed under pacing");
+
+    // 2. Weight identity: applied values == store update gain.
+    let expected_values =
+        (WRITERS * DATAGRAMS_PER_WRITER * RECORDS_PER_DATAGRAM * VALUES_PER_RECORD) as u64;
+    assert_eq!(c[3], expected_values, "applied values");
+    assert_eq!(
+        c[2],
+        (WRITERS * DATAGRAMS_PER_WRITER * RECORDS_PER_DATAGRAM) as u64,
+        "applied records"
+    );
+    let store_updates = snap.counter("store_updates").unwrap_or(0) - baseline;
+    assert_eq!(store_updates, c[3], "store update gain != applied values");
+
+    // 3. The data is actually queryable: every soak key answers.
+    for k in 0..8 {
+        let q = client.query(&format!("soak-{k}"), 0.5).expect("query");
+        assert!(q.is_some(), "soak-{k} lost its data");
+    }
+
+    handle.shutdown();
+    done.store(true, Ordering::SeqCst);
+}
+
+/// Deliberate overload: a 2-deep queue and a hair-trigger breaker under
+/// an unpaced blast. The circuit must open (sheds counted), close again
+/// under a paced trickle, and the accounting must stay exact throughout.
+#[test]
+fn overload_opens_circuit_and_recovers() {
+    let done = Arc::new(AtomicBool::new(false));
+    watchdog(done.clone());
+
+    let cfg = ServerConfig {
+        ingest: Some(IngestConfig::default().processors(1).queue_capacity(2).breaker(
+            BreakerConfig {
+                open_after: 8,
+                initial_backoff: Duration::from_millis(20),
+                max_backoff: Duration::from_millis(200),
+            },
+        )),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let udp_addr = handle.ingest_addr().expect("ingest enabled");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Phase 1: blast. Heavy datagrams, no pacing, several senders — the
+    // 2-deep queue must saturate and trip the breaker.
+    std::thread::scope(|s| {
+        for w in 0..4 {
+            s.spawn(move || {
+                let socket = udp_sender(udp_addr);
+                let records: Vec<Record> = (0..4)
+                    .map(|r| Record {
+                        key: format!("ovl-{r}"),
+                        values: (0..40).map(|v| (w * 1000 + v) as f64).collect(),
+                    })
+                    .collect();
+                let bytes = encode_datagram(&records);
+                for _ in 0..2_000 {
+                    let _ = socket.send(&bytes);
+                }
+            });
+        }
+    });
+
+    let snap = settle(&mut client);
+    let c = counters(&snap);
+    assert!(conserved(&c), "conservation violated during overload: {c:?}");
+    assert!(c[4] > 0, "blast against a 2-deep queue must drop: {c:?}");
+    assert!(c[8] >= 1, "breaker never opened under blast: {c:?}");
+    assert!(c[5] > 0, "open circuit must shed (and count sheds): {c:?}");
+    assert!(c[5] <= c[4], "sheds are a subset of queue drops: {c:?}");
+
+    // Phase 2: recovery. Wait out the largest backoff window, then offer
+    // a gentle trickle — the half-open probe must succeed, the circuit
+    // close, and the trickle apply.
+    std::thread::sleep(Duration::from_millis(300));
+    let before = counters(&settle(&mut client));
+    let socket = udp_sender(udp_addr);
+    let trickle =
+        encode_datagram(&[Record { key: "ovl-recover".into(), values: vec![1.0, 2.0, 3.0] }]);
+    for _ in 0..20 {
+        socket.send(&trickle).expect("trickle send");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let snap = settle(&mut client);
+    let after = counters(&snap);
+    assert!(conserved(&after), "conservation violated after recovery: {after:?}");
+    assert_eq!(
+        snap.gauge("ingest_circuit_open").unwrap_or(i64::MAX),
+        0,
+        "circuit still open after trickle"
+    );
+    assert!(
+        after[1] > before[1],
+        "no trickle datagram applied: before {before:?}, after {after:?}"
+    );
+    let recovered = client.query("ovl-recover", 0.5).expect("query");
+    assert!(recovered.is_some(), "recovered key lost its trickle data");
+
+    handle.shutdown();
+    done.store(true, Ordering::SeqCst);
+}

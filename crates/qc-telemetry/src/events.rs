@@ -47,6 +47,15 @@ pub enum EventKind {
     /// An append or sync of the durable log failed; the store keeps
     /// serving from memory but durability has degraded.
     WalError,
+    /// The ingest processor queue saturated and datagrams were dropped
+    /// (queue-full shedding began).
+    Overload,
+    /// The ingest circuit breaker opened: datagrams shed on arrival for a
+    /// backoff window.
+    CircuitOpen,
+    /// The ingest circuit breaker closed: a probe datagram got through
+    /// and normal admission resumed.
+    CircuitClose,
 }
 
 impl EventKind {
@@ -65,6 +74,9 @@ impl EventKind {
             EventKind::Recovery => "recovery",
             EventKind::Checkpoint => "checkpoint",
             EventKind::WalError => "wal_error",
+            EventKind::Overload => "overload",
+            EventKind::CircuitOpen => "circuit_open",
+            EventKind::CircuitClose => "circuit_close",
         }
     }
 }

@@ -1,11 +1,11 @@
 //! Run a quantile-serving daemon over the keyed sketch store.
 //!
 //! ```sh
-//! # serve on the default address
+//! # serve on the default address (UDP ingest on an ephemeral port)
 //! cargo run --release --example serve
 //!
-//! # custom address / pool size
-//! cargo run --release --example serve -- 127.0.0.1:7071 16
+//! # custom address / pool size / UDP ingest address
+//! cargo run --release --example serve -- 127.0.0.1:7071 16 127.0.0.1:7072
 //! ```
 //!
 //! The server answers the `qc-server` binary protocol (see the "Serving"
@@ -14,7 +14,7 @@
 //! serves until stdin closes or a `quit` line arrives, then shuts down
 //! gracefully and prints the final store statistics.
 
-use quancurrent_suite::server::{Server, ServerConfig};
+use quancurrent_suite::server::{IngestConfig, Server, ServerConfig};
 use quancurrent_suite::StoreConfig;
 use std::io::BufRead;
 
@@ -23,14 +23,19 @@ fn main() {
     let addr = args.next().unwrap_or_else(|| "127.0.0.1:7071".to_string());
     let pool_threads: usize =
         args.next().map(|s| s.parse().expect("pool size must be a number")).unwrap_or(8);
+    let udp_addr = args.next().unwrap_or_else(|| "127.0.0.1:0".to_string());
 
     let cfg = ServerConfig {
         pool_threads,
         store: StoreConfig::default().stripes(32).k(256).b(4).seed(0xDAEC0DE),
+        ingest: Some(IngestConfig::default().bind(udp_addr)),
         ..ServerConfig::default()
     };
     let handle = Server::bind(&addr, cfg).expect("bind serving address");
     println!("qc-server listening on {} ({pool_threads} workers)", handle.local_addr());
+    if let Some(udp) = handle.ingest_addr() {
+        println!("udp ingest on {udp} (drive it with examples/udp_firehose.rs)");
+    }
     println!("type 'quit' (or close stdin) for graceful shutdown");
 
     let stdin = std::io::stdin();
