@@ -1,0 +1,124 @@
+//! Windowed-store benchmarks: what does the time axis cost?
+//!
+//! * `store_window_write/<mode>` — the same 64 batches of 256 values
+//!   into one key, `unwindowed` (plain `update_many`) vs `windowed`
+//!   (`update_at`, every batch one window later, so each op also seals
+//!   the previous window) vs `windowed_same_window` (`update_at` with a
+//!   constant timestamp: the pure admission-check overhead, no seals).
+//!   The windowed rolling series prices the full seal path — summary
+//!   snapshot, `Arc` swap, fresh engine — per window boundary.
+//!
+//! * `store_window_query/<mode>` — one answer for "p99 over the whole
+//!   span" against a key holding 64 sealed windows: `range` is a single
+//!   `query_range` over the full span (one merge of all covered
+//!   windows), `stitched` asks the same question as 64 per-window
+//!   `query_range` calls (the client-side alternative a caller without
+//!   the range op would have to do, sans network round-trips — the wire
+//!   saving comes on top of whatever this measures).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qc_store::{SketchStore, StoreConfig, WindowConfig};
+use qc_workloads::streams::{Distribution, StreamGen};
+use std::time::Duration;
+
+const WINDOWS: u64 = 64;
+const BATCH: usize = 256;
+const WIDTH_MS: u64 = 1000;
+
+fn windowed_cfg() -> StoreConfig {
+    StoreConfig::default().stripes(4).k(256).b(4).seed(7).window(
+        WindowConfig::default()
+            .width(Duration::from_millis(WIDTH_MS))
+            .downsample_levels(0)
+            .retention(Duration::from_secs(1 << 20))
+            .lateness(Duration::from_secs(1 << 20)),
+    )
+}
+
+fn batches() -> Vec<Vec<f64>> {
+    let mut gen = StreamGen::new(Distribution::Uniform, 11);
+    (0..WINDOWS).map(|_| (0..BATCH).map(|_| gen.next_f64()).collect()).collect()
+}
+
+fn bench_window_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_window_write");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WINDOWS * BATCH as u64));
+    let data = batches();
+
+    group.bench_with_input(BenchmarkId::from_parameter("unwindowed"), &data, |bencher, data| {
+        bencher.iter(|| {
+            let store = SketchStore::new(StoreConfig::default().stripes(4).k(256).b(4).seed(7));
+            for batch in data {
+                store.update_many("latency", batch);
+            }
+            black_box(store.stats().stream_len)
+        });
+    });
+
+    group.bench_with_input(BenchmarkId::from_parameter("windowed"), &data, |bencher, data| {
+        bencher.iter(|| {
+            let store = SketchStore::new(windowed_cfg());
+            for (w, batch) in data.iter().enumerate() {
+                // One window per batch: every op after the first also
+                // seals its predecessor.
+                store.update_at("latency", w as u64 * WIDTH_MS, batch);
+            }
+            black_box(store.stats().stream_len)
+        });
+    });
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("windowed_same_window"),
+        &data,
+        |bencher, data| {
+            bencher.iter(|| {
+                let store = SketchStore::new(windowed_cfg());
+                for batch in data {
+                    store.update_at("latency", 0, batch);
+                }
+                black_box(store.stats().stream_len)
+            });
+        },
+    );
+    group.finish();
+}
+
+fn bench_window_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_window_query");
+    group.sample_size(10);
+    // One full-span answer per iteration, either way.
+    group.throughput(Throughput::Elements(1));
+
+    let store = SketchStore::new(windowed_cfg());
+    for (w, batch) in batches().iter().enumerate() {
+        store.update_at("latency", w as u64 * WIDTH_MS, batch);
+    }
+    let span_ms = WINDOWS * WIDTH_MS;
+
+    group.bench_function(BenchmarkId::from_parameter("range"), |bencher| {
+        bencher.iter(|| black_box(store.query_range("latency", 0, span_ms, 0.99)));
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("stitched"), |bencher| {
+        bencher.iter(|| {
+            // The no-range-op alternative: one query per window, merged
+            // client-side (here just folded, which undercounts the real
+            // client's work — it would need whole summaries, not phi
+            // answers, to merge correctly).
+            let mut acc = 0.0f64;
+            for w in 0..WINDOWS {
+                if let Some(v) =
+                    store.query_range("latency", w * WIDTH_MS, (w + 1) * WIDTH_MS, 0.99)
+                {
+                    acc += v;
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_write, bench_window_query);
+criterion_main!(benches);

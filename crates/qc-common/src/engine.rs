@@ -26,12 +26,13 @@
 //!
 //! # Rank semantics
 //!
-//! Historically `Summary::rank` returned an **absolute weight** while
-//! `WeightedSummary::rank` returned a **fraction**, silently disagreeing.
+//! An ambiguous `rank` could mean an **absolute weight** or a
+//! **fraction** — earlier revisions carried both meanings under one name.
 //! The engine API names both explicitly — [`QuantileEstimator::rank_weight`]
 //! (absolute weight of elements `< x`) and
 //! [`QuantileEstimator::rank_fraction`] (that weight normalized by the
-//! stream length) — and the ambiguous `rank` methods are deprecated.
+//! stream length) — and no bare `rank` exists on the summary or estimator
+//! APIs.
 
 use crate::bits::OrderedBits;
 use crate::summary::WeightedSummary;

@@ -46,16 +46,6 @@ pub trait Summary {
         self.quantile_bits(phi).map(T::from_ordered_bits)
     }
 
-    /// Typed rank estimate (absolute weight below `x`).
-    #[deprecated(note = "ambiguous name: use `rank_weight` (absolute) or `rank_fraction` \
-                         (normalized) instead")]
-    fn rank<T: OrderedBits>(&self, x: T) -> u64
-    where
-        Self: Sized,
-    {
-        self.rank_bits(x.to_ordered_bits())
-    }
-
     /// Typed **absolute** rank estimate: the total weight of summary points
     /// strictly smaller than `x`.
     fn rank_weight<T: OrderedBits>(&self, x: T) -> u64
@@ -175,18 +165,6 @@ impl WeightedSummary {
     /// Largest retained element, in bit space.
     pub fn max_bits(&self) -> Option<u64> {
         self.items.last().map(|it| it.value_bits)
-    }
-
-    /// **Normalized** rank of `value` (deprecated name).
-    ///
-    /// This inherent method shadows the also-deprecated [`Summary::rank`]
-    /// (which returns the absolute weight below `value`) — the two
-    /// `rank`s silently disagree, which is why both are deprecated in
-    /// favor of the explicit names.
-    #[deprecated(note = "ambiguous name: use `rank_fraction` (normalized) or `rank_weight` \
-                         (absolute) instead")]
-    pub fn rank<T: OrderedBits>(&self, value: T) -> f64 {
-        self.rank_fraction(value)
     }
 
     /// **Normalized** rank of `value`: the estimated fraction of the stream
@@ -387,16 +365,6 @@ mod tests {
         assert_eq!(s.rank_weight(0.0f64), 2);
         // Normalized fraction.
         assert!((s.rank_fraction(0.0f64) - 0.4).abs() < 1e-12);
-    }
-
-    /// The deprecated `rank` names keep their historical semantics until
-    /// removal: trait `rank` = absolute weight, inherent `rank` = fraction.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_rank_names_keep_semantics() {
-        let s = unit_summary(&[10, 20, 30, 40]);
-        assert_eq!(Summary::rank(&s, 25u64), s.rank_weight(25u64));
-        assert_eq!(s.rank(25u64), s.rank_fraction(25u64));
     }
 
     #[test]

@@ -191,13 +191,6 @@ impl<T: OrderedBits> Fcds<T> {
         self.summary().quantile_bits(phi).map(T::from_ordered_bits)
     }
 
-    /// Estimated rank of `x` in the propagated stream.
-    #[deprecated(note = "ambiguous name: use `QuantileEstimator::rank_weight` (absolute) or \
-                         `QuantileEstimator::rank_fraction` (normalized) instead")]
-    pub fn rank(&self, x: T) -> u64 {
-        self.summary().rank_bits(x.to_ordered_bits())
-    }
-
     /// A weighted summary of the propagated stream (snapshot under the
     /// sketch lock).
     pub fn summary(&self) -> WeightedSummary {

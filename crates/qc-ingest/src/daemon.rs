@@ -38,6 +38,14 @@
 //! and `ingest_applied_values` equals the weight the store gained through
 //! this daemon. The e2e soak suite asserts both identities under a storm.
 //!
+//! Sequenced (version-2) datagrams additionally drive per-peer gap
+//! accounting on the socket thread: a jump in a peer's sequence number
+//! adds the gap to `ingest_seq_gaps` (datagrams the sender shipped that
+//! never reached `recv` — kernel-buffer or network drops), and a sequence
+//! below the expected next one counts as `ingest_seq_reordered` (it was
+//! already provisionally counted as a gap). `seq_gaps − seq_reordered`
+//! is therefore the best lower bound on silent pre-socket loss.
+//!
 //! # Shutdown ordering
 //!
 //! [`IngestHandle::shutdown`] severs the **socket thread first** (flag +
@@ -59,7 +67,7 @@ use qc_store::{SketchStore, WriterLease};
 use qc_telemetry::{Counter, EventKind, Gauge, LatencyRecorder, Registry};
 
 use crate::breaker::{Admit, BreakerConfig, CircuitBreaker, Transition};
-use crate::datagram::{decode_datagram, MAX_DATAGRAM_LEN};
+use crate::datagram::{decode_datagram, peek_seq, MAX_DATAGRAM_LEN};
 use crate::queue::{BoundedQueue, PushError};
 
 /// Ingest daemon construction parameters.
@@ -148,6 +156,14 @@ struct IngestInstruments {
     dropped_decode: Counter,
     /// `ingest_dropped_oversized`: longer than the configured cap.
     dropped_oversized: Counter,
+    /// `ingest_seq_gaps`: total sequence-number gap across peers —
+    /// datagrams a sequenced sender shipped that never reached `recv`
+    /// (plus reorderings, provisionally; see `seq_reordered`).
+    seq_gaps: Counter,
+    /// `ingest_seq_reordered`: sequenced datagrams that arrived with a
+    /// sequence below the peer's expected next — each one retroactively
+    /// converts one counted gap into a reordering.
+    seq_reordered: Counter,
     /// `ingest_circuit_opens`: circuit-open transitions.
     circuit_opens: Counter,
     /// `ingest_queue_depth`: datagrams waiting for a processor.
@@ -171,6 +187,8 @@ impl IngestInstruments {
             shed: registry.counter("ingest_shed"),
             dropped_decode: registry.counter("ingest_dropped_decode"),
             dropped_oversized: registry.counter("ingest_dropped_oversized"),
+            seq_gaps: registry.counter("ingest_seq_gaps"),
+            seq_reordered: registry.counter("ingest_seq_reordered"),
             circuit_opens: registry.counter("ingest_circuit_opens"),
             queue_depth: registry.gauge("ingest_queue_depth"),
             circuit_open: registry.gauge("ingest_circuit_open"),
@@ -321,9 +339,13 @@ fn socket_loop(
     // Tracks whether we are inside an overload episode, so the Overload
     // event fires once per episode instead of once per dropped datagram.
     let mut in_overload = false;
+    // Per-peer expected next sequence number for version-2 senders.
+    // Entries stay for the socket thread's lifetime — each is 8 bytes per
+    // distinct sender address, and the map is touched O(1) per datagram.
+    let mut expected_seq: HashMap<SocketAddr, u64> = HashMap::new();
     loop {
-        let len = match socket.recv_from(&mut buf) {
-            Ok((len, _peer)) => len,
+        let (len, peer) = match socket.recv_from(&mut buf) {
+            Ok((len, peer)) => (len, peer),
             Err(_) => {
                 // Timeout, EINTR, or a transient socket error: recheck the
                 // flag and keep serving.
@@ -338,6 +360,29 @@ fn socket_loop(
             return;
         }
         instruments.datagrams.incr();
+        // Gap accounting runs on everything that reached recv — including
+        // datagrams dropped below — because the sequence measures what was
+        // *delivered to us*, not what we went on to accept.
+        if let Some(seq) = peek_seq(&buf[..len]) {
+            match expected_seq.entry(peer) {
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    let expected = *slot.get();
+                    if seq >= expected {
+                        instruments.seq_gaps.add(seq - expected);
+                        slot.insert(seq.wrapping_add(1));
+                    } else {
+                        // Late arrival of something already counted as a
+                        // gap; the expected cursor stays put.
+                        instruments.seq_reordered.incr();
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    // First sighting of this peer establishes its baseline;
+                    // whatever it sent before we were listening is not loss.
+                    slot.insert(seq.wrapping_add(1));
+                }
+            }
+        }
         if len > max_len {
             instruments.dropped_oversized.incr();
             continue;

@@ -7,7 +7,7 @@
 //! datagram is either applied whole (the CRC covers the entire packet) or
 //! dropped whole and counted, never partially applied.
 //!
-//! # Layout (version 1)
+//! # Layout (versions 1 and 2)
 //!
 //! All multi-byte integers are little-endian; varints are the LEB128
 //! encoding from [`qc_store::wire`].
@@ -15,9 +15,10 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  = b"QCDG"
-//! 4       2     version = 1            (u16 LE)
+//! 4       2     version = 1 or 2       (u16 LE)
 //! 6       2     flags   = 0            (u16 LE, reserved — must be zero)
-//! 8       var   record count `n`       (varint)
+//! 8       8     sequence number        (u64 LE — version 2 only)
+//! ·       var   record count `n`       (varint)
 //! ·             n records, each:
 //!                 var  key length in bytes (varint)
 //!                 ·    key (UTF-8)
@@ -25,6 +26,13 @@
 //!                 8*m  value bits          (f64::to_bits, u64 LE each)
 //! end-4   4     CRC-32 (IEEE)          (u32 LE, over all preceding bytes)
 //! ```
+//!
+//! Version 2 adds a per-sender sequence number directly after the fixed
+//! header, so a receiver can attribute silent kernel-buffer drops to the
+//! gap between consecutive datagrams from one peer — [`peek_seq`] reads
+//! it in O(1) without decoding the body. Version 1 datagrams (no
+//! sequence) still decode; senders opt in with
+//! [`DatagramBuilder::with_seq`].
 //!
 //! Values travel as raw `f64` bit patterns (not deltas): ingest batches
 //! are unsorted measurement streams, so there is no ordered-bit locality
@@ -38,11 +46,14 @@ use qc_store::wire::{crc32, get_varint, put_varint, WireError};
 /// First four bytes of every ingest datagram.
 pub const MAGIC: [u8; 4] = *b"QCDG";
 
-/// The datagram version this module encodes (and the highest it decodes).
-pub const VERSION: u16 = 1;
+/// The highest datagram version this module encodes and decodes.
+pub const VERSION: u16 = 2;
 
 /// Fixed header length in bytes (magic + version + flags).
 pub const HEADER_LEN: usize = 8;
+
+/// Length of the version-2 sequence number field.
+pub const SEQ_LEN: usize = 8;
 
 /// Trailing checksum length in bytes.
 pub const CHECKSUM_LEN: usize = 4;
@@ -177,14 +188,33 @@ pub struct DatagramBuilder {
     body: Vec<u8>,
     records: u64,
     max_len: usize,
+    /// `Some`: stamp each finished datagram with this sequence number and
+    /// advance it (version-2 wire format); `None`: version 1, no sequence.
+    seq: Option<u64>,
 }
 
 impl DatagramBuilder {
     /// A builder whose finished datagrams never exceed `max_len` bytes
     /// (clamped to at least one minimal record's worth of framing).
     pub fn new(max_len: usize) -> Self {
-        let floor = HEADER_LEN + 1 + MIN_RECORD_LEN + CHECKSUM_LEN;
-        DatagramBuilder { body: Vec::new(), records: 0, max_len: max_len.max(floor) }
+        let floor = HEADER_LEN + SEQ_LEN + 1 + MIN_RECORD_LEN + CHECKSUM_LEN;
+        DatagramBuilder { body: Vec::new(), records: 0, max_len: max_len.max(floor), seq: None }
+    }
+
+    /// A sequence-numbered builder: each finished datagram carries the
+    /// next consecutive sequence starting at `start_seq`, so the receiver
+    /// can attribute drops. The 8-byte sequence field counts against the
+    /// size budget.
+    pub fn with_seq(max_len: usize, start_seq: u64) -> Self {
+        let mut b = Self::new(max_len);
+        b.seq = Some(start_seq);
+        b
+    }
+
+    /// The sequence number the next finished datagram will carry
+    /// (`None` for a version-1 builder).
+    pub fn next_seq(&self) -> Option<u64> {
+        self.seq
     }
 
     /// Number of records pushed since the last `finish`.
@@ -197,9 +227,17 @@ impl DatagramBuilder {
         self.records == 0
     }
 
+    fn seq_overhead(&self) -> usize {
+        if self.seq.is_some() {
+            SEQ_LEN
+        } else {
+            0
+        }
+    }
+
     /// Bytes the datagram would occupy if finished now.
     pub fn encoded_len(&self) -> usize {
-        HEADER_LEN + varint_len(self.records) + self.body.len() + CHECKSUM_LEN
+        HEADER_LEN + self.seq_overhead() + varint_len(self.records) + self.body.len() + CHECKSUM_LEN
     }
 
     /// Append one record if it fits in the remaining budget. Returns
@@ -213,8 +251,12 @@ impl DatagramBuilder {
             + key.len()
             + varint_len(values.len() as u64)
             + 8 * values.len();
-        let total =
-            HEADER_LEN + varint_len(self.records + 1) + self.body.len() + record_len + CHECKSUM_LEN;
+        let total = HEADER_LEN
+            + self.seq_overhead()
+            + varint_len(self.records + 1)
+            + self.body.len()
+            + record_len
+            + CHECKSUM_LEN;
         if total > self.max_len {
             return false;
         }
@@ -236,8 +278,13 @@ impl DatagramBuilder {
         }
         let mut out = Vec::with_capacity(self.encoded_len());
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        let version: u16 = if self.seq.is_some() { 2 } else { 1 };
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&0u16.to_le_bytes());
+        if let Some(seq) = &mut self.seq {
+            out.extend_from_slice(&seq.to_le_bytes());
+            *seq = seq.wrapping_add(1);
+        }
         put_varint(&mut out, self.records);
         out.extend_from_slice(&self.body);
         let crc = crc32(&out);
@@ -248,14 +295,28 @@ impl DatagramBuilder {
     }
 }
 
-/// Encode a record batch as one datagram, without a size budget. For
-/// tests, benches, and callers that bound their batches themselves;
-/// senders packing to the wire limit want [`DatagramBuilder`].
+/// Encode a record batch as one version-1 (unsequenced) datagram, without
+/// a size budget. For tests, benches, and callers that bound their
+/// batches themselves; senders packing to the wire limit want
+/// [`DatagramBuilder`].
 pub fn encode_datagram(records: &[Record]) -> Vec<u8> {
+    encode_datagram_impl(records, None)
+}
+
+/// Encode a record batch as one version-2 datagram carrying `seq`.
+pub fn encode_datagram_seq(records: &[Record], seq: u64) -> Vec<u8> {
+    encode_datagram_impl(records, Some(seq))
+}
+
+fn encode_datagram_impl(records: &[Record], seq: Option<u64>) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    let version: u16 = if seq.is_some() { 2 } else { 1 };
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&0u16.to_le_bytes());
+    if let Some(seq) = seq {
+        out.extend_from_slice(&seq.to_le_bytes());
+    }
     put_varint(&mut out, records.len() as u64);
     for rec in records {
         put_varint(&mut out, rec.key.len() as u64);
@@ -285,12 +346,18 @@ pub fn decode_datagram(buf: &[u8]) -> Result<Vec<Record>, DatagramError> {
         return Err(DatagramError::BadMagic { found: magic });
     }
     let version = u16::from_le_bytes([buf[4], buf[5]]);
-    if version > VERSION {
+    if version == 0 || version > VERSION {
         return Err(DatagramError::UnsupportedVersion { found: version, supported: VERSION });
     }
     let flags = u16::from_le_bytes([buf[6], buf[7]]);
     if flags != 0 {
         return Err(DatagramError::ReservedFlags { found: flags });
+    }
+    // Version 2 carries an 8-byte sequence number before the record count.
+    let seq_len = if version >= 2 { SEQ_LEN } else { 0 };
+    let min = HEADER_LEN + seq_len + 1 + CHECKSUM_LEN;
+    if buf.len() < min {
+        return Err(DatagramError::Truncated { needed: min, have: buf.len() });
     }
     // CRC before structure: corruption anywhere in the packet surfaces as
     // one typed error instead of whichever parse step it happens to break.
@@ -302,7 +369,7 @@ pub fn decode_datagram(buf: &[u8]) -> Result<Vec<Record>, DatagramError> {
         return Err(DatagramError::ChecksumMismatch { stored, computed });
     }
     let payload = &buf[..crc_at];
-    let mut pos = HEADER_LEN;
+    let mut pos = HEADER_LEN + seq_len;
     let count_at = pos;
     let count = read_varint(payload, &mut pos)?;
     // A record occupies at least MIN_RECORD_LEN bytes, so a count claim
@@ -354,6 +421,25 @@ pub fn decode_datagram(buf: &[u8]) -> Result<Vec<Record>, DatagramError> {
         return Err(DatagramError::TrailingBytes { extra: payload.len() - pos });
     }
     Ok(records)
+}
+
+/// Read a version-2 datagram's sequence number in O(1), without decoding
+/// (or CRC-checking) the body. `None` for version-1 datagrams, short
+/// buffers, or wrong magic — callers treat those as "no sequence", the
+/// same as a legacy sender. Corrupt sequenced datagrams may still yield a
+/// sequence here and then fail full decoding; the receiver counts them as
+/// delivered-but-rejected, which is what drop attribution wants.
+pub fn peek_seq(buf: &[u8]) -> Option<u64> {
+    if buf.len() < HEADER_LEN + SEQ_LEN + CHECKSUM_LEN || buf[0..4] != MAGIC {
+        return None;
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version < 2 {
+        return None;
+    }
+    let mut bits = [0u8; 8];
+    bits.copy_from_slice(&buf[HEADER_LEN..HEADER_LEN + SEQ_LEN]);
+    Some(u64::from_le_bytes(bits))
 }
 
 /// Encoded length of `v` as a varint.
@@ -409,6 +495,79 @@ mod tests {
         assert_eq!(bytes, encode_datagram(&pushed));
         assert!(builder.is_empty(), "finish resets the builder");
         assert!(builder.finish().is_none());
+    }
+
+    #[test]
+    fn sequenced_builder_stamps_and_advances() {
+        let mut builder = DatagramBuilder::with_seq(512, 41);
+        assert_eq!(builder.next_seq(), Some(41));
+        assert!(builder.push("k", &[1.0, 2.0]));
+        let first = builder.finish().expect("finish");
+        assert_eq!(peek_seq(&first), Some(41));
+        assert_eq!(builder.next_seq(), Some(42));
+        assert_eq!(
+            first,
+            encode_datagram_seq(&[Record { key: "k".into(), values: vec![1.0, 2.0] }], 41)
+        );
+        let back = decode_datagram(&first).expect("v2 decodes");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].key, "k");
+
+        assert!(builder.push("k", &[3.0]));
+        let second = builder.finish().expect("finish again");
+        assert_eq!(peek_seq(&second), Some(42), "seq advances per datagram");
+    }
+
+    #[test]
+    fn sequenced_builder_respects_budget() {
+        let max = 256;
+        let mut builder = DatagramBuilder::with_seq(max, 0);
+        let values = [1.0f64, 2.0, 3.0];
+        let mut i = 0;
+        while builder.push(&format!("key-{i}"), &values) {
+            i += 1;
+        }
+        assert!(i > 0);
+        let bytes = builder.finish().expect("non-empty");
+        assert!(bytes.len() <= max, "sequenced datagram within budget: {}", bytes.len());
+    }
+
+    #[test]
+    fn peek_seq_is_none_for_v1_and_garbage() {
+        let v1 = encode_datagram(&[Record { key: "k".into(), values: vec![1.0] }]);
+        assert_eq!(peek_seq(&v1), None);
+        assert_eq!(peek_seq(b"QCDG"), None);
+        assert_eq!(peek_seq(b"nope-nope-nope-nope-nope"), None);
+        assert_eq!(peek_seq(&[]), None);
+    }
+
+    #[test]
+    fn v1_datagrams_still_decode() {
+        // A frozen byte image of the v1 layout (legacy sender): decoding
+        // must keep working even though the encoder has moved to v2.
+        let records = [Record { key: "legacy".into(), values: vec![7.5] }];
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, 6);
+        buf.extend_from_slice(b"legacy");
+        put_varint(&mut buf, 1);
+        buf.extend_from_slice(&7.5f64.to_bits().to_le_bytes());
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        let back = decode_datagram(&buf).expect("v1 decodes");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], records[0]);
+    }
+
+    #[test]
+    fn truncated_v2_header_is_typed() {
+        let full = encode_datagram_seq(&[Record { key: "k".into(), values: vec![] }], 9);
+        // Cut inside the sequence field: shorter than any valid v2 frame.
+        let cut = &full[..HEADER_LEN + 3];
+        assert!(matches!(decode_datagram(cut), Err(DatagramError::Truncated { .. })));
     }
 
     #[test]

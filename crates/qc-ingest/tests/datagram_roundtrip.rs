@@ -8,8 +8,8 @@
 
 use proptest::prelude::*;
 use qc_ingest::datagram::{
-    decode_datagram, encode_datagram, DatagramBuilder, DatagramError, Record, CHECKSUM_LEN,
-    HEADER_LEN, MAGIC, MAX_DATAGRAM_LEN, VERSION,
+    decode_datagram, encode_datagram, encode_datagram_seq, peek_seq, DatagramBuilder,
+    DatagramError, Record, CHECKSUM_LEN, HEADER_LEN, MAGIC, MAX_DATAGRAM_LEN, SEQ_LEN, VERSION,
 };
 use qc_store::wire::{crc32, put_varint};
 
@@ -46,10 +46,11 @@ fn same_records(a: &[Record], b: &[Record]) -> bool {
 /// valid) around an arbitrary payload — isolates the record parser from
 /// the envelope checks.
 fn enveloped(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    let mut out = Vec::with_capacity(HEADER_LEN + SEQ_LEN + payload.len() + CHECKSUM_LEN);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes()); // v2 sequence number
     out.extend_from_slice(payload);
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
@@ -65,6 +66,23 @@ proptest! {
         prop_assert!(bytes.len() <= MAX_DATAGRAM_LEN);
         let back = decode_datagram(&bytes).unwrap();
         prop_assert!(same_records(&records, &back), "{records:?} != {back:?}");
+    }
+
+    #[test]
+    fn sequenced_roundtrip_is_bit_exact_identity(records in records_strategy(), seq in any::<u64>()) {
+        let bytes = encode_datagram_seq(&records, seq);
+        prop_assert!(bytes.len() <= MAX_DATAGRAM_LEN);
+        prop_assert_eq!(peek_seq(&bytes), Some(seq));
+        let back = decode_datagram(&bytes).unwrap();
+        prop_assert!(same_records(&records, &back), "{records:?} != {back:?}");
+    }
+
+    #[test]
+    fn sequenced_bit_flips_are_always_detected(records in records_strategy(), seq in any::<u64>(), pos in 0.0f64..1.0, bit in 0u32..8) {
+        let mut bytes = encode_datagram_seq(&records, seq);
+        let idx = ((bytes.len() - 1) as f64 * pos) as usize;
+        bytes[idx] ^= 1 << bit;
+        prop_assert!(decode_datagram(&bytes).is_err());
     }
 
     #[test]

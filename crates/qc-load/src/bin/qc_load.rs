@@ -24,6 +24,7 @@
 //! | `--values N` | 32 | values per record |
 //! | `--records N` | 4 | records per datagram |
 //! | `--rate N` | unthrottled | offered datagrams/s across all writers |
+//! | `--range-every N` | 0 (off) | every Nth querier op is a time-range query |
 //! | `--duration-ms N` | 2000 | generation phase length |
 //! | `--seed N` | 0x10AD | workload seed |
 //! | `--queue N` | 1024 | (self-host) daemon queue capacity |
@@ -63,6 +64,7 @@ fn main() {
             "--values" => cfg.values_per_record = parse(&value("--values")),
             "--records" => cfg.records_per_datagram = parse(&value("--records")),
             "--rate" => cfg.rate_datagrams_per_sec = Some(parse(&value("--rate"))),
+            "--range-every" => cfg.range_query_every = parse(&value("--range-every")),
             "--duration-ms" => {
                 cfg.duration = Duration::from_millis(parse(&value("--duration-ms")));
             }
@@ -75,8 +77,8 @@ fn main() {
                 eprintln!("flags: --self-host | --udp ADDR [--tcp ADDR]");
                 eprintln!(
                     "       --writers N --queriers N --keys N --values N --records N \
-                     --rate N --duration-ms N --seed N --queue N --processors N \
-                     --context STR --out PATH"
+                     --rate N --range-every N --duration-ms N --seed N --queue N \
+                     --processors N --context STR --out PATH"
                 );
                 return;
             }

@@ -71,6 +71,12 @@ pub struct DaemonCounters {
     pub dropped_oversized: u64,
     /// Circuit-open transitions during the run.
     pub circuit_opens: u64,
+    /// Total sequence gap observed across sequenced peers (datagrams
+    /// shipped but never received, plus provisional reorderings).
+    pub seq_gaps: u64,
+    /// Sequenced datagrams that arrived below the expected sequence —
+    /// each converts one provisional gap back into a reordering.
+    pub seq_reordered: u64,
 }
 
 impl DaemonCounters {
@@ -90,7 +96,7 @@ impl DaemonCounters {
                 "{{\"received\": {}, \"applied_datagrams\": {}, \"applied_records\": {}, ",
                 "\"applied_values\": {}, \"dropped_queue\": {}, \"shed\": {}, ",
                 "\"dropped_decode\": {}, \"dropped_oversized\": {}, \"circuit_opens\": {}, ",
-                "\"conserved\": {}}}"
+                "\"seq_gaps\": {}, \"seq_reordered\": {}, \"conserved\": {}}}"
             ),
             self.received,
             self.applied_datagrams,
@@ -101,6 +107,8 @@ impl DaemonCounters {
             self.dropped_decode,
             self.dropped_oversized,
             self.circuit_opens,
+            self.seq_gaps,
+            self.seq_reordered,
             self.conserved()
         )
     }
@@ -137,8 +145,10 @@ pub struct LoadReport {
     pub achieved_datagram_rate: f64,
     /// Achieved value (weight) rate over the run.
     pub achieved_value_rate: f64,
-    /// TCP queries issued.
+    /// TCP queries issued (plain and range combined).
     pub queries_sent: u64,
+    /// Subset of `queries_sent` issued as time-range queries.
+    pub range_queries_sent: u64,
     /// TCP query failures.
     pub query_errors: u64,
     /// Achieved query rate over the run.
@@ -154,6 +164,12 @@ pub struct LoadReport {
     /// drops: `datagrams_sent − daemon.received`). UDP is allowed to do
     /// this; the daemon's own accounting stays exact regardless.
     pub kernel_dropped: Option<u64>,
+    /// The daemon's own attribution of pre-socket loss, computed from the
+    /// writers' sequence numbers: `seq_gaps − seq_reordered`. Unlike
+    /// `kernel_dropped` this needs no sender-side totals — a receiver
+    /// alone can produce it — and the two agree at quiescence when every
+    /// sender was sequenced.
+    pub kernel_dropped_attributed: Option<u64>,
     /// Store `updates` counter delta across the run, when fetchable.
     pub store_updates: Option<u64>,
     /// CPUs visible to this process — the standing caveat: single-core
@@ -189,8 +205,8 @@ impl LoadReport {
             num(self.achieved_query_rate)
         ));
         out.push_str(&format!(
-            "  \"queries\": {{\"sent\": {}, \"errors\": {}}},\n",
-            self.queries_sent, self.query_errors
+            "  \"queries\": {{\"sent\": {}, \"range\": {}, \"errors\": {}}},\n",
+            self.queries_sent, self.range_queries_sent, self.query_errors
         ));
         out.push_str(&format!("  \"send_latency\": {},\n", self.send_latency.json()));
         out.push_str(&format!(
@@ -208,6 +224,10 @@ impl LoadReport {
             }
         ));
         out.push_str(&format!("  \"kernel_dropped\": {},\n", opt_u64(self.kernel_dropped)));
+        out.push_str(&format!(
+            "  \"kernel_dropped_attributed\": {},\n",
+            opt_u64(self.kernel_dropped_attributed)
+        ));
         out.push_str(&format!("  \"store_updates\": {},\n", opt_u64(self.store_updates)));
         out.push_str(&format!("  \"cpus\": {},\n", self.cpus));
         out.push_str(&format!(

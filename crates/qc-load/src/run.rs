@@ -56,6 +56,10 @@ pub struct LoadConfig {
     /// Total offered datagram rate across all writers; `None` offers as
     /// fast as the writers can send.
     pub rate_datagrams_per_sec: Option<f64>,
+    /// Every Nth querier operation becomes a time-range query
+    /// (`query_range` over the full event-time span) instead of a plain
+    /// quantile query; `0` disables range queries.
+    pub range_query_every: usize,
     /// Generation-phase duration.
     pub duration: Duration,
     /// Deterministic workload seed.
@@ -77,6 +81,7 @@ impl Default for LoadConfig {
             records_per_datagram: 4,
             datagram_budget: 1400,
             rate_datagrams_per_sec: None,
+            range_query_every: 0,
             duration: Duration::from_secs(2),
             seed: 0x10AD,
             context: String::new(),
@@ -94,6 +99,7 @@ struct WriterOutcome {
 
 struct QuerierOutcome {
     queries: u64,
+    range_queries: u64,
     errors: u64,
     latency: Sketch<f64>,
 }
@@ -168,6 +174,7 @@ pub fn run(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     let mut query_sketch: Option<Sketch<f64>> = None;
     for q in &querier_outcomes {
         report.queries_sent += q.queries;
+        report.range_queries_sent += q.range_queries;
         report.query_errors += q.errors;
         match &mut query_sketch {
             Some(sketch) => sketch.merge_from(&q.latency),
@@ -185,6 +192,8 @@ pub fn run(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         let mut client = Client::connect(tcp_addr)?;
         let daemon = settle(&mut client)?;
         report.kernel_dropped = Some(report.datagrams_sent.saturating_sub(daemon.received));
+        report.kernel_dropped_attributed =
+            Some(daemon.seq_gaps.saturating_sub(daemon.seq_reordered));
         report.daemon = Some(daemon);
         let after = client.metrics().map_err(client_err)?.counter("store_updates");
         report.store_updates = match (store_updates_before, after) {
@@ -215,7 +224,10 @@ fn writer_loop(
         cfg.seed ^ (worker as u64).wrapping_mul(0x9E3779B97F4A7C15),
     );
     let mut latency = Sketch::<f64>::with_seed(256, cfg.seed ^ 0xA5A5 ^ worker as u64);
-    let mut builder = DatagramBuilder::new(cfg.datagram_budget);
+    // Sequenced (v2) datagrams: each writer socket is its own peer to the
+    // daemon, so per-socket sequences starting at 0 give the receiver
+    // exact per-peer gap accounting.
+    let mut builder = DatagramBuilder::with_seq(cfg.datagram_budget, 0);
     let mut outcome = WriterOutcome {
         datagrams: 0,
         records: 0,
@@ -282,16 +294,32 @@ fn querier_loop(
     const PHIS: [f64; 3] = [0.5, 0.99, 0.999];
     let mut client = Client::connect(tcp_addr)?;
     let mut latency = Sketch::<f64>::with_seed(256, cfg.seed ^ 0x5A5A ^ worker as u64);
-    let mut outcome = QuerierOutcome { queries: 0, errors: 0, latency: Sketch::with_seed(256, 0) };
+    let mut outcome = QuerierOutcome {
+        queries: 0,
+        range_queries: 0,
+        errors: 0,
+        latency: Sketch::with_seed(256, 0),
+    };
     let mut i = worker;
+    let mut ops = 0usize;
     while Instant::now() < deadline {
         let key = &keys[i % keys.len()];
         let phi = PHIS[i % PHIS.len()];
         i = i.wrapping_add(1);
+        ops = ops.wrapping_add(1);
+        // Every Nth op exercises the windowed read path over the full
+        // event-time span (an unwindowed server answers it as a plain
+        // quantile query, so the mix is valid against either).
+        let range = cfg.range_query_every > 0 && ops.is_multiple_of(cfg.range_query_every);
         let t0 = Instant::now();
-        match client.query(key, phi) {
+        let result =
+            if range { client.query_range(key, 0, u64::MAX, phi) } else { client.query(key, phi) };
+        match result {
             Ok(_) => {
                 outcome.queries += 1;
+                if range {
+                    outcome.range_queries += 1;
+                }
                 latency.update(t0.elapsed().as_secs_f64());
             }
             Err(_) => outcome.errors += 1,
@@ -320,6 +348,8 @@ fn settle(client: &mut Client) -> std::io::Result<DaemonCounters> {
             dropped_decode: counter("ingest_dropped_decode"),
             dropped_oversized: counter("ingest_dropped_oversized"),
             circuit_opens: counter("ingest_circuit_opens"),
+            seq_gaps: counter("ingest_seq_gaps"),
+            seq_reordered: counter("ingest_seq_reordered"),
         };
         let depth = snap.gauge("ingest_queue_depth").unwrap_or(0);
         if depth == 0 && last.conserved() {

@@ -53,13 +53,6 @@ impl<T: OrderedBits> Sketch<T> {
         self.inner.quantile_bits(phi).map(T::from_ordered_bits)
     }
 
-    /// Estimate the rank of `x` (number of stream elements `< x`).
-    #[deprecated(note = "ambiguous name: use `QuantileEstimator::rank_weight` (absolute) or \
-                         `QuantileEstimator::rank_fraction` (normalized) instead")]
-    pub fn rank(&self, x: T) -> u64 {
-        self.inner.rank_bits(x.to_ordered_bits())
-    }
-
     /// Estimated CDF at the given split points.
     pub fn cdf(&self, split_points: &[T]) -> Vec<f64> {
         let bits: Vec<u64> = split_points.iter().map(|x| x.to_ordered_bits()).collect();

@@ -7,20 +7,39 @@
 //! no destructor, no flush, no goodbye. Everything the parent can then
 //! recover must have come through the write-ahead log's fsyncs.
 //!
-//! Usage: `crash_server <data_dir> <ready_file> [cool_down_ms]`
+//! Usage: `crash_server <data_dir> <ready_file> [cool_down_ms] [windowed]`
+//!
+//! The literal argument `windowed` switches the store to one-second
+//! time windows (mirrored by `windowed_recover_cfg` in the crash suite —
+//! recovery must be configured like the store that wrote the log).
 
 use std::time::Duration;
 
 use qc_server::{Server, ServerConfig};
+use qc_store::{StoreConfig, WindowConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let usage = "usage: crash_server <data_dir> <ready_file> [cool_down_ms]";
+    let usage = "usage: crash_server <data_dir> <ready_file> [cool_down_ms] [windowed]";
     let data_dir = args.next().expect(usage);
     let ready_file = args.next().expect(usage);
-    let cool_down_ms: Option<u64> = args.next().map(|s| s.parse().expect("cool_down_ms: u64"));
+    let mut cool_down_ms: Option<u64> = None;
+    let mut windowed = false;
+    for arg in args {
+        if arg == "windowed" {
+            windowed = true;
+        } else {
+            cool_down_ms = Some(arg.parse().expect("cool_down_ms: u64"));
+        }
+    }
 
+    let store = if windowed {
+        StoreConfig::default().window(WindowConfig::default().width(Duration::from_secs(1)))
+    } else {
+        StoreConfig::default()
+    };
     let cfg = ServerConfig {
+        store,
         data_dir: Some(data_dir.into()),
         cool_down_interval: cool_down_ms.map(Duration::from_millis),
         ..Default::default()

@@ -162,9 +162,35 @@ impl Client {
         }
     }
 
+    /// Feed a batch of values stamped at event time `ts_ms` into `key`'s
+    /// stream. On a windowed server the batch lands in the window covering
+    /// `ts_ms` (rolling the active window forward, or taking the late path
+    /// within the lateness bound); an unwindowed server treats this as
+    /// [`Client::update_many`].
+    pub fn update_at(&mut self, key: &str, ts_ms: u64, values: &[f64]) -> Result<(), ClientError> {
+        self.expect_ok(&Request::UpdateAt { key: key.into(), ts: ts_ms, values: values.to_vec() })
+    }
+
     /// φ-quantile estimate for `key` (`None`: absent or empty key).
     pub fn query(&mut self, key: &str, phi: f64) -> Result<Option<f64>, ClientError> {
         match self.call(&Request::Query { key: key.into(), phi })? {
+            Response::MaybeValue(v) => Ok(v),
+            other => unexpected(other, "MaybeValue"),
+        }
+    }
+
+    /// φ-quantile estimate for `key` over event-time range `[t0_ms, t1_ms)`
+    /// (`None`: absent key or no weight in the range). Sealed windows
+    /// overlapping the range contribute whole — window-width granularity,
+    /// exactly like [`qc_store::SketchStore::query_range`].
+    pub fn query_range(
+        &mut self,
+        key: &str,
+        t0_ms: u64,
+        t1_ms: u64,
+        phi: f64,
+    ) -> Result<Option<f64>, ClientError> {
+        match self.call(&Request::QueryRange { key: key.into(), t0: t0_ms, t1: t1_ms, phi })? {
             Response::MaybeValue(v) => Ok(v),
             other => unexpected(other, "MaybeValue"),
         }
@@ -186,6 +212,23 @@ impl Client {
     ) -> Result<Option<f64>, ClientError> {
         let keys = keys.iter().map(|k| k.as_ref().to_owned()).collect();
         match self.call(&Request::MergedQuery { keys, phi })? {
+            Response::MaybeValue(v) => Ok(v),
+            other => unexpected(other, "MaybeValue"),
+        }
+    }
+
+    /// φ-quantile over the union of `keys` restricted to event-time range
+    /// `[t0_ms, t1_ms)` — same window-width granularity as
+    /// [`Client::query_range`], merged across keys server-side.
+    pub fn merged_query_range<K: AsRef<str>>(
+        &mut self,
+        keys: &[K],
+        t0_ms: u64,
+        t1_ms: u64,
+        phi: f64,
+    ) -> Result<Option<f64>, ClientError> {
+        let keys = keys.iter().map(|k| k.as_ref().to_owned()).collect();
+        match self.call(&Request::MergedQueryRange { keys, t0: t0_ms, t1: t1_ms, phi })? {
             Response::MaybeValue(v) => Ok(v),
             other => unexpected(other, "MaybeValue"),
         }

@@ -41,6 +41,9 @@
 //! | `0x09` | [`Request::Snapshot`]    | key                             | `MaybeFrame` |
 //! | `0x0a` | [`Request::Ingest`]      | key, len, summary wire frame    | `Count`    |
 //! | `0x0b` | [`Request::Metrics`]     | —                               | `Metrics`  |
+//! | `0x0c` | [`Request::UpdateAt`]    | key, ts, n, n×value(f64)        | `Ok`       |
+//! | `0x0d` | [`Request::QueryRange`]  | key, t0, t1, φ(f64)             | `MaybeValue` |
+//! | `0x0e` | [`Request::MergedQueryRange`] | n, n×key, t0, t1, φ(f64)   | `MaybeValue` |
 //!
 //! Responses use the high bit: `0x80` `Ok`, `0x81` `MaybeValue`, `0x82`
 //! `Count`, `0x83` `Flag`, `0x84` `Stats`, `0x85` `Keys`, `0x86`
@@ -294,12 +297,47 @@ pub enum Request {
     /// summaries from the store's registry (the server observing itself
     /// with its own sketches).
     Metrics,
+    /// Feed a timestamped batch into the window holding `ts` (event-time
+    /// milliseconds; see `qc_store::window`). On an unwindowed server
+    /// this degrades to [`Request::UpdateMany`].
+    UpdateAt {
+        /// Target stream.
+        key: String,
+        /// Event-time timestamp in milliseconds.
+        ts: u64,
+        /// The observations.
+        values: Vec<f64>,
+    },
+    /// φ-quantile over the event-time range `[t0, t1)` of `key`'s stream
+    /// — one round trip; the server merges the covered windows.
+    QueryRange {
+        /// Target stream.
+        key: String,
+        /// Range start (event-time ms, inclusive).
+        t0: u64,
+        /// Range end (event-time ms, exclusive).
+        t1: u64,
+        /// Quantile in `[0, 1]`.
+        phi: f64,
+    },
+    /// φ-quantile over the union of several keys' streams restricted to
+    /// the event-time range `[t0, t1)`.
+    MergedQueryRange {
+        /// Streams to union; absent keys contribute nothing.
+        keys: Vec<String>,
+        /// Range start (event-time ms, inclusive).
+        t0: u64,
+        /// Range end (event-time ms, exclusive).
+        t1: u64,
+        /// Quantile in `[0, 1]`.
+        phi: f64,
+    },
 }
 
 /// Stable per-opcode labels, indexed by [`Request::op_index`]. These name
 /// the server's per-opcode instruments (`server_requests_{label}`, …), so
 /// they are part of the observable surface: treat them as append-only.
-pub const OP_LABELS: [&str; 11] = [
+pub const OP_LABELS: [&str; 14] = [
     "update",
     "update_many",
     "query",
@@ -311,6 +349,9 @@ pub const OP_LABELS: [&str; 11] = [
     "snapshot",
     "ingest",
     "metrics",
+    "update_at",
+    "query_range",
+    "merged_query_range",
 ];
 
 /// Responses the server sends; see the module-level catalogue for which
@@ -459,6 +500,9 @@ impl Request {
             Request::Snapshot { .. } => 8,
             Request::Ingest { .. } => 9,
             Request::Metrics => 10,
+            Request::UpdateAt { .. } => 11,
+            Request::QueryRange { .. } => 12,
+            Request::MergedQueryRange { .. } => 13,
         }
     }
 
@@ -520,6 +564,33 @@ impl Request {
                 put_bytes(&mut out, frame);
             }
             Request::Metrics => out.push(0x0b),
+            Request::UpdateAt { key, ts, values } => {
+                out.push(0x0c);
+                put_str(&mut out, key);
+                put_varint(&mut out, *ts);
+                put_varint(&mut out, values.len() as u64);
+                out.reserve(values.len() * 8);
+                for &v in values {
+                    put_f64(&mut out, v);
+                }
+            }
+            Request::QueryRange { key, t0, t1, phi } => {
+                out.push(0x0d);
+                put_str(&mut out, key);
+                put_varint(&mut out, *t0);
+                put_varint(&mut out, *t1);
+                put_f64(&mut out, *phi);
+            }
+            Request::MergedQueryRange { keys, t0, t1, phi } => {
+                out.push(0x0e);
+                put_varint(&mut out, keys.len() as u64);
+                for key in keys {
+                    put_str(&mut out, key);
+                }
+                put_varint(&mut out, *t0);
+                put_varint(&mut out, *t1);
+                put_f64(&mut out, *phi);
+            }
         }
         out
     }
@@ -574,6 +645,35 @@ impl Request {
                 Request::Ingest { key, frame }
             }
             0x0b => Request::Metrics,
+            0x0c => {
+                let key = get_str(body, &mut pos)?;
+                let ts = varint(body, &mut pos)?;
+                let n = bounded_count(body, &mut pos, 8)?;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(get_f64(body, &mut pos)?);
+                }
+                Request::UpdateAt { key, ts, values }
+            }
+            0x0d => {
+                let key = get_str(body, &mut pos)?;
+                let t0 = varint(body, &mut pos)?;
+                let t1 = varint(body, &mut pos)?;
+                let phi = get_f64(body, &mut pos)?;
+                Request::QueryRange { key, t0, t1, phi }
+            }
+            0x0e => {
+                // Each key costs at least one length byte.
+                let n = bounded_count(body, &mut pos, 1)?;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(get_str(body, &mut pos)?);
+                }
+                let t0 = varint(body, &mut pos)?;
+                let t1 = varint(body, &mut pos)?;
+                let phi = get_f64(body, &mut pos)?;
+                Request::MergedQueryRange { keys, t0, t1, phi }
+            }
             found => return Err(ProtoError::UnknownOpcode { found }),
         };
         check_done(body, pos)?;
@@ -851,6 +951,14 @@ mod tests {
             Request::Snapshot { key: "k".into() },
             Request::Ingest { key: "k".into(), frame: vec![1, 2, 3] },
             Request::Metrics,
+            Request::UpdateAt { key: "k".into(), ts: u64::MAX, values: vec![1.0, f64::NAN] },
+            Request::QueryRange { key: "k".into(), t0: 0, t1: u64::MAX, phi: 0.5 },
+            Request::MergedQueryRange {
+                keys: vec!["a".into(), "b".into()],
+                t0: 60_000,
+                t1: 120_000,
+                phi: 0.99,
+            },
         ];
         for req in reqs {
             let body = req.encode();
@@ -955,6 +1063,9 @@ mod tests {
             Request::Snapshot { key: String::new() },
             Request::Ingest { key: String::new(), frame: vec![] },
             Request::Metrics,
+            Request::UpdateAt { key: String::new(), ts: 0, values: vec![] },
+            Request::QueryRange { key: String::new(), t0: 0, t1: 0, phi: 0.5 },
+            Request::MergedQueryRange { keys: vec![], t0: 0, t1: 0, phi: 0.5 },
         ];
         assert_eq!(reqs.len(), OP_LABELS.len());
         for (i, req) in reqs.iter().enumerate() {

@@ -787,5 +787,18 @@ fn execute(
             Err(e) => Response::Error { code: ErrorCode::Wire, message: e.to_string() },
         },
         Request::Metrics => Response::Metrics(store.telemetry_snapshot()),
+        Request::UpdateAt { key, ts, values } => {
+            // Timestamped writes take the store path directly: a window
+            // roll retires leases anyway, and on an unwindowed store this
+            // is plain `update_many`.
+            store.update_at(&key, ts, &values);
+            Response::Ok
+        }
+        Request::QueryRange { key, t0, t1, phi } => {
+            Response::MaybeValue(store.query_range(&key, t0, t1, phi))
+        }
+        Request::MergedQueryRange { keys, t0, t1, phi } => {
+            Response::MaybeValue(store.merged_query_range(&keys, t0, t1, phi))
+        }
     }
 }

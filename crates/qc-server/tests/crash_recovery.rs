@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use qc_common::Summary;
 use qc_server::Client;
 use qc_store::persist::{parse_checkpoint, parse_segment, RecordOp};
-use qc_store::{SketchStore, StoreConfig};
+use qc_store::{encode_summary, SketchStore, StoreConfig, WindowConfig};
 use qc_workloads::tempdir::TempDir;
 
 const WRITERS: usize = 4;
@@ -33,12 +33,16 @@ fn spawn_server(
     scratch: &TempDir,
     tag: &str,
     cool_down_ms: Option<u64>,
+    windowed: bool,
 ) -> (Child, std::net::SocketAddr) {
     let ready = scratch.path().join(format!("addr-{tag}"));
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_crash_server"));
     cmd.arg(data_dir).arg(&ready).stdout(Stdio::null()).stderr(Stdio::inherit());
     if let Some(ms) = cool_down_ms {
         cmd.arg(ms.to_string());
+    }
+    if windowed {
+        cmd.arg("windowed");
     }
     let child = cmd.spawn().expect("spawn crash_server");
     let deadline = Instant::now() + Duration::from_secs(30);
@@ -76,8 +80,13 @@ fn durable_weights(dir: &Path) -> HashMap<String, u64> {
         let entries = parse_checkpoint(&std::fs::read(dir.join(newest)).unwrap())
             .expect("surviving checkpoint must be valid (pruning runs only after fsync)");
         for entry in entries {
-            let summary = qc_store::decode_summary(&entry.summary).unwrap();
-            weights.insert(entry.key.clone(), summary.stream_len());
+            // A key's checkpointed weight is its active summary plus
+            // every sealed window frame (zero of them when unwindowed).
+            let mut weight = qc_store::decode_summary(&entry.summary).unwrap().stream_len();
+            for (_, _, frame) in &entry.sealed {
+                weight += qc_store::decode_summary(frame).unwrap().stream_len();
+            }
+            weights.insert(entry.key.clone(), weight);
             floors.insert(entry.key, entry.lsn);
         }
         Some(newest.trim_end_matches(".ck").trim_start_matches("ckpt-").to_string())
@@ -104,7 +113,7 @@ fn durable_weights(dir: &Path) -> HashMap<String, u64> {
                 continue;
             }
             match &parsed.record.op {
-                RecordOp::UpdateMany { key, value_bits } => {
+                RecordOp::UpdateMany { key, value_bits, window: _ } => {
                     *weights.entry(key.clone()).or_insert(0) += value_bits.len() as u64;
                 }
                 RecordOp::Ingest { key, frame } => {
@@ -169,7 +178,7 @@ fn crash_cycle(
     cool_down_ms: Option<u64>,
 ) -> (Vec<u64>, HashMap<String, u64>) {
     let tag = cool_down_ms.map_or_else(|| "plain".to_string(), |ms| format!("ckpt{ms}"));
-    let (mut child, addr) = spawn_server(data_dir, scratch, &tag, cool_down_ms);
+    let (mut child, addr) = spawn_server(data_dir, scratch, &tag, cool_down_ms, false);
     let acks = write_storm_until_killed(addr, &mut child);
     let durable = durable_weights(data_dir);
     (acks, durable)
@@ -226,7 +235,7 @@ fn kill9_mid_storm_conserves_every_fsynced_frame() {
     assert_conservation(&acks, &durable, data.path());
 
     // Restart a server on the crashed directory: recovery end-to-end.
-    let (mut child, addr) = spawn_server(data.path(), &scratch, "restarted", None);
+    let (mut child, addr) = spawn_server(data.path(), &scratch, "restarted", None, false);
     let mut client = Client::connect(addr).expect("connect to restarted server");
     let total: u64 = durable.values().sum();
     let stats = client.stats().expect("stats");
@@ -238,6 +247,94 @@ fn kill9_mid_storm_conserves_every_fsynced_frame() {
 
     let after = durable_weights(data.path());
     assert_eq!(after.get("post-crash").copied(), Some(3), "post-restart writes are logged");
+}
+
+/// Mirror of the `windowed` store the crash server builds — recovery must
+/// be configured like the store that wrote the log.
+fn windowed_recover_cfg(dir: &Path) -> StoreConfig {
+    StoreConfig::default()
+        .window(WindowConfig::default().width(Duration::from_secs(1)))
+        .data_dir(dir)
+}
+
+/// The windowed storm: like [`write_storm_until_killed`], but every batch
+/// is timestamped one window later than the last, so the kill lands amid
+/// live window rolls and seals, not just appends.
+fn windowed_storm_until_killed(addr: std::net::SocketAddr, child: &mut Child) -> Vec<u64> {
+    let acked: Vec<AtomicU64> = (0..WRITERS).map(|_| AtomicU64::new(0)).collect();
+    std::thread::scope(|scope| {
+        for (t, acks) in acked.iter().enumerate() {
+            scope.spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else { return };
+                let key = format!("storm-{t}");
+                for round in 0u64.. {
+                    let base = (round * BATCH as u64) as f64;
+                    let batch: Vec<f64> = (0..BATCH).map(|i| base + i as f64).collect();
+                    // One second per round: each batch opens a new window
+                    // and seals the previous one.
+                    if client.update_at(&key, round * 1000, &batch).is_err() {
+                        return;
+                    }
+                    acks.fetch_add(1, Relaxed);
+                }
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while acked.iter().map(|a| a.load(Relaxed)).sum::<u64>() < 40 {
+            assert!(Instant::now() < deadline, "windowed storm never made progress");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        child.kill().expect("SIGKILL crash_server");
+        child.wait().expect("reap crash_server");
+    });
+    acked.into_iter().map(|a| a.into_inner()).collect()
+}
+
+#[test]
+fn kill9_mid_windowed_storm_recovers_byte_identical_windowed_state() {
+    let data = TempDir::new("crash-window");
+    let scratch = TempDir::new("crash-window-scratch");
+    // Housekeeping every 20ms: checkpoints race the seals, so recovery
+    // exercises sealed-window checkpoint frames, not just log replay.
+    let (mut child, addr) = spawn_server(data.path(), &scratch, "windowed", Some(20), true);
+    let acks = windowed_storm_until_killed(addr, &mut child);
+    assert!(acks.iter().sum::<u64>() >= 40, "the storm must have made real progress");
+
+    // The file-arithmetic conservation bound holds unchanged: windowed
+    // records carry the same batches, just tagged with a window id.
+    let durable = durable_weights(data.path());
+    for (t, &acked) in acks.iter().enumerate() {
+        let key = format!("storm-{t}");
+        let weight = durable.get(&key).copied().unwrap_or(0);
+        assert_eq!(weight % BATCH as u64, 0, "{key}: only whole batches are ever durable");
+        assert!(weight >= acked * BATCH as u64, "{key}: an acknowledged batch was lost");
+        assert!(weight <= (acked + 1) * BATCH as u64, "{key}: phantom weight appeared");
+    }
+
+    // Two independent recoveries of the crashed directory must agree on
+    // the *entire* windowed state, byte for byte: same active window and
+    // watermark, same sealed set, identical encoded summaries.
+    let (first, _) = SketchStore::<f64>::recover(windowed_recover_cfg(data.path())).unwrap();
+    let (second, _) = SketchStore::<f64>::recover(windowed_recover_cfg(data.path())).unwrap();
+    let mut keys = first.keys();
+    keys.sort();
+    let mut expected: Vec<String> = durable.keys().cloned().collect();
+    expected.sort();
+    assert_eq!(keys, expected, "recovered key set matches the durable files");
+    for key in &keys {
+        let a = first.window_snapshot(key).expect("windowed key");
+        let b = second.window_snapshot(key).expect("windowed key");
+        assert_eq!(a.active_id, b.active_id, "{key}: active window diverged");
+        assert_eq!(a.watermark, b.watermark, "{key}: watermark diverged");
+        assert_eq!(encode_summary(&a.active), encode_summary(&b.active), "{key}: active bytes");
+        let sealed_a: Vec<(u64, u8, Vec<u8>)> =
+            a.sealed.iter().map(|(s, l, sum)| (*s, *l, encode_summary(sum))).collect();
+        let sealed_b: Vec<(u64, u8, Vec<u8>)> =
+            b.sealed.iter().map(|(s, l, sum)| (*s, *l, encode_summary(sum))).collect();
+        assert_eq!(sealed_a, sealed_b, "{key}: sealed windows diverged");
+        // And the windowed state carries exactly the durable weight.
+        assert_eq!(a.total_weight(), durable[key], "{key}: windowed weight conserved");
+    }
 }
 
 #[test]

@@ -39,6 +39,12 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         (key_strategy(), prop::collection::vec(any::<u8>(), 0..128))
             .prop_map(|(key, frame)| Request::Ingest { key, frame }),
         Just(Request::Metrics),
+        (key_strategy(), any::<u64>(), prop::collection::vec(f64_strategy(), 0..64))
+            .prop_map(|(key, ts, values)| Request::UpdateAt { key, ts, values }),
+        (key_strategy(), any::<u64>(), any::<u64>(), f64_strategy())
+            .prop_map(|(key, t0, t1, phi)| Request::QueryRange { key, t0, t1, phi }),
+        (prop::collection::vec(key_strategy(), 0..8), any::<u64>(), any::<u64>(), f64_strategy())
+            .prop_map(|(keys, t0, t1, phi)| Request::MergedQueryRange { keys, t0, t1, phi }),
     ]
 }
 
@@ -170,7 +176,7 @@ proptest! {
     }
 
     #[test]
-    fn unknown_opcodes_are_typed(op in 0x0cu8..0x80, tail in prop::collection::vec(any::<u8>(), 0..16)) {
+    fn unknown_opcodes_are_typed(op in 0x0fu8..0x80, tail in prop::collection::vec(any::<u8>(), 0..16)) {
         let mut body = vec![op];
         body.extend_from_slice(&tail);
         prop_assert_eq!(Request::decode(&body), Err(ProtoError::UnknownOpcode { found: op }));

@@ -26,7 +26,13 @@
 //! * [`persist`] — the restart-safety layer: an append-only segment log
 //!   of every mutation plus checkpoint compaction, replayed by
 //!   [`store::SketchStore::recover`] with typed, clean-prefix handling
-//!   of torn and corrupt files.
+//!   of torn and corrupt files;
+//! * [`window`] — the time-windowed layer: window-aligned sub-sketches
+//!   per key (active window = live engine, sealed windows = immutable
+//!   summaries), downsampling into coarser windows, retention eviction,
+//!   and the event-time arithmetic behind
+//!   [`store::SketchStore::update_at`] /
+//!   [`store::SketchStore::query_range`].
 //!
 //! ```
 //! use qc_store::{SketchStore, StoreConfig};
@@ -58,6 +64,7 @@ pub mod engine;
 pub mod merge;
 pub mod persist;
 pub mod store;
+pub mod window;
 pub mod wire;
 
 pub use engine::{ConcurrentEngine, SequentialEngine, StoreEngine, Tier, TieredEngine};
@@ -69,4 +76,5 @@ pub use store::{
     SketchStore, StaleLease, StoreConfig, StoreStats, WriterLease, DEFAULT_PROMOTION_THRESHOLD,
     DEFAULT_WRITER_POOL,
 };
+pub use window::{WindowConfig, WindowSnapshot};
 pub use wire::{decode_summary, encode_summary, WireError};

@@ -44,12 +44,25 @@
 //! ```
 //!
 //! Segment bodies: `opcode u8`, `lsn varint`, `key_len varint`, key
-//! bytes, then an opcode-specific payload — `0x01` update batch (`count`
-//! varint + `count` 8-byte LE ordered-bit values), `0x02` ingest (one
-//! [`crate::wire`] summary frame, verbatim), `0x03` remove (empty).
-//! Checkpoint bodies: `0x10` entry (`lsn varint`, `key_len varint`, key,
-//! summary frame) and `0x1f` footer (`entry count` varint), which must be
-//! the final frame — a checkpoint without its footer is rejected whole.
+//! bytes, then an opcode-specific payload — `0x01` update batch
+//! (`window id` varint, `count` varint + `count` 8-byte LE ordered-bit
+//! values), `0x02` ingest (one [`crate::wire`] summary frame, verbatim),
+//! `0x03` remove (empty). Checkpoint bodies: `0x10` entry (`lsn varint`,
+//! `key_len varint`, key, `active window id` varint, `watermark` varint,
+//! `sealed count` varint, then per sealed window `start id` varint +
+//! `level u8` + `frame_len` varint + summary frame, then the active
+//! summary frame to the end of the body) and `0x1f` footer (`entry
+//! count` varint), which must be the final frame — a checkpoint without
+//! its footer is rejected whole.
+//!
+//! # Versioning
+//!
+//! Version 2 (current) added the window id to update-batch bodies and
+//! the windowed fields to checkpoint entries. Version-1 files decode
+//! with every update assigned to **window 0** and checkpoint entries
+//! carrying no sealed windows — exactly the state an unwindowed store
+//! produced, so old logs replay byte-for-byte into the same summaries.
+//! Writers always emit the current version.
 //!
 //! # Durability guarantee
 //!
@@ -72,8 +85,10 @@ pub const SEGMENT_MAGIC: [u8; 4] = *b"QCWL";
 /// First four bytes of every checkpoint file.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"QCCP";
 
-/// On-disk format version for both file kinds.
-pub const PERSIST_VERSION: u16 = 1;
+/// On-disk format version for both file kinds. Version 2 added the
+/// window id to update records and windowed state to checkpoint
+/// entries; version-1 files still decode (into window 0).
+pub const PERSIST_VERSION: u16 = 2;
 
 /// Fixed file header length (magic + version + flags).
 pub const FILE_HEADER_LEN: usize = 8;
@@ -278,6 +293,9 @@ pub enum RecordOp {
         /// The batch, as order-preserving bit embeddings
         /// ([`qc_common::bits::OrderedBits`]).
         value_bits: Vec<u64>,
+        /// Level-0 window id the batch belongs to (`0` for unwindowed
+        /// stores and for records decoded from version-1 files).
+        window: u64,
     },
     /// A remote summary frame ingested into one key.
     Ingest {
@@ -344,7 +362,16 @@ pub struct CheckpointEntry {
     /// The key's last-applied LSN at checkpoint time: replay skips this
     /// key's records with `lsn <=` this value.
     pub lsn: u64,
-    /// The key's summary as a verbatim [`crate::wire`] frame.
+    /// Level-0 id of the key's active window (`0` when unwindowed or
+    /// decoded from a version-1 file).
+    pub active_wid: u64,
+    /// The key's watermark — highest level-0 id seen (`0` when
+    /// unwindowed or version-1).
+    pub watermark: u64,
+    /// Sealed windows as `(start id, level, summary frame)`, ascending
+    /// by start. Empty when unwindowed or version-1.
+    pub sealed: Vec<(u64, u8, Vec<u8>)>,
+    /// The active window's summary as a verbatim [`crate::wire`] frame.
     pub summary: Vec<u8>,
 }
 
@@ -421,7 +448,7 @@ const OP_CKPT_FOOTER: u8 = 0x1f;
 /// A borrowed record for the append path (no allocation beyond the
 /// frame buffer itself).
 pub(crate) enum WalOpRef<'a> {
-    UpdateMany { key: &'a str, value_bits: &'a [u64] },
+    UpdateMany { key: &'a str, value_bits: &'a [u64], window: u64 },
     Ingest { key: &'a str, frame: &'a [u8] },
     Remove { key: &'a str },
 }
@@ -445,7 +472,8 @@ fn encode_record(lsn: u64, op: &WalOpRef<'_>) -> Vec<u8> {
     put_varint(&mut body, key.len() as u64);
     body.extend_from_slice(key.as_bytes());
     match op {
-        WalOpRef::UpdateMany { value_bits, .. } => {
+        WalOpRef::UpdateMany { value_bits, window, .. } => {
+            put_varint(&mut body, *window);
             put_varint(&mut body, value_bits.len() as u64);
             for bits in *value_bits {
                 body.extend_from_slice(&bits.to_le_bytes());
@@ -459,8 +487,9 @@ fn encode_record(lsn: u64, op: &WalOpRef<'_>) -> Vec<u8> {
     out
 }
 
-/// Validate an 8-byte file header in `bytes` against `magic`.
-fn check_header(bytes: &[u8], magic: [u8; 4]) -> Result<(), RecordError> {
+/// Validate an 8-byte file header in `bytes` against `magic`, returning
+/// the file's format version (decoding is version-aware downstream).
+fn check_header(bytes: &[u8], magic: [u8; 4]) -> Result<u16, RecordError> {
     if bytes.len() < FILE_HEADER_LEN || bytes[0..4] != magic {
         let mut found = [0u8; 4];
         for (i, b) in bytes.iter().take(4).enumerate() {
@@ -476,7 +505,7 @@ fn check_header(bytes: &[u8], magic: [u8; 4]) -> Result<(), RecordError> {
     if flags != 0 {
         return Err(RecordError::ReservedFlags { found: flags });
     }
-    Ok(())
+    Ok(version)
 }
 
 fn file_header(magic: [u8; 4]) -> [u8; FILE_HEADER_LEN] {
@@ -549,13 +578,21 @@ fn decode_body_prefix(body: &[u8], offset: usize) -> Result<(u64, String, usize)
     Ok((lsn, key.to_string(), key_end))
 }
 
-fn decode_record(body: &[u8], offset: usize) -> Result<WalRecord, RecordError> {
+fn decode_record(body: &[u8], offset: usize, version: u16) -> Result<WalRecord, RecordError> {
     let Some((&opcode, rest)) = body.split_first() else {
         return Err(malformed(offset, WireError::Truncated { needed: 1, have: 0 }));
     };
     let (lsn, key, mut pos) = decode_body_prefix(rest, offset)?;
     let op = match opcode {
         OP_UPDATE_MANY => {
+            // Version 1 predates windowing: those batches belong to
+            // window 0, which is exactly where an unwindowed store puts
+            // everything.
+            let window = if version >= 2 {
+                get_varint(rest, &mut pos).map_err(|e| malformed(offset, e))?
+            } else {
+                0
+            };
             let count = get_varint(rest, &mut pos).map_err(|e| malformed(offset, e))?;
             let remaining = rest.len() - pos;
             if count.checked_mul(8) != Some(remaining as u64) {
@@ -573,7 +610,7 @@ fn decode_record(body: &[u8], offset: usize) -> Result<WalRecord, RecordError> {
             for chunk in rest[pos..].chunks_exact(8) {
                 value_bits.push(u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)")));
             }
-            RecordOp::UpdateMany { key, value_bits }
+            RecordOp::UpdateMany { key, value_bits, window }
         }
         OP_INGEST => {
             let frame = rest[pos..].to_vec();
@@ -602,15 +639,18 @@ fn decode_record(body: &[u8], offset: usize) -> Result<WalRecord, RecordError> {
 /// error or a clean end. All allocations are bounded by `bytes.len()`.
 pub fn parse_segment(bytes: &[u8]) -> SegmentScan {
     let mut scan = SegmentScan::default();
-    if let Err(e) = check_header(bytes, SEGMENT_MAGIC) {
-        scan.error = Some((0, e));
-        return scan;
-    }
+    let version = match check_header(bytes, SEGMENT_MAGIC) {
+        Ok(v) => v,
+        Err(e) => {
+            scan.error = Some((0, e));
+            return scan;
+        }
+    };
     let mut pos = FILE_HEADER_LEN;
     loop {
         match next_frame(bytes, pos) {
             Ok(None) => return scan,
-            Ok(Some((body, end))) => match decode_record(&bytes[body], pos) {
+            Ok(Some((body, end))) => match decode_record(&bytes[body], pos, version) {
                 Ok(record) => {
                     scan.records.push(ParsedRecord { record, start: pos, end });
                     pos = end;
@@ -632,7 +672,7 @@ pub fn parse_segment(bytes: &[u8]) -> SegmentScan {
 /// missing footer, count mismatch, or invalid embedded summary rejects
 /// the file (recovery falls back to the previous checkpoint).
 pub fn parse_checkpoint(bytes: &[u8]) -> Result<Vec<CheckpointEntry>, CheckpointError> {
-    check_header(bytes, CHECKPOINT_MAGIC).map_err(CheckpointError::Frame)?;
+    let version = check_header(bytes, CHECKPOINT_MAGIC).map_err(CheckpointError::Frame)?;
     let mut entries = Vec::new();
     let mut pos = FILE_HEADER_LEN;
     let mut footer: Option<u64> = None;
@@ -656,14 +696,71 @@ pub fn parse_checkpoint(bytes: &[u8]) -> Result<Vec<CheckpointEntry>, Checkpoint
                     OP_CKPT_ENTRY => {
                         let (lsn, key, payload) =
                             decode_body_prefix(rest, pos).map_err(CheckpointError::Frame)?;
-                        let summary = rest[payload..].to_vec();
+                        let framed = |e: WireError| CheckpointError::Frame(malformed(pos, e));
+                        let mut p = payload;
+                        let (active_wid, watermark, sealed) = if version >= 2 {
+                            let active_wid = get_varint(rest, &mut p).map_err(framed)?;
+                            let watermark = get_varint(rest, &mut p).map_err(framed)?;
+                            let count = get_varint(rest, &mut p).map_err(framed)?;
+                            // Each sealed window needs >= 3 bytes (start,
+                            // level, frame length) — bound the allocation
+                            // by bytes actually present, never by the
+                            // (attacker-controllable) count alone.
+                            if count > (rest.len().saturating_sub(p) / 3) as u64 {
+                                return Err(framed(WireError::Truncated {
+                                    needed: count.saturating_mul(3) as usize,
+                                    have: rest.len() - p,
+                                }));
+                            }
+                            let mut sealed = Vec::with_capacity(count as usize);
+                            for _ in 0..count {
+                                let start = get_varint(rest, &mut p).map_err(framed)?;
+                                let Some(&level) = rest.get(p) else {
+                                    return Err(framed(WireError::Truncated {
+                                        needed: 1,
+                                        have: 0,
+                                    }));
+                                };
+                                p += 1;
+                                let frame_len = get_varint(rest, &mut p).map_err(framed)?;
+                                let end = (frame_len as usize)
+                                    .checked_add(p)
+                                    .filter(|&end| end <= rest.len());
+                                let Some(end) = end else {
+                                    return Err(framed(WireError::Truncated {
+                                        needed: frame_len as usize,
+                                        have: rest.len() - p,
+                                    }));
+                                };
+                                let frame = rest[p..end].to_vec();
+                                if let Err(cause) = decode_summary(&frame) {
+                                    return Err(CheckpointError::BadSummary {
+                                        index: entries.len(),
+                                        cause,
+                                    });
+                                }
+                                sealed.push((start, level, frame));
+                                p = end;
+                            }
+                            (active_wid, watermark, sealed)
+                        } else {
+                            (0, 0, Vec::new())
+                        };
+                        let summary = rest[p..].to_vec();
                         if let Err(cause) = decode_summary(&summary) {
                             return Err(CheckpointError::BadSummary {
                                 index: entries.len(),
                                 cause,
                             });
                         }
-                        entries.push(CheckpointEntry { key, lsn, summary });
+                        entries.push(CheckpointEntry {
+                            key,
+                            lsn,
+                            active_wid,
+                            watermark,
+                            sealed,
+                            summary,
+                        });
                     }
                     OP_CKPT_FOOTER => {
                         let mut fpos = 0usize;
@@ -893,7 +990,16 @@ pub(crate) fn write_checkpoint(
     entries: &[CheckpointEntry],
 ) -> Result<u64, PersistError> {
     let mut image = Vec::with_capacity(
-        FILE_HEADER_LEN + entries.iter().map(|e| e.summary.len() + e.key.len() + 24).sum::<usize>(),
+        FILE_HEADER_LEN
+            + entries
+                .iter()
+                .map(|e| {
+                    e.summary.len()
+                        + e.key.len()
+                        + 48
+                        + e.sealed.iter().map(|(_, _, f)| f.len() + 12).sum::<usize>()
+                })
+                .sum::<usize>(),
     );
     image.extend_from_slice(&file_header(CHECKPOINT_MAGIC));
     let mut body = Vec::new();
@@ -903,6 +1009,15 @@ pub(crate) fn write_checkpoint(
         put_varint(&mut body, entry.lsn);
         put_varint(&mut body, entry.key.len() as u64);
         body.extend_from_slice(entry.key.as_bytes());
+        put_varint(&mut body, entry.active_wid);
+        put_varint(&mut body, entry.watermark);
+        put_varint(&mut body, entry.sealed.len() as u64);
+        for (start, level, frame) in &entry.sealed {
+            put_varint(&mut body, *start);
+            body.push(*level);
+            put_varint(&mut body, frame.len() as u64);
+            body.extend_from_slice(frame);
+        }
         body.extend_from_slice(&entry.summary);
         push_frame(&mut image, &body);
     }
@@ -1070,8 +1185,10 @@ mod tests {
 
     #[test]
     fn record_roundtrips_through_a_frame() {
-        let frame =
-            encode_record(7, &WalOpRef::UpdateMany { key: "lat", value_bits: &[1, 2, u64::MAX] });
+        let frame = encode_record(
+            7,
+            &WalOpRef::UpdateMany { key: "lat", value_bits: &[1, 2, u64::MAX], window: 42 },
+        );
         let mut image = file_header(SEGMENT_MAGIC).to_vec();
         image.extend_from_slice(&frame);
         let scan = parse_segment(&image);
@@ -1081,10 +1198,74 @@ mod tests {
         assert_eq!(rec.lsn, 7);
         assert_eq!(
             rec.op,
-            RecordOp::UpdateMany { key: "lat".into(), value_bits: vec![1, 2, u64::MAX] }
+            RecordOp::UpdateMany {
+                key: "lat".into(),
+                value_bits: vec![1, 2, u64::MAX],
+                window: 42
+            }
         );
         assert_eq!(scan.records[0].start, FILE_HEADER_LEN);
         assert_eq!(scan.records[0].end, image.len());
+    }
+
+    /// A version-1 segment (no window varint in update bodies) decodes
+    /// with every batch assigned to window 0.
+    #[test]
+    fn v1_segments_replay_into_window_zero() {
+        let mut image = Vec::new();
+        image.extend_from_slice(&SEGMENT_MAGIC);
+        image.extend_from_slice(&1u16.to_le_bytes());
+        image.extend_from_slice(&0u16.to_le_bytes());
+        let mut body = Vec::new();
+        body.push(OP_UPDATE_MANY);
+        put_varint(&mut body, 9); // lsn
+        put_varint(&mut body, 1); // key length
+        body.push(b'k');
+        put_varint(&mut body, 2); // count — no window varint in v1
+        body.extend_from_slice(&11u64.to_le_bytes());
+        body.extend_from_slice(&22u64.to_le_bytes());
+        push_frame(&mut image, &body);
+        let scan = parse_segment(&image);
+        assert_eq!(scan.error, None);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(
+            scan.records[0].record.op,
+            RecordOp::UpdateMany { key: "k".into(), value_bits: vec![11, 22], window: 0 }
+        );
+    }
+
+    /// A version-1 checkpoint entry (payload is the bare summary frame)
+    /// decodes with no windowed state.
+    #[test]
+    fn v1_checkpoints_decode_without_windows() {
+        let summary = crate::wire::encode_summary(&qc_common::summary::WeightedSummary::empty());
+        let mut image = Vec::new();
+        image.extend_from_slice(&CHECKPOINT_MAGIC);
+        image.extend_from_slice(&1u16.to_le_bytes());
+        image.extend_from_slice(&0u16.to_le_bytes());
+        let mut body = Vec::new();
+        body.push(OP_CKPT_ENTRY);
+        put_varint(&mut body, 3); // lsn
+        put_varint(&mut body, 1); // key length
+        body.push(b'a');
+        body.extend_from_slice(&summary);
+        push_frame(&mut image, &body);
+        body.clear();
+        body.push(OP_CKPT_FOOTER);
+        put_varint(&mut body, 1);
+        push_frame(&mut image, &body);
+        let entries = parse_checkpoint(&image).unwrap();
+        assert_eq!(
+            entries,
+            vec![CheckpointEntry {
+                key: "a".into(),
+                lsn: 3,
+                active_wid: 0,
+                watermark: 0,
+                sealed: Vec::new(),
+                summary,
+            }]
+        );
     }
 
     #[test]
@@ -1093,7 +1274,7 @@ mod tests {
         for lsn in 1..=5u64 {
             image.extend_from_slice(&encode_record(
                 lsn,
-                &WalOpRef::UpdateMany { key: "k", value_bits: &[lsn, lsn * 2] },
+                &WalOpRef::UpdateMany { key: "k", value_bits: &[lsn, lsn * 2], window: lsn },
             ));
         }
         let full = parse_segment(&image);
@@ -1144,8 +1325,22 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let summary = crate::wire::encode_summary(&qc_common::summary::WeightedSummary::empty());
         let entries = vec![
-            CheckpointEntry { key: "a".into(), lsn: 3, summary: summary.clone() },
-            CheckpointEntry { key: "b".into(), lsn: 9, summary: summary.clone() },
+            CheckpointEntry {
+                key: "a".into(),
+                lsn: 3,
+                active_wid: 7,
+                watermark: 9,
+                sealed: vec![(4, 1, summary.clone()), (6, 0, summary.clone())],
+                summary: summary.clone(),
+            },
+            CheckpointEntry {
+                key: "b".into(),
+                lsn: 9,
+                active_wid: 0,
+                watermark: 0,
+                sealed: Vec::new(),
+                summary: summary.clone(),
+            },
         ];
         write_checkpoint(&dir, 1, &entries).unwrap();
         let path = dir.join(checkpoint_file_name(1));

@@ -98,6 +98,7 @@ use crate::persist::{
     self, CheckpointEntry, CheckpointStats, FsyncPolicy, PersistError, RecordOp, RecoveryReport,
     Wal, WalOpRef,
 };
+use crate::window::{self, SealedWindow, WindowConfig, WindowPlan, WindowSnapshot, WindowState};
 use crate::wire::{decode_summary, encode_summary, WireError};
 
 /// Store construction parameters.
@@ -150,6 +151,16 @@ pub struct StoreConfig {
     /// When appended log frames reach disk (see [`FsyncPolicy`]).
     /// Irrelevant without [`StoreConfig::data_dir`].
     pub fsync: FsyncPolicy,
+    /// Time-windowed operation (see [`crate::window`]). `None` (the
+    /// default) keeps every key a single unbounded stream — exactly the
+    /// previous behavior. With a [`WindowConfig`], each key partitions
+    /// its stream into window-aligned sub-sketches: timestamped writes
+    /// ([`SketchStore::update_at`]) land in their event-time window,
+    /// plain writes land in the key's current active window, and
+    /// time-range reads ([`SketchStore::query_range`],
+    /// [`SketchStore::merged_query_range`]) merge only the windows a
+    /// range overlaps.
+    pub window: Option<WindowConfig>,
 }
 
 impl Default for StoreConfig {
@@ -164,6 +175,7 @@ impl Default for StoreConfig {
             telemetry: None,
             data_dir: None,
             fsync: FsyncPolicy::PerFrame,
+            window: None,
         }
     }
 }
@@ -232,6 +244,13 @@ impl StoreConfig {
     /// Set the durable-log fsync policy.
     pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
         self.fsync = policy;
+        self
+    }
+
+    /// Partition every key's stream into time windows (see
+    /// [`StoreConfig::window`] and [`crate::window`]).
+    pub fn window(mut self, window: WindowConfig) -> Self {
+        self.window = Some(window);
         self
     }
 }
@@ -309,6 +328,25 @@ pub struct StoreStats {
     pub demotions: u64,
     /// Keys removed via `remove`. **Counter**. Local-only.
     pub removals: u64,
+    /// Active windows sealed into immutable summaries by timestamped
+    /// writes rolling a key forward. **Counter**. Local-only. Zero
+    /// without [`StoreConfig::window`].
+    pub window_seals: u64,
+    /// Sealed windows promoted into a coarser level by `cool_down`
+    /// downsampling. **Counter**. Local-only.
+    pub window_downsamples: u64,
+    /// Sealed windows evicted past the retention horizon by `cool_down`
+    /// — the one transition where weight leaves the store (after it,
+    /// `stream_len` may read below `updates`). **Counter**. Local-only.
+    pub window_evictions: u64,
+    /// Timestamped batches dropped for arriving beyond the lateness
+    /// bound. Dropped batches bump neither `updates` nor the batch
+    /// counters and are never logged. **Counter**. Local-only.
+    pub window_late_drops: u64,
+    /// Resident windows (one active per windowed key, plus its sealed
+    /// windows). **Sweep**. Local-only. Zero without
+    /// [`StoreConfig::window`].
+    pub windows: usize,
 }
 
 impl StoreStats {
@@ -462,6 +500,13 @@ struct KeyEntry<T, E> {
     /// record to this key iff its LSN is above the checkpointed value.
     /// Zero while the store has no durable log.
     last_lsn: AtomicU64,
+    /// Window bookkeeping, present iff [`StoreConfig::window`] is set.
+    /// The inner mutex guards only id comparisons and `Arc` clones on
+    /// the shared paths (the same discipline as `cache`); every
+    /// *transition* — seal, late merge, downsample, evict, restore —
+    /// runs under the exclusive stripe lock, so shared-lock holders can
+    /// rely on `active_id` not moving while they hold the stripe.
+    windows: Option<Box<Mutex<WindowState>>>,
 }
 
 struct CachedSummary {
@@ -482,14 +527,22 @@ struct WriterPool<T> {
 }
 
 impl<T: OrderedBits, E: StoreEngine<T>> KeyEntry<T, E> {
-    fn new(engine: E, generation: u64) -> Self {
+    fn new(engine: E, generation: u64, windowed: bool) -> Self {
         KeyEntry {
             engine,
             generation,
             cache: Mutex::new(None),
             pool: Arc::new(Mutex::new(WriterPool { generation, idle: Vec::new(), minted: 0 })),
             last_lsn: AtomicU64::new(0),
+            windows: windowed.then(|| Box::new(Mutex::new(WindowState::default()))),
         }
+    }
+
+    /// The key's current active window id (0 when unwindowed). Callers
+    /// hold the stripe lock; the brief mutex hold only orders against
+    /// other shared-path peeks.
+    fn active_wid(&self) -> u64 {
+        self.windows.as_ref().map_or(0, |w| w.lock().unwrap().active_id)
     }
 
     /// Check a leased writer handle out of the pool (minting one from the
@@ -540,6 +593,17 @@ struct StoreInstruments {
     promotions: Counter,
     demotions: Counter,
     removals: Counter,
+    /// Active windows sealed by rolling timestamped writes.
+    window_seals: Counter,
+    /// Sealed windows promoted a level by `cool_down` downsampling.
+    window_downsamples: Counter,
+    /// Sealed windows evicted past the retention horizon.
+    window_evictions: Counter,
+    /// Timestamped batches dropped beyond the lateness bound.
+    window_late_drops: Counter,
+    /// Resident windows (active + sealed), refreshed by each `cool_down`
+    /// sweep.
+    windows_resident: Gauge,
     /// Records appended to the durable log (zero without persistence).
     wal_appends: Counter,
     /// Frame bytes appended to the durable log (envelope included).
@@ -574,6 +638,11 @@ impl StoreInstruments {
             promotions: registry.counter("store_promotions"),
             demotions: registry.counter("store_demotions"),
             removals: registry.counter("store_removals"),
+            window_seals: registry.counter("store_window_seals"),
+            window_downsamples: registry.counter("store_window_downsamples"),
+            window_evictions: registry.counter("store_window_evictions"),
+            window_late_drops: registry.counter("store_window_late_drops"),
+            windows_resident: registry.gauge("store_windows_resident"),
             wal_appends: registry.counter("wal_appends"),
             wal_bytes: registry.counter("wal_bytes"),
             wal_fsyncs: registry.counter("wal_fsyncs"),
@@ -597,6 +666,9 @@ pub struct SketchStore<T: OrderedBits = f64, E: StoreEngine<T> = TieredEngine<T>
     stripes: Box<[Stripe<T, E>]>,
     mask: usize,
     cfg: StoreConfig,
+    /// Normalized window arithmetic, derived once from
+    /// [`StoreConfig::window`] (`None` keeps every key unwindowed).
+    window_plan: Option<WindowPlan>,
     /// The metrics registry: either the one [`StoreConfig::telemetry`]
     /// shares across subsystems, or a private live one.
     registry: Arc<Registry>,
@@ -656,10 +728,12 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         let table = (0..stripes).map(|_| RwLock::new(HashMap::new())).collect();
         let registry = cfg.telemetry.clone().unwrap_or_else(|| Arc::new(Registry::new()));
         let instruments = StoreInstruments::register(&registry, stripes);
+        let window_plan = cfg.window.as_ref().map(WindowPlan::new);
         SketchStore {
             stripes: table,
             mask: stripes - 1,
             cfg,
+            window_plan,
             registry,
             instruments,
             lease_generation: AtomicU64::new(0),
@@ -703,6 +777,7 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                 // The checkpoint decoder validated every embedded summary,
                 // so this ingest cannot fail on a well-typed path.
                 if store.ingest_bytes(&entry.key, &entry.summary).is_ok() {
+                    store.restore_window_state(entry);
                     store.note_applied_lsn(&entry.key, entry.lsn);
                     floors.insert(entry.key.clone(), entry.lsn);
                 }
@@ -714,10 +789,17 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                 continue;
             }
             match &record.op {
-                RecordOp::UpdateMany { key, value_bits } => {
+                RecordOp::UpdateMany { key, value_bits, window } => {
                     let values: Vec<T> =
                         value_bits.iter().map(|&bits| T::from_ordered_bits(bits)).collect();
-                    store.update_many(key, &values);
+                    // Replay by logged window id, not by timestamp: the
+                    // record lands in the exact window it was applied to.
+                    // A windowed log replayed into an unwindowed store
+                    // collapses into the flat stream, conserving weight.
+                    match store.window_plan {
+                        Some(plan) => store.update_wid(key, *window, &values, plan),
+                        None => store.update_many(key, &values),
+                    }
                     store.note_applied_lsn(key, record.lsn);
                 }
                 RecordOp::Ingest { key, frame } => {
@@ -763,6 +845,36 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         self.persistence.as_ref().map(|p| p.dir.as_path())
     }
 
+    /// Reinstall a checkpoint entry's window bookkeeping (recovery only;
+    /// the entry's active summary was just ingested). On an unwindowed
+    /// store the sealed frames collapse into the flat stream instead, so
+    /// a windowed checkpoint replayed without a window config still
+    /// conserves every key's weight.
+    fn restore_window_state(&self, entry: &CheckpointEntry) {
+        if self.window_plan.is_none() {
+            for (_, _, frame) in &entry.sealed {
+                // Validated by the checkpoint decoder, like the active
+                // summary above.
+                let _ = self.ingest_bytes(&entry.key, frame);
+            }
+            return;
+        }
+        let mut map = self.stripe_of(&entry.key).write().unwrap();
+        let Some(slot) = map.get_mut(&entry.key) else { return };
+        let Some(cell) = slot.windows.as_mut() else { return };
+        let state = cell.get_mut().unwrap();
+        state.active_id = entry.active_wid;
+        state.watermark = entry.watermark.max(entry.active_wid);
+        state.sealed.clear();
+        for (start, level, frame) in &entry.sealed {
+            if let Ok(summary) = decode_summary(frame) {
+                state
+                    .sealed
+                    .insert(*start, SealedWindow { level: *level, summary: Arc::new(summary) });
+            }
+        }
+    }
+
     /// Advance a key's applied-LSN watermark (recovery replay only; live
     /// appends advance it inside [`SketchStore::log_op`]).
     fn note_applied_lsn(&self, key: &str, lsn: u64) {
@@ -772,16 +884,17 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         }
     }
 
-    /// Append an update batch to the durable log. No-op without
+    /// Append an update batch to the durable log, tagged with the window
+    /// it was applied to (always 0 on unwindowed stores). No-op without
     /// persistence; otherwise the caller MUST hold the key's stripe lock
     /// (shared or exclusive) across this call so per-key log order
     /// matches per-key apply order.
-    fn log_update(&self, key: &str, values: &[T], last_lsn: &AtomicU64) {
+    fn log_update(&self, key: &str, window: u64, values: &[T], last_lsn: &AtomicU64) {
         if self.persistence.is_none() {
             return;
         }
         let bits: Vec<u64> = values.iter().map(|v| v.to_ordered_bits()).collect();
-        self.log_op(Some(last_lsn), WalOpRef::UpdateMany { key, value_bits: &bits });
+        self.log_op(Some(last_lsn), WalOpRef::UpdateMany { key, value_bits: &bits, window });
     }
 
     /// Append one record to the durable log (no-op without persistence).
@@ -888,8 +1001,10 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                     // Log under this same shared-lock hold: a checkpoint
                     // (exclusive) can then never capture weight whose
                     // record is not yet sequenced, and per-key log order
-                    // matches apply order.
-                    self.log_update(key, values, &entry.last_lsn);
+                    // matches apply order. The active window id cannot
+                    // move while we hold the stripe shared (transitions
+                    // are exclusive-path), so the tag is exact.
+                    self.log_update(key, entry.active_wid(), values, &entry.last_lsn);
                     entry.give_back(handle);
                     return;
                 }
@@ -904,7 +1019,11 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         if !map.contains_key(key) {
             map.insert(
                 key.to_string(),
-                KeyEntry::new(E::build(&self.cfg, self.key_seed(key)), self.next_generation()),
+                KeyEntry::new(
+                    E::build(&self.cfg, self.key_seed(key)),
+                    self.next_generation(),
+                    self.cfg.window.is_some(),
+                ),
             );
             self.instruments.stripe_keys[stripe_ix].inc();
         }
@@ -920,10 +1039,181 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         // shutdown barriers).
         self.instruments.updates.add(values.len() as u64);
         self.instruments.fallback_writes.incr();
-        self.log_update(key, values, &entry.last_lsn);
+        self.log_update(key, entry.active_wid(), values, &entry.last_lsn);
         if tier_before == Tier::Sequential && entry.engine.tier() == Tier::Concurrent {
             self.instruments.promotions.incr();
             self.registry.event(EventKind::Promotion, format!("key={key}"));
+        }
+    }
+
+    /// Feed a timestamped batch into the window holding `ts_ms` (an
+    /// event-time timestamp in milliseconds — the store keeps no wall
+    /// clock of its own; see [`crate::window`]).
+    ///
+    /// * A timestamp in the key's **active window** rides the same
+    ///   shared-lock leased write path as [`SketchStore::update_many`].
+    /// * A timestamp **ahead** of the active window rolls the key
+    ///   forward: the live engine seals into an immutable summary for the
+    ///   old window and a fresh engine opens for the new one (outstanding
+    ///   writer leases are retired, exactly like tier demotion).
+    /// * A timestamp **behind** the active window is late: within
+    ///   [`WindowConfig::lateness`] of the key's watermark it merges into
+    ///   the sealed window covering it; beyond that bound the batch is
+    ///   dropped and counted ([`StoreStats::window_late_drops`]), never
+    ///   written and never logged.
+    ///
+    /// Without [`StoreConfig::window`] this is exactly
+    /// [`SketchStore::update_many`] — the timestamp is ignored.
+    pub fn update_at(&self, key: &str, ts_ms: u64, values: &[T]) {
+        let Some(plan) = self.window_plan else {
+            self.update_many(key, values);
+            return;
+        };
+        self.update_wid(key, plan.window_id(ts_ms), values, plan);
+    }
+
+    /// [`SketchStore::update_at`] after timestamp→window-id resolution.
+    /// Recovery replay calls this directly with the logged window id, so
+    /// replayed batches land in the exact window they were applied to —
+    /// no timestamp reconstruction, no drift.
+    fn update_wid(&self, key: &str, wid: u64, values: &[T], plan: WindowPlan) {
+        if values.is_empty() {
+            return;
+        }
+        // Shared fast path: the batch targets the current active window
+        // of an existing hot key. The active id cannot move while we hold
+        // the stripe shared (every window transition runs under the
+        // exclusive lock), so the brief mutex peek stays valid across the
+        // whole write.
+        {
+            let map = self.stripe_of(key).read().unwrap();
+            if let Some(entry) = map.get(key) {
+                let is_active =
+                    entry.windows.as_ref().is_some_and(|w| w.lock().unwrap().active_id == wid);
+                if is_active {
+                    if let Some(mut handle) = entry.checkout(self.cfg.writer_pool) {
+                        // Same ordering discipline as `update_many`:
+                        // count, write, flush, log — all under the shared
+                        // hold.
+                        self.instruments.updates.add(values.len() as u64);
+                        self.instruments.shared_writes.incr();
+                        handle.update_many(values);
+                        handle.flush();
+                        self.log_update(key, wid, values, &entry.last_lsn);
+                        entry.give_back(handle);
+                        return;
+                    }
+                }
+            }
+        }
+        // Exclusive path: key creation, window transitions (roll forward
+        // or late merge), cold-tier keys, exhausted pools.
+        let stripe_ix = self.stripe_index(key);
+        let mut map = self.stripes[stripe_ix].write().unwrap();
+        if !map.contains_key(key) {
+            let mut entry = KeyEntry::new(
+                E::build(&self.cfg, self.key_seed(key)),
+                self.next_generation(),
+                true,
+            );
+            let state = entry.windows.as_mut().expect("built windowed").get_mut().unwrap();
+            state.active_id = wid;
+            state.watermark = wid;
+            map.insert(key.to_string(), entry);
+            self.instruments.stripe_keys[stripe_ix].inc();
+        }
+        let entry = map.get_mut(key).expect("entry just ensured");
+        let (active_id, watermark) = {
+            let state = entry
+                .windows
+                .as_mut()
+                .expect("windowed keys carry window state")
+                .get_mut()
+                .unwrap();
+            (state.active_id, state.watermark)
+        };
+        if wid >= active_id {
+            if wid > active_id {
+                // Roll forward: seal the live engine's contents for the
+                // old active window, then open a fresh engine for the new
+                // one. The old engine's leases and cached summary die
+                // with it — the same retirement as tier demotion, so a
+                // stale lease can never write into the new window.
+                if entry.engine.stream_len() > 0 {
+                    let sealed = entry.engine.to_summary();
+                    let seed = self.key_seed(key);
+                    let state = entry.windows.as_mut().expect("windowed").get_mut().unwrap();
+                    Self::seal_into(state, active_id, sealed, self.cfg.k, seed);
+                    self.instruments.window_seals.incr();
+                }
+                entry.engine = E::build(&self.cfg, self.key_seed(key));
+                entry.generation = self.next_generation();
+                {
+                    let mut pool = entry.pool.lock().unwrap();
+                    pool.generation = entry.generation;
+                    pool.idle.clear();
+                    pool.minted = 0;
+                }
+                *entry.cache.get_mut().unwrap() = None;
+                let state = entry.windows.as_mut().expect("windowed").get_mut().unwrap();
+                state.active_id = wid;
+                state.watermark = state.watermark.max(wid);
+            }
+            // Active-window write, identical to `update_many`'s fallback
+            // path (including promotion observation).
+            let tier_before = entry.engine.tier();
+            entry.engine.update_many(values);
+            self.instruments.updates.add(values.len() as u64);
+            self.instruments.fallback_writes.incr();
+            self.log_update(key, wid, values, &entry.last_lsn);
+            if tier_before == Tier::Sequential && entry.engine.tier() == Tier::Concurrent {
+                self.instruments.promotions.incr();
+                self.registry.event(EventKind::Promotion, format!("key={key}"));
+            }
+            return;
+        }
+        // Late value: behind the active window.
+        if !plan.admissible(watermark, wid) {
+            // Dropped and counted — never written, never logged, so
+            // recovery replay (which sees only logged records) drives the
+            // same watermark trajectory and admits exactly the same set.
+            self.instruments.window_late_drops.incr();
+            return;
+        }
+        // Admissible: summarize the batch through a throwaway engine and
+        // merge it, exact-weight, into the sealed window covering `wid`
+        // (or open a new level-0 one).
+        let mut tmp = E::build(&self.cfg, self.key_seed(key));
+        tmp.update_many(values);
+        let addition = tmp.to_summary();
+        let seed = self.key_seed(key);
+        {
+            let state = entry.windows.as_mut().expect("windowed").get_mut().unwrap();
+            Self::seal_into(state, wid, addition, self.cfg.k, seed);
+        }
+        self.instruments.updates.add(values.len() as u64);
+        self.instruments.fallback_writes.incr();
+        self.log_update(key, wid, values, &entry.last_lsn);
+    }
+
+    /// Merge a summary into `state`'s sealed set at level-0 slot `start`:
+    /// into the (possibly coarse) window already covering the slot via
+    /// exact-weight [`merge_summaries`], or as a fresh level-0 window.
+    fn seal_into(
+        state: &mut WindowState,
+        start: u64,
+        summary: WeightedSummary,
+        k: usize,
+        seed: u64,
+    ) {
+        match state.covering(start) {
+            Some(slot) => {
+                let win = state.sealed.get_mut(&slot).expect("covering slot present");
+                win.summary = Arc::new(merge_summaries([win.summary.as_ref(), &summary], k, seed));
+            }
+            None => {
+                state.sealed.insert(start, SealedWindow { level: 0, summary: Arc::new(summary) });
+            }
         }
     }
 
@@ -973,7 +1263,7 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         let handle = lease.handle.as_mut().expect("lease handle present until drop");
         handle.update_many(values);
         handle.flush();
-        self.log_update(key, values, &entry.last_lsn);
+        self.log_update(key, entry.active_wid(), values, &entry.last_lsn);
         Ok(())
     }
 
@@ -1029,6 +1319,14 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     pub fn summary_of(&self, key: &str) -> Option<Arc<WeightedSummary>> {
         let map = self.stripe_of(key).read().unwrap();
         let entry = map.get(key)?;
+        Some(self.cached_summary(entry))
+    }
+
+    /// The cached-read-path core of [`SketchStore::summary_of`], shared
+    /// with the range-read methods (which include the active window
+    /// through it). The caller holds the stripe lock (shared or
+    /// exclusive) for `entry`.
+    fn cached_summary(&self, entry: &KeyEntry<T, E>) -> Arc<WeightedSummary> {
         let version = entry.engine.version();
         {
             let cache = entry.cache.lock().unwrap();
@@ -1039,7 +1337,7 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                     // `cache_hits + cache_misses >= reads` never inverts.
                     self.instruments.cache_hits.incr();
                     self.instruments.reads.incr();
-                    return Some(Arc::clone(&cached.summary));
+                    return Arc::clone(&cached.summary);
                 }
             }
         }
@@ -1059,7 +1357,95 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         *entry.cache.lock().unwrap() =
             Some(CachedSummary { version, summary: Arc::clone(&summary) });
         self.instruments.reads.incr();
-        Some(summary)
+        summary
+    }
+
+    /// Summary over the half-open event-time range `[t0_ms, t1_ms)` of
+    /// `key`'s stream, or `None` if the key is absent.
+    ///
+    /// Merges (exact-weight, via [`merge_summaries`]) every **sealed**
+    /// window overlapping the range — a downsampled window is merged
+    /// whole whenever the range touches any part of its span, which is
+    /// the coarse-granularity contract downsampling trades for memory —
+    /// plus the **active** window (through the summary cache) when the
+    /// range covers its id. Takes only the shared stripe lock; sealed
+    /// summaries are immutable `Arc` clones.
+    ///
+    /// Without [`StoreConfig::window`] the store has no time axis: the
+    /// range is ignored and the whole stream is the answer.
+    pub fn range_summary(&self, key: &str, t0_ms: u64, t1_ms: u64) -> Option<WeightedSummary> {
+        let Some(plan) = self.window_plan else {
+            return self.summary_of(key).map(|s| (*s).clone());
+        };
+        let (w0, w1) = plan.range_windows(t0_ms, t1_ms);
+        let map = self.stripe_of(key).read().unwrap();
+        let entry = map.get(key)?;
+        let (mut parts, active_id) = {
+            let state = entry.windows.as_ref().expect("windowed keys carry window state");
+            let state = state.lock().unwrap();
+            (state.overlapping(w0, w1), state.active_id)
+        };
+        if w0 <= active_id && active_id < w1 {
+            parts.push(self.cached_summary(entry));
+        }
+        Some(merge_summaries(parts.iter().map(Arc::as_ref), self.cfg.k, self.cfg.seed))
+    }
+
+    /// φ-quantile over the event-time range `[t0_ms, t1_ms)` of `key`'s
+    /// stream. `None` if the key is absent or no window in range holds
+    /// any weight. See [`SketchStore::range_summary`] for the coverage
+    /// and granularity contract.
+    pub fn query_range(&self, key: &str, t0_ms: u64, t1_ms: u64, phi: f64) -> Option<T> {
+        self.range_summary(key, t0_ms, t1_ms)?.quantile::<T>(phi)
+    }
+
+    /// One summary over the union of the given keys' streams restricted
+    /// to the event-time range `[t0_ms, t1_ms)` (absent keys contribute
+    /// nothing). The cross-key analogue of [`SketchStore::range_summary`],
+    /// with the same per-key locking discipline as
+    /// [`SketchStore::merged_summary`].
+    pub fn merged_range_summary<K: AsRef<str>>(
+        &self,
+        keys: &[K],
+        t0_ms: u64,
+        t1_ms: u64,
+    ) -> WeightedSummary {
+        let parts: Vec<WeightedSummary> =
+            keys.iter().filter_map(|k| self.range_summary(k.as_ref(), t0_ms, t1_ms)).collect();
+        merge_summaries(parts.iter(), self.cfg.k, self.cfg.seed)
+    }
+
+    /// φ-quantile over the union of the given keys' streams restricted to
+    /// the event-time range `[t0_ms, t1_ms)`. `None` if nothing in range
+    /// held any weight.
+    pub fn merged_query_range<K: AsRef<str>>(
+        &self,
+        keys: &[K],
+        t0_ms: u64,
+        t1_ms: u64,
+        phi: f64,
+    ) -> Option<T> {
+        self.merged_range_summary(keys, t0_ms, t1_ms).quantile::<T>(phi)
+    }
+
+    /// The key's full windowed state — active id, watermark, active
+    /// summary, and every sealed window — for diagnostics and the
+    /// exact-oracle tests. `None` if the key is absent or the store is
+    /// unwindowed.
+    pub fn window_snapshot(&self, key: &str) -> Option<WindowSnapshot> {
+        let map = self.stripe_of(key).read().unwrap();
+        let entry = map.get(key)?;
+        let cell = entry.windows.as_ref()?;
+        let (active_id, watermark, sealed) = {
+            let state = cell.lock().unwrap();
+            let sealed = state
+                .sealed
+                .iter()
+                .map(|(&start, win)| (start, win.level, Arc::clone(&win.summary)))
+                .collect();
+            (state.active_id, state.watermark, sealed)
+        };
+        Some(WindowSnapshot { active_id, watermark, active: self.cached_summary(entry), sealed })
     }
 
     /// The key's resident summary materialized directly from the engine,
@@ -1102,7 +1488,11 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         if !map.contains_key(key) {
             map.insert(
                 key.to_string(),
-                KeyEntry::new(E::build(&self.cfg, self.key_seed(key)), self.next_generation()),
+                KeyEntry::new(
+                    E::build(&self.cfg, self.key_seed(key)),
+                    self.next_generation(),
+                    self.cfg.window.is_some(),
+                ),
             );
             self.instruments.stripe_keys[stripe_ix].inc();
         }
@@ -1184,6 +1574,7 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     /// loop); the sweep interval defines the cool-down window.
     pub fn cool_down(&self) -> usize {
         let mut changed = 0usize;
+        let mut windows_resident = 0i64;
         for stripe in self.stripes.iter() {
             // Snapshot the key list under the shared lock, then maintain
             // one key per write-lock acquisition: a demotion is a full
@@ -1237,8 +1628,36 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                     if cache.as_ref().is_some_and(|c| c.version != entry.engine.version()) {
                         *cache = None;
                     }
+                    // Windowed housekeeping rides the same exclusive
+                    // hold: downsample aged sealed windows into coarser
+                    // ones (exact-weight merges), then evict windows
+                    // wholly past the retention horizon. Both are driven
+                    // by the key's watermark — event time, never the wall
+                    // clock — so sweeps are deterministic from the update
+                    // stream alone.
+                    if let (Some(plan), Some(cell)) = (self.window_plan, entry.windows.as_mut()) {
+                        let seed = self.key_seed(&key);
+                        let k = self.cfg.k;
+                        let state = cell.get_mut().unwrap();
+                        let promoted = window::downsample_sweep(state, &plan, |a, b| {
+                            merge_summaries([a, b], k, seed)
+                        });
+                        if promoted > 0 {
+                            self.instruments.window_downsamples.add(promoted);
+                        }
+                        let evicted = window::evict_sweep(state, &plan);
+                        if evicted > 0 {
+                            self.instruments.window_evictions.add(evicted);
+                            self.registry
+                                .event(EventKind::Eviction, format!("key={key} windows={evicted}"));
+                        }
+                        windows_resident += 1 + state.sealed.len() as i64;
+                    }
                 }
             }
+        }
+        if self.window_plan.is_some() {
+            self.instruments.windows_resident.set(windows_resident);
         }
         // Durability housekeeping rides the same sweep: flush whatever
         // the lazier fsync policies left pending, then compact the log.
@@ -1305,9 +1724,27 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                 let map = stripe.write().unwrap();
                 let Some(entry) = map.get(&key) else { continue };
                 let summary = entry.engine.to_summary();
+                // Window bookkeeping is captured under the same exclusive
+                // hold, so `(active summary, sealed windows, LSN)` is one
+                // consistent cut.
+                let (active_wid, watermark, sealed) = match &entry.windows {
+                    Some(cell) => {
+                        let state = cell.lock().unwrap();
+                        let sealed = state
+                            .sealed
+                            .iter()
+                            .map(|(&start, win)| (start, win.level, encode_summary(&win.summary)))
+                            .collect();
+                        (state.active_id, state.watermark, sealed)
+                    }
+                    None => (0, 0, Vec::new()),
+                };
                 entries.push(CheckpointEntry {
                     key,
                     lsn: entry.last_lsn.load(Relaxed),
+                    active_wid,
+                    watermark,
+                    sealed,
                     summary: encode_summary(&summary),
                 });
             }
@@ -1346,12 +1783,20 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         let mut cold_keys = 0usize;
         let mut hot_keys = 0usize;
         let mut retained = 0u64;
+        let mut windows = 0usize;
         for stripe in self.stripes.iter() {
             let map = stripe.read().unwrap();
             keys += map.len();
             for entry in map.values() {
                 stream_len += entry.engine.stream_len();
                 retained += entry.engine.footprint() as u64;
+                if let Some(cell) = &entry.windows {
+                    // Sealed-window weight is part of the key's stream —
+                    // the live engine only holds the active window.
+                    let state = cell.lock().unwrap();
+                    stream_len += state.sealed_weight();
+                    windows += 1 + state.sealed.len();
+                }
                 match entry.engine.tier() {
                     Tier::Sequential => cold_keys += 1,
                     Tier::Concurrent => hot_keys += 1,
@@ -1378,6 +1823,11 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             promotions: self.instruments.promotions.get(),
             demotions: self.instruments.demotions.get(),
             removals: self.instruments.removals.get(),
+            window_seals: self.instruments.window_seals.get(),
+            window_downsamples: self.instruments.window_downsamples.get(),
+            window_evictions: self.instruments.window_evictions.get(),
+            window_late_drops: self.instruments.window_late_drops.get(),
+            windows,
         }
     }
 

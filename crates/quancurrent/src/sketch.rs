@@ -183,12 +183,6 @@ impl<T: OrderedBits> Quancurrent<T> {
         build_snapshot(&self.shared, &handle).into_summary()
     }
 
-    /// One-off φ-quantile query from a fresh snapshot.
-    #[deprecated(note = "use `QuantileEstimator::query` from the engine trait API instead")]
-    pub fn query_once(&self, phi: f64) -> Option<T> {
-        self.snapshot().quantile_bits(phi).map(T::from_ordered_bits)
-    }
-
     /// Elements currently retained in the shared levels: a trit-1 level
     /// holds `k`, a trit-2 level `2k`. Memory is proportional to this plus
     /// the fixed Gather&Sort buffers (`S · 2 · 2k` slot/stamp pairs).
