@@ -457,6 +457,51 @@ fn bench_wal_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+const GROUP_OPS_PER_THREAD: usize = 32;
+
+/// The group-commit acceptance axis: N concurrent durable writers under
+/// `PerFrame`, leader-based group commit (`group`, the default) vs the
+/// pre-split per-writer-fsync discipline (`per_writer`, pinned via
+/// `wal_group_commit(false)`). Every op is a single-element durable
+/// update — one ack ⇒ one covered LSN — so at 1 thread the two series
+/// must sit together (one append, one fsync either way), while at 4
+/// threads the group series shares each ~170 µs fsync across all
+/// writers and must pull multiples ahead of the serialized baseline.
+fn bench_wal_group_commit(c: &mut Criterion) {
+    for &threads in &[1usize, 2, 4] {
+        let mut group = c.benchmark_group(format!("store_wal_group_{threads}_threads"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements((threads * GROUP_OPS_PER_THREAD) as u64));
+        for (name, grouped) in [("group", true), ("per_writer", false)] {
+            group.bench_function(name, |bencher| {
+                let dir = qc_workloads::TempDir::new("bench-wal-group");
+                let config = cfg(4, 101)
+                    .data_dir(dir.path())
+                    .fsync(qc_store::FsyncPolicy::PerFrame)
+                    .wal_group_commit(grouped);
+                let store = SketchStore::<f64>::recover(config).expect("fresh data dir").0;
+                bencher.iter(|| {
+                    std::thread::scope(|s| {
+                        for t in 0..threads {
+                            let store = &store;
+                            s.spawn(move || {
+                                let mut gen =
+                                    StreamGen::new(Distribution::Uniform, 0x9a + t as u64);
+                                let key = format!("writer-{t}");
+                                for _ in 0..GROUP_OPS_PER_THREAD {
+                                    store.update(&key, gen.next_f64());
+                                }
+                            });
+                        }
+                    });
+                    black_box(store.stats().updates)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
 fn bench_wire_roundtrip(c: &mut Criterion) {
     let store = SketchStore::new(cfg(4, 9));
     let mut gen = StreamGen::new(Distribution::Normal { mean: 0.0, std_dev: 1.0 }, 11);
@@ -503,6 +548,7 @@ criterion_group!(
     bench_read_heavy_mixed,
     bench_telemetry_overhead,
     bench_wal_overhead,
+    bench_wal_group_commit,
     bench_wire_roundtrip,
     bench_merged_query
 );

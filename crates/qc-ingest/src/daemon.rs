@@ -439,6 +439,12 @@ const LEASE_SWEEP_INTERVAL: u64 = 512;
 /// per-thread-handle discipline as the TCP connection loop, so N
 /// processors hammering one hot key synchronize inside the sketch
 /// (Gather&Sort/DCAS), not on a store mutex.
+///
+/// On a durable store, each leased write blocks (lock free) until its
+/// log record is group-committed — all processors draining concurrently
+/// share fsyncs through the store's commit sequencer, so durable ingest
+/// throughput scales with group size rather than paying one disk flush
+/// per drained batch.
 struct ProcLeases {
     leases: HashMap<String, (WriterLease<f64>, u64)>,
     datagrams: u64,

@@ -7,11 +7,14 @@
 //! no destructor, no flush, no goodbye. Everything the parent can then
 //! recover must have come through the write-ahead log's fsyncs.
 //!
-//! Usage: `crash_server <data_dir> <ready_file> [cool_down_ms] [windowed]`
+//! Usage: `crash_server <data_dir> <ready_file> [cool_down_ms] [windowed] [group]`
 //!
 //! The literal argument `windowed` switches the store to one-second
 //! time windows (mirrored by `windowed_recover_cfg` in the crash suite —
-//! recovery must be configured like the store that wrote the log).
+//! recovery must be configured like the store that wrote the log). The
+//! literal argument `group` sets a 2ms group-commit leader hold-off, so
+//! concurrent writers form real multi-append commit groups and the
+//! parent's SIGKILL lands mid-group.
 
 use std::time::Duration;
 
@@ -20,24 +23,30 @@ use qc_store::{StoreConfig, WindowConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let usage = "usage: crash_server <data_dir> <ready_file> [cool_down_ms] [windowed]";
+    let usage = "usage: crash_server <data_dir> <ready_file> [cool_down_ms] [windowed] [group]";
     let data_dir = args.next().expect(usage);
     let ready_file = args.next().expect(usage);
     let mut cool_down_ms: Option<u64> = None;
     let mut windowed = false;
+    let mut group = false;
     for arg in args {
         if arg == "windowed" {
             windowed = true;
+        } else if arg == "group" {
+            group = true;
         } else {
             cool_down_ms = Some(arg.parse().expect("cool_down_ms: u64"));
         }
     }
 
-    let store = if windowed {
+    let mut store = if windowed {
         StoreConfig::default().window(WindowConfig::default().width(Duration::from_secs(1)))
     } else {
         StoreConfig::default()
     };
+    if group {
+        store = store.group_commit_delay(Duration::from_millis(2));
+    }
     let cfg = ServerConfig {
         store,
         data_dir: Some(data_dir.into()),

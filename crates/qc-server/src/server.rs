@@ -19,9 +19,20 @@
 //! idle for [`LEASE_IDLE_FRAMES`] frames, and returned to the store's
 //! per-key pools when the connection closes.
 //!
+//! On a durable store, a mutating request is **acked only after its log
+//! record is on disk** (under `FsyncPolicy::PerFrame`): the worker's
+//! store call appends under the stripe lock, releases it, and then waits
+//! on the store's group-commit watermark — so N writer connections share
+//! one fsync per commit group instead of paying N sequential ones, and
+//! readers on the same stripe never wait behind a disk flush. The group
+//! knobs (`group_commit_delay`, the policy itself) ride
+//! [`ServerConfig::store`].
+//!
 //! Shutdown is graceful and bounded: [`ServerHandle::shutdown`] stops the
 //! accept loop, closes every live connection's socket (unblocking any
-//! worker parked in a read), then joins the pool.
+//! worker parked in a read), joins the pool, and finally syncs the
+//! durable log's buffered tail — a clean stop loses no acked write under
+//! *any* fsync policy.
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
@@ -461,6 +472,10 @@ impl ServerHandle {
                 Err(_) => unreachable!("accept loop joined above still holds the pool"),
             }
         }
+        // Every writer has drained: flush the durable log's buffered
+        // tail so a clean stop loses nothing under `Interval`/`Off`
+        // (`PerFrame` acks were already durable; this is a no-op there).
+        self.store.sync();
     }
 }
 

@@ -34,6 +34,7 @@ fn spawn_server(
     tag: &str,
     cool_down_ms: Option<u64>,
     windowed: bool,
+    group: bool,
 ) -> (Child, std::net::SocketAddr) {
     let ready = scratch.path().join(format!("addr-{tag}"));
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_crash_server"));
@@ -43,6 +44,9 @@ fn spawn_server(
     }
     if windowed {
         cmd.arg("windowed");
+    }
+    if group {
+        cmd.arg("group");
     }
     let child = cmd.spawn().expect("spawn crash_server");
     let deadline = Instant::now() + Duration::from_secs(30);
@@ -178,7 +182,7 @@ fn crash_cycle(
     cool_down_ms: Option<u64>,
 ) -> (Vec<u64>, HashMap<String, u64>) {
     let tag = cool_down_ms.map_or_else(|| "plain".to_string(), |ms| format!("ckpt{ms}"));
-    let (mut child, addr) = spawn_server(data_dir, scratch, &tag, cool_down_ms, false);
+    let (mut child, addr) = spawn_server(data_dir, scratch, &tag, cool_down_ms, false, false);
     let acks = write_storm_until_killed(addr, &mut child);
     let durable = durable_weights(data_dir);
     (acks, durable)
@@ -235,7 +239,7 @@ fn kill9_mid_storm_conserves_every_fsynced_frame() {
     assert_conservation(&acks, &durable, data.path());
 
     // Restart a server on the crashed directory: recovery end-to-end.
-    let (mut child, addr) = spawn_server(data.path(), &scratch, "restarted", None, false);
+    let (mut child, addr) = spawn_server(data.path(), &scratch, "restarted", None, false, false);
     let mut client = Client::connect(addr).expect("connect to restarted server");
     let total: u64 = durable.values().sum();
     let stats = client.stats().expect("stats");
@@ -296,7 +300,7 @@ fn kill9_mid_windowed_storm_recovers_byte_identical_windowed_state() {
     let scratch = TempDir::new("crash-window-scratch");
     // Housekeeping every 20ms: checkpoints race the seals, so recovery
     // exercises sealed-window checkpoint frames, not just log replay.
-    let (mut child, addr) = spawn_server(data.path(), &scratch, "windowed", Some(20), true);
+    let (mut child, addr) = spawn_server(data.path(), &scratch, "windowed", Some(20), true, false);
     let acks = windowed_storm_until_killed(addr, &mut child);
     assert!(acks.iter().sum::<u64>() >= 40, "the storm must have made real progress");
 
@@ -334,6 +338,43 @@ fn kill9_mid_windowed_storm_recovers_byte_identical_windowed_state() {
         assert_eq!(sealed_a, sealed_b, "{key}: sealed windows diverged");
         // And the windowed state carries exactly the durable weight.
         assert_eq!(a.total_weight(), durable[key], "{key}: windowed weight conserved");
+    }
+}
+
+#[test]
+fn kill9_mid_group_commit_storm_conserves_every_acked_batch() {
+    let data = TempDir::new("crash-group");
+    let scratch = TempDir::new("crash-group-scratch");
+    // A 2ms leader hold-off makes the four writers form real multi-append
+    // commit groups, so the SIGKILL lands mid-group: some appends are
+    // covered by the last fsync, some are buffered and must vanish.
+    let (mut child, addr) = spawn_server(data.path(), &scratch, "group", None, false, true);
+    let acks = write_storm_until_killed(addr, &mut child);
+    assert!(acks.iter().sum::<u64>() >= 40, "the storm must have made real progress");
+
+    // Ack => durable holds *exactly* as under per-writer fsync: a group
+    // ack is only sent after the leader's fsync covered the writer's LSN.
+    let durable = durable_weights(data.path());
+    assert_conservation(&acks, &durable, data.path());
+
+    // Two independent recoveries of the crashed directory agree byte for
+    // byte — the torn group tail trims identically every time.
+    let (first, _) = SketchStore::<f64>::recover(recover_cfg(data.path())).unwrap();
+    let (second, report) = SketchStore::<f64>::recover(recover_cfg(data.path())).unwrap();
+    if let Some(corruption) = &report.corruption {
+        assert_eq!(corruption.segments_dropped, 0, "a crash tears only the last segment");
+    }
+    let mut keys = first.keys();
+    keys.sort();
+    let mut keys_b = second.keys();
+    keys_b.sort();
+    assert_eq!(keys, keys_b, "recovered key sets diverged");
+    for key in &keys {
+        assert_eq!(
+            encode_summary(&first.summary_of(key).unwrap()),
+            encode_summary(&second.summary_of(key).unwrap()),
+            "{key}: two recoveries of the same files must agree byte for byte"
+        );
     }
 }
 

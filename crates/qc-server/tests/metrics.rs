@@ -192,7 +192,14 @@ fn durable_workload_wal_telemetry_is_exact() {
 
     let snap = client.metrics().unwrap();
     assert_eq!(snap.counter("wal_appends"), Some(9), "6 singles + batch + ingest + remove");
-    assert_eq!(snap.counter("wal_fsyncs"), Some(9), "PerFrame syncs every append");
+    // One connection = concurrency 1: this is the only case where
+    // group commit degenerates to one physical sync per append.
+    assert_eq!(snap.counter("wal_fsyncs"), Some(9), "PerFrame at concurrency 1 syncs every append");
+    assert_eq!(snap.counter("wal_group_commits"), Some(9), "every sync covered a group (of 1)");
+    assert_eq!(snap.gauge("wal_durable_lsn"), Some(9), "every acked append is durable");
+    let sizes = snap.latency("wal_group_size").expect("group sizes recorded");
+    assert_eq!(sizes.stream_len(), 9, "one size sample per group commit");
+    assert_eq!(snap.quantile("wal_group_size", 1.0), Some(1.0), "all groups were singletons");
     assert_eq!(snap.counter("wal_errors"), Some(0));
     assert_eq!(snap.counter("wal_checkpoints"), Some(0), "nothing checkpoints unprompted");
     assert!(snap.counter("wal_bytes").unwrap() > 0, "frame bytes accumulate");
@@ -207,6 +214,10 @@ fn durable_workload_wal_telemetry_is_exact() {
     let snap = client.metrics().unwrap();
     assert_eq!(snap.counter("wal_checkpoints"), Some(1));
     assert_eq!(snap.latency("checkpoint_seconds").unwrap().stream_len(), 1);
+    // The rotation's seal fsync is a physical sync, but everything it
+    // covered was already durable: no new group commit.
+    assert_eq!(snap.counter("wal_fsyncs"), Some(10), "checkpoint seals with one more sync");
+    assert_eq!(snap.counter("wal_group_commits"), Some(9), "no append newly covered");
     let events = handle.telemetry().events().drain();
     let ckpt =
         events.iter().find(|e| e.kind == EventKind::Checkpoint).expect("Checkpoint event recorded");
@@ -240,6 +251,85 @@ fn durable_workload_wal_telemetry_is_exact() {
     assert_eq!(snap.counter("wal_appends"), Some(0), "recovery replay must not re-log");
     let stats = client.stats().unwrap();
     assert_eq!(stats.stream_len, 8, "6 singles + a batch of 2 survive the restart");
+    client.shutdown();
+    handle.shutdown();
+}
+
+/// Concurrent durable writers share fsyncs: `wal_fsyncs < wal_appends`
+/// strictly (equality is reserved for concurrency 1, pinned above), the
+/// durable watermark covers every acked append, and the group-size
+/// sketch carries exactly one sample per group commit — so
+/// `wal_group_commits × mean group size == covered appends` by
+/// construction (the sketch's total weight *is* the watermark movement).
+#[test]
+fn concurrent_durable_writers_share_fsyncs() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = 25;
+    let dir = qc_workloads::TempDir::new("metrics-group");
+    let cfg = ServerConfig {
+        cool_down_interval: None,
+        data_dir: Some(dir.path().to_path_buf()),
+        // A small leader hold-off forces real multi-writer groups even
+        // on a single-core box: while the leader sleeps, the other
+        // writers append and park on the watermark.
+        store: qc_store::StoreConfig::default().group_commit_delay(Duration::from_millis(3)),
+        ..Default::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", cfg).expect("bind durable");
+    let addr = handle.local_addr();
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect writer");
+                for i in 0..PER_WRITER {
+                    client.update(&format!("k{w}"), i as f64).unwrap();
+                }
+                client.shutdown();
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().expect("writer thread");
+    }
+
+    let mut client = Client::connect(addr).expect("connect reader");
+    let snap = client.metrics().unwrap();
+    let appends = (WRITERS * PER_WRITER) as u64;
+    assert_eq!(snap.counter("wal_appends"), Some(appends));
+    let fsyncs = snap.counter("wal_fsyncs").expect("fsyncs counted");
+    assert!(
+        fsyncs < appends,
+        "{WRITERS} concurrent writers must share fsyncs: {fsyncs} syncs for {appends} appends"
+    );
+    assert_eq!(
+        snap.gauge("wal_durable_lsn"),
+        Some(appends as i64),
+        "every acked append is covered by some group"
+    );
+    let group_commits = snap.counter("wal_group_commits").expect("group commits counted");
+    assert!(group_commits <= fsyncs, "a group commit is a physical sync");
+    let sizes = snap.latency("wal_group_size").expect("group sizes recorded");
+    assert_eq!(sizes.stream_len(), group_commits, "one size sample per group commit");
+    // At least one group actually batched more than one writer.
+    assert!(
+        snap.quantile("wal_group_size", 1.0).expect("max group size") >= 2.0,
+        "no multi-append group ever formed"
+    );
+    assert_eq!(snap.counter("wal_errors"), Some(0));
+
+    // Durability is real, not just counted: a restart replays all of it.
+    client.shutdown();
+    handle.shutdown();
+    let reopened = ServerConfig {
+        cool_down_interval: None,
+        data_dir: Some(dir.path().to_path_buf()),
+        ..Default::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", reopened).expect("rebind durable");
+    let mut client = Client::connect(handle.local_addr()).expect("connect after recovery");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.stream_len, appends, "every acked write survives the restart");
     client.shutdown();
     handle.shutdown();
 }

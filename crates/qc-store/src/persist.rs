@@ -70,11 +70,21 @@
 //! durable: recovery conserves every key's weight **exactly** up to the
 //! last fsync'd frame, and the crash-injection suite kills a loaded
 //! server with SIGKILL to hold it to that. `Interval` bounds data loss by
-//! time instead of by frame; `Off` leaves flushing to the OS.
+//! time instead of by frame; `Off` leaves flushing to the OS (a clean
+//! shutdown still syncs the tail).
+//!
+//! The fsync itself is **group commit** (`CommitSequencer`): appends
+//! only buffer and sequence under the WAL mutex; a durable writer then
+//! parks on the `durable_lsn` watermark after releasing its stripe lock,
+//! the first parked waiter leads one fsync covering every LSN appended
+//! so far, and all covered waiters wake together. `ack ⇒ durable` is
+//! unchanged — only the number of physical syncs shrinks, and no store
+//! lock is ever held across the disk wait.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::wire::{crc32, decode_summary, get_varint, put_varint, WireError};
@@ -102,16 +112,27 @@ pub const FRAME_OVERHEAD: usize = 8;
 pub const MAX_RECORD_LEN: usize = 1 << 26;
 
 /// When (and whether) the log fsyncs appended frames.
+///
+/// Since the group-commit split, no policy fsyncs *inside* the append
+/// path (which runs under the stripe-lock hold): appends only buffer and
+/// sequence; the sync happens afterwards, outside every store lock, via
+/// the `CommitSequencer`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FsyncPolicy {
-    /// `fdatasync` after every appended frame: an acknowledged operation
-    /// is durable. The default — correctness first; the
-    /// `store_wal_overhead` bench axis prices it.
+    /// An acknowledged operation is durable before the call returns. The
+    /// writer parks on the `durable_lsn` watermark; the first parked
+    /// waiter becomes sync leader and one `fdatasync` covers every
+    /// concurrent writer (group commit). The default — correctness
+    /// first; the `store_wal_overhead` and `store_wal_group_*` bench
+    /// axes price it.
     PerFrame,
-    /// `fdatasync` at most once per interval (checked on each append and
-    /// on every housekeeping sweep): bounded data loss, near-`Off` cost.
+    /// `fdatasync` at most once per interval, checked on the sync path
+    /// (after the stripe lock is released) and on every housekeeping
+    /// sweep: bounded data loss, near-`Off` cost, and concurrent
+    /// appenders coalesce into one interval sync.
     Interval(Duration),
-    /// Never fsync from the store; the OS flushes when it pleases.
+    /// Never fsync from the store; the OS flushes when it pleases. A
+    /// clean shutdown still syncs the tail once.
     Off,
 }
 
@@ -874,18 +895,20 @@ pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, PersistError> {
 pub(crate) struct AppendOutcome {
     pub(crate) lsn: u64,
     pub(crate) bytes: u64,
-    pub(crate) synced: bool,
 }
 
 /// The open, append-only end of the segment log. Owned by the store
-/// behind a mutex; every public method is `&mut self`.
+/// behind a mutex; every public method is `&mut self` or a brief read.
+///
+/// The append path never fsyncs: it encodes, buffers the frame into the
+/// OS, and assigns the LSN — all cheap — so holding this mutex (and the
+/// stripe lock outside it) across an append costs microseconds, not a
+/// disk round-trip. Durability is the [`CommitSequencer`]'s job.
 pub(crate) struct Wal {
     dir: PathBuf,
     file: File,
     seq: u64,
     next_lsn: u64,
-    policy: FsyncPolicy,
-    last_sync: Instant,
     /// Appends since the last checkpoint — `0` lets a sweep skip
     /// checkpointing an idle store.
     pub(crate) dirty_records: u64,
@@ -895,7 +918,7 @@ pub(crate) struct Wal {
     pub(crate) poisoned: bool,
 }
 
-fn create_segment(dir: &Path, seq: u64) -> Result<File, PersistError> {
+pub(crate) fn create_segment(dir: &Path, seq: u64) -> Result<File, PersistError> {
     let path = dir.join(segment_file_name(seq));
     let mut file = OpenOptions::new()
         .write(true)
@@ -912,69 +935,344 @@ fn create_segment(dir: &Path, seq: u64) -> Result<File, PersistError> {
 impl Wal {
     /// Open a fresh active segment `seq` in `dir` and hand out LSNs from
     /// `next_lsn` up.
-    pub(crate) fn create(
-        dir: &Path,
-        seq: u64,
-        next_lsn: u64,
-        policy: FsyncPolicy,
-    ) -> Result<Self, PersistError> {
+    pub(crate) fn create(dir: &Path, seq: u64, next_lsn: u64) -> Result<Self, PersistError> {
         let file = create_segment(dir, seq)?;
         Ok(Wal {
             dir: dir.to_path_buf(),
             file,
             seq,
             next_lsn: next_lsn.max(1),
-            policy,
-            last_sync: Instant::now(),
             dirty_records: 0,
             poisoned: false,
         })
     }
 
-    /// Append one record, fsyncing per the policy.
+    /// Append one record: encode, buffered write, LSN assignment — no
+    /// fsync, under any policy. Durability is granted afterwards by the
+    /// [`CommitSequencer`], outside the caller's stripe-lock hold.
     pub(crate) fn append(&mut self, op: &WalOpRef<'_>) -> Result<AppendOutcome, PersistError> {
         let lsn = self.next_lsn;
         let frame = encode_record(lsn, op);
-        let path = || self.dir.join(segment_file_name(self.seq));
-        self.file.write_all(&frame).map_err(|e| PersistError::new("append", path(), e))?;
-        let synced = match self.policy {
-            FsyncPolicy::PerFrame => true,
-            FsyncPolicy::Interval(every) => self.last_sync.elapsed() >= every,
-            FsyncPolicy::Off => false,
-        };
-        if synced {
-            self.file.sync_data().map_err(|e| PersistError::new("fsync", path(), e))?;
-            self.last_sync = Instant::now();
-        }
+        let path = self.dir.join(segment_file_name(self.seq));
+        self.file.write_all(&frame).map_err(|e| PersistError::new("append", path, e))?;
         self.next_lsn += 1;
         self.dirty_records += 1;
-        Ok(AppendOutcome { lsn, bytes: frame.len() as u64, synced })
+        Ok(AppendOutcome { lsn, bytes: frame.len() as u64 })
     }
 
-    /// Force an fsync of the active segment (housekeeping sweeps call
-    /// this so `Interval`/`Off` policies still get periodic durability).
-    /// Returns whether a sync actually ran.
-    pub(crate) fn sync(&mut self) -> Result<bool, PersistError> {
-        if matches!(self.policy, FsyncPolicy::PerFrame) {
-            return Ok(false); // nothing can be pending
-        }
+    /// Highest LSN appended so far (`0` before the first append).
+    pub(crate) fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Sequence number of the active segment.
+    pub(crate) fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Capture a sync point: a duplicate handle to the active segment
+    /// plus the highest LSN already written through it. The caller
+    /// releases this mutex, then [`SyncTicket::sync`]s with **no** lock
+    /// held — every LSN up to `covered` was `write_all`'d before the
+    /// handle was cloned (both happen under this mutex), and the clone
+    /// shares the file description, so its `fdatasync` covers them even
+    /// if a rotation swaps the active segment in between.
+    pub(crate) fn sync_point(&self) -> Result<SyncTicket, PersistError> {
         let path = self.dir.join(segment_file_name(self.seq));
-        self.file.sync_data().map_err(|e| PersistError::new("fsync", path, e))?;
-        self.last_sync = Instant::now();
-        Ok(true)
+        let file = self.file.try_clone().map_err(|e| PersistError::new("dup", path.clone(), e))?;
+        Ok(SyncTicket { file, covered: self.last_lsn(), path })
     }
 
-    /// Seal the active segment (fsync it) and open a fresh one. Returns
-    /// the sealed segment's sequence number — the new checkpoint's name.
-    pub(crate) fn rotate(&mut self) -> Result<u64, PersistError> {
-        let sealed = self.seq;
-        let path = self.dir.join(segment_file_name(sealed));
-        self.file.sync_data().map_err(|e| PersistError::new("fsync", path, e))?;
-        self.file = create_segment(&self.dir, sealed + 1)?;
-        self.seq = sealed + 1;
-        self.last_sync = Instant::now();
+    /// Fsync the active segment in place, under the mutex. Only the
+    /// legacy per-writer-fsync mode (`StoreConfig::wal_group_commit =
+    /// false`, the bench baseline) uses this.
+    pub(crate) fn sync_inline(&mut self) -> Result<(), PersistError> {
+        let path = self.dir.join(segment_file_name(self.seq));
+        self.file.sync_data().map_err(|e| PersistError::new("fsync", path, e))
+    }
+
+    /// Swap in a freshly created successor segment (built by
+    /// [`create_segment`] with no lock held) and seal the current one.
+    /// Returns the sealed segment's file — **not yet fsync'd**; the
+    /// caller syncs it outside every lock — plus the highest LSN it
+    /// holds and its path (for error reporting).
+    pub(crate) fn install_segment(&mut self, fresh: File) -> (File, u64, PathBuf) {
+        let sealed_path = self.dir.join(segment_file_name(self.seq));
+        let sealed = std::mem::replace(&mut self.file, fresh);
+        let covered = self.last_lsn();
+        self.seq += 1;
         self.dirty_records = 0;
-        Ok(sealed)
+        (sealed, covered, sealed_path)
+    }
+}
+
+/// A captured sync point: sync the file, get back the covered LSN.
+pub(crate) struct SyncTicket {
+    file: File,
+    covered: u64,
+    path: PathBuf,
+}
+
+impl SyncTicket {
+    /// `fdatasync` the captured handle (call with no lock held — this is
+    /// the ~170µs disk wait the whole split exists to isolate).
+    pub(crate) fn sync(self) -> Result<u64, PersistError> {
+        self.file.sync_data().map_err(|e| PersistError::new("fsync", &self.path, e))?;
+        Ok(self.covered)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group commit
+// ---------------------------------------------------------------------------
+
+/// What one group commit covered (for the caller's telemetry).
+pub(crate) struct GroupOutcome {
+    /// The `durable_lsn` watermark after this sync.
+    pub(crate) covered: u64,
+    /// Appends newly made durable by this sync — the group size. `0`
+    /// only if a concurrent rotation's seal fsync covered them first.
+    pub(crate) group: u64,
+}
+
+/// Why a durable wait failed.
+pub(crate) enum WaitError {
+    /// This caller's own sync I/O failed (it poisoned the log; count
+    /// and event it once).
+    Io(PersistError),
+    /// Someone else poisoned the log — already counted and evented by
+    /// the poisoner; callers must not double-count.
+    Poisoned,
+}
+
+/// Leader-based group commit: a `durable_lsn` watermark behind a
+/// mutex+condvar. A durable writer appends under the WAL mutex (inside
+/// its stripe-lock hold), releases both, then parks here until the
+/// watermark passes its LSN. The first parked waiter whose LSN is not
+/// yet covered becomes **sync leader**: it captures a sync point,
+/// fsyncs once with no lock held — covering every LSN appended so far,
+/// its own and every concurrent writer's — advances the watermark, and
+/// wakes all covered waiters. N concurrent durable writers therefore
+/// share ~1 fsync instead of paying N sequential ones, and no stripe
+/// lock is ever held across the disk wait.
+///
+/// **Lock order**: the state mutex is leaf-most on the wait path — the
+/// leader drops it before taking the WAL mutex, and nothing acquires the
+/// WAL mutex while holding it. (The append path takes state *after* the
+/// WAL mutex only to poison, which is compatible.)
+pub(crate) struct CommitSequencer {
+    state: Mutex<CommitState>,
+    cond: Condvar,
+}
+
+struct CommitState {
+    /// Every LSN at or below this is on disk.
+    durable: u64,
+    /// A leader is currently syncing; later arrivals park instead of
+    /// electing a second one.
+    leader: bool,
+    /// Mirror of [`Wal::poisoned`] that wakes *all* waiters with the
+    /// error — without it, writers parked on the watermark would hang
+    /// forever once the log stops advancing.
+    poisoned: bool,
+    /// When the last physical sync finished — `Interval` coalescing
+    /// checks this here, on the sync path, not under the append mutex.
+    last_sync: Instant,
+    /// Whether the zero-delay leader should hold its election open for
+    /// racing appenders (see `wait_durable`). Set when concurrency is
+    /// observed — a waiter parks behind a busy leader, or a group of
+    /// ≥2 forms — and cleared when groups collapse back to 1, so a
+    /// lone durable writer never pays a yield for company that is not
+    /// coming.
+    hold_open: bool,
+}
+
+impl CommitSequencer {
+    /// A sequencer whose watermark starts at `durable` (recovery passes
+    /// the last recovered LSN: everything replayed from disk is durable
+    /// by definition).
+    pub(crate) fn new(durable: u64) -> Self {
+        CommitSequencer {
+            state: Mutex::new(CommitState {
+                durable,
+                leader: false,
+                poisoned: false,
+                last_sync: Instant::now(),
+                hold_open: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Block until `lsn` is durable (or the log is poisoned), electing
+    /// this caller as sync leader if nobody is syncing. Returns
+    /// `Ok(Some(outcome))` iff this caller performed the physical sync —
+    /// the caller owns the group's telemetry; followers get `Ok(None)`.
+    ///
+    /// `group_delay` is an optional leader hold-off before capturing the
+    /// sync point: a non-zero delay widens groups at the cost of ack
+    /// latency (the knob is [`crate::StoreConfig::group_commit_delay`]).
+    pub(crate) fn wait_durable(
+        &self,
+        lsn: u64,
+        wal: &Mutex<Wal>,
+        group_delay: Duration,
+    ) -> Result<Option<GroupOutcome>, WaitError> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.durable >= lsn {
+                return Ok(None);
+            }
+            if state.poisoned {
+                return Err(WaitError::Poisoned);
+            }
+            if state.leader {
+                // Parking behind a busy leader is proof of concurrent
+                // durable writers: tell future leaders to hold their
+                // election open.
+                state.hold_open = true;
+                state = self.cond.wait(state).unwrap();
+                continue;
+            }
+            state.leader = true;
+            let hold_open = state.hold_open;
+            drop(state);
+            if !group_delay.is_zero() {
+                // Hold the election open: writers appending during the
+                // delay ride this sync instead of the next one.
+                std::thread::sleep(group_delay);
+            } else if hold_open {
+                // Concurrency was observed, so hold the zero-delay
+                // election open until appends quiesce: writers the
+                // previous sync just woke are typically about to land
+                // their next record, and capturing the sync point ahead
+                // of them (acutely on few cores, where the wake-up
+                // queue runs only when this thread yields) collapses
+                // groups toward one. Sample the tail, yield one
+                // scheduling window, and capture as soon as a window
+                // adds nothing; the round cap bounds the ack-latency
+                // cost. A lone writer never enters this loop — yields
+                // donate real time to unrelated load — because solo
+                // groups clear `hold_open` below.
+                let mut tail = wal.lock().unwrap().last_lsn();
+                for _ in 0..8 {
+                    std::thread::yield_now();
+                    let now = wal.lock().unwrap().last_lsn();
+                    if now == tail {
+                        break;
+                    }
+                    tail = now;
+                }
+            }
+            // Brief WAL-mutex hold to capture the sync point; the fsync
+            // itself runs with no lock held at all.
+            let ticket = {
+                let wal = wal.lock().unwrap();
+                if wal.poisoned {
+                    None
+                } else {
+                    Some(wal.sync_point())
+                }
+            };
+            let result = match ticket {
+                None => Err(None), // an appender poisoned the log meanwhile
+                Some(Ok(ticket)) => ticket.sync().map_err(Some),
+                Some(Err(e)) => Err(Some(e)),
+            };
+            match result {
+                Ok(covered) => {
+                    let mut state = self.state.lock().unwrap();
+                    state.leader = false;
+                    // `covered` was read after our own append, so it is
+                    // at or above `lsn`: this wait is over. The group is
+                    // whatever the watermark jumps by (a racing
+                    // rotation's seal may have advanced it already).
+                    let group = covered.saturating_sub(state.durable);
+                    state.durable = state.durable.max(covered);
+                    state.last_sync = Instant::now();
+                    // Concurrency hysteresis for the next election: a
+                    // multi-append group means writers are racing (keep
+                    // holding elections open), a solo group means they
+                    // are not (stop paying the yield).
+                    state.hold_open = group >= 2;
+                    drop(state);
+                    self.cond.notify_all();
+                    return Ok(Some(GroupOutcome { covered, group }));
+                }
+                Err(cause) => {
+                    if cause.is_some() {
+                        wal.lock().unwrap().poisoned = true;
+                    }
+                    let mut state = self.state.lock().unwrap();
+                    state.leader = false;
+                    state.poisoned = true;
+                    drop(state);
+                    self.cond.notify_all();
+                    return match cause {
+                        Some(e) => Err(WaitError::Io(e)),
+                        None => Err(WaitError::Poisoned),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Advance the watermark to `covered` (a rotation's seal fsync made
+    /// everything in the sealed segment durable), waking covered
+    /// waiters. Returns how many appends newly became durable.
+    pub(crate) fn advance(&self, covered: u64) -> u64 {
+        let mut state = self.state.lock().unwrap();
+        let newly = covered.saturating_sub(state.durable);
+        state.durable = state.durable.max(covered);
+        state.last_sync = Instant::now();
+        drop(state);
+        if newly > 0 {
+            self.cond.notify_all();
+        }
+        newly
+    }
+
+    /// Mark the log poisoned and wake **all** waiters with the error —
+    /// the append path calls this after a failed `Wal::append` so no
+    /// durable writer hangs on a watermark that will never advance.
+    pub(crate) fn poison(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.poisoned = true;
+        drop(state);
+        self.cond.notify_all();
+    }
+
+    /// Whether an `Interval(every)` sync is due for `lsn`: the interval
+    /// elapsed since the last physical sync and `lsn` is not yet
+    /// durable. Checked here — on the sync path — so the decision is
+    /// neither taken nor paid under the append mutex, and concurrent
+    /// appenders coalesce into one interval sync.
+    pub(crate) fn interval_due(&self, every: Duration, lsn: u64) -> bool {
+        let state = self.state.lock().unwrap();
+        state.durable < lsn && !state.poisoned && state.last_sync.elapsed() >= every
+    }
+
+    /// Sync everything appended so far (housekeeping sweeps and clean
+    /// shutdown call this so `Interval`/`Off` tails reach disk).
+    /// `Ok(None)` when nothing is pending.
+    pub(crate) fn force_sync(&self, wal: &Mutex<Wal>) -> Result<Option<GroupOutcome>, WaitError> {
+        let last = {
+            let wal = wal.lock().unwrap();
+            if wal.poisoned {
+                return Err(WaitError::Poisoned);
+            }
+            wal.last_lsn()
+        };
+        if last == 0 {
+            return Ok(None);
+        }
+        {
+            let state = self.state.lock().unwrap();
+            if state.durable >= last {
+                return Ok(None);
+            }
+        }
+        self.wait_durable(last, wal, Duration::ZERO)
     }
 }
 

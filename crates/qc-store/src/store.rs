@@ -86,7 +86,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use qc_common::bits::OrderedBits;
 use qc_common::summary::{Summary, WeightedSummary};
@@ -95,8 +95,8 @@ use qc_telemetry::{Counter, EventKind, Gauge, LatencyRecorder, MetricsSnapshot, 
 use crate::engine::{StoreEngine, Tier, TieredEngine};
 use crate::merge::merge_summaries;
 use crate::persist::{
-    self, CheckpointEntry, CheckpointStats, FsyncPolicy, PersistError, RecordOp, RecoveryReport,
-    Wal, WalOpRef,
+    self, CheckpointEntry, CheckpointStats, CommitSequencer, FsyncPolicy, GroupOutcome,
+    PersistError, RecordOp, RecoveryReport, WaitError, Wal, WalOpRef,
 };
 use crate::window::{self, SealedWindow, WindowConfig, WindowPlan, WindowSnapshot, WindowState};
 use crate::wire::{decode_summary, encode_summary, WireError};
@@ -151,6 +151,20 @@ pub struct StoreConfig {
     /// When appended log frames reach disk (see [`FsyncPolicy`]).
     /// Irrelevant without [`StoreConfig::data_dir`].
     pub fsync: FsyncPolicy,
+    /// How long a group-commit sync leader holds its election open
+    /// before fsyncing, to let more concurrent writers ride the same
+    /// sync. `Duration::ZERO` (the default) syncs immediately — groups
+    /// then form only from writers that were already appending during
+    /// the previous sync's disk wait, which is the latency-optimal
+    /// setting. A small non-zero delay trades ack latency for fewer,
+    /// larger groups (throughput under heavy concurrency).
+    pub group_commit_delay: Duration,
+    /// Whether durable writers share fsyncs through leader-based group
+    /// commit (`true`, the default) or each [`FsyncPolicy::PerFrame`]
+    /// append pays its own fsync inline under the append mutex
+    /// (`false` — the pre-group-commit behavior, kept as the benchmark
+    /// baseline; nothing else should use it).
+    pub wal_group_commit: bool,
     /// Time-windowed operation (see [`crate::window`]). `None` (the
     /// default) keeps every key a single unbounded stream — exactly the
     /// previous behavior. With a [`WindowConfig`], each key partitions
@@ -175,6 +189,8 @@ impl Default for StoreConfig {
             telemetry: None,
             data_dir: None,
             fsync: FsyncPolicy::PerFrame,
+            group_commit_delay: Duration::ZERO,
+            wal_group_commit: true,
             window: None,
         }
     }
@@ -244,6 +260,21 @@ impl StoreConfig {
     /// Set the durable-log fsync policy.
     pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
         self.fsync = policy;
+        self
+    }
+
+    /// Set the group-commit leader hold-off (see
+    /// [`StoreConfig::group_commit_delay`]).
+    pub fn group_commit_delay(mut self, delay: Duration) -> Self {
+        self.group_commit_delay = delay;
+        self
+    }
+
+    /// Enable or disable group commit (see
+    /// [`StoreConfig::wal_group_commit`]; `false` is the benchmark
+    /// baseline only).
+    pub fn wal_group_commit(mut self, enabled: bool) -> Self {
+        self.wal_group_commit = enabled;
         self
     }
 
@@ -608,8 +639,24 @@ struct StoreInstruments {
     wal_appends: Counter,
     /// Frame bytes appended to the durable log (envelope included).
     wal_bytes: Counter,
-    /// fsyncs issued for the active log segment.
+    /// **Physical** fsyncs issued for the log — group-commit syncs,
+    /// housekeeping/shutdown force syncs, and rotation seal syncs. With
+    /// group commit, `wal_fsyncs ≤ wal_appends`, with equality only at
+    /// concurrency 1.
     wal_fsyncs: Counter,
+    /// Group commits: physical syncs that made at least one append newly
+    /// durable (a sync whose LSNs a racing rotation already sealed moves
+    /// `wal_fsyncs` but not this).
+    wal_group_commits: Counter,
+    /// Group-size distribution (appends newly covered per group commit),
+    /// self-sketched: its stream length is `wal_group_commits` and its
+    /// total weight is the durable watermark's movement, so
+    /// `wal_group_commits × mean ≈ wal_durable_lsn`.
+    wal_group_size: LatencyRecorder,
+    /// The `durable_lsn` watermark: every append at or below it is on
+    /// disk. At quiescence under [`FsyncPolicy::PerFrame`] this equals
+    /// `wal_appends`.
+    wal_durable_lsn: Gauge,
     /// Failed log appends/syncs/checkpoints — durability degraded, the
     /// store kept serving from memory.
     wal_errors: Counter,
@@ -646,6 +693,9 @@ impl StoreInstruments {
             wal_appends: registry.counter("wal_appends"),
             wal_bytes: registry.counter("wal_bytes"),
             wal_fsyncs: registry.counter("wal_fsyncs"),
+            wal_group_commits: registry.counter("wal_group_commits"),
+            wal_group_size: registry.latency("wal_group_size"),
+            wal_durable_lsn: registry.gauge("wal_durable_lsn"),
             wal_errors: registry.counter("wal_errors"),
             wal_checkpoints: registry.counter("wal_checkpoints"),
             checkpoint_seconds: registry.latency("checkpoint_seconds"),
@@ -686,14 +736,29 @@ pub struct SketchStore<T: OrderedBits = f64, E: StoreEngine<T> = TieredEngine<T>
     _marker: std::marker::PhantomData<fn(T) -> T>,
 }
 
-/// Live durability state: the open log behind its append mutex.
+/// Live durability state: the open log behind its append mutex, plus the
+/// group-commit sequencer that grants durability after the append.
 ///
-/// **Lock order**: every appender takes the log mutex while already
-/// holding a stripe lock (shared or exclusive) — so nothing may acquire a
-/// stripe lock while holding the log mutex. [`SketchStore::checkpoint`]
-/// rotates under the mutex, then releases it before gathering summaries.
+/// **Lock order** (outermost first): stripe lock → `wal` mutex →
+/// `commit`'s internal state mutex (leaf). Every appender takes the log
+/// mutex while already holding a stripe lock (shared or exclusive) — so
+/// nothing may acquire a stripe lock while holding the log mutex, and
+/// nothing may acquire the log mutex while holding the commit state
+/// (the sync leader re-takes the log mutex only *after* dropping it; see
+/// [`CommitSequencer`]). The **fsync itself runs with no lock held at
+/// all** — not the stripe lock, not the append mutex: appends and reads
+/// proceed at full speed while a group's disk wait is in flight, which
+/// is the entire point of the split. [`SketchStore::checkpoint`] rotates
+/// under a brief `wal` hold and seal-fsyncs outside every lock, with
+/// `ckpt` serializing whole passes.
 struct Persistence {
     wal: Mutex<Wal>,
+    /// Grants durability: the `durable_lsn` watermark + leader election.
+    commit: CommitSequencer,
+    /// One checkpoint pass at a time (rotation creates the successor
+    /// segment outside the append mutex, so two racing passes could
+    /// otherwise interleave their two-step swaps).
+    ckpt: Mutex<()>,
     dir: PathBuf,
 }
 
@@ -815,8 +880,12 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             }
             report.records_applied += 1;
         }
-        let wal = Wal::create(&dir, recovered.next_seq, recovered.next_lsn, store.cfg.fsync)?;
-        store.persistence = Some(Persistence { wal: Mutex::new(wal), dir });
+        let wal = Wal::create(&dir, recovered.next_seq, recovered.next_lsn)?;
+        // Everything replayed from disk is durable by definition, so the
+        // watermark starts at the last recovered LSN.
+        let commit = CommitSequencer::new(wal.last_lsn());
+        store.persistence =
+            Some(Persistence { wal: Mutex::new(wal), commit, ckpt: Mutex::new(()), dir });
         store.registry.event(
             EventKind::Recovery,
             format!(
@@ -889,39 +958,138 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     /// persistence; otherwise the caller MUST hold the key's stripe lock
     /// (shared or exclusive) across this call so per-key log order
     /// matches per-key apply order.
-    fn log_update(&self, key: &str, window: u64, values: &[T], last_lsn: &AtomicU64) {
-        if self.persistence.is_none() {
-            return;
-        }
+    ///
+    /// Returns the append's durability ticket — the assigned LSN — to be
+    /// redeemed through [`SketchStore::finish_log`] **after** the stripe
+    /// lock is released (no fsync ever runs under a stripe lock).
+    /// `None` means nothing to wait for: no persistence, append failure
+    /// (already counted), or a policy that synced inline.
+    #[must_use]
+    fn log_update(
+        &self,
+        key: &str,
+        window: u64,
+        values: &[T],
+        last_lsn: &AtomicU64,
+    ) -> Option<u64> {
+        self.persistence.as_ref()?;
         let bits: Vec<u64> = values.iter().map(|v| v.to_ordered_bits()).collect();
-        self.log_op(Some(last_lsn), WalOpRef::UpdateMany { key, value_bits: &bits, window });
+        self.log_op(Some(last_lsn), WalOpRef::UpdateMany { key, value_bits: &bits, window })
     }
 
-    /// Append one record to the durable log (no-op without persistence).
-    /// Same lock contract as [`SketchStore::log_update`]. An I/O failure
-    /// degrades durability, not service: it is counted, evented, and the
-    /// log is poisoned so later checkpoints do not compact away segments
-    /// that no longer cover the store.
-    fn log_op(&self, last_lsn: Option<&AtomicU64>, op: WalOpRef<'_>) {
-        let Some(p) = &self.persistence else { return };
+    /// Append one record to the durable log (no-op without persistence),
+    /// returning its durability ticket (see [`SketchStore::log_update`]
+    /// for the contract). An I/O failure degrades durability, not
+    /// service: it is counted, evented, and the log is poisoned so later
+    /// checkpoints do not compact away segments that no longer cover the
+    /// store — and so every parked durable waiter wakes with the error
+    /// instead of hanging.
+    #[must_use]
+    fn log_op(&self, last_lsn: Option<&AtomicU64>, op: WalOpRef<'_>) -> Option<u64> {
+        let Some(p) = &self.persistence else { return None };
         let mut wal = p.wal.lock().unwrap();
         match wal.append(&op) {
             Ok(outcome) => {
                 self.instruments.wal_appends.incr();
                 self.instruments.wal_bytes.add(outcome.bytes);
-                if outcome.synced {
-                    self.instruments.wal_fsyncs.incr();
-                }
                 if let Some(last_lsn) = last_lsn {
                     last_lsn.fetch_max(outcome.lsn, Relaxed);
                 }
+                if !self.cfg.wal_group_commit && matches!(self.cfg.fsync, FsyncPolicy::PerFrame) {
+                    // Benchmark baseline: pay the fsync inline, under the
+                    // append mutex (and the caller's stripe lock) — the
+                    // pre-group-commit behavior the bench compares
+                    // against. No ticket: durability already settled.
+                    match wal.sync_inline() {
+                        Ok(()) => self.instruments.wal_fsyncs.incr(),
+                        Err(e) => {
+                            wal.poisoned = true;
+                            drop(wal);
+                            p.commit.poison();
+                            self.instruments.wal_errors.incr();
+                            self.registry.event(EventKind::WalError, e.to_string());
+                        }
+                    }
+                    return None;
+                }
+                Some(outcome.lsn)
             }
             Err(e) => {
                 wal.poisoned = true;
+                drop(wal);
+                p.commit.poison();
+                self.instruments.wal_errors.incr();
+                self.registry.event(EventKind::WalError, e.to_string());
+                None
+            }
+        }
+    }
+
+    /// Redeem a durability ticket from [`SketchStore::log_update`] /
+    /// [`SketchStore::log_op`]: block until the append is durable under
+    /// the store's fsync policy. **Must be called with no stripe lock
+    /// held** — this is where the disk wait happens, amortized across
+    /// every concurrent writer by the [`CommitSequencer`].
+    fn finish_log(&self, ticket: Option<u64>) {
+        let Some(lsn) = ticket else { return };
+        let Some(p) = &self.persistence else { return };
+        match self.cfg.fsync {
+            FsyncPolicy::PerFrame => {
+                let result = p.commit.wait_durable(lsn, &p.wal, self.cfg.group_commit_delay);
+                self.observe_group(result);
+            }
+            FsyncPolicy::Interval(every) => {
+                // The interval check lives here, on the sync path: the
+                // append mutex never pays it, and appenders racing past
+                // a due interval coalesce into one sync.
+                if p.commit.interval_due(every, lsn) {
+                    let result = p.commit.wait_durable(lsn, &p.wal, Duration::ZERO);
+                    self.observe_group(result);
+                }
+            }
+            FsyncPolicy::Off => {}
+        }
+    }
+
+    /// Record the outcome of a group-commit wait. `Ok(Some)` means this
+    /// caller led a physical sync and owns its telemetry; followers
+    /// (`Ok(None)`) and victims of someone else's failure (`Poisoned`,
+    /// counted by the poisoner) record nothing.
+    fn observe_group(&self, result: Result<Option<GroupOutcome>, WaitError>) {
+        match result {
+            Ok(Some(outcome)) => {
+                self.instruments.wal_fsyncs.incr();
+                if outcome.group > 0 {
+                    self.instruments.wal_durable_lsn.set(outcome.covered as i64);
+                    self.instruments.wal_group_commits.incr();
+                    self.instruments.wal_group_size.record(outcome.group as f64);
+                }
+            }
+            Ok(None) => {}
+            Err(WaitError::Io(e)) => {
                 self.instruments.wal_errors.incr();
                 self.registry.event(EventKind::WalError, e.to_string());
             }
+            Err(WaitError::Poisoned) => {}
         }
+    }
+
+    /// Flush the durable log's buffered tail to disk: one coalesced
+    /// group commit covering everything appended so far, under **any**
+    /// fsync policy. Returns whether a physical sync ran (`false` when
+    /// the log was already clean, the store has no persistence, or the
+    /// log is poisoned).
+    ///
+    /// Clean shutdown calls this — directly, via the serving layer's
+    /// stop path, or through the store's own `Drop` — so `Interval` and
+    /// `Off` stores lose nothing that was acked before a *graceful*
+    /// exit. Housekeeping sweeps ride the same path.
+    pub fn sync(&self) -> bool {
+        let Some(p) = &self.persistence else { return false };
+        let result = p.commit.force_sync(&p.wal);
+        let synced = matches!(result, Ok(Some(_)));
+        self.observe_group(result);
+        synced
     }
 
     /// The next never-before-used lease generation.
@@ -983,10 +1151,13 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         // Shared fast path: hot-key writers synchronize only inside the
         // engine (the paper's Gather&Sort/DCAS points), never on the
         // stripe.
-        {
+        let fast = {
             let map = self.stripe_of(key).read().unwrap();
-            if let Some(entry) = map.get(key) {
-                if let Some(mut handle) = entry.checkout(self.cfg.writer_pool) {
+            let checked_out = map
+                .get(key)
+                .and_then(|entry| entry.checkout(self.cfg.writer_pool).map(|h| (entry, h)));
+            match checked_out {
+                Some((entry, mut handle)) => {
                     // Count before writing (the write is infallible from
                     // here): a concurrent `stats()` sweep sharing the
                     // stripe lock must never observe engine weight not
@@ -1003,12 +1174,18 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                     // record is not yet sequenced, and per-key log order
                     // matches apply order. The active window id cannot
                     // move while we hold the stripe shared (transitions
-                    // are exclusive-path), so the tag is exact.
-                    self.log_update(key, entry.active_wid(), values, &entry.last_lsn);
+                    // are exclusive-path), so the tag is exact. The
+                    // durable *wait* happens below, lock free.
+                    let ticket = self.log_update(key, entry.active_wid(), values, &entry.last_lsn);
                     entry.give_back(handle);
-                    return;
+                    Some(ticket)
                 }
+                None => None,
             }
+        };
+        if let Some(ticket) = fast {
+            self.finish_log(ticket);
+            return;
         }
         // Exclusive slow path: key creation, cold-tier keys (whose
         // `&mut` updates drive promotion pressure), exhausted pools.
@@ -1039,11 +1216,15 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         // shutdown barriers).
         self.instruments.updates.add(values.len() as u64);
         self.instruments.fallback_writes.incr();
-        self.log_update(key, entry.active_wid(), values, &entry.last_lsn);
+        let ticket = self.log_update(key, entry.active_wid(), values, &entry.last_lsn);
         if tier_before == Tier::Sequential && entry.engine.tier() == Tier::Concurrent {
             self.instruments.promotions.incr();
             self.registry.event(EventKind::Promotion, format!("key={key}"));
         }
+        // Durable wait after the stripe lock is gone: concurrent writers
+        // on this stripe proceed while our group's fsync is in flight.
+        drop(map);
+        self.finish_log(ticket);
     }
 
     /// Feed a timestamped batch into the window holding `ts_ms` (an
@@ -1085,26 +1266,35 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         // the stripe shared (every window transition runs under the
         // exclusive lock), so the brief mutex peek stays valid across the
         // whole write.
-        {
+        let fast = {
             let map = self.stripe_of(key).read().unwrap();
-            if let Some(entry) = map.get(key) {
+            let checked_out = map.get(key).and_then(|entry| {
                 let is_active =
                     entry.windows.as_ref().is_some_and(|w| w.lock().unwrap().active_id == wid);
-                if is_active {
-                    if let Some(mut handle) = entry.checkout(self.cfg.writer_pool) {
-                        // Same ordering discipline as `update_many`:
-                        // count, write, flush, log — all under the shared
-                        // hold.
-                        self.instruments.updates.add(values.len() as u64);
-                        self.instruments.shared_writes.incr();
-                        handle.update_many(values);
-                        handle.flush();
-                        self.log_update(key, wid, values, &entry.last_lsn);
-                        entry.give_back(handle);
-                        return;
-                    }
+                if !is_active {
+                    return None;
                 }
+                entry.checkout(self.cfg.writer_pool).map(|h| (entry, h))
+            });
+            match checked_out {
+                Some((entry, mut handle)) => {
+                    // Same ordering discipline as `update_many`: count,
+                    // write, flush, log — all under the shared hold; the
+                    // durable wait below, lock free.
+                    self.instruments.updates.add(values.len() as u64);
+                    self.instruments.shared_writes.incr();
+                    handle.update_many(values);
+                    handle.flush();
+                    let ticket = self.log_update(key, wid, values, &entry.last_lsn);
+                    entry.give_back(handle);
+                    Some(ticket)
+                }
+                None => None,
             }
+        };
+        if let Some(ticket) = fast {
+            self.finish_log(ticket);
+            return;
         }
         // Exclusive path: key creation, window transitions (roll forward
         // or late merge), cold-tier keys, exhausted pools.
@@ -1165,11 +1355,13 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             entry.engine.update_many(values);
             self.instruments.updates.add(values.len() as u64);
             self.instruments.fallback_writes.incr();
-            self.log_update(key, wid, values, &entry.last_lsn);
+            let ticket = self.log_update(key, wid, values, &entry.last_lsn);
             if tier_before == Tier::Sequential && entry.engine.tier() == Tier::Concurrent {
                 self.instruments.promotions.incr();
                 self.registry.event(EventKind::Promotion, format!("key={key}"));
             }
+            drop(map);
+            self.finish_log(ticket);
             return;
         }
         // Late value: behind the active window.
@@ -1193,7 +1385,9 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         }
         self.instruments.updates.add(values.len() as u64);
         self.instruments.fallback_writes.incr();
-        self.log_update(key, wid, values, &entry.last_lsn);
+        let ticket = self.log_update(key, wid, values, &entry.last_lsn);
+        drop(map);
+        self.finish_log(ticket);
     }
 
     /// Merge a summary into `state`'s sealed set at level-0 slot `start`:
@@ -1263,7 +1457,9 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         let handle = lease.handle.as_mut().expect("lease handle present until drop");
         handle.update_many(values);
         handle.flush();
-        self.log_update(key, entry.active_wid(), values, &entry.last_lsn);
+        let ticket = self.log_update(key, entry.active_wid(), values, &entry.last_lsn);
+        drop(map);
+        self.finish_log(ticket);
         Ok(())
     }
 
@@ -1504,7 +1700,9 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         self.instruments.bytes_in.add(buf.len() as u64);
         // The frame is logged verbatim (it already carries its own CRC
         // and decoded cleanly above); replay re-ingests it.
-        self.log_op(Some(&entry.last_lsn), WalOpRef::Ingest { key, frame: buf });
+        let ticket = self.log_op(Some(&entry.last_lsn), WalOpRef::Ingest { key, frame: buf });
+        drop(map);
+        self.finish_log(ticket);
         Ok(ingested)
     }
 
@@ -1530,18 +1728,21 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         let stripe_ix = self.stripe_index(key);
         let mut map = self.stripes[stripe_ix].write().unwrap();
         let removed = map.remove(key).is_some();
-        if removed {
+        let ticket = if removed {
             // Logged under the same exclusive hold as the removal: a
             // racing re-creation of the key cannot sequence its first
             // batch before the remove.
-            self.log_op(None, WalOpRef::Remove { key });
-        }
+            self.log_op(None, WalOpRef::Remove { key })
+        } else {
+            None
+        };
         drop(map);
         if removed {
             self.instruments.stripe_keys[stripe_ix].dec();
             self.instruments.removals.incr();
             self.registry.event(EventKind::Eviction, format!("key={key}"));
         }
+        self.finish_log(ticket);
         removed
     }
 
@@ -1660,22 +1861,11 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
             self.instruments.windows_resident.set(windows_resident);
         }
         // Durability housekeeping rides the same sweep: flush whatever
-        // the lazier fsync policies left pending, then compact the log.
-        if let Some(p) = &self.persistence {
-            {
-                let mut wal = p.wal.lock().unwrap();
-                if !wal.poisoned {
-                    match wal.sync() {
-                        Ok(true) => self.instruments.wal_fsyncs.incr(),
-                        Ok(false) => {}
-                        Err(e) => {
-                            wal.poisoned = true;
-                            self.instruments.wal_errors.incr();
-                            self.registry.event(EventKind::WalError, e.to_string());
-                        }
-                    }
-                }
-            }
+        // the lazier fsync policies left pending — one coalesced group
+        // commit on the sync path, never under the append mutex — then
+        // compact the log.
+        if self.persistence.is_some() {
+            self.sync();
             if let Err(e) = self.checkpoint() {
                 self.instruments.wal_errors.incr();
                 self.registry.event(EventKind::WalError, e.to_string());
@@ -1699,17 +1889,52 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
     pub fn checkpoint(&self) -> Result<Option<CheckpointStats>, PersistError> {
         let Some(p) = &self.persistence else { return Ok(None) };
         let start = Instant::now();
-        let sealed = {
-            let mut wal = p.wal.lock().unwrap();
+        // One pass at a time: rotation swaps the active segment in two
+        // steps (create the successor outside the append mutex, install
+        // it under a brief hold), and two racing passes interleaving
+        // those steps would install segments out of order.
+        let _pass = p.ckpt.lock().unwrap();
+        let next_seq = {
+            let wal = p.wal.lock().unwrap();
             if wal.dirty_records == 0 || wal.poisoned {
                 return Ok(None);
             }
-            // Rotate under the append mutex, then RELEASE it before
-            // touching any stripe: appenders take this mutex while
-            // holding a stripe lock, so gathering under it would invert
-            // the lock order (see [`Persistence`]).
-            wal.rotate()?
+            wal.seq() + 1
         };
+        // Create the successor segment with NO lock held (it is I/O:
+        // create + header write + fsync), then install it under a brief
+        // append-mutex hold and RELEASE the mutex before touching any
+        // stripe: appenders take this mutex while holding a stripe lock,
+        // so gathering under it would invert the lock order (see
+        // [`Persistence`]).
+        let fresh = persist::create_segment(&p.dir, next_seq)?;
+        let (sealed_file, covered, sealed_path) = {
+            let mut wal = p.wal.lock().unwrap();
+            if wal.poisoned {
+                // An appender poisoned the log between the check and the
+                // install; the pre-created segment stays on disk as an
+                // empty tail (harmless to recovery) and the pass aborts.
+                return Ok(None);
+            }
+            wal.install_segment(fresh)
+        };
+        let sealed = next_seq - 1;
+        // Seal fsync outside every lock — appenders keep appending to
+        // the fresh segment while the sealed one flushes.
+        if let Err(e) = sealed_file.sync_data() {
+            p.wal.lock().unwrap().poisoned = true;
+            p.commit.poison();
+            return Err(PersistError { op: "fsync", path: sealed_path, source: e });
+        }
+        self.instruments.wal_fsyncs.incr();
+        // Everything in the sealed segment is now durable: give parked
+        // group-commit waiters it covers a free commit.
+        let newly = p.commit.advance(covered);
+        if newly > 0 {
+            self.instruments.wal_durable_lsn.set(covered as i64);
+            self.instruments.wal_group_commits.incr();
+            self.instruments.wal_group_size.record(newly as f64);
+        }
         let mut entries = Vec::new();
         for stripe in self.stripes.iter() {
             let keys: Vec<String> = stripe.read().unwrap().keys().cloned().collect();
@@ -1857,6 +2082,20 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         }
         snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
         snap
+    }
+}
+
+impl<T: OrderedBits, E: StoreEngine<T>> Drop for SketchStore<T, E> {
+    /// Clean shutdown syncs the log's buffered tail ([`SketchStore::sync`])
+    /// so `Interval`/`Off` stores lose nothing acked before a graceful
+    /// exit. Skipped mid-panic: an fsync on a poisoned-invariant store
+    /// could double-panic into an abort, and a panicking process is not
+    /// a clean shutdown anyway.
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.sync();
     }
 }
 

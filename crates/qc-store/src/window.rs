@@ -31,6 +31,13 @@
 //! starting at id `s` covers ids `[s, s + 2^l)`; its parent at level
 //! `l+1` starts at `s` rounded down to a multiple of `2^(l+1)`, so
 //! sibling promotions always meet in the same slot and merge.
+//!
+//! Durability rides the store's split append/sync path unchanged:
+//! windowed records (v2 frames carrying the window id) are appended and
+//! LSN-sequenced under the stripe-lock hold, and the writer then waits
+//! on the group-commit watermark with no lock held — active-window
+//! writes, late merges, and window rolls all share fsyncs with every
+//! other concurrent durable writer (see `qc_store::persist`).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

@@ -7,6 +7,7 @@
 //! — byte-identical snapshot frames, exact stream lengths — not "close
 //! enough" bounds.
 
+use qc_common::summary::Summary;
 use qc_store::persist::{parse_segment, RecordError};
 use qc_store::{FsyncPolicy, SketchStore, StoreConfig};
 use qc_workloads::tempdir::TempDir;
@@ -266,6 +267,142 @@ fn checkpoint_then_remove_replays_the_remove() {
     keys.sort();
     assert_eq!(keys, vec!["kept".to_string()], "post-checkpoint remove must replay");
     assert_eq!(recovered.stats().stream_len, 50);
+}
+
+#[test]
+fn clean_shutdown_syncs_the_buffered_tail_under_every_policy() {
+    use std::sync::Arc;
+    for policy in [
+        FsyncPolicy::Off,
+        FsyncPolicy::Interval(std::time::Duration::from_secs(3600)),
+        FsyncPolicy::PerFrame,
+    ] {
+        let dir = TempDir::new("persist-shutdown");
+        let registry = Arc::new(qc_telemetry::Registry::new());
+        let (store, _) =
+            SketchStore::<f64>::recover(cfg(&dir).fsync(policy).telemetry(registry.clone()))
+                .unwrap();
+        for i in 0..10 {
+            store.update("k", i as f64);
+        }
+        let before = registry.snapshot();
+        let lazy = !matches!(policy, FsyncPolicy::PerFrame);
+        if lazy {
+            // Nothing forced these frames to disk yet — exactly the tail
+            // a hard kill would lose, and a clean stop must not.
+            assert_eq!(before.counter("wal_fsyncs"), Some(0), "{policy:?}: lazy before stop");
+        }
+        // Dropping the store is the clean stop: its Drop runs `sync()`.
+        drop(store);
+        let after = registry.snapshot();
+        if lazy {
+            assert_eq!(
+                after.counter("wal_fsyncs"),
+                Some(1),
+                "{policy:?}: clean stop must flush the tail in one sync"
+            );
+            assert_eq!(after.gauge("wal_durable_lsn"), Some(10), "{policy:?}");
+        } else {
+            assert_eq!(
+                after.counter("wal_fsyncs"),
+                before.counter("wal_fsyncs"),
+                "{policy:?}: PerFrame acks were already durable; shutdown adds nothing"
+            );
+        }
+        let (recovered, report) = SketchStore::<f64>::recover(cfg(&dir).fsync(policy)).unwrap();
+        assert!(report.corruption.is_none());
+        assert_eq!(
+            recovered.stats().stream_len,
+            10,
+            "clean stop loses zero acked frames ({policy:?})"
+        );
+    }
+}
+
+#[test]
+fn explicit_sync_reports_whether_a_physical_sync_ran() {
+    let dir = TempDir::new("persist-sync");
+    let (store, _) = SketchStore::<f64>::recover(cfg(&dir).fsync(FsyncPolicy::Off)).unwrap();
+    assert!(!store.sync(), "empty log: nothing to flush");
+    store.update("k", 1.0);
+    assert!(store.sync(), "buffered tail must flush");
+    assert!(!store.sync(), "already durable");
+    let memory = SketchStore::new(StoreConfig::default().k(64).b(4));
+    memory.update("k", 1.0);
+    assert!(!memory.sync(), "no persistence, nothing to sync");
+}
+
+/// The acceptance-criterion regression for the lock split: while a group
+/// commit's disk wait is pending (made observable by a long leader
+/// hold-off), no stripe lock and no WAL append mutex may be held — a
+/// reader on the written key must answer immediately, and a second
+/// durable writer must append freely and ride the open group instead of
+/// leading its own.
+#[test]
+fn no_store_lock_is_held_across_the_group_commit_window() {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    let dir = TempDir::new("persist-lockorder");
+    let registry = Arc::new(qc_telemetry::Registry::new());
+    let config = cfg(&dir)
+        .fsync(FsyncPolicy::PerFrame)
+        .group_commit_delay(Duration::from_millis(400))
+        .telemetry(registry.clone());
+    let (store, _) = SketchStore::<f64>::recover(config).unwrap();
+    let store = Arc::new(store);
+    // Create the key durably up front (one 400ms group of its own).
+    store.update("warm", 0.0);
+
+    let leader = {
+        let store = store.clone();
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            store.update("warm", 1.0);
+            start.elapsed()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(80));
+    // Appends while the leader's hold-off is open ride its group.
+    let rider = {
+        let store = store.clone();
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            store.update("rider", 2.0);
+            start.elapsed()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    // A read on the same key while the group's sync is pending: if any
+    // stripe lock or the append mutex were held across the hold-off +
+    // fsync, this would block out the rest of the 400ms window.
+    let read_start = Instant::now();
+    let answer = store.query("warm", 0.5);
+    let read_elapsed = read_start.elapsed();
+    assert!(answer.is_some());
+
+    let leader_elapsed = leader.join().unwrap();
+    let rider_elapsed = rider.join().unwrap();
+    assert!(
+        leader_elapsed >= Duration::from_millis(400),
+        "the leader holds its election open for the full delay: {leader_elapsed:?}"
+    );
+    assert!(
+        read_elapsed < Duration::from_millis(250),
+        "reads must not wait behind a pending group commit: {read_elapsed:?}"
+    );
+    assert!(
+        rider_elapsed < leader_elapsed,
+        "the rider (started 80ms later) wakes with the leader's sync: \
+         rider {rider_elapsed:?} vs leader {leader_elapsed:?}"
+    );
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("wal_appends"), Some(3));
+    assert_eq!(snap.counter("wal_fsyncs"), Some(2), "setup group + one shared group");
+    assert_eq!(snap.counter("wal_group_commits"), Some(2));
+    assert_eq!(snap.gauge("wal_durable_lsn"), Some(3), "every append covered");
+    let sizes = snap.latency("wal_group_size").expect("group sizes recorded");
+    assert_eq!(sizes.stream_len(), 2, "one sample per group commit");
 }
 
 #[test]

@@ -140,6 +140,85 @@ proptest! {
         );
     }
 
+    /// Group-commit boundary model: a leader fsync covers every append
+    /// up to some LSN, so after a crash the durable prefix always ends at
+    /// the last record of a completed commit *group*, never inside one.
+    /// Partition the recorded ops into arbitrary groups, keep a whole
+    /// number of them, and recovery must equal executing exactly the ops
+    /// of the completed groups — the uncovered tail vanishes atomically.
+    #[test]
+    fn recovery_at_a_group_commit_boundary_equals_the_covered_groups(
+        ops in prop::collection::vec(op_strategy(), 1..32),
+        group_sizes in prop::collection::vec(1usize..5, 1..16),
+        keep_frac in 0.0f64..=1.0,
+    ) {
+        let dir = TempDir::new("recover-group");
+        let (durable, _) =
+            SketchStore::<f64>::recover(base_cfg().data_dir(dir.path())).unwrap();
+        for op in &ops {
+            apply(&durable, op);
+        }
+        drop(durable);
+
+        // Same record/op correspondence as the arbitrary-cut property.
+        let recorded: Vec<&Op> = {
+            let mut live = std::collections::HashSet::new();
+            ops.iter()
+                .filter(|op| match op {
+                    Op::UpdateMany { key, .. } => {
+                        live.insert(*key);
+                        true
+                    }
+                    Op::Remove { key } => live.remove(key),
+                })
+                .collect()
+        };
+
+        let segment: Vec<_> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "log"))
+            .collect();
+        let path = &segment[0];
+        let bytes = std::fs::read(path).unwrap();
+        let scan = parse_segment(&bytes);
+        prop_assert_eq!(scan.records.len(), recorded.len());
+
+        // Partition the records into commit groups of the drawn sizes
+        // (cycling if the sizes run short), then keep a whole number of
+        // leading groups — the watermark a leader fsync would have left.
+        let mut boundaries = Vec::new(); // record count at each group end
+        let mut covered = 0usize;
+        let mut sizes = group_sizes.iter().cycle();
+        while covered < recorded.len() {
+            covered = (covered + sizes.next().unwrap()).min(recorded.len());
+            boundaries.push(covered);
+        }
+        let keep_groups = (boundaries.len() as f64 * keep_frac) as usize;
+        let survivors = keep_groups.checked_sub(1).map_or(0, |i| boundaries[i]);
+        let cut = survivors
+            .checked_sub(1)
+            .map_or(FILE_HEADER_LEN, |i| scan.records[i].end);
+        std::fs::write(path, &bytes[..cut]).unwrap();
+
+        // A group boundary is a frame boundary: recovery is clean, no
+        // torn tail, and applies exactly the covered groups' records.
+        let (recovered, report) =
+            SketchStore::<f64>::recover(base_cfg().data_dir(dir.path())).unwrap();
+        prop_assert!(report.corruption.is_none(), "group boundaries are frame boundaries");
+        prop_assert_eq!(report.records_applied, survivors as u64);
+
+        let reference = SketchStore::<f64>::new(base_cfg());
+        for op in &recorded[..survivors] {
+            apply(&reference, op);
+        }
+        prop_assert_eq!(
+            state_of(&recovered),
+            state_of(&reference),
+            "recovery must equal executing the {keep_groups} covered commit groups"
+        );
+    }
+
     /// Repair is idempotent and deterministic: recovering the same
     /// damaged directory twice (the first pass truncates the torn tail)
     /// lands on the same state both times.
