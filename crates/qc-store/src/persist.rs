@@ -916,6 +916,15 @@ pub(crate) struct Wal {
     /// from memory, but stops pretending to be durable (counted and
     /// evented by the caller).
     pub(crate) poisoned: bool,
+    /// A sealed-but-not-yet-fsynced predecessor segment: a dup of its
+    /// handle plus its path, set by [`Wal::install_segment`] and cleared
+    /// by [`Wal::seal_complete`] once the rotation's seal fsync lands.
+    /// LSNs are global across segments, so while this is set a sync of
+    /// the active file alone does NOT cover every LSN up to
+    /// `last_lsn()` — [`Wal::sync_point`] captures this handle too so a
+    /// group-commit leader racing the rotation window fsyncs both files
+    /// before the durable watermark advances past the sealed LSNs.
+    pending_seal: Option<(File, PathBuf)>,
 }
 
 pub(crate) fn create_segment(dir: &Path, seq: u64) -> Result<File, PersistError> {
@@ -944,6 +953,7 @@ impl Wal {
             next_lsn: next_lsn.max(1),
             dirty_records: 0,
             poisoned: false,
+            pending_seal: None,
         })
     }
 
@@ -970,17 +980,28 @@ impl Wal {
         self.seq
     }
 
-    /// Capture a sync point: a duplicate handle to the active segment
-    /// plus the highest LSN already written through it. The caller
-    /// releases this mutex, then [`SyncTicket::sync`]s with **no** lock
-    /// held — every LSN up to `covered` was `write_all`'d before the
-    /// handle was cloned (both happen under this mutex), and the clone
-    /// shares the file description, so its `fdatasync` covers them even
-    /// if a rotation swaps the active segment in between.
+    /// Capture a sync point: duplicate handles to every file holding a
+    /// not-yet-sealed LSN, plus the highest LSN written so far. The
+    /// caller releases this mutex, then [`SyncTicket::sync`]s with
+    /// **no** lock held — every LSN up to `covered` was `write_all`'d
+    /// before the handles were cloned (both happen under this mutex),
+    /// and the clones share their file descriptions, so `fdatasync`ing
+    /// them covers those LSNs. When a rotation is mid-flight (segment
+    /// swapped in, seal fsync not yet landed) `covered` spans **two**
+    /// files, so the ticket carries the sealed predecessor's handle too;
+    /// syncing the active file alone would let the watermark advance
+    /// past LSNs that live only in the unsynced sealed file.
     pub(crate) fn sync_point(&self) -> Result<SyncTicket, PersistError> {
         let path = self.dir.join(segment_file_name(self.seq));
         let file = self.file.try_clone().map_err(|e| PersistError::new("dup", path.clone(), e))?;
-        Ok(SyncTicket { file, covered: self.last_lsn(), path })
+        let sealed = match &self.pending_seal {
+            Some((file, path)) => Some((
+                file.try_clone().map_err(|e| PersistError::new("dup", path.clone(), e))?,
+                path.clone(),
+            )),
+            None => None,
+        };
+        Ok(SyncTicket { file, covered: self.last_lsn(), path, sealed })
     }
 
     /// Fsync the active segment in place, under the mutex. Only the
@@ -994,29 +1015,55 @@ impl Wal {
     /// Swap in a freshly created successor segment (built by
     /// [`create_segment`] with no lock held) and seal the current one.
     /// Returns the sealed segment's file — **not yet fsync'd**; the
-    /// caller syncs it outside every lock — plus the highest LSN it
-    /// holds and its path (for error reporting).
-    pub(crate) fn install_segment(&mut self, fresh: File) -> (File, u64, PathBuf) {
+    /// caller syncs it outside every lock, then reports back via
+    /// [`Wal::seal_complete`] — plus the highest LSN it holds and its
+    /// path (for error reporting). Until `seal_complete`, a dup of the
+    /// sealed handle stays in `pending_seal` so racing sync points keep
+    /// covering its LSNs. Fails (log state untouched) only if the
+    /// handle cannot be duplicated.
+    pub(crate) fn install_segment(
+        &mut self,
+        fresh: File,
+    ) -> Result<(File, u64, PathBuf), PersistError> {
         let sealed_path = self.dir.join(segment_file_name(self.seq));
+        let dup =
+            self.file.try_clone().map_err(|e| PersistError::new("dup", sealed_path.clone(), e))?;
         let sealed = std::mem::replace(&mut self.file, fresh);
+        self.pending_seal = Some((dup, sealed_path.clone()));
         let covered = self.last_lsn();
         self.seq += 1;
         self.dirty_records = 0;
-        (sealed, covered, sealed_path)
+        Ok((sealed, covered, sealed_path))
+    }
+
+    /// The rotation's seal fsync landed: every sealed LSN is on disk,
+    /// so sync points go back to covering the active segment alone.
+    pub(crate) fn seal_complete(&mut self) {
+        self.pending_seal = None;
     }
 }
 
-/// A captured sync point: sync the file, get back the covered LSN.
+/// A captured sync point: sync the file(s), get back the covered LSN.
 pub(crate) struct SyncTicket {
     file: File,
     covered: u64,
     path: PathBuf,
+    /// A rotation's sealed-but-unsynced predecessor, captured inside the
+    /// rotation window: it holds LSNs at or below `covered`, so it must
+    /// reach disk before the watermark may advance to `covered`.
+    sealed: Option<(File, PathBuf)>,
 }
 
 impl SyncTicket {
-    /// `fdatasync` the captured handle (call with no lock held — this is
-    /// the ~170µs disk wait the whole split exists to isolate).
+    /// `fdatasync` the captured handle(s) (call with no lock held — this
+    /// is the ~170µs disk wait the whole split exists to isolate). The
+    /// sealed predecessor, if any, syncs first: `covered` is a global
+    /// LSN spanning both files, and `ack ⇒ durable` requires every LSN
+    /// at or below it on disk before anyone advances the watermark.
     pub(crate) fn sync(self) -> Result<u64, PersistError> {
+        if let Some((file, path)) = &self.sealed {
+            file.sync_data().map_err(|e| PersistError::new("fsync", path, e))?;
+        }
         self.file.sync_data().map_err(|e| PersistError::new("fsync", &self.path, e))?;
         Ok(self.covered)
     }
@@ -1480,6 +1527,38 @@ pub(crate) fn recover_dir(dir: &Path) -> Result<RecoveredLog, PersistError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression test for the rotation/group-commit durability race: a
+    /// sync point captured inside the rotation window (segment swapped
+    /// in, seal fsync not yet landed) must cover the sealed predecessor
+    /// too — its LSNs are at or below `covered`, and advancing the
+    /// durable watermark on an fdatasync of the fresh file alone would
+    /// ack writers whose records are only in the unsynced sealed file.
+    #[test]
+    fn sync_point_inside_a_rotation_window_covers_the_sealed_segment() {
+        let dir = qc_workloads::tempdir::TempDir::new("persist-pending-seal");
+        let mut wal = Wal::create(dir.path(), 1, 1).unwrap();
+        for _ in 0..3 {
+            wal.append(&WalOpRef::UpdateMany { key: "k", value_bits: &[1], window: 0 }).unwrap();
+        }
+        // Rotate like `checkpoint()` does: create the successor, install
+        // it, but do NOT seal-fsync yet — we are inside the race window.
+        let fresh = create_segment(dir.path(), 2).unwrap();
+        let (sealed_file, covered, _path) = wal.install_segment(fresh).unwrap();
+        assert_eq!(covered, 3);
+        // A leader electing now gets a two-file ticket and still covers
+        // the global tail.
+        let ticket = wal.sync_point().unwrap();
+        assert!(ticket.sealed.is_some(), "ticket in the rotation window must carry the seal");
+        assert_eq!(ticket.covered, 3);
+        assert_eq!(ticket.sync().unwrap(), 3);
+        // Once the rotation's seal fsync lands, tickets go back to the
+        // active segment alone.
+        sealed_file.sync_data().unwrap();
+        wal.seal_complete();
+        let ticket = wal.sync_point().unwrap();
+        assert!(ticket.sealed.is_none(), "seal_complete must clear the pending seal");
+    }
 
     #[test]
     fn record_roundtrips_through_a_frame() {

@@ -163,7 +163,11 @@ pub struct StoreConfig {
     /// commit (`true`, the default) or each [`FsyncPolicy::PerFrame`]
     /// append pays its own fsync inline under the append mutex
     /// (`false` — the pre-group-commit behavior, kept as the benchmark
-    /// baseline; nothing else should use it).
+    /// baseline; nothing else should use it). The baseline exists for
+    /// `PerFrame` **only**: under `Interval`/`Off` durability still
+    /// routes through the group-commit sequencer regardless of this
+    /// flag, so `recover` debug-asserts that `false` is paired with
+    /// `PerFrame`.
     pub wal_group_commit: bool,
     /// Time-windowed operation (see [`crate::window`]). `None` (the
     /// default) keeps every key a single unbounded stream — exactly the
@@ -272,7 +276,7 @@ impl StoreConfig {
 
     /// Enable or disable group commit (see
     /// [`StoreConfig::wal_group_commit`]; `false` is the benchmark
-    /// baseline only).
+    /// baseline only, and only valid with [`FsyncPolicy::PerFrame`]).
     pub fn wal_group_commit(mut self, enabled: bool) -> Self {
         self.wal_group_commit = enabled;
         self
@@ -828,6 +832,15 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
         let Some(dir) = cfg.data_dir.clone() else {
             return Ok((Self::with_engine(cfg), RecoveryReport::default()));
         };
+        // The baseline flag only models pre-group-commit behavior under
+        // PerFrame (inline fsync per append); Interval/Off route through
+        // the sequencer regardless, so combining them with the flag off
+        // would benchmark a configuration that doesn't exist.
+        debug_assert!(
+            cfg.wal_group_commit || matches!(cfg.fsync, FsyncPolicy::PerFrame),
+            "wal_group_commit=false is the PerFrame benchmark baseline only; \
+             Interval/Off always use the group-commit sequencer"
+        );
         let recovered = persist::recover_dir(&dir)?;
         // Build with persistence unattached: replay below runs through the
         // public write paths without re-logging itself.
@@ -1916,16 +1929,27 @@ impl<T: OrderedBits, E: StoreEngine<T>> SketchStore<T, E> {
                 // empty tail (harmless to recovery) and the pass aborts.
                 return Ok(None);
             }
-            wal.install_segment(fresh)
+            // A dup failure leaves the log untouched: appends continue
+            // on the old segment, the pre-created successor stays on
+            // disk as an empty orphan (harmless to recovery), and this
+            // pass reports the error without poisoning.
+            wal.install_segment(fresh)?
         };
         let sealed = next_seq - 1;
         // Seal fsync outside every lock — appenders keep appending to
-        // the fresh segment while the sealed one flushes.
+        // the fresh segment while the sealed one flushes. Until this
+        // lands, the Wal's `pending_seal` keeps a dup of the sealed
+        // handle, so any group-commit leader capturing a sync point in
+        // this window fsyncs the sealed file too — its `covered` is a
+        // global LSN that includes the sealed records, and the watermark
+        // must not advance past them on the strength of an fdatasync of
+        // the (nearly empty) fresh segment alone.
         if let Err(e) = sealed_file.sync_data() {
             p.wal.lock().unwrap().poisoned = true;
             p.commit.poison();
             return Err(PersistError { op: "fsync", path: sealed_path, source: e });
         }
+        p.wal.lock().unwrap().seal_complete();
         self.instruments.wal_fsyncs.incr();
         // Everything in the sealed segment is now durable: give parked
         // group-commit waiters it covers a free commit.
